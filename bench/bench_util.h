@@ -1,0 +1,212 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Each fig* binary reproduces one figure of the paper (see DESIGN.md §4 and
+// EXPERIMENTS.md): it assembles the three systems under test — SharedDB,
+// the MySQL-like baseline, and the SystemX-like baseline — over identical
+// TPC-W data, sweeps the figure's x-axis, and prints the same series the
+// paper plots as a tab-separated table (plus a short interpretation).
+//
+// Flags common to all fig benches:
+//   --quick           smaller sweep / shorter runs (used in CI)
+//   --scale-ebs=N     data scale (drives customer/order counts), default 10
+//   --duration=SECS   virtual seconds simulated per point
+//   --seed=N          workload seed
+
+#ifndef SHAREDDB_BENCH_BENCH_UTIL_H_
+#define SHAREDDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/profiles.h"
+#include "sim/baseline_sim.h"
+#include "sim/shareddb_sim.h"
+#include "tpcw/global_plan.h"
+
+namespace shareddb {
+namespace bench {
+
+/// Command-line options shared by the fig benches.
+struct BenchArgs {
+  bool quick = false;
+  int scale_ebs = 10;
+  int num_items = 10000;  // spec's smallest cardinality; makes the heavy
+                          // analytical queries genuinely heavy (DESIGN.md §3)
+  double duration = 40.0;
+  double warmup = 5.0;
+  uint64_t seed = 42;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto val = [&](const char* prefix) -> const char* {
+        const size_t n = std::strlen(prefix);
+        return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+      };
+      if (arg == "--quick") a.quick = true;
+      else if (const char* v = val("--scale-ebs=")) a.scale_ebs = std::atoi(v);
+      else if (const char* v = val("--items=")) a.num_items = std::atoi(v);
+      else if (const char* v = val("--duration=")) a.duration = std::atof(v);
+      else if (const char* v = val("--seed=")) a.seed = std::strtoull(v, nullptr, 10);
+      else if (arg == "--help" || arg == "-h") {
+        std::printf("flags: --quick --scale-ebs=N --duration=SECS --seed=N\n");
+        std::exit(0);
+      }
+    }
+    if (const char* env = std::getenv("SDB_BENCH_QUICK")) {
+      if (env[0] == '1') a.quick = true;
+    }
+    return a;
+  }
+
+  tpcw::TpcwScale Scale() const {
+    tpcw::TpcwScale s;
+    s.num_ebs = scale_ebs;
+    s.num_items = num_items;
+    return s;
+  }
+};
+
+/// One fully assembled system under test. Each system gets its OWN copy of
+/// the database (the paper runs each system on its own server), so updates
+/// by one system never perturb another.
+struct SharedDbSut {
+  std::unique_ptr<tpcw::TpcwDatabase> db;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<sim::SharedDbLoadSim> sim;
+
+  static SharedDbSut Make(const BenchArgs& args, int cores) {
+    SharedDbSut s;
+    s.db = tpcw::MakeTpcwDatabase(args.Scale(), args.seed);
+    s.engine = std::make_unique<Engine>(tpcw::BuildTpcwGlobalPlan(&s.db->catalog));
+    sim::SharedDbSimOptions opt;
+    opt.num_cores = cores;
+    s.sim = std::make_unique<sim::SharedDbLoadSim>(s.engine.get(), s.db.get(), opt);
+    return s;
+  }
+};
+
+struct BaselineSut {
+  std::unique_ptr<tpcw::TpcwDatabase> db;
+  std::unique_ptr<baseline::BaselineEngine> engine;
+  std::unique_ptr<sim::BaselineLoadSim> sim;
+
+  static BaselineSut Make(const BenchArgs& args, const BaselineProfile& profile,
+                          int cores) {
+    BaselineSut s;
+    s.db = tpcw::MakeTpcwDatabase(args.Scale(), args.seed);
+    s.engine =
+        std::make_unique<baseline::BaselineEngine>(&s.db->catalog, profile);
+    tpcw::RegisterTpcwBaseline(s.engine.get());
+    sim::BaselineSimOptions opt;
+    opt.num_cores = cores;
+    s.sim = std::make_unique<sim::BaselineLoadSim>(s.engine.get(), s.db.get(), opt);
+    return s;
+  }
+};
+
+/// Runs one closed-loop point on a fresh system (fresh DB per point keeps
+/// points independent, as in the paper's separate runs).
+inline double SharedDbWips(const BenchArgs& args, int cores,
+                           const sim::ClientConfig& cc) {
+  SharedDbSut s = SharedDbSut::Make(args, cores);
+  return s.sim->Run(cc).Wips();
+}
+
+inline double BaselineWips(const BenchArgs& args, const BaselineProfile& profile,
+                           int cores, const sim::ClientConfig& cc) {
+  BaselineSut s = BaselineSut::Make(args, profile, cores);
+  return s.sim->Run(cc).Wips();
+}
+
+/// Generates interaction statement streams for capacity estimation.
+inline std::vector<tpcw::StatementCall> SampleCalls(
+    const tpcw::TpcwScale& scale, tpcw::IdAllocator* ids, tpcw::Mix mix,
+    std::optional<tpcw::WebInteraction> only, int interactions, Rng* rng,
+    std::vector<size_t>* boundaries = nullptr) {
+  std::vector<tpcw::StatementCall> calls;
+  tpcw::EbState eb;
+  eb.customer_id = 3;
+  for (int i = 0; i < interactions; ++i) {
+    const tpcw::WebInteraction wi =
+        only.has_value() ? *only : tpcw::SampleInteraction(mix, rng);
+    std::vector<tpcw::StatementCall> c = tpcw::BuildInteraction(wi, scale, &eb, ids, rng);
+    for (auto& call : c) calls.push_back(std::move(call));
+    if (boundaries != nullptr) boundaries->push_back(calls.size());
+  }
+  return calls;
+}
+
+/// Estimated saturation throughput (interactions/s) of a baseline profile at
+/// `cores`: measured per-interaction service demand (real execution) divided
+/// into the effective worker pool.
+inline double EstimateBaselineCapacity(const BenchArgs& args,
+                                       const BaselineProfile& profile, int cores,
+                                       tpcw::Mix mix,
+                                       std::optional<tpcw::WebInteraction> only,
+                                       int sample = 250) {
+  BaselineSut s = BaselineSut::Make(args, profile, cores);
+  Rng rng(args.seed + 17);
+  std::vector<size_t> bounds;
+  const std::vector<tpcw::StatementCall> calls =
+      SampleCalls(s.db->scale, &s.db->ids, mix, only, sample, &rng, &bounds);
+  const int eff_cores = std::min(cores, profile.max_effective_cores);
+  double demand = 0;
+  for (const tpcw::StatementCall& call : calls) {
+    baseline::BaselineResult r = s.engine->ExecuteNamed(call.statement, call.params);
+    demand += s.sim->ServiceSeconds(r.work, eff_cores);
+  }
+  demand /= sample;
+  return demand > 0 ? static_cast<double>(eff_cores) / demand : 1e9;
+}
+
+/// Estimated saturation throughput of SharedDB at `cores`: saturated-batch
+/// makespan via the cost model (real execution of the batches).
+inline double EstimateSharedDbCapacity(const BenchArgs& args, int cores,
+                                       tpcw::Mix mix,
+                                       std::optional<tpcw::WebInteraction> only,
+                                       int batch_ints = 400, int rounds = 2) {
+  SharedDbSut s = SharedDbSut::Make(args, cores);
+  sim::SharedDbSimOptions opt;
+  opt.num_cores = cores;
+  opt.min_heartbeat_seconds = 0;
+  sim::SharedDbLoadSim raw(s.engine.get(), s.db.get(), opt);
+  Rng rng(args.seed + 17);
+  double seconds = 0;
+  int ints = 0;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::future<ResultSet>> fs;
+    const std::vector<tpcw::StatementCall> calls =
+        SampleCalls(s.db->scale, &s.db->ids, mix, only, batch_ints, &rng);
+    for (const tpcw::StatementCall& call : calls) {
+      fs.push_back(s.engine->SubmitNamed(call.statement, call.params));
+    }
+    const BatchReport report = s.engine->RunOneBatch();
+    seconds += raw.BatchSeconds(report);
+    for (auto& f : fs) f.get();
+    ints += batch_ints;
+  }
+  return seconds > 0 ? static_cast<double>(ints) / seconds : 1e9;
+}
+
+/// Offered load in interactions/second for a closed-loop EB population that
+/// never waits: EBs / mean think time (the paper's "GeneratedLoad" line).
+inline double GeneratedLoad(int ebs, double think_scale) {
+  const double think = tpcw::kThinkTimeMeanSeconds * think_scale;
+  return think > 0 ? static_cast<double>(ebs) / think : 0;
+}
+
+/// Prints a header banner for a fig bench.
+inline void Banner(const char* fig, const char* title) {
+  std::printf("# %s — %s\n", fig, title);
+  std::printf("# SharedDB reproduction; series are tab-separated.\n");
+}
+
+}  // namespace bench
+}  // namespace shareddb
+
+#endif  // SHAREDDB_BENCH_BENCH_UTIL_H_

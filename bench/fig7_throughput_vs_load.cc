@@ -1,0 +1,54 @@
+// Figure 7 — "Throughput: Varying Load, All Mixes" (paper §5.3).
+//
+// The paper varies the number of emulated browsers (EBs) and plots web
+// interactions per second (WIPS, successful = completed within the spec
+// timeout) for MySQL, SystemX and SharedDB on 24 cores, one panel per TPC-W
+// mix, against the offered load ("GeneratedLoad").
+//
+// Expected shape (paper): SharedDB sustains ~2x SystemX and ~8x MySQL at
+// peak in the Browsing mix; margins shrink in the Ordering mix (point
+// queries and updates share little); past saturation the baselines' WIPS
+// collapses (latencies blow through the timeouts) while SharedDB plateaus.
+
+#include "bench/bench_util.h"
+
+using namespace shareddb;
+using namespace shareddb::bench;
+using namespace shareddb::sim;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Figure 7", "throughput vs. offered load, all mixes, 24 cores");
+
+  // The paper's x-axis: 1,000 .. 14,000 emulated browsers.
+  const int kCores = 24;
+  std::vector<int> ebs = args.quick
+                             ? std::vector<int>{1000, 2000, 4000, 8000, 14000}
+                             : std::vector<int>{1000, 2000, 3000, 4000, 5000,
+                                                6000, 8000, 10000, 12000, 14000};
+
+  for (const tpcw::Mix mix : {tpcw::Mix::kBrowsing, tpcw::Mix::kOrdering,
+                              tpcw::Mix::kShopping}) {
+    std::printf("\n## TPC-W %s Mix (cores=%d, duration=%.0fs virtual)\n",
+                tpcw::MixName(mix), kCores, args.duration);
+    std::printf("%-8s\t%-13s\t%-10s\t%-10s\t%-10s\n", "EBs", "GeneratedLoad",
+                "MySQL", "SystemX", "SharedDB");
+    for (const int n : ebs) {
+      ClientConfig cc;
+      cc.num_ebs = n;
+      cc.mix = mix;
+      cc.duration_seconds = args.duration;
+      cc.warmup_seconds = args.warmup;
+      cc.seed = args.seed;
+
+      const double offered = GeneratedLoad(n, 1.0);
+      const double mysql = BaselineWips(args, MySQLLikeProfile(), kCores, cc);
+      const double sysx = BaselineWips(args, SystemXLikeProfile(), kCores, cc);
+      const double shared = SharedDbWips(args, kCores, cc);
+      std::printf("%-8d\t%-13.1f\t%-10.1f\t%-10.1f\t%-10.1f\n", n, offered,
+                  mysql, sysx, shared);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 8 — "Max. Throughput: Vary # Cores, All Mixes" (paper §5.4).
+//
+// The paper varies the database server's core count from 1 to 48 (SharedDB
+// only to 32: one core per operator, no replication) and reports the maximum
+// successful WIPS each system achieves.
+//
+// Method: for each (system, mix, cores) we estimate the saturation
+// throughput from real executed work, then VALIDATE it with one closed-loop
+// run driven at ~95% of the estimate (just below saturation, where the
+// paper's max-WIPS metric lives; driving beyond it only collapses the
+// timeout-filtered metric). The printed WIPS is the validated measurement.
+//
+// Expected shape (paper): SharedDB wins at almost every core count and every
+// mix; MySQL stops scaling at 12 cores [23]; SharedDB loses to MySQL only in
+// the 1-core Ordering configuration; SharedDB's curve flattens beyond 32
+// cores (operator-per-core deployment cannot use more cores without
+// replication).
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+using namespace shareddb;
+using namespace shareddb::bench;
+using namespace shareddb::sim;
+
+namespace {
+
+double ValidatedWips(const BenchArgs& args, const char* system, int cores,
+                     tpcw::Mix mix, double capacity_est) {
+  ClientConfig cc;
+  cc.mix = mix;
+  cc.duration_seconds = args.quick ? 8.0 : 12.0;
+  cc.warmup_seconds = 2.0;
+  cc.seed = args.seed;
+  cc.num_ebs = std::max(
+      20, static_cast<int>(0.95 * capacity_est * tpcw::kThinkTimeMeanSeconds));
+  if (std::string(system) == "shareddb") {
+    return SharedDbWips(args, cores, cc);
+  }
+  const BaselineProfile profile = std::string(system) == "mysql"
+                                      ? MySQLLikeProfile()
+                                      : SystemXLikeProfile();
+  return BaselineWips(args, profile, cores, cc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Figure 8", "max throughput vs. number of CPU cores, all mixes");
+
+  const std::vector<int> cores = args.quick
+                                     ? std::vector<int>{1, 8, 24, 48}
+                                     : std::vector<int>{1, 2, 4, 8, 12, 16, 24,
+                                                        32, 48};
+  // SharedDB's TPC-W plan uses at most 32 hardware contexts (paper §5.1).
+  const int kSharedDbMaxCores = 32;
+
+  for (const tpcw::Mix mix : {tpcw::Mix::kBrowsing, tpcw::Mix::kOrdering,
+                              tpcw::Mix::kShopping}) {
+    std::printf("\n## TPC-W %s Mix — max WIPS\n", tpcw::MixName(mix));
+    std::printf("%-6s\t%-10s\t%-10s\t%-10s\n", "Cores", "MySQL", "SystemX",
+                "SharedDB");
+    for (const int c : cores) {
+      const double mysql_est =
+          EstimateBaselineCapacity(args, MySQLLikeProfile(), c, mix, std::nullopt);
+      const double sysx_est =
+          EstimateBaselineCapacity(args, SystemXLikeProfile(), c, mix, std::nullopt);
+      const int sdb_cores = std::min(c, kSharedDbMaxCores);
+      const double sdb_est =
+          EstimateSharedDbCapacity(args, sdb_cores, mix, std::nullopt);
+
+      const double mysql = ValidatedWips(args, "mysql", c, mix, mysql_est);
+      const double sysx = ValidatedWips(args, "systemx", c, mix, sysx_est);
+      const double sdb = ValidatedWips(args, "shareddb", sdb_cores, mix, sdb_est);
+      std::printf("%-6d\t%-10.1f\t%-10.1f\t%-10.1f\n", c, mysql, sysx, sdb);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Micro benchmarks of the shared-operator mechanisms (§3.3, §3.4):
+//   * shared sort vs. per-query sorts (Figure 4's argument),
+//   * shared (grouped) index probes vs. per-query probes ([12]),
+//   * ClockScan cycle cost as the number of concurrent queries grows
+//     (bounded computation: per-batch work tracks data size, not #queries).
+//
+// These measure REAL wall time of the operator implementations (not the
+// virtual-time cost model); run in Release mode.
+
+#include <benchmark/benchmark.h>
+
+#include "core/ops/probe_op.h"
+#include "core/ops/sort_op.h"
+#include "storage/catalog.h"
+#include "storage/clock_scan.h"
+#include "common/rng.h"
+
+namespace shareddb {
+namespace {
+
+/// A table of n rows: (id INT, val INT, name STRING), indexed on id.
+std::unique_ptr<Catalog> MakeTable(size_t n) {
+  auto catalog = std::make_unique<Catalog>();
+  Table* t = catalog->CreateTable(
+      "t", Schema::Make({{"id", ValueType::kInt},
+                         {"val", ValueType::kInt},
+                         {"name", ValueType::kString}}));
+  t->CreateIndex("t_id", "id");
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    t->Insert({Value::Int(static_cast<int64_t>(i)), Value::Int(rng.Uniform(0, 999)),
+               Value::Str("name" + std::to_string(i))},
+              1);
+  }
+  catalog->snapshots().Reset(1);
+  return catalog;
+}
+
+/// One shared sort over the union of q overlapping subscriber sets.
+void BM_SharedSort(benchmark::State& state) {
+  const size_t rows = 8192;
+  const int q = static_cast<int>(state.range(0));
+  auto catalog = MakeTable(rows);
+  Table* t = catalog->MustGetTable("t");
+  const SchemaPtr schema = t->schema();
+
+  DQBatch in(schema);
+  Rng rng(3);
+  std::vector<QueryId> all_ids(static_cast<size_t>(q));
+  for (int i = 0; i < q; ++i) all_ids[static_cast<size_t>(i)] = static_cast<QueryId>(i);
+  t->ScanVisible(1, [&](RowId, const Tuple& row) {
+    // Every query subscribes to ~50% of the rows.
+    std::vector<QueryId> ids;
+    for (int i = 0; i < q; ++i) {
+      if (rng.Bernoulli(0.5)) ids.push_back(static_cast<QueryId>(i));
+    }
+    in.Push(row, QueryIdSet::FromSorted(std::move(ids)));
+    return true;
+  });
+
+  SortOp op(schema, {{1, true}});
+  std::vector<OpQuery> queries(static_cast<size_t>(q));
+  for (int i = 0; i < q; ++i) queries[static_cast<size_t>(i)].id = static_cast<QueryId>(i);
+  CycleContext ctx;
+  ctx.read_snapshot = 1;
+  ctx.write_version = 2;
+
+  for (auto _ : state) {
+    std::vector<DQBatch> inputs;
+    inputs.push_back(in);
+    DQBatch out = op.RunCycle(std::move(inputs), queries, ctx, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SharedSort)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+/// The query-at-a-time equivalent: one small sort per query.
+void BM_PerQuerySorts(benchmark::State& state) {
+  const size_t rows = 8192;
+  const int q = static_cast<int>(state.range(0));
+  auto catalog = MakeTable(rows);
+  Table* t = catalog->MustGetTable("t");
+
+  std::vector<Tuple> all;
+  t->ScanVisible(1, [&](RowId, const Tuple& row) {
+    all.push_back(row);
+    return true;
+  });
+
+  Rng rng(3);
+  for (auto _ : state) {
+    for (int i = 0; i < q; ++i) {
+      // Each query sorts its own ~50% subset.
+      std::vector<Tuple> mine;
+      mine.reserve(all.size() / 2);
+      for (const Tuple& row : all) {
+        if (rng.Bernoulli(0.5)) mine.push_back(row);
+      }
+      std::stable_sort(mine.begin(), mine.end(), [](const Tuple& a, const Tuple& b) {
+        return a[1].Compare(b[1]) < 0;
+      });
+      benchmark::DoNotOptimize(mine);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_PerQuerySorts)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+/// Shared probe: q point queries over k distinct keys, one batched cycle.
+void BM_SharedProbe(benchmark::State& state) {
+  const size_t rows = 8192;
+  const int q = static_cast<int>(state.range(0));
+  auto catalog = MakeTable(rows);
+  Table* t = catalog->MustGetTable("t");
+  const SchemaPtr schema = t->schema();
+
+  ProbeOp op(t, "t_id");
+  std::vector<OpQuery> queries;
+  Rng rng(5);
+  for (int i = 0; i < q; ++i) {
+    OpQuery oq;
+    oq.id = static_cast<QueryId>(i);
+    // 64 distinct keys: heavy key overlap across queries.
+    oq.predicate = Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(
+                                                 rng.Uniform(0, 63))));
+    queries.push_back(std::move(oq));
+  }
+  CycleContext ctx;
+  ctx.read_snapshot = 1;
+  ctx.write_version = 2;
+
+  for (auto _ : state) {
+    DQBatch out = op.RunCycle({}, queries, ctx, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * q);
+}
+BENCHMARK(BM_SharedProbe)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
+
+/// Per-query probing of the same workload.
+void BM_PerQueryProbe(benchmark::State& state) {
+  const size_t rows = 8192;
+  const int q = static_cast<int>(state.range(0));
+  auto catalog = MakeTable(rows);
+  Table* t = catalog->MustGetTable("t");
+
+  Rng rng(5);
+  std::vector<Value> keys;
+  for (int i = 0; i < q; ++i) keys.push_back(Value::Int(rng.Uniform(0, 63)));
+
+  for (auto _ : state) {
+    for (const Value& k : keys) {
+      std::vector<RowId> out;
+      t->IndexLookup("t_id", k, 1, &out);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * q);
+}
+BENCHMARK(BM_PerQueryProbe)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
+
+/// One ClockScan cycle with growing concurrent query counts: per-batch work
+/// is bounded by table size (the paper's core claim).
+void BM_ClockScanCycle(benchmark::State& state) {
+  const size_t rows = 8192;
+  const int q = static_cast<int>(state.range(0));
+  auto catalog = MakeTable(rows);
+  Table* t = catalog->MustGetTable("t");
+
+  ClockScan scan(t);
+  std::vector<ScanQuerySpec> specs;
+  Rng rng(11);
+  for (int i = 0; i < q; ++i) {
+    // Equality predicates over a small domain: indexed by the query index.
+    specs.push_back(ScanQuerySpec{
+        static_cast<QueryId>(i),
+        Expr::Eq(Expr::Column(1), Expr::Literal(Value::Int(rng.Uniform(0, 999))))});
+  }
+
+  for (auto _ : state) {
+    ClockScanStats stats;
+    DQBatch out = scan.RunCycle(specs, {}, 1, 2, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ClockScanCycle)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace shareddb
+
+BENCHMARK_MAIN();

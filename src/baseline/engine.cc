@@ -1,0 +1,115 @@
+#include "baseline/engine.h"
+
+namespace shareddb {
+namespace baseline {
+
+BaselineEngine::BaselineEngine(Catalog* catalog, BaselineProfile profile)
+    : catalog_(catalog), profile_(std::move(profile)) {}
+
+StatementId BaselineEngine::AddQuery(const std::string& name,
+                                     logical::LogicalPtr root) {
+  Statement s;
+  s.name = name;
+  s.is_query = true;
+  s.root = std::move(root);
+  statements_.push_back(std::move(s));
+  return static_cast<StatementId>(statements_.size() - 1);
+}
+
+StatementId BaselineEngine::AddInsert(const std::string& name,
+                                      const std::string& table,
+                                      std::vector<ExprPtr> row_values) {
+  Table* t = catalog_->MustGetTable(table);
+  SDB_CHECK(row_values.size() == t->schema()->num_columns());
+  Statement s;
+  s.name = name;
+  s.is_query = false;
+  s.kind = UpdateKind::kInsert;
+  s.table = table;
+  s.row_values = std::move(row_values);
+  statements_.push_back(std::move(s));
+  return static_cast<StatementId>(statements_.size() - 1);
+}
+
+StatementId BaselineEngine::AddUpdate(
+    const std::string& name, const std::string& table,
+    std::vector<std::pair<std::string, ExprPtr>> sets, ExprPtr where) {
+  Table* t = catalog_->MustGetTable(table);
+  Statement s;
+  s.name = name;
+  s.is_query = false;
+  s.kind = UpdateKind::kUpdate;
+  s.table = table;
+  s.where = std::move(where);
+  for (auto& [col, expr] : sets) {
+    s.sets.emplace_back(t->schema()->ColumnIndex(col), std::move(expr));
+  }
+  statements_.push_back(std::move(s));
+  return static_cast<StatementId>(statements_.size() - 1);
+}
+
+StatementId BaselineEngine::AddDelete(const std::string& name,
+                                      const std::string& table, ExprPtr where) {
+  catalog_->MustGetTable(table);
+  Statement s;
+  s.name = name;
+  s.is_query = false;
+  s.kind = UpdateKind::kDelete;
+  s.table = table;
+  s.where = std::move(where);
+  statements_.push_back(std::move(s));
+  return static_cast<StatementId>(statements_.size() - 1);
+}
+
+StatementId BaselineEngine::FindStatement(const std::string& name) const {
+  for (size_t i = 0; i < statements_.size(); ++i) {
+    if (statements_[i].name == name) return static_cast<StatementId>(i);
+  }
+  std::fprintf(stderr, "BaselineEngine: unknown statement '%s'\n", name.c_str());
+  std::abort();
+}
+
+BaselineResult BaselineEngine::Execute(StatementId id,
+                                       const std::vector<Value>& params) {
+  SDB_CHECK(id < statements_.size());
+  const Statement& s = statements_[id];
+  BaselineResult out;
+  if (s.is_query) {
+    const Version snapshot = catalog_->snapshots().ReadSnapshot();
+    IteratorPtr it = BuildIterator(s.root, *catalog_, params, snapshot, profile_,
+                                   &out.work);
+    out.result.schema = it->schema();
+    out.result.rows = DrainIterator(it.get());
+  } else {
+    // Auto-commit DML: bind, apply at the next version, commit.
+    static const Tuple kNoTuple;
+    UpdateOp op;
+    op.kind = s.kind;
+    if (s.kind == UpdateKind::kInsert) {
+      op.row.reserve(s.row_values.size());
+      for (const ExprPtr& e : s.row_values) {
+        op.row.push_back(e->Evaluate(kNoTuple, params));
+      }
+    } else {
+      if (s.where != nullptr) op.where = s.where->Bind(params);
+      for (const auto& [col, expr] : s.sets) {
+        op.sets.emplace_back(col, expr->Bind(params));
+      }
+    }
+    Table* t = catalog_->MustGetTable(s.table);
+    const Version wv = catalog_->snapshots().WriteVersion();
+    const size_t applied = ClockScan::ApplyUpdate(t, op, wv);
+    catalog_->snapshots().Commit();
+    out.result.update_count = applied;
+    out.work.updates_applied += applied;
+  }
+  return out;
+}
+
+BaselineResult BaselineEngine::ExecuteNamed(const std::string& name,
+                                            const std::vector<Value>& params) {
+  return Execute(FindStatement(name), params);
+}
+
+}  // namespace baseline
+}  // namespace shareddb

@@ -1,0 +1,73 @@
+// BaselineEngine: the traditional, query-at-a-time comparator (paper §5.2).
+// Statements execute immediately and individually against the shared storage
+// (auto-commit, per-statement snapshot isolation). Work performed per query
+// is counted so the virtual-time simulator can model throughput for a given
+// profile (MySQL-like, SystemX-like) and core count.
+
+#ifndef SHAREDDB_BASELINE_ENGINE_H_
+#define SHAREDDB_BASELINE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/planner.h"
+#include "core/query.h"
+#include "storage/clock_scan.h"
+
+namespace shareddb {
+namespace baseline {
+
+/// Result of one baseline statement, with its work profile.
+struct BaselineResult {
+  ResultSet result;
+  WorkStats work;
+};
+
+/// The query-at-a-time engine.
+class BaselineEngine {
+ public:
+  BaselineEngine(Catalog* catalog, BaselineProfile profile);
+
+  const BaselineProfile& profile() const { return profile_; }
+  Catalog* catalog() const { return catalog_; }
+
+  /// --- statement registry (mirrors GlobalPlanBuilder's API) -----------------
+  StatementId AddQuery(const std::string& name, logical::LogicalPtr root);
+  StatementId AddInsert(const std::string& name, const std::string& table,
+                        std::vector<ExprPtr> row_values);
+  StatementId AddUpdate(const std::string& name, const std::string& table,
+                        std::vector<std::pair<std::string, ExprPtr>> sets,
+                        ExprPtr where);
+  StatementId AddDelete(const std::string& name, const std::string& table,
+                        ExprPtr where);
+
+  StatementId FindStatement(const std::string& name) const;
+
+  /// Executes one statement instance to completion (auto-commit).
+  BaselineResult Execute(StatementId id, const std::vector<Value>& params);
+  BaselineResult ExecuteNamed(const std::string& name,
+                              const std::vector<Value>& params);
+
+  size_t num_statements() const { return statements_.size(); }
+
+ private:
+  struct Statement {
+    std::string name;
+    bool is_query = true;
+    logical::LogicalPtr root;       // queries
+    UpdateKind kind = UpdateKind::kInsert;
+    std::string table;
+    std::vector<ExprPtr> row_values;
+    ExprPtr where;
+    std::vector<std::pair<size_t, ExprPtr>> sets;
+  };
+
+  Catalog* catalog_;
+  BaselineProfile profile_;
+  std::vector<Statement> statements_;
+};
+
+}  // namespace baseline
+}  // namespace shareddb
+
+#endif  // SHAREDDB_BASELINE_ENGINE_H_

@@ -1,0 +1,40 @@
+// Volcano-style pull iterators for the query-at-a-time baseline engine.
+// Open/Next/Close, one tuple at a time — the classic model the paper
+// contrasts SharedDB against.
+
+#ifndef SHAREDDB_BASELINE_ITERATOR_H_
+#define SHAREDDB_BASELINE_ITERATOR_H_
+
+#include <memory>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "core/work_stats.h"
+
+namespace shareddb {
+namespace baseline {
+
+/// Pull iterator. Implementations count their work into the WorkStats*
+/// passed at construction (never null; owned by the caller).
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  /// Prepares for iteration. Must be called exactly once before Next.
+  virtual void Open() = 0;
+
+  /// Produces the next tuple; false at end of stream.
+  virtual bool Next(Tuple* out) = 0;
+
+  virtual const SchemaPtr& schema() const = 0;
+};
+
+using IteratorPtr = std::unique_ptr<Iterator>;
+
+/// Drains an iterator into a vector (convenience for tests & the engine).
+std::vector<Tuple> DrainIterator(Iterator* it);
+
+}  // namespace baseline
+}  // namespace shareddb
+
+#endif  // SHAREDDB_BASELINE_ITERATOR_H_

@@ -1,0 +1,261 @@
+// Concrete iterators of the baseline engine: scans, joins, sort, Top-N,
+// group-by, distinct, filter, project, limit.
+
+#ifndef SHAREDDB_BASELINE_ITERATORS_H_
+#define SHAREDDB_BASELINE_ITERATORS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/iterator.h"
+#include "core/ops/group_by_op.h"
+#include "core/ops/sort_op.h"
+#include "expr/predicate.h"
+#include "storage/mvcc.h"
+#include "storage/table.h"
+
+namespace shareddb {
+namespace baseline {
+
+/// Full-table scan with an optional bound predicate.
+class SeqScanIterator : public Iterator {
+ public:
+  SeqScanIterator(const Table* table, Version snapshot, ExprPtr predicate,
+                  WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  const Table* table_;
+  Version snapshot_;
+  ExprPtr predicate_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  std::vector<Tuple> rows_;  // materialized at Open (scan holds no latch after)
+  size_t pos_ = 0;
+};
+
+/// B-tree access: point look-up or range scan + residual predicate.
+class IndexScanIterator : public Iterator {
+ public:
+  /// `eq` xor `range` selects the access; `residual` (may be null) filters.
+  IndexScanIterator(const Table* table, std::string index_name, Version snapshot,
+                    std::optional<Value> eq, std::optional<RangeConstraint> range,
+                    ExprPtr residual, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  const Table* table_;
+  std::string index_name_;
+  Version snapshot_;
+  std::optional<Value> eq_;
+  std::optional<RangeConstraint> range_;
+  ExprPtr residual_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// Classic hash equi-join (build = left input).
+class HashJoinIterator : public Iterator {
+ public:
+  HashJoinIterator(IteratorPtr left, IteratorPtr right, size_t left_key,
+                   size_t right_key, ExprPtr residual, const std::string& left_prefix,
+                   const std::string& right_prefix, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  size_t left_key_;
+  size_t right_key_;
+  ExprPtr residual_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  std::unordered_map<uint64_t, std::vector<Tuple>> hash_;
+  Tuple probe_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool probe_valid_ = false;
+};
+
+/// Index nested-loops join: outer input × inner table via index.
+class IndexNLJoinIterator : public Iterator {
+ public:
+  IndexNLJoinIterator(IteratorPtr outer, const Table* inner, std::string index_name,
+                      size_t outer_key, Version snapshot, ExprPtr residual,
+                      const std::string& outer_prefix, const std::string& inner_prefix,
+                      WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr outer_;
+  const Table* inner_;
+  std::string index_name_;
+  size_t outer_key_;
+  Version snapshot_;
+  ExprPtr residual_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  Tuple outer_row_;
+  bool outer_valid_ = false;
+  std::vector<RowId> inner_rows_;
+  size_t inner_pos_ = 0;
+};
+
+/// Naive nested-loops join (inner side fully materialized) — the plan shape
+/// a hash-join-less system falls back to without a usable index.
+class NLJoinIterator : public Iterator {
+ public:
+  NLJoinIterator(IteratorPtr left, IteratorPtr right, size_t left_key,
+                 size_t right_key, ExprPtr residual, const std::string& left_prefix,
+                 const std::string& right_prefix, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  size_t left_key_;
+  size_t right_key_;
+  ExprPtr residual_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  std::vector<Tuple> inner_;
+  Tuple outer_row_;
+  bool outer_valid_ = false;
+  size_t inner_pos_ = 0;
+};
+
+/// Full sort (materializing).
+class SortIterator : public Iterator {
+ public:
+  SortIterator(IteratorPtr child, std::vector<SortKey> keys, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr child_;
+  std::vector<SortKey> keys_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// Sort + LIMIT n.
+class TopNIterator : public Iterator {
+ public:
+  TopNIterator(IteratorPtr child, std::vector<SortKey> keys, int64_t n,
+               ExprPtr pre_filter, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr child_;
+  std::vector<SortKey> keys_;
+  int64_t n_;
+  ExprPtr pre_filter_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// Hash aggregation with HAVING.
+class GroupByIterator : public Iterator {
+ public:
+  GroupByIterator(IteratorPtr child, std::vector<size_t> group_columns,
+                  std::vector<AggSpec> aggs, ExprPtr having, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr child_;
+  std::vector<size_t> group_columns_;
+  std::vector<AggSpec> aggs_;
+  ExprPtr having_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// Duplicate elimination.
+class DistinctIterator : public Iterator {
+ public:
+  DistinctIterator(IteratorPtr child, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr child_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// Predicate filter.
+class FilterIterator : public Iterator {
+ public:
+  FilterIterator(IteratorPtr child, ExprPtr predicate, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr child_;
+  ExprPtr predicate_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+};
+
+/// Column projection.
+class ProjectIterator : public Iterator {
+ public:
+  ProjectIterator(IteratorPtr child, std::vector<size_t> columns, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr child_;
+  std::vector<size_t> columns_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+};
+
+/// Concatenation of same-schema children.
+class UnionIterator : public Iterator {
+ public:
+  UnionIterator(std::vector<IteratorPtr> children, WorkStats* stats);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  std::vector<IteratorPtr> children_;
+  WorkStats* stats_;
+  SchemaPtr schema_;
+  size_t current_ = 0;
+};
+
+}  // namespace baseline
+}  // namespace shareddb
+
+#endif  // SHAREDDB_BASELINE_ITERATORS_H_

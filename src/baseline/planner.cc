@@ -1,0 +1,184 @@
+#include "baseline/planner.h"
+
+namespace shareddb {
+namespace baseline {
+
+using logical::JoinMethod;
+using logical::Kind;
+using logical::LogicalPtr;
+
+namespace {
+
+// Access-path selection for a base-table access: use a B-tree when a bound
+// equality/range constraint exists on an indexed column.
+IteratorPtr BuildTableAccess(const Table* table, const ExprPtr& bound_pred,
+                             const BaselineProfile& profile, Version snapshot,
+                             WorkStats* stats) {
+  if (profile.use_indexes && bound_pred != nullptr) {
+    const AnalyzedPredicate pred = AnalyzePredicate(bound_pred);
+    for (const EqConstraint& eq : pred.equalities) {
+      const TableIndex* idx = table->FindIndexOnColumn(eq.column);
+      if (idx == nullptr) continue;
+      return std::make_unique<IndexScanIterator>(table, idx->name, snapshot,
+                                                 eq.value, std::nullopt, bound_pred,
+                                                 stats);
+    }
+    for (const RangeConstraint& r : pred.ranges) {
+      const TableIndex* idx = table->FindIndexOnColumn(r.column);
+      if (idx == nullptr) continue;
+      return std::make_unique<IndexScanIterator>(table, idx->name, snapshot,
+                                                 std::nullopt, r, bound_pred, stats);
+    }
+  }
+  return std::make_unique<SeqScanIterator>(table, snapshot, bound_pred, stats);
+}
+
+std::vector<SortKey> ResolveKeys(const SchemaPtr& schema,
+                                 const std::vector<std::pair<std::string, bool>>& ks) {
+  std::vector<SortKey> out;
+  for (const auto& [name, asc] : ks) out.push_back({schema->ColumnIndex(name), asc});
+  return out;
+}
+
+}  // namespace
+
+IteratorPtr BuildIterator(const LogicalPtr& node, const Catalog& catalog,
+                          const std::vector<Value>& params, Version snapshot,
+                          const BaselineProfile& profile, WorkStats* stats) {
+  auto bind = [&](const ExprPtr& e) -> ExprPtr {
+    return e == nullptr ? nullptr : e->Bind(params);
+  };
+
+  switch (node->kind) {
+    case Kind::kTableScan:
+    case Kind::kIndexProbe: {
+      const Table* t = catalog.MustGetTable(node->table);
+      return BuildTableAccess(t, bind(node->predicate), profile, snapshot, stats);
+    }
+    case Kind::kFilter: {
+      IteratorPtr child =
+          BuildIterator(node->children[0], catalog, params, snapshot, profile, stats);
+      return std::make_unique<FilterIterator>(std::move(child),
+                                              bind(node->predicate), stats);
+    }
+    case Kind::kJoin: {
+      IteratorPtr left =
+          BuildIterator(node->children[0], catalog, params, snapshot, profile, stats);
+      if (node->method == JoinMethod::kIndexNL) {
+        const Table* inner = catalog.MustGetTable(node->table);
+        return std::make_unique<IndexNLJoinIterator>(
+            std::move(left), inner, node->index,
+            left->schema()->ColumnIndex(node->left_key), snapshot,
+            bind(node->predicate), node->left_prefix, node->right_prefix, stats);
+      }
+      // Selective outer + indexed inner: index nested-loops beats building a
+      // hash table over the whole inner table, and any mature optimizer
+      // chooses it. Also the only join for systems without hash join
+      // (MySQL 5.1). Otherwise: hash join when available, naive NL last.
+      const bool outer_selective = node->children[0]->kind == Kind::kIndexProbe;
+      const bool prefer_index_nl = !profile.has_hash_join || outer_selective;
+      if (prefer_index_nl &&
+          (node->children[1]->kind == Kind::kTableScan ||
+           node->children[1]->kind == Kind::kIndexProbe)) {
+        const Table* inner = catalog.MustGetTable(node->children[1]->table);
+        const size_t inner_col =
+            inner->schema()->ColumnIndex(node->right_key);
+        const TableIndex* idx = inner->FindIndexOnColumn(inner_col);
+        if (idx != nullptr && profile.use_indexes) {
+          // Residuals: the right child's own predicate must still apply.
+          ExprPtr residual = bind(node->predicate);
+          ExprPtr right_pred = bind(node->children[1]->predicate);
+          if (right_pred != nullptr) {
+            const size_t left_width = left->schema()->num_columns();
+            right_pred = right_pred->OffsetColumns(left_width);
+            residual = residual == nullptr ? right_pred
+                                           : Expr::And({residual, right_pred});
+          }
+          return std::make_unique<IndexNLJoinIterator>(
+              std::move(left), inner, idx->name,
+              left->schema()->ColumnIndex(node->left_key), snapshot, residual,
+              node->left_prefix, node->right_prefix, stats);
+        }
+      }
+      IteratorPtr right =
+          BuildIterator(node->children[1], catalog, params, snapshot, profile, stats);
+      const size_t lk = left->schema()->ColumnIndex(node->left_key);
+      const size_t rk = right->schema()->ColumnIndex(node->right_key);
+      if (profile.has_hash_join) {
+        return std::make_unique<HashJoinIterator>(std::move(left), std::move(right),
+                                                  lk, rk, bind(node->predicate),
+                                                  node->left_prefix,
+                                                  node->right_prefix, stats);
+      }
+      return std::make_unique<NLJoinIterator>(std::move(left), std::move(right), lk,
+                                              rk, bind(node->predicate),
+                                              node->left_prefix, node->right_prefix,
+                                              stats);
+    }
+    case Kind::kSort: {
+      IteratorPtr child =
+          BuildIterator(node->children[0], catalog, params, snapshot, profile, stats);
+      std::vector<SortKey> keys = ResolveKeys(child->schema(), node->sort_keys);
+      return std::make_unique<SortIterator>(std::move(child), std::move(keys), stats);
+    }
+    case Kind::kTopN: {
+      IteratorPtr child =
+          BuildIterator(node->children[0], catalog, params, snapshot, profile, stats);
+      std::vector<SortKey> keys = ResolveKeys(child->schema(), node->sort_keys);
+      int64_t n = -1;
+      if (node->limit != nullptr) {
+        static const Tuple kNoTuple;
+        const Value v = node->limit->Evaluate(kNoTuple, params);
+        if (!v.is_null()) n = v.AsInt();
+      }
+      return std::make_unique<TopNIterator>(std::move(child), std::move(keys), n,
+                                            bind(node->predicate), stats);
+    }
+    case Kind::kGroupBy: {
+      IteratorPtr child =
+          BuildIterator(node->children[0], catalog, params, snapshot, profile, stats);
+      const SchemaPtr in = child->schema();
+      std::vector<size_t> groups;
+      for (const std::string& g : node->group_columns) {
+        groups.push_back(in->ColumnIndex(g));
+      }
+      std::vector<AggSpec> aggs;
+      for (const auto& [spec, input_name] : node->aggs) {
+        AggSpec s = spec;
+        s.column =
+            input_name.empty() ? -1 : static_cast<int>(in->ColumnIndex(input_name));
+        aggs.push_back(s);
+      }
+      return std::make_unique<GroupByIterator>(std::move(child), std::move(groups),
+                                               std::move(aggs), bind(node->having),
+                                               stats);
+    }
+    case Kind::kDistinct: {
+      IteratorPtr child =
+          BuildIterator(node->children[0], catalog, params, snapshot, profile, stats);
+      return std::make_unique<DistinctIterator>(std::move(child), stats);
+    }
+    case Kind::kProject: {
+      IteratorPtr child =
+          BuildIterator(node->children[0], catalog, params, snapshot, profile, stats);
+      std::vector<size_t> cols;
+      for (const std::string& c : node->columns) {
+        cols.push_back(child->schema()->ColumnIndex(c));
+      }
+      return std::make_unique<ProjectIterator>(std::move(child), std::move(cols),
+                                               stats);
+    }
+    case Kind::kUnion: {
+      std::vector<IteratorPtr> children;
+      for (const LogicalPtr& c : node->children) {
+        children.push_back(BuildIterator(c, catalog, params, snapshot, profile, stats));
+      }
+      return std::make_unique<UnionIterator>(std::move(children), stats);
+    }
+  }
+  SDB_CHECK(false && "unreachable");
+  return nullptr;
+}
+
+}  // namespace baseline
+}  // namespace shareddb

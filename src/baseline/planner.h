@@ -1,0 +1,29 @@
+// Baseline planner: compiles ONE statement's logical plan (the same
+// logical::LogicalNode trees the SharedDB plan builder consumes) into a
+// volcano iterator tree, query-at-a-time style. Parameters are bound at
+// compile time; access paths and join methods follow the BaselineProfile
+// (e.g. the MySQL-like profile has no hash join).
+//
+// Sharing the logical representation between engines gives differential
+// testing for free: both engines must return identical result sets.
+
+#ifndef SHAREDDB_BASELINE_PLANNER_H_
+#define SHAREDDB_BASELINE_PLANNER_H_
+
+#include "baseline/iterators.h"
+#include "baseline/profiles.h"
+#include "core/logical.h"
+#include "storage/catalog.h"
+
+namespace shareddb {
+namespace baseline {
+
+/// Compiles a bound iterator tree for one query instance.
+IteratorPtr BuildIterator(const logical::LogicalPtr& node, const Catalog& catalog,
+                          const std::vector<Value>& params, Version snapshot,
+                          const BaselineProfile& profile, WorkStats* stats);
+
+}  // namespace baseline
+}  // namespace shareddb
+
+#endif  // SHAREDDB_BASELINE_PLANNER_H_

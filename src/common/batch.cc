@@ -1,0 +1,61 @@
+#include "common/batch.h"
+
+namespace shareddb {
+
+void DQBatch::Append(const DQBatch& other) {
+  SDB_DCHECK(other.tuples.size() == other.qids.size());
+  tuples.insert(tuples.end(), other.tuples.begin(), other.tuples.end());
+  qids.insert(qids.end(), other.qids.begin(), other.qids.end());
+}
+
+size_t DQBatch::Compact() {
+  size_t kept = 0;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (qids[i].empty()) continue;
+    if (kept != i) {
+      tuples[kept] = std::move(tuples[i]);
+      qids[kept] = std::move(qids[i]);
+    }
+    ++kept;
+  }
+  const size_t removed = tuples.size() - kept;
+  tuples.resize(kept);
+  qids.resize(kept);
+  return removed;
+}
+
+std::vector<Tuple> DQBatch::RowsFor(QueryId id) const {
+  std::vector<Tuple> out;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (qids[i].Contains(id)) out.push_back(tuples[i]);
+  }
+  return out;
+}
+
+size_t DQBatch::MembershipCount() const {
+  size_t n = 0;
+  for (const QueryIdSet& q : qids) n += q.size();
+  return n;
+}
+
+std::string DQBatch::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    s += TupleToString(tuples[i]);
+    s += " ";
+    s += qids[i].ToString();
+    s += "\n";
+  }
+  return s;
+}
+
+void DQBatch::CheckValid() const {
+  SDB_CHECK(tuples.size() == qids.size());
+  if (schema != nullptr) {
+    for (const Tuple& t : tuples) {
+      SDB_CHECK(t.size() == schema->num_columns());
+    }
+  }
+}
+
+}  // namespace shareddb

@@ -1,0 +1,66 @@
+// DQBatch: a vector of tuples in the data-query model (§3.1) — each tuple is
+// annotated with the set of query ids interested in it. This is the unit of
+// exchange between shared operators ("vector model of execution" §3.2).
+
+#ifndef SHAREDDB_COMMON_BATCH_H_
+#define SHAREDDB_COMMON_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/query_id_set.h"
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace shareddb {
+
+/// Batch of tuples + per-tuple query-id annotations, sharing one schema.
+///
+/// Invariant: tuples.size() == qids.size(); each tuple's arity matches the
+/// schema. A tuple with an empty qid set is dead and may be dropped by any
+/// operator (`Compact`).
+struct DQBatch {
+  SchemaPtr schema;
+  std::vector<Tuple> tuples;
+  std::vector<QueryIdSet> qids;
+
+  DQBatch() = default;
+  explicit DQBatch(SchemaPtr s) : schema(std::move(s)) {}
+
+  size_t size() const { return tuples.size(); }
+  bool empty() const { return tuples.empty(); }
+
+  void Reserve(size_t n) {
+    tuples.reserve(n);
+    qids.reserve(n);
+  }
+
+  /// Appends one annotated tuple.
+  void Push(Tuple t, QueryIdSet q) {
+    tuples.push_back(std::move(t));
+    qids.push_back(std::move(q));
+  }
+
+  /// Appends all rows of another batch (schemas must match arity).
+  void Append(const DQBatch& other);
+
+  /// Removes rows whose qid set is empty. Returns number removed.
+  size_t Compact();
+
+  /// Rows whose qid set contains `id`, as plain tuples (for result delivery).
+  std::vector<Tuple> RowsFor(QueryId id) const;
+
+  /// Total number of (tuple, query) memberships, i.e. the first-normal-form
+  /// expansion size the NF² representation avoids (Figure 1 of the paper).
+  size_t MembershipCount() const;
+
+  /// Debug rendering, one row per line: `(v, ...) {qids}`.
+  std::string ToString() const;
+
+  /// Validates invariants (arity, parallel arrays); aborts on violation.
+  void CheckValid() const;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_BATCH_H_

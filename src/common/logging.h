@@ -1,0 +1,36 @@
+// Lightweight CHECK/DCHECK macros (glog-style, no dependency).
+//
+// The engine is exception-free on hot paths; invariant violations are
+// programming errors and abort with a message instead of throwing.
+
+#ifndef SHAREDDB_COMMON_LOGGING_H_
+#define SHAREDDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace shareddb {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace shareddb
+
+/// Aborts the process if `cond` is false. Enabled in all build types.
+#define SDB_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) ::shareddb::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+/// Debug-only check: compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SDB_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define SDB_DCHECK(cond) SDB_CHECK(cond)
+#endif
+
+#endif  // SHAREDDB_COMMON_LOGGING_H_

@@ -1,0 +1,113 @@
+#include "common/query_id_set.h"
+
+#include <algorithm>
+
+namespace shareddb {
+
+QueryIdSet::QueryIdSet(std::initializer_list<QueryId> ids) : ids_(ids) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+QueryIdSet QueryIdSet::FromSorted(std::vector<QueryId> sorted_ids) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < sorted_ids.size(); ++i) {
+    SDB_DCHECK(sorted_ids[i - 1] < sorted_ids[i]);
+  }
+#endif
+  QueryIdSet s;
+  s.ids_ = std::move(sorted_ids);
+  return s;
+}
+
+bool QueryIdSet::Contains(QueryId id) const {
+  if (ids_.size() <= 8) {
+    for (const QueryId x : ids_) {
+      if (x == id) return true;
+      if (x > id) return false;
+    }
+    return false;
+  }
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+void QueryIdSet::Insert(QueryId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.insert(it, id);
+}
+
+QueryIdSet QueryIdSet::Intersect(const QueryIdSet& other) const {
+  const QueryIdSet& small = ids_.size() <= other.ids_.size() ? *this : other;
+  const QueryIdSet& large = ids_.size() <= other.ids_.size() ? other : *this;
+  QueryIdSet out;
+  out.ids_.reserve(small.ids_.size());
+  if (large.ids_.size() >= kGallopRatio * (small.ids_.size() + 1)) {
+    // Galloping: probe each element of the small side into the large side.
+    auto from = large.ids_.begin();
+    for (const QueryId id : small.ids_) {
+      from = std::lower_bound(from, large.ids_.end(), id);
+      if (from == large.ids_.end()) break;
+      if (*from == id) out.ids_.push_back(id);
+    }
+  } else {
+    std::set_intersection(small.ids_.begin(), small.ids_.end(), large.ids_.begin(),
+                          large.ids_.end(), std::back_inserter(out.ids_));
+  }
+  return out;
+}
+
+uint64_t QueryIdSet::MergeCost(size_t a, size_t b) {
+  const size_t small = std::min(a, b);
+  const size_t large = std::max(a, b);
+  if (small == 0) return 1;
+  if (large >= kGallopRatio * (small + 1)) {
+    // One binary search per small-side element.
+    uint64_t log = 1;
+    for (size_t n = large / small; n > 1; n /= 2) ++log;
+    return static_cast<uint64_t>(small) * (log + 1);
+  }
+  return static_cast<uint64_t>(a) + static_cast<uint64_t>(b);
+}
+
+QueryIdSet QueryIdSet::Union(const QueryIdSet& other) const {
+  QueryIdSet out;
+  out.ids_.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                 std::back_inserter(out.ids_));
+  return out;
+}
+
+bool QueryIdSet::Intersects(const QueryIdSet& other) const {
+  size_t i = 0, j = 0;
+  while (i < ids_.size() && j < other.ids_.size()) {
+    if (ids_[i] == other.ids_[j]) return true;
+    if (ids_[i] < other.ids_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+uint64_t QueryIdSet::HashValue() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const QueryId id : ids_) {
+    h ^= id;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string QueryIdSet::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(ids_[i]);
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace shareddb

@@ -1,0 +1,124 @@
+// QueryIdSet: the set-valued `query_id` attribute of the data-query model
+// (paper §3.1). Implemented as a sorted list (small vector) because the paper
+// found lists to be "the more space and time efficient option in all our
+// experiments" compared to bitmaps. A bitmap variant is provided for the
+// ablation benchmark that re-validates that choice.
+
+#ifndef SHAREDDB_COMMON_QUERY_ID_SET_H_
+#define SHAREDDB_COMMON_QUERY_ID_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace shareddb {
+
+/// Identifier of an active query within a batch generation.
+using QueryId = uint32_t;
+
+/// Sorted-list set of query ids annotating one tuple.
+///
+/// Most tuples are relevant to few queries, so the representation favors
+/// small cardinalities: inline storage comes from std::vector's small size,
+/// set algebra is merge-based (linear in the sizes of the operands).
+class QueryIdSet {
+ public:
+  QueryIdSet() = default;
+  /// Singleton set (the common case when a per-query predicate matched).
+  explicit QueryIdSet(QueryId id) : ids_{id} {}
+  /// From an unsorted or sorted list; duplicates are removed.
+  QueryIdSet(std::initializer_list<QueryId> ids);
+  /// Takes a vector that must already be sorted and unique (checked in debug).
+  static QueryIdSet FromSorted(std::vector<QueryId> sorted_ids);
+
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+  const std::vector<QueryId>& ids() const { return ids_; }
+
+  /// Membership test (binary search; linear scan for tiny sets).
+  bool Contains(QueryId id) const;
+
+  /// Inserts one id, keeping order; no-op if present.
+  void Insert(QueryId id);
+
+  /// Set intersection — the shared-join conjunct R.query_id = S.query_id.
+  /// Merge-based for similar sizes; gallops (binary probes of the larger
+  /// side) when one operand is much smaller, which is the common case when a
+  /// selective tuple meets a broadly subscribed one.
+  QueryIdSet Intersect(const QueryIdSet& other) const;
+
+  /// Number of element touches an Intersect of sets with these sizes costs —
+  /// the quantity operators charge to WorkStats::qid_elems.
+  static uint64_t MergeCost(size_t a, size_t b);
+
+  /// Size ratio beyond which Intersect gallops instead of merging.
+  static constexpr size_t kGallopRatio = 8;
+
+  /// Set union — merging interest lists when deduplicating tuples.
+  QueryIdSet Union(const QueryIdSet& other) const;
+
+  /// True iff the intersection is non-empty (cheaper than materializing it).
+  bool Intersects(const QueryIdSet& other) const;
+
+  bool operator==(const QueryIdSet& o) const { return ids_ == o.ids_; }
+
+  /// Content hash (FNV-1a over the id array). Batches of tuples produced by
+  /// one operator cycle carry few DISTINCT annotation sets (e.g. "all
+  /// subscribers of this scan"), so set-algebra results can be memoized per
+  /// cycle keyed on content — the hash-consing the cost model assumes when
+  /// operators charge a reduced touch cost for repeated operands.
+  uint64_t HashValue() const;
+
+  /// "{1, 2, 5}"
+  std::string ToString() const;
+
+ private:
+  std::vector<QueryId> ids_;
+};
+
+/// Bitmap-based alternative used only by the ablation bench (micro_ablation):
+/// fixed universe of query ids [0, capacity).
+class QueryIdBitmap {
+ public:
+  explicit QueryIdBitmap(size_t capacity) : bits_((capacity + 63) / 64, 0) {}
+
+  void Insert(QueryId id) {
+    SDB_DCHECK(id / 64 < bits_.size());
+    bits_[id / 64] |= (1ULL << (id % 64));
+  }
+  bool Contains(QueryId id) const {
+    return (bits_[id / 64] >> (id % 64)) & 1ULL;
+  }
+  /// In-place intersection with another bitmap of the same capacity.
+  void IntersectWith(const QueryIdBitmap& other) {
+    SDB_DCHECK(bits_.size() == other.bits_.size());
+    for (size_t i = 0; i < bits_.size(); ++i) bits_[i] &= other.bits_[i];
+  }
+  /// In-place union.
+  void UnionWith(const QueryIdBitmap& other) {
+    SDB_DCHECK(bits_.size() == other.bits_.size());
+    for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  }
+  bool Any() const {
+    for (const uint64_t w : bits_) {
+      if (w) return true;
+    }
+    return false;
+  }
+  size_t PopCount() const {
+    size_t n = 0;
+    for (const uint64_t w : bits_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+  size_t capacity_words() const { return bits_.size(); }
+
+ private:
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_QUERY_ID_SET_H_

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation for data generation,
+// workload simulation and property tests.
+//
+// A thin wrapper over splitmix64/xoshiro-style generation: fast, seedable,
+// and with convenience draws used by the TPC-W generator (uniform ints,
+// exponential think times, alphanumeric strings).
+
+#ifndef SHAREDDB_COMMON_RNG_H_
+#define SHAREDDB_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace shareddb {
+
+/// Deterministic 64-bit PRNG (splitmix64 core).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    SDB_DCHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (TPC-W think time).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+  /// Random alphanumeric string of length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len) {
+    static const char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    int len = static_cast<int>(Uniform(min_len, max_len));
+    std::string s;
+    s.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      s.push_back(kChars[Next() % (sizeof(kChars) - 1)]);
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_RNG_H_

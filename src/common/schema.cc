@@ -1,0 +1,75 @@
+#include "common/schema.h"
+
+namespace shareddb {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+std::shared_ptr<const Schema> Schema::Make(std::vector<Column> columns) {
+  return std::make_shared<const Schema>(std::move(columns));
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Schema::ColumnIndex(const std::string& name) const {
+  const int i = FindColumn(name);
+  if (i < 0) {
+    std::fprintf(stderr, "Schema::ColumnIndex: no column '%s' in [%s]\n", name.c_str(),
+                 ToString().c_str());
+    std::abort();
+  }
+  return static_cast<size_t>(i);
+}
+
+std::shared_ptr<const Schema> Schema::Join(const Schema& left, const Schema& right,
+                                           const std::string& left_prefix,
+                                           const std::string& right_prefix) {
+  std::vector<Column> cols;
+  cols.reserve(left.num_columns() + right.num_columns());
+  for (const Column& c : left.columns()) {
+    cols.push_back({left_prefix.empty() ? c.name : left_prefix + "." + c.name, c.type});
+  }
+  for (const Column& c : right.columns()) {
+    cols.push_back(
+        {right_prefix.empty() ? c.name : right_prefix + "." + c.name, c.type});
+  }
+  return Make(std::move(cols));
+}
+
+std::shared_ptr<const Schema> Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (const size_t i : indices) {
+    SDB_CHECK(i < columns_.size());
+    cols.push_back(columns_[i]);
+  }
+  return Make(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) s += ", ";
+    s += columns_[i].name;
+    s += ":";
+    s += ValueTypeName(columns_[i].type);
+  }
+  return s;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace shareddb

@@ -1,0 +1,70 @@
+// Schema: named, typed columns of a (possibly intermediary) relation.
+//
+// In the data-query model (§3.1 of the paper) every intermediary relation
+// additionally carries a set-valued `query_id` attribute; that attribute is
+// represented out-of-band in DQBatch (see batch.h) rather than as a column,
+// matching the paper's NF² implementation note.
+
+#ifndef SHAREDDB_COMMON_SCHEMA_H_
+#define SHAREDDB_COMMON_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace shareddb {
+
+/// A single column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Ordered list of columns with by-name lookup.
+///
+/// Schemas are immutable after construction and shared via shared_ptr;
+/// operators that concatenate inputs (joins) build derived schemas with
+/// `Join`, prefixing column names to keep them unambiguous.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Convenience factory: Make({{"id", kInt}, {"name", kString}}).
+  static std::shared_ptr<const Schema> Make(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with the given name, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Index of the column with the given name; aborts if absent.
+  size_t ColumnIndex(const std::string& name) const;
+
+  /// Concatenation of two schemas (join output). Column names are prefixed
+  /// with `left_prefix`/`right_prefix` + "." when a prefix is non-empty.
+  static std::shared_ptr<const Schema> Join(const Schema& left, const Schema& right,
+                                            const std::string& left_prefix = "",
+                                            const std::string& right_prefix = "");
+
+  /// Projection of a subset of columns, in the given order.
+  std::shared_ptr<const Schema> Project(const std::vector<size_t>& indices) const;
+
+  /// "name:TYPE, name:TYPE, ..."
+  std::string ToString() const;
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_SCHEMA_H_

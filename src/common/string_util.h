@@ -1,0 +1,35 @@
+// Small string helpers shared across modules (formatting bench output,
+// case-insensitive LIKE support, CSV emission).
+
+#ifndef SHAREDDB_COMMON_STRING_UTIL_H_
+#define SHAREDDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace shareddb {
+
+/// ASCII lower-casing (SQL identifiers / LIKE case-folding).
+std::string ToLowerAscii(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// True if `needle` occurs in `haystack`.
+bool Contains(const std::string& haystack, const std::string& needle);
+
+/// Splits on a delimiter character; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins with a delimiter.
+std::string JoinStrings(const std::vector<std::string>& parts, const std::string& delim);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,68 @@
+// Tuple: one row of values. Row-oriented on purpose — SharedDB's operators
+// pass whole tuples through the dataflow network and annotate them with
+// query-id sets; a columnar layout buys little for this processing model
+// and the paper's engine is row-oriented.
+
+#ifndef SHAREDDB_COMMON_TUPLE_H_
+#define SHAREDDB_COMMON_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace shareddb {
+
+using Tuple = std::vector<Value>;
+
+/// Concatenates two tuples (join output).
+inline Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Renders "(v1, v2, ...)".
+inline std::string TupleToString(const Tuple& t) {
+  std::string s = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i) s += ", ";
+    s += t[i].ToString();
+  }
+  s += ")";
+  return s;
+}
+
+/// Field-wise equality.
+inline bool TuplesEqual(const Tuple& a, const Tuple& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+/// Lexicographic comparison over all fields (stable total order for tests).
+inline bool TupleLess(const Tuple& a, const Tuple& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+/// Combined hash of all fields.
+inline uint64_t TupleHash(const Tuple& t) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : t) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_TUPLE_H_

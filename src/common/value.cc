@@ -1,0 +1,108 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace shareddb {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "?";
+}
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt: return static_cast<double>(std::get<int64_t>(v_));
+    case ValueType::kDouble: return std::get<double>(v_);
+    default: SDB_CHECK(false && "AsNumeric on non-numeric Value");
+  }
+  return 0.0;
+}
+
+int Value::Compare(const Value& other) const {
+  const ValueType a = type(), b = other.type();
+  // NULL orders first.
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    return (a == b) ? 0 : (a == ValueType::kNull ? -1 : 1);
+  }
+  const bool a_num = (a == ValueType::kInt || a == ValueType::kDouble);
+  const bool b_num = (b == ValueType::kInt || b == ValueType::kDouble);
+  if (a_num && b_num) {
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      const int64_t x = std::get<int64_t>(v_), y = std::get<int64_t>(other.v_);
+      return (x < y) ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = AsNumeric(), y = other.AsNumeric();
+    return (x < y) ? -1 : (x > y ? 1 : 0);
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // numerics < strings
+  // Both strings.
+  const int c = std::get<std::string>(v_).compare(std::get<std::string>(other.v_));
+  return (c < 0) ? -1 : (c > 0 ? 1 : 0);
+}
+
+namespace {
+
+// 64-bit mix (splitmix64 finalizer) for integer hashing.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6e756c6cULL;
+    case ValueType::kInt:
+      return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
+    case ValueType::kDouble: {
+      // Hash doubles holding integral values identically to the INT encoding
+      // so cross-type numeric joins behave.
+      const double d = std::get<double>(v_);
+      const int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) return Mix64(static_cast<uint64_t>(i));
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString: {
+      // FNV-1a over bytes, then mixed.
+      uint64_t h = 1469598103934665603ULL;
+      for (const char c : std::get<std::string>(v_)) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      return Mix64(h);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v_));
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + std::get<std::string>(v_) + "'";
+  }
+  return "?";
+}
+
+}  // namespace shareddb

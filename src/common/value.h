@@ -1,0 +1,93 @@
+// Value: the dynamically-typed cell of a tuple.
+//
+// SharedDB stores TPC-W-style data: integers (also used for dates, encoded as
+// days or epoch seconds), doubles (prices) and strings (names, titles). NULL
+// follows SQL three-valued logic only where it matters (comparisons against
+// NULL are false; aggregates skip NULLs).
+
+#ifndef SHAREDDB_COMMON_VALUE_H_
+#define SHAREDDB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace shareddb {
+
+/// Runtime type tags for Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,     // int64_t; also encodes DATE as days since epoch
+  kDouble = 2,  // double
+  kString = 3,  // std::string
+};
+
+/// Name of a value type ("NULL", "INT", "DOUBLE", "STRING").
+const char* ValueTypeName(ValueType t);
+
+/// A single dynamically-typed value.
+///
+/// Ordering across numeric types compares numerically (INT vs DOUBLE);
+/// any comparison involving NULL orders NULL first (for sorting) but
+/// evaluates to false under SQL predicate semantics (see expr/).
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(int i) : v_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t i) { return Value(i); }
+  static Value Double(double d) { return Value(d); }
+  static Value Str(std::string s) { return Value(std::move(s)); }
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const {
+    SDB_DCHECK(type() == ValueType::kInt);
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    SDB_DCHECK(type() == ValueType::kDouble);
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    SDB_DCHECK(type() == ValueType::kString);
+    return std::get<std::string>(v_);
+  }
+
+  /// Numeric view: INT and DOUBLE both convert; aborts on other types.
+  double AsNumeric() const;
+
+  /// Total order used by sort operators and B-trees:
+  /// NULL < numerics (compared numerically) < strings (lexicographic).
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Stable hash suitable for hash joins and group-by (numeric-equal values
+  /// hash equal across INT/DOUBLE).
+  uint64_t Hash() const;
+
+  /// Display form, e.g. `42`, `3.14`, `'abc'`, `NULL`.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_VALUE_H_

@@ -1,0 +1,234 @@
+#include "core/engine.h"
+
+#include <chrono>
+
+#include "core/ops/router.h"
+#include "runtime/inline_runtime.h"
+
+namespace shareddb {
+
+void WalTableLogger::OnInsert(const Table& table, RowId row, const Tuple& t,
+                              Version v) {
+  const int id = catalog_->TableId(table.name());
+  SDB_CHECK(id >= 0);
+  wal_->LogInsert(static_cast<uint32_t>(id), v, row, t);
+}
+
+void WalTableLogger::OnUpdate(const Table& table, RowId old_row, RowId new_row,
+                              const Tuple& t, Version v) {
+  (void)new_row;  // replay re-derives the new row id by appending
+  const int id = catalog_->TableId(table.name());
+  SDB_CHECK(id >= 0);
+  wal_->LogUpdate(static_cast<uint32_t>(id), v, old_row, t);
+}
+
+void WalTableLogger::OnDelete(const Table& table, RowId row, Version v) {
+  const int id = catalog_->TableId(table.name());
+  SDB_CHECK(id >= 0);
+  wal_->LogDelete(static_cast<uint32_t>(id), v, row);
+}
+
+Engine::Engine(std::unique_ptr<GlobalPlan> plan, EngineOptions options,
+               std::unique_ptr<Runtime> runtime)
+    : plan_(std::move(plan)), options_(std::move(options)),
+      runtime_(std::move(runtime)) {
+  SDB_CHECK(plan_ != nullptr);
+  if (runtime_ == nullptr) runtime_ = std::make_unique<InlineRuntime>();
+  if (options_.enable_wal) InstallWal();
+}
+
+Engine::~Engine() {
+  // Detach observers before the logger dies.
+  if (wal_logger_ != nullptr) {
+    Catalog* cat = plan_->catalog();
+    for (size_t i = 0; i < cat->NumTables(); ++i) {
+      cat->TableById(i)->set_write_observer(nullptr);
+    }
+  }
+}
+
+void Engine::InstallWal() {
+  SDB_CHECK(!options_.wal_path.empty());
+  wal_ = std::make_unique<Wal>(options_.wal_path);
+  const Status s = wal_->Open(/*truncate=*/true);
+  SDB_CHECK(s.ok());
+  wal_logger_ = std::make_unique<WalTableLogger>(wal_.get(), plan_->catalog());
+  Catalog* cat = plan_->catalog();
+  for (size_t i = 0; i < cat->NumTables(); ++i) {
+    cat->TableById(i)->set_write_observer(wal_logger_.get());
+  }
+}
+
+std::future<ResultSet> Engine::Submit(StatementId statement,
+                                      std::vector<Value> params) {
+  SDB_CHECK(statement < plan_->num_statements());
+  Pending p;
+  p.statement = statement;
+  p.params = std::move(params);
+  p.update_count = std::make_unique<uint64_t>(0);
+  std::future<ResultSet> f = p.promise.get_future();
+  {
+    std::lock_guard lock(mu_);
+    pending_.push_back(std::move(p));
+  }
+  return f;
+}
+
+std::future<ResultSet> Engine::SubmitNamed(const std::string& name,
+                                           std::vector<Value> params) {
+  const StatementDef* def = plan_->FindStatement(name);
+  if (def == nullptr) {
+    std::fprintf(stderr, "Engine: unknown statement '%s'\n", name.c_str());
+    std::abort();
+  }
+  return Submit(def->id, std::move(params));
+}
+
+size_t Engine::PendingCount() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+BatchReport Engine::RunOneBatch() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Pending> batch;
+  {
+    std::lock_guard lock(mu_);
+    batch.swap(pending_);
+  }
+
+  BatchReport report;
+  report.batch_number = ++batch_number_;
+  report.node_stats.assign(plan_->num_nodes(), WorkStats{});
+
+  Catalog* cat = plan_->catalog();
+  BatchInput in;
+  in.ctx.read_snapshot = cat->snapshots().ReadSnapshot();
+  in.ctx.write_version = cat->snapshots().WriteVersion();
+
+  // --- batch formation: assign query ids, bind parameters -------------------
+  struct QueryRouting {
+    size_t pending_index;
+    QueryId qid;
+    int root;
+    SchemaPtr schema;
+  };
+  std::vector<QueryRouting> routings;
+  QueryId next_id = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    const StatementDef& stmt = plan_->statement(p.statement);
+    if (stmt.is_query) {
+      const QueryId qid = next_id++;
+      ++report.num_queries;
+      for (const auto& [node, tmpl] : stmt.node_configs) {
+        OpQuery oq;
+        oq.id = qid;
+        if (tmpl.predicate != nullptr) oq.predicate = tmpl.predicate->Bind(p.params);
+        if (tmpl.having != nullptr) oq.having = tmpl.having->Bind(p.params);
+        if (tmpl.limit != nullptr) {
+          static const Tuple kNoTuple;
+          const Value v = tmpl.limit->Evaluate(kNoTuple, p.params);
+          if (!v.is_null()) oq.limit = v.AsInt();
+        }
+        in.node_queries[node].push_back(std::move(oq));
+      }
+      routings.push_back(QueryRouting{i, qid, stmt.root, stmt.result_schema});
+    } else {
+      ++report.num_updates;
+      const UpdateStmtTemplate& u = stmt.update;
+      UpdateOp op;
+      op.kind = u.kind;
+      op.applied_out = p.update_count.get();
+      static const Tuple kNoTuple;
+      if (u.kind == UpdateKind::kInsert) {
+        op.row.reserve(u.row_values.size());
+        for (const ExprPtr& e : u.row_values) {
+          op.row.push_back(e->Evaluate(kNoTuple, p.params));
+        }
+      } else {
+        if (u.where != nullptr) op.where = u.where->Bind(p.params);
+        for (const auto& [col, expr] : u.sets) {
+          op.sets.emplace_back(col, expr->Bind(p.params));
+        }
+      }
+      const int node = plan_->UpdateNodeForTable(u.table);
+      SDB_CHECK(node >= 0);
+      in.node_updates[node].push_back(std::move(op));
+    }
+  }
+  for (const QueryRouting& r : routings) {
+    in.needed_outputs.push_back(r.root);
+  }
+
+  // --- execute one cycle of the global plan ---------------------------------
+  BatchOutput out;
+  if (!batch.empty()) {
+    runtime_->ExecuteCycle(plan_.get(), in, &out);
+    if (out.node_stats.size() == plan_->num_nodes()) {
+      report.node_stats = std::move(out.node_stats);
+    }
+    report.unit_stats = std::move(out.unit_stats);
+  }
+
+  // --- commit ----------------------------------------------------------------
+  if (report.num_updates > 0 || report.num_queries > 0) {
+    const Version committed = cat->snapshots().Commit();
+    if (wal_ != nullptr) {
+      wal_->LogCommit(committed);
+      wal_->Flush();
+    }
+  }
+
+  // --- Γ: route results, fulfill futures -------------------------------------
+  const auto t1 = std::chrono::steady_clock::now();
+  report.exec_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+          .count();
+
+  for (const QueryRouting& r : routings) {
+    ResultSet rs;
+    rs.schema = r.schema;
+    rs.exec_ms = report.exec_ms;
+    const auto it = out.outputs.find(r.root);
+    if (it != out.outputs.end()) {
+      rs.rows = it->second.RowsFor(r.qid);
+    }
+    batch[r.pending_index].promise.set_value(std::move(rs));
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const StatementDef& stmt = plan_->statement(batch[i].statement);
+    if (stmt.is_query) continue;
+    ResultSet rs;
+    rs.update_count = *batch[i].update_count;
+    rs.exec_ms = report.exec_ms;
+    batch[i].promise.set_value(std::move(rs));
+  }
+
+  // --- maintenance ------------------------------------------------------------
+  if (options_.vacuum_interval > 0 &&
+      batch_number_ % static_cast<uint64_t>(options_.vacuum_interval) == 0) {
+    const Version horizon = cat->snapshots().ReadSnapshot();
+    for (size_t i = 0; i < cat->NumTables(); ++i) {
+      cat->TableById(i)->Vacuum(horizon);
+    }
+  }
+
+  last_report_ = report;
+  return report;
+}
+
+ResultSet Engine::ExecuteSync(StatementId statement, std::vector<Value> params) {
+  std::future<ResultSet> f = Submit(statement, std::move(params));
+  RunOneBatch();
+  return f.get();
+}
+
+ResultSet Engine::ExecuteSyncNamed(const std::string& name,
+                                   std::vector<Value> params) {
+  std::future<ResultSet> f = SubmitNamed(name, std::move(params));
+  RunOneBatch();
+  return f.get();
+}
+
+}  // namespace shareddb

@@ -1,0 +1,167 @@
+// Engine: SharedDB's batching front-end (paper §3.2):
+//
+//   "While one batch of queries and updates is processed, newly arriving
+//    queries and updates are queued. When the current batch ... has been
+//    processed, then the queues are emptied in order to form the next batch.
+//    Metaphorically, SharedDB works like the blood circulation: with every
+//    heartbeat, tuples are pushed through the global query plan in order to
+//    process the next generation of queries and updates."
+//
+// The engine owns admission, batch formation (query-id assignment and
+// parameter binding), snapshot/commit management, WAL logging, and result
+// routing (Γ by query_id). Actual dataflow execution is delegated to a
+// Runtime (inline, threaded, or instrumented-for-simulation).
+
+#ifndef SHAREDDB_CORE_ENGINE_H_
+#define SHAREDDB_CORE_ENGINE_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/query.h"
+#include "core/work_stats.h"
+#include "storage/wal.h"
+
+namespace shareddb {
+
+/// Everything a runtime needs to execute one cycle.
+struct BatchInput {
+  CycleContext ctx;
+  /// Active queries per node id (bound configs).
+  std::unordered_map<int, std::vector<OpQuery>> node_queries;
+  /// Updates per source node id (bound).
+  std::unordered_map<int, std::vector<UpdateOp>> node_updates;
+  /// Node ids whose outputs the engine needs (statement roots).
+  std::vector<int> needed_outputs;
+};
+
+/// What a runtime returns.
+struct BatchOutput {
+  /// Root-node outputs, keyed by node id.
+  std::unordered_map<int, DQBatch> outputs;
+  /// Per-node work, indexed by node id (replica work aggregated).
+  std::vector<WorkStats> node_stats;
+  /// Per-execution-unit work: one entry per (node, replica) that ran. With
+  /// replication (§4.5) a node contributes several units, each schedulable
+  /// on its own core by the virtual-time scheduler. Empty when no node is
+  /// replicated (node_stats is then the unit granularity).
+  std::vector<WorkStats> unit_stats;
+};
+
+/// Executes one cycle of the global plan.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+  virtual void ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
+                            BatchOutput* out) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Summary of one heartbeat, for monitoring and the simulator.
+struct BatchReport {
+  uint64_t batch_number = 0;
+  size_t num_queries = 0;
+  size_t num_updates = 0;
+  double exec_ms = 0;
+  std::vector<WorkStats> node_stats;  // indexed by node id
+  std::vector<WorkStats> unit_stats;  // per (node, replica); see BatchOutput
+
+  WorkStats TotalWork() const {
+    WorkStats t;
+    for (const WorkStats& s : node_stats) t.Add(s);
+    return t;
+  }
+};
+
+/// Engine options.
+struct EngineOptions {
+  bool enable_wal = false;
+  std::string wal_path;
+  /// Vacuum dead row versions every N batches (0 = never).
+  int vacuum_interval = 0;
+};
+
+/// The SharedDB engine.
+class Engine {
+ public:
+  /// `runtime` may be null: the engine then uses the inline runtime.
+  Engine(std::unique_ptr<GlobalPlan> plan, EngineOptions options = {},
+         std::unique_ptr<Runtime> runtime = nullptr);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const GlobalPlan& plan() const { return *plan_; }
+  Catalog* catalog() const { return plan_->catalog(); }
+
+  /// Enqueues a statement instance for the next batch.
+  std::future<ResultSet> Submit(StatementId statement, std::vector<Value> params);
+
+  /// Submit by statement name (aborts on unknown name).
+  std::future<ResultSet> SubmitNamed(const std::string& name,
+                                     std::vector<Value> params);
+
+  /// Number of queued (unbatched) statement instances.
+  size_t PendingCount() const;
+
+  /// Runs one heartbeat: drains the queue, executes the batch through the
+  /// global plan, commits, and fulfills the futures. Returns the report.
+  /// A batch with no pending statements is a no-op heartbeat.
+  BatchReport RunOneBatch();
+
+  /// Convenience for tests/examples: Submit + RunOneBatch + get.
+  ResultSet ExecuteSync(StatementId statement, std::vector<Value> params);
+  ResultSet ExecuteSyncNamed(const std::string& name, std::vector<Value> params);
+
+  /// Report of the most recent batch.
+  const BatchReport& last_report() const { return last_report_; }
+
+  uint64_t batches_run() const { return batch_number_; }
+
+ private:
+  struct Pending {
+    StatementId statement;
+    std::vector<Value> params;
+    std::promise<ResultSet> promise;
+    std::unique_ptr<uint64_t> update_count;  // stable address for applied_out
+  };
+
+  void InstallWal();
+
+  std::unique_ptr<GlobalPlan> plan_;
+  EngineOptions options_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<class WalTableLogger> wal_logger_;
+
+  mutable std::mutex mu_;
+  std::vector<Pending> pending_;
+
+  uint64_t batch_number_ = 0;
+  BatchReport last_report_;
+};
+
+/// Logs every table mutation into the WAL (installed by the engine).
+class WalTableLogger : public TableWriteObserver {
+ public:
+  WalTableLogger(Wal* wal, const Catalog* catalog) : wal_(wal), catalog_(catalog) {}
+
+  void OnInsert(const Table& table, RowId row, const Tuple& t, Version v) override;
+  void OnUpdate(const Table& table, RowId old_row, RowId new_row, const Tuple& t,
+                Version v) override;
+  void OnDelete(const Table& table, RowId row, Version v) override;
+
+ private:
+  Wal* wal_;
+  const Catalog* catalog_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_ENGINE_H_

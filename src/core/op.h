@@ -1,0 +1,80 @@
+// SharedOp: the abstract shared operator (Algorithm 1 of the paper).
+//
+// The paper's operator skeleton runs an endless loop: dequeue pending
+// queries, activate them, consume input tuples, produce output, signal
+// end-of-stream. We factor the *logic* of one such cycle into a
+// runtime-agnostic call:
+//
+//     output = op->RunCycle(inputs, active_queries, ctx, &work)
+//
+// so the same operator code runs under
+//   * the inline runtime (deterministic topological execution, used by tests,
+//     examples and the virtual-time simulator), and
+//   * the threaded runtime (thread-per-operator with queues and affinity,
+//     §4.3), which wraps RunCycle in exactly Algorithm 1's loop.
+//
+// Contract:
+//   * `inputs` carries one DQBatch per child edge, in child order.
+//   * Output tuples must be annotated only with ids of queries in `queries`
+//     (operators mask their inputs with ActiveIdSet — a tuple can carry ids
+//     of queries that do not pass through this node).
+//   * Operators are stateless across cycles except for explicitly documented
+//     state (e.g. ClockScan's clock hand).
+
+#ifndef SHAREDDB_CORE_OP_H_
+#define SHAREDDB_CORE_OP_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/batch.h"
+#include "core/query.h"
+#include "core/work_stats.h"
+#include "storage/clock_scan.h"
+#include "storage/mvcc.h"
+
+namespace shareddb {
+
+/// Per-cycle execution context shared by all operators.
+struct CycleContext {
+  Version read_snapshot = 0;  // selects read here
+  Version write_version = 1;  // updates apply here
+  /// Updates routed to source nodes, keyed by plan-node id.
+  const std::unordered_map<int, std::vector<UpdateOp>>* updates = nullptr;
+  /// Plan-node id of the operator currently running (set by the executor).
+  int node_id = -1;
+
+  const std::vector<UpdateOp>& UpdatesForCurrentNode() const {
+    static const std::vector<UpdateOp> kNone;
+    if (updates == nullptr) return kNone;
+    const auto it = updates->find(node_id);
+    return it == updates->end() ? kNone : it->second;
+  }
+};
+
+/// Abstract shared operator.
+class SharedOp {
+ public:
+  virtual ~SharedOp() = default;
+
+  /// Executes one batch cycle. `inputs` are moved in (one per child edge).
+  virtual DQBatch RunCycle(std::vector<DQBatch> inputs,
+                           const std::vector<OpQuery>& queries,
+                           const CycleContext& ctx, WorkStats* stats) = 0;
+
+  /// Operator kind, for explain output and stats ("HashJoin", "Sort", ...).
+  virtual const char* kind_name() const = 0;
+
+  /// Output schema of this operator.
+  virtual const SchemaPtr& output_schema() const = 0;
+};
+
+/// Masks every tuple's annotation to the node's active query set and drops
+/// dead tuples. Returns the masked batch. Helper shared by operators.
+DQBatch MaskToActive(DQBatch in, const QueryIdSet& active, WorkStats* stats);
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OP_H_

@@ -1,0 +1,48 @@
+#include "core/ops/distinct_op.h"
+
+#include <unordered_map>
+
+namespace shareddb {
+
+DistinctOp::DistinctOp(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+DQBatch DistinctOp::RunCycle(std::vector<DQBatch> inputs,
+                             const std::vector<OpQuery>& queries,
+                             const CycleContext& ctx, WorkStats* stats) {
+  (void)ctx;
+  const QueryIdSet active = ActiveIdSet(queries);
+  DQBatch in(schema_);
+  for (DQBatch& b : inputs) {
+    if (stats != nullptr) stats->tuples_in += b.size();
+    in.Append(MaskToActive(std::move(b), active, stats));
+  }
+
+  // Hash rows to merge duplicates; annotations accumulate by union.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> seen;  // hash -> out indices
+  DQBatch out(schema_);
+  for (size_t i = 0; i < in.size(); ++i) {
+    const uint64_t h = TupleHash(in.tuples[i]);
+    if (stats != nullptr) ++stats->hash_probes;
+    std::vector<uint32_t>& bucket = seen[h];
+    bool merged = false;
+    for (const uint32_t oi : bucket) {
+      if (TuplesEqual(out.tuples[oi], in.tuples[i])) {
+        out.qids[oi] = out.qids[oi].Union(in.qids[i]);
+        if (stats != nullptr) stats->qid_elems += in.qids[i].size();
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      bucket.push_back(static_cast<uint32_t>(out.size()));
+      if (stats != nullptr) {
+        ++stats->hash_builds;
+        ++stats->tuples_out;
+      }
+      out.Push(std::move(in.tuples[i]), std::move(in.qids[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace shareddb

@@ -1,0 +1,31 @@
+// DistinctOp: shared duplicate elimination. A row appears once per
+// subscribing query in the logical output; physically each distinct row is
+// emitted once with the union of the query ids that saw it — the NF²
+// collapse of Figure 1. (In Fig 6 the "Distinct *" operator is evaluated as
+// part of the underlying hash join; it is also available standalone.)
+
+#ifndef SHAREDDB_CORE_OPS_DISTINCT_OP_H_
+#define SHAREDDB_CORE_OPS_DISTINCT_OP_H_
+
+#include "core/op.h"
+
+namespace shareddb {
+
+/// Shared DISTINCT over one or more same-schema inputs.
+class DistinctOp : public SharedOp {
+ public:
+  explicit DistinctOp(SchemaPtr schema);
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "Distinct"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+ private:
+  SchemaPtr schema_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_DISTINCT_OP_H_

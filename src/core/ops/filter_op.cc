@@ -1,0 +1,86 @@
+#include "core/ops/filter_op.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace shareddb {
+
+DQBatch MaskToActive(DQBatch in, const QueryIdSet& active, WorkStats* stats) {
+  // Tuples of one cycle carry few DISTINCT annotation sets (often just "all
+  // subscribers of the producing scan"), so memoize the intersection per
+  // distinct operand — hash-consing; a cache hit costs a hash + compare
+  // touch, not a merge.
+  std::unordered_map<uint64_t, std::pair<QueryIdSet, QueryIdSet>> cache;
+  for (QueryIdSet& q : in.qids) {
+    const uint64_t h = q.HashValue();
+    const auto it = cache.find(h);
+    if (it != cache.end() && it->second.first == q) {
+      // Hash-consed sets make a repeated operand a pointer-compare hit.
+      if (stats != nullptr) stats->qid_elems += 1;
+      q = it->second.second;
+      continue;
+    }
+    if (stats != nullptr) {
+      stats->qid_elems += QueryIdSet::MergeCost(q.size(), active.size());
+    }
+    QueryIdSet masked = q.Intersect(active);
+    cache[h] = {std::move(q), masked};
+    q = std::move(masked);
+  }
+  in.Compact();
+  return in;
+}
+
+FilterOp::FilterOp(SchemaPtr schema, ExprPtr shared_predicate)
+    : schema_(std::move(schema)), shared_predicate_(std::move(shared_predicate)) {}
+
+DQBatch FilterOp::RunCycle(std::vector<DQBatch> inputs,
+                           const std::vector<OpQuery>& queries,
+                           const CycleContext& ctx, WorkStats* stats) {
+  (void)ctx;
+  static const std::vector<Value> kNoParams;
+  const QueryIdSet active = ActiveIdSet(queries);
+
+  // Gather all inputs into one batch, masking to this node's queries.
+  DQBatch in(schema_);
+  for (DQBatch& b : inputs) {
+    if (stats != nullptr) stats->tuples_in += b.size();
+    in.Append(MaskToActive(std::move(b), active, stats));
+  }
+
+  // qid -> per-query config, so per-tuple cost is O(|qid set|), not
+  // O(#active queries).
+  std::unordered_map<QueryId, const OpQuery*> by_id;
+  by_id.reserve(queries.size());
+  for (const OpQuery& q : queries) by_id[q.id] = &q;
+
+  DQBatch out(schema_);
+  out.Reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    const Tuple& t = in.tuples[i];
+    if (shared_predicate_ != nullptr) {
+      if (stats != nullptr) ++stats->predicate_evals;
+      if (!shared_predicate_->EvalBool(t, kNoParams)) continue;
+    }
+    // Per-query predicates: evaluate only for subscribed queries.
+    const QueryIdSet& qids = in.qids[i];
+    std::vector<QueryId> surviving;
+    surviving.reserve(qids.size());
+    for (const QueryId id : qids.ids()) {
+      const auto it = by_id.find(id);
+      if (it == by_id.end()) continue;  // masked already, defensive
+      const OpQuery* q = it->second;
+      if (q->predicate != nullptr) {
+        if (stats != nullptr) ++stats->predicate_evals;
+        if (!q->predicate->EvalBool(t, kNoParams)) continue;
+      }
+      surviving.push_back(id);
+    }
+    if (surviving.empty()) continue;
+    out.Push(std::move(in.tuples[i]), QueryIdSet::FromSorted(std::move(surviving)));
+    if (stats != nullptr) ++stats->tuples_out;
+  }
+  return out;
+}
+
+}  // namespace shareddb

@@ -1,0 +1,37 @@
+// FilterOp: shared selection. Applies per-query predicates to annotated
+// tuples: a predicate is evaluated at most once per (tuple, subscribed
+// query) membership — never per (tuple, every query) — which is the NF²
+// processing guarantee of §3.1. An optional shared predicate (identical for
+// all queries, e.g. O.STATUS = 'OK') is evaluated once per tuple.
+//
+// Fig 6 uses this operator for the "Like Expression" and "Disjunction"
+// nodes sitting above the base-table scans.
+
+#ifndef SHAREDDB_CORE_OPS_FILTER_OP_H_
+#define SHAREDDB_CORE_OPS_FILTER_OP_H_
+
+#include "core/op.h"
+
+namespace shareddb {
+
+/// Shared filter over one input.
+class FilterOp : public SharedOp {
+ public:
+  /// `shared_predicate` (may be null) is applied to every tuple once;
+  /// per-query predicates come from OpQuery::predicate.
+  FilterOp(SchemaPtr schema, ExprPtr shared_predicate = nullptr);
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "Filter"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+ private:
+  SchemaPtr schema_;
+  ExprPtr shared_predicate_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_FILTER_OP_H_

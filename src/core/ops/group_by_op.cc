@@ -1,0 +1,234 @@
+#include "core/ops/group_by_op.h"
+
+#include <unordered_map>
+
+namespace shareddb {
+
+namespace {
+
+/// Accumulator for one (group, query, aggregate) cell.
+struct Acc {
+  uint64_t count = 0;
+  double sum = 0;
+  Value min;
+  Value max;
+
+  void Update(const Value& v) {
+    ++count;
+    if (v.is_null()) return;
+    if (v.type() == ValueType::kInt || v.type() == ValueType::kDouble) {
+      sum += v.AsNumeric();
+    }
+    if (min.is_null() || v.Compare(min) < 0) min = v;
+    if (max.is_null() || v.Compare(max) > 0) max = v;
+  }
+
+  /// Combines another accumulator into this one (used when a query's tuples
+  /// span several set classes within one group).
+  void Merge(const Acc& o) {
+    count += o.count;
+    sum += o.sum;
+    if (min.is_null() || (!o.min.is_null() && o.min.Compare(min) < 0)) min = o.min;
+    if (max.is_null() || (!o.max.is_null() && o.max.Compare(max) > 0)) max = o.max;
+  }
+
+  Value Finalize(AggFunc f) const {
+    switch (f) {
+      case AggFunc::kCount: return Value::Int(static_cast<int64_t>(count));
+      case AggFunc::kSum: return count ? Value::Double(sum) : Value::Null();
+      case AggFunc::kMin: return min;
+      case AggFunc::kMax: return max;
+      case AggFunc::kAvg:
+        return count ? Value::Double(sum / static_cast<double>(count)) : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+GroupByOp::GroupByOp(SchemaPtr input_schema, std::vector<size_t> group_columns,
+                     std::vector<AggSpec> aggs)
+    : input_schema_(std::move(input_schema)),
+      group_columns_(std::move(group_columns)),
+      aggs_(std::move(aggs)) {
+  std::vector<Column> cols;
+  for (const size_t g : group_columns_) {
+    SDB_CHECK(g < input_schema_->num_columns());
+    cols.push_back(input_schema_->column(g));
+  }
+  for (const AggSpec& a : aggs_) {
+    SDB_CHECK(a.column < static_cast<int>(input_schema_->num_columns()));
+    // COUNT is integral; other aggregates follow the input column type,
+    // except AVG/SUM which are doubles.
+    ValueType t = ValueType::kDouble;
+    if (a.func == AggFunc::kCount) {
+      t = ValueType::kInt;
+    } else if ((a.func == AggFunc::kMin || a.func == AggFunc::kMax) && a.column >= 0) {
+      t = input_schema_->column(a.column).type;
+    }
+    cols.push_back(Column{a.name, t});
+  }
+  schema_ = Schema::Make(std::move(cols));
+}
+
+DQBatch GroupByOp::RunCycle(std::vector<DQBatch> inputs,
+                            const std::vector<OpQuery>& queries,
+                            const CycleContext& ctx, WorkStats* stats) {
+  (void)ctx;
+  static const std::vector<Value> kNoParams;
+  const QueryIdSet active = ActiveIdSet(queries);
+  DQBatch in(input_schema_);
+  for (DQBatch& b : inputs) {
+    if (stats != nullptr) stats->tuples_in += b.size();
+    in.Append(MaskToActive(std::move(b), active, stats));
+  }
+
+  // Phase 1 (shared): group all tuples once. Within a group, accumulators
+  // are kept per distinct ANNOTATION SET ("set class"), not per query:
+  // queries that subscribe to exactly the same tuples see exactly the same
+  // aggregates, so one accumulator serves them all — the NF² compactness of
+  // Figure 1 carried through the aggregation.
+  struct ClassSlot {
+    QueryIdSet cls;
+    std::vector<Acc> accs;
+  };
+  struct Group {
+    Tuple key;  // group column values
+    std::vector<ClassSlot> classes;
+  };
+  std::unordered_map<uint64_t, std::vector<Group>> groups;  // hash -> collision list
+  size_t num_groups = 0;
+
+  for (size_t i = 0; i < in.size(); ++i) {
+    const Tuple& t = in.tuples[i];
+    Tuple key;
+    key.reserve(group_columns_.size());
+    for (const size_t g : group_columns_) key.push_back(t[g]);
+    const uint64_t h = TupleHash(key);
+    if (stats != nullptr) ++stats->hash_probes;
+    std::vector<Group>& bucket = groups[h];
+    Group* grp = nullptr;
+    for (Group& g : bucket) {
+      if (TuplesEqual(g.key, key)) {
+        grp = &g;
+        break;
+      }
+    }
+    if (grp == nullptr) {
+      bucket.push_back(Group{std::move(key), {}});
+      grp = &bucket.back();
+      ++num_groups;
+      if (stats != nullptr) ++stats->hash_builds;
+    }
+    // One accumulator update per (tuple, set class) — hash-consed sets make
+    // the class lookup a cheap compare.
+    ClassSlot* slot = nullptr;
+    for (ClassSlot& c : grp->classes) {
+      if (c.cls == in.qids[i]) {
+        slot = &c;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      grp->classes.push_back(ClassSlot{in.qids[i], std::vector<Acc>(aggs_.size())});
+      slot = &grp->classes.back();
+      if (stats != nullptr) stats->qid_elems += in.qids[i].size();
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const AggSpec& spec = aggs_[a];
+      if (spec.column < 0) {
+        slot->accs[a].Update(Value::Int(1));
+      } else {
+        slot->accs[a].Update(t[spec.column]);
+      }
+      if (stats != nullptr) ++stats->agg_updates;
+    }
+  }
+
+  // Phase 2: finalize each (group, class) once; HAVING splits a class only
+  // when present (rare — HAVING predicates are per query by §3.4).
+  std::unordered_map<QueryId, const OpQuery*> by_id;
+  by_id.reserve(queries.size());
+  for (const OpQuery& q : queries) by_id[q.id] = &q;
+  bool any_having = false;
+  for (const OpQuery& q : queries) any_having |= (q.having != nullptr);
+
+  DQBatch out(schema_);
+  auto emit = [&](Tuple key, const std::vector<Acc>& accs, QueryIdSet members) {
+    Tuple row = std::move(key);
+    row.reserve(row.size() + aggs_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      row.push_back(accs[a].Finalize(aggs_[a].func));
+    }
+    QueryIdSet survivors = std::move(members);
+    if (any_having) {
+      std::vector<QueryId> keep;
+      keep.reserve(survivors.size());
+      for (const QueryId id : survivors.ids()) {
+        const OpQuery* q = by_id.at(id);
+        if (q->having != nullptr) {
+          if (stats != nullptr) ++stats->predicate_evals;
+          if (!q->having->EvalBool(row, kNoParams)) continue;
+        }
+        keep.push_back(id);
+      }
+      if (keep.empty()) return;
+      survivors = QueryIdSet::FromSorted(std::move(keep));
+    }
+    if (stats != nullptr) ++stats->tuples_out;
+    out.Push(std::move(row), std::move(survivors));
+  };
+
+  for (auto& [h, bucket] : groups) {
+    (void)h;
+    for (Group& grp : bucket) {
+      // Classes within a group are usually disjoint (one row per class). A
+      // query spanning several classes needs its partial accumulators
+      // merged, else it would see duplicate partial rows for the group.
+      bool disjoint = true;
+      if (grp.classes.size() > 1) {
+        size_t total = 0;
+        QueryIdSet all;
+        for (const ClassSlot& c : grp.classes) {
+          total += c.cls.size();
+          all = all.Union(c.cls);
+        }
+        disjoint = all.size() == total;
+      }
+      if (disjoint) {
+        for (ClassSlot& slot : grp.classes) {
+          emit(grp.key, slot.accs, slot.cls);
+        }
+      } else {
+        // Rare slow path: merge per query.
+        std::vector<std::pair<QueryId, std::vector<Acc>>> per_query;
+        for (const ClassSlot& slot : grp.classes) {
+          for (const QueryId id : slot.cls.ids()) {
+            std::vector<Acc>* accs = nullptr;
+            for (auto& [qid, a] : per_query) {
+              if (qid == id) {
+                accs = &a;
+                break;
+              }
+            }
+            if (accs == nullptr) {
+              per_query.emplace_back(id, std::vector<Acc>(aggs_.size()));
+              accs = &per_query.back().second;
+            }
+            for (size_t a = 0; a < aggs_.size(); ++a) {
+              (*accs)[a].Merge(slot.accs[a]);
+              if (stats != nullptr) ++stats->agg_updates;
+            }
+          }
+        }
+        for (auto& [qid, accs] : per_query) {
+          emit(grp.key, accs, QueryIdSet(qid));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace shareddb

@@ -1,0 +1,57 @@
+// GroupByOp: shared grouping + per-query aggregation (§3.4): "In the first
+// phase, the input tuples are grouped. Again, this phase can be shared so
+// that all the tuples that are relevant for all active queries are grouped
+// in one big batch. In the second phase, HAVING predicates and aggregation
+// functions are applied to the tuples of each group ... for each query
+// individually."
+//
+// Aggregate *shapes* (functions + input columns) are fixed per plan node;
+// each query gets its own accumulators (only tuples it subscribed to count)
+// and its own HAVING.
+
+#ifndef SHAREDDB_CORE_OPS_GROUP_BY_OP_H_
+#define SHAREDDB_CORE_OPS_GROUP_BY_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/op.h"
+
+namespace shareddb {
+
+/// Aggregate functions.
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+/// One aggregate column: func(input column). column < 0 means COUNT(*).
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  int column = -1;
+  std::string name = "agg";
+};
+
+/// Shared group-by over one or more same-schema inputs.
+/// Output schema: group columns (input names) ++ aggregate columns.
+class GroupByOp : public SharedOp {
+ public:
+  GroupByOp(SchemaPtr input_schema, std::vector<size_t> group_columns,
+            std::vector<AggSpec> aggs);
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "GroupBy"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+  const std::vector<size_t>& group_columns() const { return group_columns_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+
+ private:
+  SchemaPtr input_schema_;
+  std::vector<size_t> group_columns_;
+  std::vector<AggSpec> aggs_;
+  SchemaPtr schema_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_GROUP_BY_OP_H_

@@ -1,0 +1,120 @@
+#include "core/ops/hash_join_op.h"
+
+#include <unordered_map>
+
+namespace shareddb {
+
+HashJoinOp::HashJoinOp(SchemaPtr left_schema, SchemaPtr right_schema, size_t left_key,
+                       size_t right_key, bool build_left,
+                       const std::string& left_prefix,
+                       const std::string& right_prefix)
+    : left_schema_(std::move(left_schema)),
+      right_schema_(std::move(right_schema)),
+      left_key_(left_key),
+      right_key_(right_key),
+      build_left_(build_left) {
+  SDB_CHECK(left_key_ < left_schema_->num_columns());
+  SDB_CHECK(right_key_ < right_schema_->num_columns());
+  schema_ = Schema::Join(*left_schema_, *right_schema_, left_prefix, right_prefix);
+}
+
+DQBatch HashJoinOp::RunCycle(std::vector<DQBatch> inputs,
+                             const std::vector<OpQuery>& queries,
+                             const CycleContext& ctx, WorkStats* stats) {
+  (void)ctx;
+  SDB_CHECK(inputs.size() == 2);
+  static const std::vector<Value> kNoParams;
+  const QueryIdSet active = ActiveIdSet(queries);
+
+  if (stats != nullptr) {
+    stats->tuples_in += inputs[0].size() + inputs[1].size();
+  }
+  DQBatch left = MaskToActive(std::move(inputs[0]), active, stats);
+  DQBatch right = MaskToActive(std::move(inputs[1]), active, stats);
+
+  const DQBatch& build = build_left_ ? left : right;
+  const DQBatch& probe = build_left_ ? right : left;
+  const size_t build_key = build_left_ ? left_key_ : right_key_;
+  const size_t probe_key = build_left_ ? right_key_ : left_key_;
+
+  // Build phase: hash on the data key.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> table;
+  table.reserve(build.size() * 2);
+  for (uint32_t i = 0; i < build.size(); ++i) {
+    const Value& k = build.tuples[i][build_key];
+    if (k.is_null()) continue;  // NULL never joins
+    table[k.Hash()].push_back(i);
+    if (stats != nullptr) ++stats->hash_builds;
+  }
+
+  // Per-query residual lookup.
+  std::unordered_map<QueryId, const OpQuery*> by_id;
+  by_id.reserve(queries.size());
+  for (const OpQuery& q : queries) by_id[q.id] = &q;
+  bool any_residual = false;
+  for (const OpQuery& q : queries) any_residual |= (q.predicate != nullptr);
+
+  // Intersections repeat across pairs (few distinct annotation sets per
+  // side), so memoize by operand content — see MaskToActive. Entries keep
+  // their operands so a hash collision can never produce a wrong result.
+  struct PairEntry {
+    QueryIdSet a, b, joint;
+  };
+  std::unordered_map<uint64_t, PairEntry> pair_cache;
+  auto intersect_sets = [&](const QueryIdSet& a, const QueryIdSet& b) {
+    const uint64_t key = a.HashValue() * 0x9E3779B97F4A7C15ULL + b.HashValue();
+    const auto it = pair_cache.find(key);
+    if (it != pair_cache.end() && it->second.a == a && it->second.b == b) {
+      // Hash-consed sets make a repeated operand pair a pointer-compare hit.
+      if (stats != nullptr) stats->qid_elems += 1;
+      return it->second.joint;
+    }
+    if (stats != nullptr) {
+      stats->qid_elems += QueryIdSet::MergeCost(a.size(), b.size());
+    }
+    QueryIdSet joint = a.Intersect(b);
+    pair_cache[key] = PairEntry{a, b, joint};
+    return joint;
+  };
+
+  // Probe phase.
+  DQBatch out(schema_);
+  for (size_t p = 0; p < probe.size(); ++p) {
+    const Value& k = probe.tuples[p][probe_key];
+    if (k.is_null()) continue;
+    if (stats != nullptr) ++stats->hash_probes;
+    const auto it = table.find(k.Hash());
+    if (it == table.end()) continue;
+    for (const uint32_t b : it->second) {
+      // Hash collision check on the actual key.
+      if (build.tuples[b][build_key].Compare(k) != 0) continue;
+      // The query-id conjunct: interest sets must intersect.
+      QueryIdSet joint = intersect_sets(probe.qids[p], build.qids[b]);
+      if (joint.empty()) continue;
+      // Output tuple is always (left ++ right) regardless of build side.
+      const Tuple& lt = build_left_ ? build.tuples[b] : probe.tuples[p];
+      const Tuple& rt = build_left_ ? probe.tuples[p] : build.tuples[b];
+      Tuple joined = ConcatTuples(lt, rt);
+      // Per-query residuals strip ids.
+      if (any_residual) {
+        std::vector<QueryId> surviving;
+        surviving.reserve(joint.size());
+        for (const QueryId id : joint.ids()) {
+          const OpQuery* q = by_id.at(id);
+          if (q->predicate != nullptr) {
+            if (stats != nullptr) ++stats->predicate_evals;
+            if (!q->predicate->EvalBool(joined, kNoParams)) continue;
+          }
+          surviving.push_back(id);
+        }
+        if (surviving.empty()) continue;
+        joint = QueryIdSet::FromSorted(std::move(surviving));
+      }
+      if (stats != nullptr) ++stats->tuples_out;
+      out.Push(std::move(joined), std::move(joint));
+    }
+  }
+  return out;
+}
+
+}  // namespace shareddb

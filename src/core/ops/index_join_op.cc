@@ -1,0 +1,81 @@
+#include "core/ops/index_join_op.h"
+
+#include <unordered_map>
+
+namespace shareddb {
+
+IndexJoinOp::IndexJoinOp(SchemaPtr outer_schema, size_t outer_key, Table* inner,
+                         std::string index_name, const std::string& outer_prefix,
+                         const std::string& inner_prefix)
+    : outer_schema_(std::move(outer_schema)),
+      outer_key_(outer_key),
+      inner_(inner),
+      index_name_(std::move(index_name)) {
+  SDB_CHECK(outer_key_ < outer_schema_->num_columns());
+  SDB_CHECK(inner_->HasIndex(index_name_));
+  for (const TableIndex& idx : inner_->indexes()) {
+    if (idx.name == index_name_) inner_key_ = idx.column;
+  }
+  schema_ = Schema::Join(*outer_schema_, *inner_->schema(), outer_prefix, inner_prefix);
+}
+
+DQBatch IndexJoinOp::RunCycle(std::vector<DQBatch> inputs,
+                              const std::vector<OpQuery>& queries,
+                              const CycleContext& ctx, WorkStats* stats) {
+  SDB_CHECK(inputs.size() == 1);
+  static const std::vector<Value> kNoParams;
+  const QueryIdSet active = ActiveIdSet(queries);
+  if (stats != nullptr) stats->tuples_in += inputs[0].size();
+  DQBatch outer = MaskToActive(std::move(inputs[0]), active, stats);
+
+  std::unordered_map<QueryId, const OpQuery*> by_id;
+  by_id.reserve(queries.size());
+  for (const OpQuery& q : queries) by_id[q.id] = &q;
+  bool any_residual = false;
+  for (const OpQuery& q : queries) any_residual |= (q.predicate != nullptr);
+
+  // Shared look-up cache: each distinct key probes the B-tree once per cycle.
+  std::unordered_map<uint64_t, std::vector<RowId>> lookup_cache;
+
+  DQBatch out(schema_);
+  for (size_t i = 0; i < outer.size(); ++i) {
+    const Value& k = outer.tuples[i][outer_key_];
+    if (k.is_null()) continue;
+    const uint64_t h = k.Hash();
+    auto it = lookup_cache.find(h);
+    if (it == lookup_cache.end()) {
+      if (stats != nullptr) ++stats->index_lookups;
+      std::vector<RowId> rows;
+      inner_->IndexLookup(index_name_, k, ctx.read_snapshot, &rows);
+      it = lookup_cache.emplace(h, std::move(rows)).first;
+    } else if (stats != nullptr) {
+      ++stats->hash_probes;  // cache hit
+    }
+    for (const RowId rid : it->second) {
+      const Tuple inner_row = inner_->GetRow(rid).data;
+      // Guard against hash collisions in the look-up cache.
+      if (inner_row[inner_key_].Compare(k) != 0) continue;
+      Tuple joined = ConcatTuples(outer.tuples[i], inner_row);
+      QueryIdSet qids = outer.qids[i];
+      if (any_residual) {
+        std::vector<QueryId> surviving;
+        surviving.reserve(qids.size());
+        for (const QueryId id : qids.ids()) {
+          const OpQuery* q = by_id.at(id);
+          if (q->predicate != nullptr) {
+            if (stats != nullptr) ++stats->predicate_evals;
+            if (!q->predicate->EvalBool(joined, kNoParams)) continue;
+          }
+          surviving.push_back(id);
+        }
+        if (surviving.empty()) continue;
+        qids = QueryIdSet::FromSorted(std::move(surviving));
+      }
+      if (stats != nullptr) ++stats->tuples_out;
+      out.Push(std::move(joined), std::move(qids));
+    }
+  }
+  return out;
+}
+
+}  // namespace shareddb

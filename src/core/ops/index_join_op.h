@@ -1,0 +1,44 @@
+// IndexJoinOp: shared index nested-loops join (paper §3.3/§4.4: "These index
+// probe operators are used ... to implement index nested-loops joins").
+//
+// The outer (probe) side is a dataflow input; the inner side is a base table
+// accessed through a B-tree index. Each distinct outer key triggers one
+// index look-up per cycle (keys deduplicated across the whole batch — the
+// shared part); matches inherit the outer tuple's query-id set, and inner
+// rows are visible-at-snapshot. Per-query residual predicates strip ids.
+
+#ifndef SHAREDDB_CORE_OPS_INDEX_JOIN_OP_H_
+#define SHAREDDB_CORE_OPS_INDEX_JOIN_OP_H_
+
+#include <string>
+
+#include "core/op.h"
+#include "storage/table.h"
+
+namespace shareddb {
+
+/// Shared index nested-loops join: input 0 = outer; inner = table via index.
+class IndexJoinOp : public SharedOp {
+ public:
+  IndexJoinOp(SchemaPtr outer_schema, size_t outer_key, Table* inner,
+              std::string index_name, const std::string& outer_prefix = "",
+              const std::string& inner_prefix = "");
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "IndexNLJoin"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+ private:
+  SchemaPtr outer_schema_;
+  size_t outer_key_;
+  Table* inner_;
+  std::string index_name_;
+  size_t inner_key_ = 0;  // indexed column of the inner table
+  SchemaPtr schema_;      // outer ++ inner
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_INDEX_JOIN_OP_H_

@@ -1,0 +1,45 @@
+// ProbeOp: shared B-tree index probes (paper §4.4) — the second base-table
+// access path. All point/range look-ups of a batch execute in one cycle
+// ("executing multiple look-ups in one cycle allows for better instruction
+// and data cache locality" [12]); rows fetched for several queries are
+// emitted once with merged query-id annotations. Updates routed to this node
+// are applied in arrival order before the look-ups, exactly like ClockScan.
+
+#ifndef SHAREDDB_CORE_OPS_PROBE_OP_H_
+#define SHAREDDB_CORE_OPS_PROBE_OP_H_
+
+#include <string>
+
+#include "core/op.h"
+#include "storage/table.h"
+
+namespace shareddb {
+
+/// Shared index probe over one table index.
+///
+/// Each query's bound predicate is analyzed: the constraint on the indexed
+/// column selects the B-tree access (point look-up or range scan); remaining
+/// conjuncts are verified on the fetched rows.
+class ProbeOp : public SharedOp {
+ public:
+  ProbeOp(Table* table, std::string index_name);
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "IndexProbe"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+  Table* table() const { return table_; }
+  const std::string& index_name() const { return index_name_; }
+
+ private:
+  Table* table_;
+  std::string index_name_;
+  size_t indexed_column_;
+  SchemaPtr schema_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_PROBE_OP_H_

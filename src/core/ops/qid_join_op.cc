@@ -1,0 +1,83 @@
+#include "core/ops/qid_join_op.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace shareddb {
+
+QidJoinOp::QidJoinOp(SchemaPtr left_schema, SchemaPtr right_schema, size_t left_key,
+                     size_t right_key, const std::string& left_prefix,
+                     const std::string& right_prefix)
+    : left_schema_(std::move(left_schema)),
+      right_schema_(std::move(right_schema)),
+      left_key_(left_key),
+      right_key_(right_key) {
+  SDB_CHECK(left_key_ < left_schema_->num_columns());
+  SDB_CHECK(right_key_ < right_schema_->num_columns());
+  schema_ = Schema::Join(*left_schema_, *right_schema_, left_prefix, right_prefix);
+}
+
+DQBatch QidJoinOp::RunCycle(std::vector<DQBatch> inputs,
+                            const std::vector<OpQuery>& queries,
+                            const CycleContext& ctx, WorkStats* stats) {
+  (void)ctx;
+  SDB_CHECK(inputs.size() == 2);
+  static const std::vector<Value> kNoParams;
+  const QueryIdSet active = ActiveIdSet(queries);
+  if (stats != nullptr) stats->tuples_in += inputs[0].size() + inputs[1].size();
+  DQBatch left = MaskToActive(std::move(inputs[0]), active, stats);
+  DQBatch right = MaskToActive(std::move(inputs[1]), active, stats);
+
+  std::unordered_map<QueryId, const OpQuery*> by_id;
+  by_id.reserve(queries.size());
+  for (const OpQuery& q : queries) by_id[q.id] = &q;
+
+  // Build: query id -> left tuples carrying it.
+  std::unordered_map<QueryId, std::vector<uint32_t>> by_qid;
+  by_qid.reserve(queries.size());
+  for (uint32_t i = 0; i < left.size(); ++i) {
+    for (const QueryId id : left.qids[i].ids()) {
+      by_qid[id].push_back(i);
+      if (stats != nullptr) ++stats->hash_builds;
+    }
+  }
+
+  // Probe: for each right tuple, walk its (small) id set; join pairs found
+  // via several shared ids are emitted once with the accumulated id set.
+  DQBatch out(schema_);
+  std::unordered_map<uint32_t, std::vector<QueryId>> pair_ids;  // left idx -> ids
+  for (size_t r = 0; r < right.size(); ++r) {
+    pair_ids.clear();
+    const Value& rk = right.tuples[r][right_key_];
+    if (rk.is_null()) continue;
+    for (const QueryId id : right.qids[r].ids()) {
+      const auto it = by_qid.find(id);
+      if (it == by_qid.end()) continue;
+      if (stats != nullptr) ++stats->hash_probes;
+      for (const uint32_t l : it->second) {
+        if (left.tuples[l][left_key_].Compare(rk) != 0) continue;  // data key
+        pair_ids[l].push_back(id);
+      }
+    }
+    for (auto& [l, ids] : pair_ids) {
+      Tuple joined = ConcatTuples(left.tuples[l], right.tuples[r]);
+      std::vector<QueryId> surviving;
+      surviving.reserve(ids.size());
+      std::sort(ids.begin(), ids.end());
+      for (const QueryId id : ids) {
+        const OpQuery* q = by_id.at(id);
+        if (q->predicate != nullptr) {
+          if (stats != nullptr) ++stats->predicate_evals;
+          if (!q->predicate->EvalBool(joined, kNoParams)) continue;
+        }
+        surviving.push_back(id);
+      }
+      if (surviving.empty()) continue;
+      if (stats != nullptr) ++stats->tuples_out;
+      out.Push(std::move(joined), QueryIdSet::FromSorted(std::move(surviving)));
+    }
+  }
+  return out;
+}
+
+}  // namespace shareddb

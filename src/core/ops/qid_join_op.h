@@ -1,0 +1,43 @@
+// QidJoinOp: the set-based join keyed on query_id (paper §3.3, citing [16]):
+// "either R.id = S.id or R.query_id = S.query_id can be used as primary join
+// predicates. If the latter, a set-based join is carried out ... we use a
+// simple hash table that maps a query id to a set of pointers that reference
+// the corresponding tuples ... this particular join method is only
+// beneficial if these sets are small."
+//
+// Semantically identical to HashJoinOp; the access order is inverted: the
+// hash table indexes build tuples by each query id they carry, and probing
+// walks a probe tuple's (small) id set. The ablation bench micro_ablation
+// compares the two methods across selectivities.
+
+#ifndef SHAREDDB_CORE_OPS_QID_JOIN_OP_H_
+#define SHAREDDB_CORE_OPS_QID_JOIN_OP_H_
+
+#include "core/op.h"
+
+namespace shareddb {
+
+/// Shared join whose primary predicate is query-id set intersection.
+class QidJoinOp : public SharedOp {
+ public:
+  QidJoinOp(SchemaPtr left_schema, SchemaPtr right_schema, size_t left_key,
+            size_t right_key, const std::string& left_prefix = "",
+            const std::string& right_prefix = "");
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "QidJoin"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+ private:
+  SchemaPtr left_schema_;
+  SchemaPtr right_schema_;
+  size_t left_key_;
+  size_t right_key_;
+  SchemaPtr schema_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_QID_JOIN_OP_H_

@@ -1,0 +1,60 @@
+#include "core/ops/router.h"
+
+namespace shareddb {
+
+std::unordered_map<QueryId, std::vector<Tuple>> RouteByQueryId(const DQBatch& batch,
+                                                               WorkStats* stats) {
+  std::unordered_map<QueryId, std::vector<Tuple>> out;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (const QueryId id : batch.qids[i].ids()) {
+      out[id].push_back(batch.tuples[i]);
+      if (stats != nullptr) ++stats->qid_elems;
+    }
+  }
+  return out;
+}
+
+ProjectOp::ProjectOp(SchemaPtr input_schema, std::vector<size_t> columns)
+    : input_schema_(std::move(input_schema)), columns_(std::move(columns)) {
+  schema_ = input_schema_->Project(columns_);
+}
+
+DQBatch ProjectOp::RunCycle(std::vector<DQBatch> inputs,
+                            const std::vector<OpQuery>& queries,
+                            const CycleContext& ctx, WorkStats* stats) {
+  (void)ctx;
+  const QueryIdSet active = ActiveIdSet(queries);
+  DQBatch out(schema_);
+  for (DQBatch& b : inputs) {
+    if (stats != nullptr) stats->tuples_in += b.size();
+    DQBatch masked = MaskToActive(std::move(b), active, stats);
+    for (size_t i = 0; i < masked.size(); ++i) {
+      Tuple t;
+      t.reserve(columns_.size());
+      for (const size_t c : columns_) t.push_back(std::move(masked.tuples[i][c]));
+      out.Push(std::move(t), std::move(masked.qids[i]));
+      if (stats != nullptr) ++stats->tuples_out;
+    }
+  }
+  return out;
+}
+
+UnionOp::UnionOp(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+DQBatch UnionOp::RunCycle(std::vector<DQBatch> inputs,
+                          const std::vector<OpQuery>& queries, const CycleContext& ctx,
+                          WorkStats* stats) {
+  (void)ctx;
+  const QueryIdSet active = ActiveIdSet(queries);
+  DQBatch out(schema_);
+  for (DQBatch& b : inputs) {
+    if (stats != nullptr) {
+      stats->tuples_in += b.size();
+      stats->tuples_out += b.size();
+    }
+    out.Append(MaskToActive(std::move(b), active, stats));
+  }
+  return out;
+}
+
+}  // namespace shareddb

@@ -1,0 +1,60 @@
+// Router (Γ by query_id, Figure 3): splits a shared operator's annotated
+// output into per-query result sets. In the engine this runs at each
+// statement's root node ("the routing of the join results to the relevant
+// queries is carried out using a grouping operator (Γ) by query_id").
+//
+// Also provides ProjectOp and UnionOp, the two shape-adjusting operators the
+// plan merger inserts when aligning schemas across shared paths.
+
+#ifndef SHAREDDB_CORE_OPS_ROUTER_H_
+#define SHAREDDB_CORE_OPS_ROUTER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/op.h"
+
+namespace shareddb {
+
+/// Splits one annotated batch into per-query plain result rows.
+/// Rows keep the batch order (sorted operators upstream stay sorted).
+std::unordered_map<QueryId, std::vector<Tuple>> RouteByQueryId(const DQBatch& batch,
+                                                               WorkStats* stats);
+
+/// Column projection (schema alignment before shared sorts/unions).
+class ProjectOp : public SharedOp {
+ public:
+  ProjectOp(SchemaPtr input_schema, std::vector<size_t> columns);
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "Project"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+  const std::vector<size_t>& columns() const { return columns_; }
+
+ private:
+  SchemaPtr input_schema_;
+  std::vector<size_t> columns_;
+  SchemaPtr schema_;
+};
+
+/// Union-all of same-schema inputs (annotations pass through).
+class UnionOp : public SharedOp {
+ public:
+  explicit UnionOp(SchemaPtr schema);
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "Union"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+ private:
+  SchemaPtr schema_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_ROUTER_H_

@@ -1,0 +1,23 @@
+#include "core/ops/scan_op.h"
+
+namespace shareddb {
+
+ScanOp::ScanOp(Table* table) : scan_(table), schema_(table->schema()) {}
+
+DQBatch ScanOp::RunCycle(std::vector<DQBatch> inputs,
+                         const std::vector<OpQuery>& queries, const CycleContext& ctx,
+                         WorkStats* stats) {
+  SDB_CHECK(inputs.empty());  // source operator
+  std::vector<ScanQuerySpec> specs;
+  specs.reserve(queries.size());
+  for (const OpQuery& q : queries) {
+    specs.push_back(ScanQuerySpec{q.id, q.predicate});
+  }
+  ClockScanStats scan_stats;
+  DQBatch out = scan_.RunCycle(specs, ctx.UpdatesForCurrentNode(), ctx.read_snapshot,
+                               ctx.write_version, &scan_stats);
+  if (stats != nullptr) stats->AddScan(scan_stats);
+  return out;
+}
+
+}  // namespace shareddb

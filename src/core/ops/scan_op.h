@@ -1,0 +1,35 @@
+// ScanOp: source operator wrapping the ClockScan shared table scan.
+// Per-query bound predicates arrive via OpQuery::predicate; updates routed
+// to this node come through CycleContext. Emits the table's tuples annotated
+// with the ids of all interested queries.
+
+#ifndef SHAREDDB_CORE_OPS_SCAN_OP_H_
+#define SHAREDDB_CORE_OPS_SCAN_OP_H_
+
+#include "core/op.h"
+#include "storage/clock_scan.h"
+#include "storage/table.h"
+
+namespace shareddb {
+
+/// Shared full-table scan (ClockScan, §3.4/§4.4).
+class ScanOp : public SharedOp {
+ public:
+  explicit ScanOp(Table* table);
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "ClockScan"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+  Table* table() const { return scan_.table(); }
+
+ private:
+  ClockScan scan_;
+  SchemaPtr schema_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_SCAN_OP_H_

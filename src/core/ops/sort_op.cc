@@ -1,0 +1,54 @@
+#include "core/ops/sort_op.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace shareddb {
+
+int CompareTuples(const Tuple& a, const Tuple& b, const std::vector<SortKey>& keys) {
+  for (const SortKey& k : keys) {
+    const int c = a[k.column].Compare(b[k.column]);
+    if (c != 0) return k.ascending ? c : -c;
+  }
+  return 0;
+}
+
+SortOp::SortOp(SchemaPtr schema, std::vector<SortKey> keys)
+    : schema_(std::move(schema)), keys_(std::move(keys)) {
+  SDB_CHECK(!keys_.empty());
+  for (const SortKey& k : keys_) SDB_CHECK(k.column < schema_->num_columns());
+}
+
+DQBatch SortOp::RunCycle(std::vector<DQBatch> inputs,
+                         const std::vector<OpQuery>& queries, const CycleContext& ctx,
+                         WorkStats* stats) {
+  (void)ctx;
+  const QueryIdSet active = ActiveIdSet(queries);
+  DQBatch in(schema_);
+  for (DQBatch& b : inputs) {
+    if (stats != nullptr) stats->tuples_in += b.size();
+    in.Append(MaskToActive(std::move(b), active, stats));
+  }
+
+  // One big stable sort for all queries of the batch.
+  std::vector<uint32_t> order(in.size());
+  std::iota(order.begin(), order.end(), 0);
+  uint64_t comparisons = 0;
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    ++comparisons;
+    return CompareTuples(in.tuples[x], in.tuples[y], keys_) < 0;
+  });
+  if (stats != nullptr) {
+    stats->comparisons += comparisons;
+    stats->tuples_out += in.size();
+  }
+
+  DQBatch out(schema_);
+  out.Reserve(in.size());
+  for (const uint32_t i : order) {
+    out.Push(std::move(in.tuples[i]), std::move(in.qids[i]));
+  }
+  return out;
+}
+
+}  // namespace shareddb

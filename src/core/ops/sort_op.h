@@ -1,0 +1,46 @@
+// SortOp: the shared sort of Figure 4 — one big sort over the union of all
+// tuples any active query is interested in, instead of one small sort per
+// query. "In theory, it is better to have a few small sorts than one big
+// sort, but sharing may more than offset this effect" (§3.4). The output
+// batch is globally ordered; the Γ router then delivers each query's rows,
+// which are in order by construction.
+
+#ifndef SHAREDDB_CORE_OPS_SORT_OP_H_
+#define SHAREDDB_CORE_OPS_SORT_OP_H_
+
+#include <vector>
+
+#include "core/op.h"
+
+namespace shareddb {
+
+/// One sort key: column + direction.
+struct SortKey {
+  size_t column;
+  bool ascending = true;
+};
+
+/// Compares tuples under a sort-key list. Exposed for reuse (TopN, tests).
+int CompareTuples(const Tuple& a, const Tuple& b, const std::vector<SortKey>& keys);
+
+/// Shared sort over one or more same-schema inputs.
+class SortOp : public SharedOp {
+ public:
+  SortOp(SchemaPtr schema, std::vector<SortKey> keys);
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "Sort"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<SortKey> keys_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_SORT_OP_H_

@@ -1,0 +1,72 @@
+#include "core/ops/top_n_op.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace shareddb {
+
+TopNOp::TopNOp(SchemaPtr schema, std::vector<SortKey> keys, int64_t default_limit)
+    : schema_(std::move(schema)), keys_(std::move(keys)),
+      default_limit_(default_limit) {
+  SDB_CHECK(!keys_.empty());
+}
+
+DQBatch TopNOp::RunCycle(std::vector<DQBatch> inputs,
+                         const std::vector<OpQuery>& queries, const CycleContext& ctx,
+                         WorkStats* stats) {
+  (void)ctx;
+  static const std::vector<Value> kNoParams;
+  const QueryIdSet active = ActiveIdSet(queries);
+  DQBatch in(schema_);
+  for (DQBatch& b : inputs) {
+    if (stats != nullptr) stats->tuples_in += b.size();
+    in.Append(MaskToActive(std::move(b), active, stats));
+  }
+
+  // Phase 1 (shared): one big sort.
+  std::vector<uint32_t> order(in.size());
+  std::iota(order.begin(), order.end(), 0);
+  uint64_t comparisons = 0;
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    ++comparisons;
+    return CompareTuples(in.tuples[x], in.tuples[y], keys_) < 0;
+  });
+  if (stats != nullptr) stats->comparisons += comparisons;
+
+  // Phase 2 (per query): walk in order, keep each query's first N matches.
+  struct PerQuery {
+    const OpQuery* q;
+    int64_t remaining;
+  };
+  std::unordered_map<QueryId, PerQuery> state;
+  state.reserve(queries.size());
+  for (const OpQuery& q : queries) {
+    const int64_t n = q.limit >= 0 ? q.limit : default_limit_;
+    state.emplace(q.id, PerQuery{&q, n});
+  }
+
+  DQBatch out(schema_);
+  for (const uint32_t i : order) {
+    const Tuple& t = in.tuples[i];
+    std::vector<QueryId> keep;
+    for (const QueryId id : in.qids[i].ids()) {
+      auto it = state.find(id);
+      if (it == state.end()) continue;
+      PerQuery& pq = it->second;
+      if (pq.remaining == 0) continue;  // already full (negative = unlimited)
+      if (pq.q->predicate != nullptr) {
+        if (stats != nullptr) ++stats->predicate_evals;
+        if (!pq.q->predicate->EvalBool(t, kNoParams)) continue;
+      }
+      if (pq.remaining > 0) --pq.remaining;
+      keep.push_back(id);
+    }
+    if (keep.empty()) continue;
+    if (stats != nullptr) ++stats->tuples_out;
+    out.Push(in.tuples[i], QueryIdSet::FromSorted(std::move(keep)));
+  }
+  return out;
+}
+
+}  // namespace shareddb

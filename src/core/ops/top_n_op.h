@@ -1,0 +1,39 @@
+// TopNOp: shared Top-N (§3.4): "the shared Top-N operator first sorts all
+// the tuples that are relevant for all the active queries; thus, the sorting
+// is shared. Then, it filters the Top N results for each query individually."
+//
+// Each query may carry its own N (OpQuery::limit) and its own pre-filter
+// predicate (applied before counting, e.g. the per-query selection of Fig 6's
+// "Top-N (by Date)" nodes).
+
+#ifndef SHAREDDB_CORE_OPS_TOP_N_OP_H_
+#define SHAREDDB_CORE_OPS_TOP_N_OP_H_
+
+#include <vector>
+
+#include "core/op.h"
+#include "core/ops/sort_op.h"
+
+namespace shareddb {
+
+/// Shared Top-N over one or more same-schema inputs.
+class TopNOp : public SharedOp {
+ public:
+  /// `default_limit` applies to queries whose OpQuery::limit is -1.
+  TopNOp(SchemaPtr schema, std::vector<SortKey> keys, int64_t default_limit = -1);
+
+  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+                   const CycleContext& ctx, WorkStats* stats) override;
+
+  const char* kind_name() const override { return "TopN"; }
+  const SchemaPtr& output_schema() const override { return schema_; }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<SortKey> keys_;
+  int64_t default_limit_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_TOP_N_OP_H_

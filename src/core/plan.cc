@@ -1,0 +1,57 @@
+#include "core/plan.h"
+
+#include "common/string_util.h"
+
+namespace shareddb {
+
+const StatementDef* GlobalPlan::FindStatement(const std::string& name) const {
+  for (const StatementDef& s : statements_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+int GlobalPlan::UpdateNodeForTable(const std::string& table) const {
+  const auto it = update_nodes_.find(table);
+  return it == update_nodes_.end() ? -1 : it->second;
+}
+
+int GlobalPlan::AddNode(PlanNode node) {
+  node.id = static_cast<int>(nodes_.size());
+  for (const int child : node.inputs) {
+    SDB_CHECK(child >= 0 && child < node.id);  // topological order
+    nodes_[child].consumers.push_back(node.id);
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+StatementId GlobalPlan::AddStatement(StatementDef def) {
+  def.id = static_cast<StatementId>(statements_.size());
+  statements_.push_back(std::move(def));
+  return statements_.back().id;
+}
+
+void GlobalPlan::SetUpdateNode(const std::string& table, int node) {
+  update_nodes_[table] = node;
+}
+
+std::string GlobalPlan::Explain() const {
+  std::string s;
+  for (const PlanNode& n : nodes_) {
+    s += StringPrintf("#%-3d %-12s", n.id, n.op->kind_name());
+    s += " inputs=[";
+    for (size_t i = 0; i < n.inputs.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(n.inputs[i]);
+    }
+    s += "] ";
+    s += n.label;
+    s += "\n";
+  }
+  s += StringPrintf("%zu operators, %zu statements\n", nodes_.size(),
+                    statements_.size());
+  return s;
+}
+
+}  // namespace shareddb

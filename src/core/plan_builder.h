@@ -1,0 +1,64 @@
+// GlobalPlanBuilder — step 2 of the two-step optimization (Figure 3):
+// merges individually-optimized logical plans into one global plan.
+// Subtrees with equal fingerprints map to one shared physical operator;
+// per-statement templates (predicates, limits, HAVING) are recorded along
+// each statement's path and bound per query instance at batch time.
+
+#ifndef SHAREDDB_CORE_PLAN_BUILDER_H_
+#define SHAREDDB_CORE_PLAN_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/logical.h"
+#include "core/plan.h"
+
+namespace shareddb {
+
+/// Incrementally merges statements into a global plan.
+class GlobalPlanBuilder {
+ public:
+  explicit GlobalPlanBuilder(Catalog* catalog);
+
+  /// Registers a SELECT statement. Returns its StatementId.
+  StatementId AddQuery(const std::string& name, const logical::LogicalPtr& root);
+
+  /// Registers an INSERT statement: one value expression per table column
+  /// (parameters allowed).
+  StatementId AddInsert(const std::string& name, const std::string& table,
+                        std::vector<ExprPtr> row_values);
+
+  /// Registers an UPDATE statement: SET column := expr ... WHERE predicate.
+  StatementId AddUpdate(const std::string& name, const std::string& table,
+                        std::vector<std::pair<std::string, ExprPtr>> sets,
+                        ExprPtr where);
+
+  /// Registers a DELETE statement.
+  StatementId AddDelete(const std::string& name, const std::string& table,
+                        ExprPtr where);
+
+  /// Number of physical operators created so far (tests assert sharing).
+  size_t num_nodes() const { return plan_->num_nodes(); }
+
+  /// Finalizes and returns the plan. The builder is then empty.
+  std::unique_ptr<GlobalPlan> Build();
+
+ private:
+  /// Returns the physical node id implementing `node`, creating or sharing.
+  /// Appends (node, template) pairs for this statement into `path`.
+  int Materialize(const logical::LogicalPtr& node,
+                  std::vector<std::pair<int, NodeConfigTemplate>>* path);
+
+  /// Ensures every table has an update-owning source node.
+  int EnsureUpdateNode(const std::string& table);
+
+  Catalog* catalog_;
+  std::unique_ptr<GlobalPlan> plan_;
+  std::unordered_map<std::string, int> shared_;  // fingerprint -> node id
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_PLAN_BUILDER_H_

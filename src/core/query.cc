@@ -1,0 +1,16 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+namespace shareddb {
+
+QueryIdSet ActiveIdSet(const std::vector<OpQuery>& queries) {
+  std::vector<QueryId> ids;
+  ids.reserve(queries.size());
+  for (const OpQuery& q : queries) ids.push_back(q.id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return QueryIdSet::FromSorted(std::move(ids));
+}
+
+}  // namespace shareddb

@@ -1,0 +1,51 @@
+// Query/batch-side types: active queries, per-node query views, results.
+
+#ifndef SHAREDDB_CORE_QUERY_H_
+#define SHAREDDB_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/batch.h"
+#include "common/status.h"
+#include "expr/expression.h"
+
+namespace shareddb {
+
+/// Id of a registered prepared statement in the global plan.
+using StatementId = uint32_t;
+
+/// One query instance admitted into a batch: a prepared statement plus its
+/// parameter bindings. QueryIds are assigned densely per batch generation.
+struct ActiveQuery {
+  QueryId id = 0;
+  StatementId statement = 0;
+  std::vector<Value> params;
+};
+
+/// The view one shared operator has of one active query in the current
+/// cycle: everything is already bound (no parameters left).
+struct OpQuery {
+  QueryId id = 0;
+  ExprPtr predicate;   // per-query filter at this node (may be null)
+  ExprPtr having;      // GroupBy: per-query HAVING over the output schema
+  int64_t limit = -1;  // TopN: per-query N (-1 = no limit)
+};
+
+/// Result of one query or update statement.
+struct ResultSet {
+  Status status;
+  SchemaPtr schema;
+  std::vector<Tuple> rows;
+  uint64_t update_count = 0;  // for DML
+  double queue_ms = 0;        // time spent queued before the batch started
+  double exec_ms = 0;         // batch execution time
+};
+
+/// The union of all active query ids at one node (used to mask annotations).
+QueryIdSet ActiveIdSet(const std::vector<OpQuery>& queries);
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_QUERY_H_

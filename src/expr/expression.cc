@@ -1,0 +1,357 @@
+#include "expr/expression.h"
+
+#include <algorithm>
+
+namespace shareddb {
+
+namespace {
+Value BoolValue(bool b) { return Value::Int(b ? 1 : 0); }
+}  // namespace
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(size_t index) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumnRef;
+  e->index_ = index;
+  return e;
+}
+
+ExprPtr Expr::Column(const Schema& schema, const std::string& name) {
+  return Column(schema.ColumnIndex(name));
+}
+
+ExprPtr Expr::Param(size_t index) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kParam;
+  e->index_ = index;
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCompare;
+  e->op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kArith;
+  e->arith_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::And(std::vector<ExprPtr> children) {
+  SDB_CHECK(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kAnd;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::Or(std::vector<ExprPtr> children) {
+  SDB_CHECK(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kOr;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr input, std::string pattern, bool case_insensitive) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLike;
+  e->fold_case_ = case_insensitive;
+  e->compiled_like_ = std::make_shared<LikeMatcher>(pattern, case_insensitive);
+  e->children_ = {std::move(input), Literal(Value::Str(std::move(pattern)))};
+  return e;
+}
+
+ExprPtr Expr::LikeParam(ExprPtr input, size_t param_index, bool case_insensitive) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLike;
+  e->fold_case_ = case_insensitive;
+  e->children_ = {std::move(input), Param(param_index)};
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kIsNull;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr needle, std::vector<ExprPtr> haystack) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kIn;
+  e->children_.push_back(std::move(needle));
+  for (ExprPtr& h : haystack) e->children_.push_back(std::move(h));
+  return e;
+}
+
+ExprPtr Expr::Between(ExprPtr x, ExprPtr lo, ExprPtr hi) {
+  return And({Ge(x, std::move(lo)), Le(std::move(x), std::move(hi))});
+}
+
+Value Expr::Evaluate(const Tuple& tuple, const std::vector<Value>& params) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kColumnRef:
+      SDB_DCHECK(index_ < tuple.size());
+      return tuple[index_];
+    case ExprKind::kParam:
+      SDB_DCHECK(index_ < params.size());
+      return params[index_];
+    case ExprKind::kCompare: {
+      const Value l = children_[0]->Evaluate(tuple, params);
+      const Value r = children_[1]->Evaluate(tuple, params);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      const int c = l.Compare(r);
+      switch (op_) {
+        case CompareOp::kEq: return BoolValue(c == 0);
+        case CompareOp::kNe: return BoolValue(c != 0);
+        case CompareOp::kLt: return BoolValue(c < 0);
+        case CompareOp::kLe: return BoolValue(c <= 0);
+        case CompareOp::kGt: return BoolValue(c > 0);
+        case CompareOp::kGe: return BoolValue(c >= 0);
+      }
+      return Value::Null();
+    }
+    case ExprKind::kArith: {
+      const Value l = children_[0]->Evaluate(tuple, params);
+      const Value r = children_[1]->Evaluate(tuple, params);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      const bool both_int =
+          l.type() == ValueType::kInt && r.type() == ValueType::kInt;
+      switch (arith_op_) {
+        case ArithOp::kAdd:
+          return both_int ? Value::Int(l.AsInt() + r.AsInt())
+                          : Value::Double(l.AsNumeric() + r.AsNumeric());
+        case ArithOp::kSub:
+          return both_int ? Value::Int(l.AsInt() - r.AsInt())
+                          : Value::Double(l.AsNumeric() - r.AsNumeric());
+        case ArithOp::kMul:
+          return both_int ? Value::Int(l.AsInt() * r.AsInt())
+                          : Value::Double(l.AsNumeric() * r.AsNumeric());
+        case ArithOp::kDiv: {
+          const double d = r.AsNumeric();
+          if (d == 0) return Value::Null();  // SQL: division by zero -> NULL-ish
+          return Value::Double(l.AsNumeric() / d);
+        }
+      }
+      return Value::Null();
+    }
+    case ExprKind::kAnd: {
+      bool saw_null = false;
+      for (const ExprPtr& c : children_) {
+        const Value v = c->Evaluate(tuple, params);
+        if (v.is_null()) {
+          saw_null = true;
+        } else if (v.AsNumeric() == 0) {
+          return BoolValue(false);
+        }
+      }
+      return saw_null ? Value::Null() : BoolValue(true);
+    }
+    case ExprKind::kOr: {
+      bool saw_null = false;
+      for (const ExprPtr& c : children_) {
+        const Value v = c->Evaluate(tuple, params);
+        if (v.is_null()) {
+          saw_null = true;
+        } else if (v.AsNumeric() != 0) {
+          return BoolValue(true);
+        }
+      }
+      return saw_null ? Value::Null() : BoolValue(false);
+    }
+    case ExprKind::kNot: {
+      const Value v = children_[0]->Evaluate(tuple, params);
+      if (v.is_null()) return Value::Null();
+      return BoolValue(v.AsNumeric() == 0);
+    }
+    case ExprKind::kLike: {
+      const Value input = children_[0]->Evaluate(tuple, params);
+      if (input.is_null()) return Value::Null();
+      SDB_DCHECK(input.type() == ValueType::kString);
+      if (compiled_like_ != nullptr) {
+        return BoolValue(compiled_like_->Matches(input.AsString()));
+      }
+      const Value pat = children_[1]->Evaluate(tuple, params);
+      if (pat.is_null()) return Value::Null();
+      LikeMatcher m(pat.AsString(), fold_case_);
+      return BoolValue(m.Matches(input.AsString()));
+    }
+    case ExprKind::kIsNull:
+      return BoolValue(children_[0]->Evaluate(tuple, params).is_null());
+    case ExprKind::kIn: {
+      const Value needle = children_[0]->Evaluate(tuple, params);
+      if (needle.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < children_.size(); ++i) {
+        const Value v = children_[i]->Evaluate(tuple, params);
+        if (v.is_null()) {
+          saw_null = true;
+        } else if (v.Compare(needle) == 0) {
+          return BoolValue(true);
+        }
+      }
+      return saw_null ? Value::Null() : BoolValue(false);
+    }
+  }
+  return Value::Null();
+}
+
+bool Expr::EvalBool(const Tuple& tuple, const std::vector<Value>& params) const {
+  const Value v = Evaluate(tuple, params);
+  return !v.is_null() && v.AsNumeric() != 0;
+}
+
+ExprPtr Expr::Bind(const std::vector<Value>& params) const {
+  switch (kind_) {
+    case ExprKind::kParam:
+      SDB_CHECK(index_ < params.size());
+      return Literal(params[index_]);
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      // Immutable leaves can be shared; but we cannot return shared_from_this
+      // (not enabled), so rebuild cheaply.
+      if (kind_ == ExprKind::kLiteral) return Literal(literal_);
+      return Column(index_);
+    default: {
+      auto e = std::shared_ptr<Expr>(new Expr());
+      e->kind_ = kind_;
+      e->op_ = op_;
+      e->arith_op_ = arith_op_;
+      e->literal_ = literal_;
+      e->index_ = index_;
+      e->fold_case_ = fold_case_;
+      e->compiled_like_ = compiled_like_;
+      e->children_.reserve(children_.size());
+      for (const ExprPtr& c : children_) e->children_.push_back(c->Bind(params));
+      // If a LIKE pattern became a literal through binding, compile it now.
+      if (e->kind_ == ExprKind::kLike && e->compiled_like_ == nullptr &&
+          e->children_.size() == 2 &&
+          e->children_[1]->kind() == ExprKind::kLiteral &&
+          e->children_[1]->literal().type() == ValueType::kString) {
+        e->compiled_like_ = std::make_shared<LikeMatcher>(
+            e->children_[1]->literal().AsString(), e->fold_case_);
+      }
+      return e;
+    }
+  }
+}
+
+ExprPtr Expr::RemapColumns(const std::vector<int>& mapping) const {
+  if (kind_ == ExprKind::kColumnRef) {
+    SDB_CHECK(index_ < mapping.size());
+    SDB_CHECK(mapping[index_] >= 0);
+    return Column(static_cast<size_t>(mapping[index_]));
+  }
+  if (children_.empty()) {
+    if (kind_ == ExprKind::kLiteral) return Literal(literal_);
+    if (kind_ == ExprKind::kParam) return Param(index_);
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = kind_;
+  e->op_ = op_;
+  e->arith_op_ = arith_op_;
+  e->literal_ = literal_;
+  e->index_ = index_;
+  e->fold_case_ = fold_case_;
+  e->compiled_like_ = compiled_like_;
+  e->children_.reserve(children_.size());
+  for (const ExprPtr& c : children_) e->children_.push_back(c->RemapColumns(mapping));
+  return e;
+}
+
+ExprPtr Expr::OffsetColumns(size_t delta) const {
+  if (kind_ == ExprKind::kColumnRef) return Column(index_ + delta);
+  if (children_.empty()) {
+    if (kind_ == ExprKind::kLiteral) return Literal(literal_);
+    if (kind_ == ExprKind::kParam) return Param(index_);
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = kind_;
+  e->op_ = op_;
+  e->arith_op_ = arith_op_;
+  e->literal_ = literal_;
+  e->index_ = index_;
+  e->fold_case_ = fold_case_;
+  e->compiled_like_ = compiled_like_;
+  e->children_.reserve(children_.size());
+  for (const ExprPtr& c : children_) e->children_.push_back(c->OffsetColumns(delta));
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kColumnRef:
+      return "$" + std::to_string(index_);
+    case ExprKind::kParam:
+      return "?" + std::to_string(index_);
+    case ExprKind::kCompare: {
+      const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+      return "(" + children_[0]->ToString() + " " + ops[static_cast<int>(op_)] + " " +
+             children_[1]->ToString() + ")";
+    }
+    case ExprKind::kArith: {
+      const char* ops[] = {"+", "-", "*", "/"};
+      return "(" + children_[0]->ToString() + " " +
+             ops[static_cast<int>(arith_op_)] + " " + children_[1]->ToString() + ")";
+    }
+    case ExprKind::kAnd: {
+      std::string s = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) s += " AND ";
+        s += children_[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kOr: {
+      std::string s = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) s += " OR ";
+        s += children_[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kNot:
+      return "NOT " + children_[0]->ToString();
+    case ExprKind::kLike:
+      return "(" + children_[0]->ToString() + " LIKE " + children_[1]->ToString() + ")";
+    case ExprKind::kIsNull:
+      return "(" + children_[0]->ToString() + " IS NULL)";
+    case ExprKind::kIn: {
+      std::string s = "(" + children_[0]->ToString() + " IN [";
+      for (size_t i = 1; i < children_.size(); ++i) {
+        if (i > 1) s += ", ";
+        s += children_[i]->ToString();
+      }
+      return s + "])";
+    }
+  }
+  return "?expr";
+}
+
+}  // namespace shareddb

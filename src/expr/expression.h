@@ -1,0 +1,126 @@
+// Expression trees: predicates and scalar expressions over tuples.
+//
+// Prepared statements (the paper's workload model, §3.2) contain parameter
+// placeholders; a query instance binds concrete values. Expressions are
+// immutable and shared; evaluation takes the tuple plus the parameter vector.
+
+#ifndef SHAREDDB_EXPR_EXPRESSION_H_
+#define SHAREDDB_EXPR_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "expr/like_matcher.h"
+
+namespace shareddb {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Comparison operators.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+/// Node kinds of the expression tree.
+enum class ExprKind {
+  kLiteral,    // constant Value
+  kColumnRef,  // column by index (resolved against a schema at build time)
+  kParam,      // prepared-statement parameter by index
+  kCompare,    // children[0] <op> children[1]
+  kArith,      // children[0] <op> children[1], numeric
+  kAnd,        // n-ary conjunction
+  kOr,         // n-ary disjunction
+  kNot,        // negation
+  kLike,       // children[0] LIKE children[1] (pattern literal or param)
+  kIsNull,     // children[0] IS NULL
+  kIn,         // children[0] IN (children[1..])
+};
+
+/// Immutable expression node.
+class Expr {
+ public:
+  /// --- factories -----------------------------------------------------------
+  static ExprPtr Literal(Value v);
+  static ExprPtr Column(size_t index);
+  /// Resolves the column by name against `schema` (aborts if absent).
+  static ExprPtr Column(const Schema& schema, const std::string& name);
+  static ExprPtr Param(size_t index);
+  static ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Eq(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kEq, l, r); }
+  static ExprPtr Ne(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kNe, l, r); }
+  static ExprPtr Lt(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kLt, l, r); }
+  static ExprPtr Le(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kLe, l, r); }
+  static ExprPtr Gt(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kGt, l, r); }
+  static ExprPtr Ge(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kGe, l, r); }
+  /// Arithmetic (numeric; INT op INT stays INT except division).
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Add(ExprPtr l, ExprPtr r) { return Arith(ArithOp::kAdd, l, r); }
+  static ExprPtr Sub(ExprPtr l, ExprPtr r) { return Arith(ArithOp::kSub, l, r); }
+  static ExprPtr Mul(ExprPtr l, ExprPtr r) { return Arith(ArithOp::kMul, l, r); }
+  static ExprPtr Div(ExprPtr l, ExprPtr r) { return Arith(ArithOp::kDiv, l, r); }
+  static ExprPtr And(std::vector<ExprPtr> children);
+  static ExprPtr Or(std::vector<ExprPtr> children);
+  static ExprPtr Not(ExprPtr child);
+  /// LIKE with a pattern known at build time (compiled once) ...
+  static ExprPtr Like(ExprPtr input, std::string pattern, bool case_insensitive = false);
+  /// ... or a parameterized pattern (compiled per evaluation batch).
+  static ExprPtr LikeParam(ExprPtr input, size_t param_index,
+                           bool case_insensitive = false);
+  static ExprPtr IsNull(ExprPtr child);
+  static ExprPtr In(ExprPtr needle, std::vector<ExprPtr> haystack);
+  /// BETWEEN is sugar: lo <= x AND x <= hi.
+  static ExprPtr Between(ExprPtr x, ExprPtr lo, ExprPtr hi);
+
+  /// --- evaluation ----------------------------------------------------------
+
+  /// Evaluates to a Value. Boolean results are Int 0/1; NULL propagates.
+  Value Evaluate(const Tuple& tuple, const std::vector<Value>& params) const;
+
+  /// SQL predicate semantics: NULL and 0 are false.
+  bool EvalBool(const Tuple& tuple, const std::vector<Value>& params) const;
+
+  /// --- introspection (used by planners & the predicate index) --------------
+  ExprKind kind() const { return kind_; }
+  CompareOp compare_op() const { return op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const Value& literal() const { return literal_; }
+  size_t column_index() const { return index_; }
+  size_t param_index() const { return index_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  bool case_insensitive_like() const { return fold_case_; }
+
+  /// Rewrites the tree substituting parameters with bound literals.
+  /// The result contains no kParam nodes.
+  ExprPtr Bind(const std::vector<Value>& params) const;
+
+  /// Rewrites column indices through a mapping (old index -> new index);
+  /// mapping entries of -1 abort (column must exist downstream).
+  ExprPtr RemapColumns(const std::vector<int>& mapping) const;
+
+  /// Offsets all column references by `delta` (join-side relocation).
+  ExprPtr OffsetColumns(size_t delta) const;
+
+  /// Display form for debugging / plan explain.
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  CompareOp op_ = CompareOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  Value literal_;
+  size_t index_ = 0;           // column or param index
+  std::vector<ExprPtr> children_;
+  bool fold_case_ = false;                         // LIKE case folding
+  std::shared_ptr<LikeMatcher> compiled_like_;     // for literal patterns
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_EXPR_EXPRESSION_H_

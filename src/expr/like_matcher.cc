@@ -1,0 +1,102 @@
+#include "expr/like_matcher.h"
+
+#include "common/string_util.h"
+
+namespace shareddb {
+
+LikeMatcher::LikeMatcher(std::string pattern, bool case_insensitive)
+    : pattern_(std::move(pattern)), fold_case_(case_insensitive) {
+  std::string p = fold_case_ ? ToLowerAscii(pattern_) : pattern_;
+  Segment cur;
+  bool any_percent = false;
+  bool pending_segment = false;  // true if cur holds content or pattern demands a
+                                 // (possibly empty) segment boundary
+  for (size_t i = 0; i < p.size(); ++i) {
+    const char c = p[i];
+    if (c == '%') {
+      any_percent = true;
+      if (segments_.empty() && !pending_segment) {
+        leading_percent_ = true;
+      } else {
+        segments_.push_back(cur);
+        cur = Segment{};
+        pending_segment = false;
+      }
+      // Collapse consecutive '%'.
+      while (i + 1 < p.size() && p[i + 1] == '%') ++i;
+    } else if (c == '_') {
+      cur.literal.push_back('\0');
+      pending_segment = true;
+    } else {
+      cur.literal.push_back(c);
+      pending_segment = true;
+    }
+  }
+  if (pending_segment || !any_percent) {
+    segments_.push_back(cur);
+    trailing_percent_ = false;
+  } else {
+    trailing_percent_ = true;
+  }
+  if (!any_percent) {
+    leading_percent_ = false;
+    trailing_percent_ = false;
+  }
+}
+
+bool LikeMatcher::SegmentMatchesAt(const Segment& seg, const std::string& s,
+                                   size_t pos) {
+  if (pos + seg.literal.size() > s.size()) return false;
+  for (size_t i = 0; i < seg.literal.size(); ++i) {
+    const char pc = seg.literal[i];
+    if (pc == '\0') continue;  // '_' wildcard
+    if (s[pos + i] != pc) return false;
+  }
+  return true;
+}
+
+size_t LikeMatcher::FindSegment(const Segment& seg, const std::string& s, size_t from) {
+  if (seg.literal.empty()) return from;
+  if (from > s.size() || s.size() < seg.literal.size()) return std::string::npos;
+  const size_t limit = s.size() - seg.literal.size();
+  for (size_t pos = from; pos <= limit; ++pos) {
+    if (SegmentMatchesAt(seg, s, pos)) return pos;
+  }
+  return std::string::npos;
+}
+
+bool LikeMatcher::Matches(const std::string& raw) const {
+  const std::string s = fold_case_ ? ToLowerAscii(raw) : raw;
+  if (segments_.empty()) {
+    // Pattern was pure '%...%' (or empty with a leading percent collapse).
+    return leading_percent_ ? true : s.empty();
+  }
+  size_t pos = 0;
+  size_t seg_idx = 0;
+  // Anchored head segment.
+  if (!leading_percent_) {
+    if (!SegmentMatchesAt(segments_[0], s, 0)) return false;
+    pos = segments_[0].literal.size();
+    seg_idx = 1;
+    if (segments_.size() == 1) {
+      // No trailing '%': must consume the whole string.
+      return trailing_percent_ ? true : pos == s.size();
+    }
+  }
+  // Middle segments: greedy leftmost placement.
+  const size_t last = segments_.size() - 1;
+  for (; seg_idx < (trailing_percent_ ? segments_.size() : last); ++seg_idx) {
+    const size_t found = FindSegment(segments_[seg_idx], s, pos);
+    if (found == std::string::npos) return false;
+    pos = found + segments_[seg_idx].literal.size();
+  }
+  if (trailing_percent_) return true;
+  // Anchored tail segment.
+  const Segment& tail = segments_[last];
+  if (s.size() < tail.literal.size()) return false;
+  const size_t tail_pos = s.size() - tail.literal.size();
+  if (tail_pos < pos) return false;
+  return SegmentMatchesAt(tail, s, tail_pos);
+}
+
+}  // namespace shareddb

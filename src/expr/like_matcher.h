@@ -1,0 +1,46 @@
+// SQL LIKE pattern matching ('%' = any run, '_' = any single character).
+//
+// Patterns are compiled once per prepared statement / per batch and matched
+// against many rows, so compilation splits the pattern into literal segments
+// and matching is the classic greedy two-pointer algorithm (linear for the
+// patterns TPC-W uses, e.g. '%substring%').
+
+#ifndef SHAREDDB_EXPR_LIKE_MATCHER_H_
+#define SHAREDDB_EXPR_LIKE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+namespace shareddb {
+
+/// Compiled LIKE pattern.
+class LikeMatcher {
+ public:
+  /// Compiles the pattern. `case_insensitive` folds ASCII case on both sides.
+  explicit LikeMatcher(std::string pattern, bool case_insensitive = false);
+
+  /// True iff `s` matches the pattern.
+  bool Matches(const std::string& s) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  struct Segment {
+    std::string literal;  // literal chars; '\0' bytes stand for '_'
+  };
+
+  static bool SegmentMatchesAt(const Segment& seg, const std::string& s, size_t pos);
+  static size_t FindSegment(const Segment& seg, const std::string& s, size_t from);
+
+  std::string pattern_;
+  bool fold_case_;
+  // Pattern normal form: [seg0] % [seg1] % ... % [segN]
+  // leading_/trailing_ tell whether the pattern starts/ends with '%'.
+  std::vector<Segment> segments_;
+  bool leading_percent_ = false;
+  bool trailing_percent_ = false;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_EXPR_LIKE_MATCHER_H_

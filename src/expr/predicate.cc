@@ -1,0 +1,197 @@
+#include "expr/predicate.h"
+
+namespace shareddb {
+
+bool RangeConstraint::Matches(const Value& v) const {
+  if (v.is_null()) return false;
+  if (lo.has_value()) {
+    const int c = v.Compare(*lo);
+    if (lo_inclusive ? c < 0 : c <= 0) return false;
+  }
+  if (hi.has_value()) {
+    const int c = v.Compare(*hi);
+    if (hi_inclusive ? c > 0 : c >= 0) return false;
+  }
+  return true;
+}
+
+ExprPtr AnalyzedPredicate::ResidualExpr() const {
+  if (residual.empty()) return nullptr;
+  return Expr::And(residual);
+}
+
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == ExprKind::kAnd) {
+    for (const ExprPtr& c : expr->children()) CollectConjuncts(c, out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+namespace {
+
+// Tries to view a comparison as (column <op> literal); flips the operator when
+// the literal is on the left.
+bool AsColumnLiteral(const ExprPtr& cmp, size_t* column, Value* literal,
+                     CompareOp* op) {
+  if (cmp->kind() != ExprKind::kCompare) return false;
+  const ExprPtr& l = cmp->children()[0];
+  const ExprPtr& r = cmp->children()[1];
+  if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kLiteral) {
+    *column = l->column_index();
+    *literal = r->literal();
+    *op = cmp->compare_op();
+    return true;
+  }
+  if (l->kind() == ExprKind::kLiteral && r->kind() == ExprKind::kColumnRef) {
+    *column = r->column_index();
+    *literal = l->literal();
+    switch (cmp->compare_op()) {
+      case CompareOp::kEq: *op = CompareOp::kEq; break;
+      case CompareOp::kNe: *op = CompareOp::kNe; break;
+      case CompareOp::kLt: *op = CompareOp::kGt; break;
+      case CompareOp::kLe: *op = CompareOp::kGe; break;
+      case CompareOp::kGt: *op = CompareOp::kLt; break;
+      case CompareOp::kGe: *op = CompareOp::kLe; break;
+    }
+    return true;
+  }
+  return false;
+}
+
+// Merges a new bound into an existing range constraint list for `column`.
+RangeConstraint* FindOrAddRange(std::vector<RangeConstraint>* ranges, size_t column) {
+  for (RangeConstraint& r : *ranges) {
+    if (r.column == column) return &r;
+  }
+  ranges->push_back(RangeConstraint{column, std::nullopt, true, std::nullopt, true});
+  return &ranges->back();
+}
+
+// The smallest string greater than every string with prefix `p`, or nullopt
+// when no such string exists (prefix is all 0xFF).
+std::optional<std::string> PrefixSuccessor(std::string p) {
+  while (!p.empty()) {
+    if (static_cast<unsigned char>(p.back()) != 0xFF) {
+      p.back() = static_cast<char>(static_cast<unsigned char>(p.back()) + 1);
+      return p;
+    }
+    p.pop_back();
+  }
+  return std::nullopt;
+}
+
+// Tries to view a conjunct as an *anchored* LIKE — column LIKE 'prefix...'
+// with a literal, case-sensitive pattern whose first wildcard is not at
+// position 0. Such a predicate implies prefix <= column < succ(prefix), which
+// both the Crescando predicate index and the baseline's B-tree access path
+// can exploit ("index the query predicates instead of the data", §4.4). The
+// LIKE itself stays as a residual check unless the pattern is exactly
+// 'prefix%', in which case the range is equivalent.
+bool AsAnchoredLike(const ExprPtr& c, size_t* column, RangeConstraint* range,
+                    bool* range_is_exact) {
+  if (c->kind() != ExprKind::kLike || c->case_insensitive_like()) return false;
+  const ExprPtr& input = c->children()[0];
+  const ExprPtr& pat = c->children()[1];
+  if (input->kind() != ExprKind::kColumnRef || pat->kind() != ExprKind::kLiteral ||
+      pat->literal().type() != ValueType::kString) {
+    return false;
+  }
+  const std::string& pattern = pat->literal().AsString();
+  const size_t wild = pattern.find_first_of("%_");
+  if (wild == 0 || wild == std::string::npos) return false;  // unanchored/exact
+  const std::string prefix = pattern.substr(0, wild);
+  *column = input->column_index();
+  range->column = *column;
+  range->lo = Value::Str(prefix);
+  range->lo_inclusive = true;
+  const std::optional<std::string> succ = PrefixSuccessor(prefix);
+  if (succ.has_value()) {
+    range->hi = Value::Str(*succ);
+    range->hi_inclusive = false;
+  } else {
+    range->hi = std::nullopt;
+  }
+  // 'prefix%' (a single trailing %) is fully captured by the range.
+  *range_is_exact = wild + 1 == pattern.size() && pattern[wild] == '%';
+  return true;
+}
+
+}  // namespace
+
+AnalyzedPredicate AnalyzePredicate(const ExprPtr& expr) {
+  AnalyzedPredicate out;
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(expr, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    size_t column = 0;
+    Value literal;
+    CompareOp op = CompareOp::kEq;
+    if (!AsColumnLiteral(c, &column, &literal, &op) || literal.is_null()) {
+      RangeConstraint like_range;
+      bool exact = false;
+      if (AsAnchoredLike(c, &column, &like_range, &exact)) {
+        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
+        if (!r->lo.has_value() || like_range.lo->Compare(*r->lo) > 0) {
+          r->lo = like_range.lo;
+          r->lo_inclusive = true;
+        }
+        if (like_range.hi.has_value() &&
+            (!r->hi.has_value() || like_range.hi->Compare(*r->hi) < 0)) {
+          r->hi = like_range.hi;
+          r->hi_inclusive = false;
+        }
+        if (!exact) out.residual.push_back(c);
+        continue;
+      }
+      out.residual.push_back(c);
+      continue;
+    }
+    switch (op) {
+      case CompareOp::kEq:
+        out.equalities.push_back(EqConstraint{column, literal});
+        break;
+      case CompareOp::kLt: {
+        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
+        if (!r->hi.has_value() || literal.Compare(*r->hi) < 0 ||
+            (literal.Compare(*r->hi) == 0 && r->hi_inclusive)) {
+          r->hi = literal;
+          r->hi_inclusive = false;
+        }
+        break;
+      }
+      case CompareOp::kLe: {
+        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
+        if (!r->hi.has_value() || literal.Compare(*r->hi) < 0) {
+          r->hi = literal;
+          r->hi_inclusive = true;
+        }
+        break;
+      }
+      case CompareOp::kGt: {
+        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
+        if (!r->lo.has_value() || literal.Compare(*r->lo) > 0 ||
+            (literal.Compare(*r->lo) == 0 && r->lo_inclusive)) {
+          r->lo = literal;
+          r->lo_inclusive = false;
+        }
+        break;
+      }
+      case CompareOp::kGe: {
+        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
+        if (!r->lo.has_value() || literal.Compare(*r->lo) > 0) {
+          r->lo = literal;
+          r->lo_inclusive = true;
+        }
+        break;
+      }
+      case CompareOp::kNe:
+        out.residual.push_back(c);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace shareddb

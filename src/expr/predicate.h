@@ -1,0 +1,64 @@
+// Predicate analysis: decompose a bound predicate into indexable conjuncts.
+//
+// Used by two consumers:
+//  * ClockScan's predicate index ("indexing the query predicates instead of
+//   the data", §4.4 / Crescando [28]) — equality conjuncts become hash-index
+//   entries mapping value -> interested query ids, range conjuncts become
+//   interval entries.
+//  * The baseline planner's access-path selection (use a B-tree when an
+//   equality/range conjunct exists on an indexed column).
+
+#ifndef SHAREDDB_EXPR_PREDICATE_H_
+#define SHAREDDB_EXPR_PREDICATE_H_
+
+#include <optional>
+#include <vector>
+
+#include "expr/expression.h"
+
+namespace shareddb {
+
+/// column == value
+struct EqConstraint {
+  size_t column;
+  Value value;
+};
+
+/// lo <(=) column <(=) hi; either bound may be absent.
+struct RangeConstraint {
+  size_t column;
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+
+  /// True iff `v` satisfies the range.
+  bool Matches(const Value& v) const;
+};
+
+/// Decomposition of a conjunctive predicate.
+struct AnalyzedPredicate {
+  std::vector<EqConstraint> equalities;
+  std::vector<RangeConstraint> ranges;
+  std::vector<ExprPtr> residual;  // conjuncts we could not index
+
+  /// True when there is nothing to evaluate at all (match-all).
+  bool IsTrivial() const {
+    return equalities.empty() && ranges.empty() && residual.empty();
+  }
+
+  /// Re-assembled residual conjunction, or nullptr if none.
+  ExprPtr ResidualExpr() const;
+};
+
+/// Flattens nested ANDs into a conjunct list. A null expr yields no conjuncts.
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Analyzes a *bound* predicate (no kParam nodes). Comparisons between a
+/// column and a literal (either order) become constraints; adjacent range
+/// constraints on the same column are merged.
+AnalyzedPredicate AnalyzePredicate(const ExprPtr& expr);
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_EXPR_PREDICATE_H_

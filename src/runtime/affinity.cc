@@ -1,0 +1,22 @@
+#include "runtime/affinity.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+namespace shareddb {
+
+int NumOnlineCores() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n < 1 ? 1 : static_cast<int>(n);
+}
+
+bool PinCurrentThreadToCore(int core) {
+  const int n = NumOnlineCores();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % n, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace shareddb

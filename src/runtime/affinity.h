@@ -1,0 +1,21 @@
+// Hard processor affinity for operator threads (paper §4.3: "each database
+// operator is assigned to a different CPU core, using hard processor
+// affinity. This guarantees that the threads do not migrate between
+// processors, allowing for optimal instruction cache locality.").
+
+#ifndef SHAREDDB_RUNTIME_AFFINITY_H_
+#define SHAREDDB_RUNTIME_AFFINITY_H_
+
+namespace shareddb {
+
+/// Pins the calling thread to `core` (modulo the number of online cores).
+/// Returns true on success; false where unsupported (the runtime then runs
+/// unpinned — a documented degradation, not an error).
+bool PinCurrentThreadToCore(int core);
+
+/// Number of cores available to this process.
+int NumOnlineCores();
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_RUNTIME_AFFINITY_H_

@@ -1,0 +1,112 @@
+#include "runtime/inline_runtime.h"
+
+#include <algorithm>
+
+namespace shareddb {
+
+void InlineRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
+                                 BatchOutput* out) {
+  const size_t n = plan->num_nodes();
+  out->node_stats.assign(n, WorkStats{});
+
+  static const std::vector<OpQuery> kNoQueries;
+
+  // A node participates if it has active queries, routed updates, or any
+  // participating consumer (so sources with updates still run, and inner
+  // nodes pass through even when all their queries died upstream — masking
+  // keeps that cheap).
+  std::vector<char> participates(n, 0);
+  for (const auto& [node, queries] : in.node_queries) {
+    if (!queries.empty()) participates[node] = 1;
+  }
+  for (const auto& [node, updates] : in.node_updates) {
+    if (!updates.empty()) participates[node] = 1;
+  }
+
+  // How many participating consumers still need each node's output.
+  std::vector<int> pending_consumers(n, 0);
+
+  std::vector<DQBatch> outputs(n);
+  CycleContext ctx;
+  ctx.read_snapshot = in.ctx.read_snapshot;
+  ctx.write_version = in.ctx.write_version;
+  ctx.updates = &in.node_updates;
+
+  std::vector<char> needed(n, 0);
+  for (const int r : in.needed_outputs) needed[r] = 1;
+
+  for (size_t i = 0; i < n; ++i) {
+    PlanNode& node = plan->node(i);
+    if (!participates[i]) {
+      // Emit a typed empty batch so participating parents still execute.
+      outputs[i] = DQBatch(node.op->output_schema());
+      continue;
+    }
+    // Gather inputs: move from the child when we are its last participating
+    // consumer, copy otherwise.
+    std::vector<DQBatch> inputs;
+    inputs.reserve(node.inputs.size());
+    for (const int child : node.inputs) {
+      if (--pending_consumers[child] == 0 && !needed[child]) {
+        inputs.push_back(std::move(outputs[child]));
+      } else {
+        inputs.push_back(outputs[child]);
+      }
+    }
+    const auto qit = in.node_queries.find(static_cast<int>(i));
+    const std::vector<OpQuery>& queries =
+        qit == in.node_queries.end() ? kNoQueries : qit->second;
+    ctx.node_id = static_cast<int>(i);
+    if (node.replicas <= 1 || queries.size() <= 1) {
+      outputs[i] =
+          node.op->RunCycle(std::move(inputs), queries, ctx, &out->node_stats[i]);
+      out->unit_stats.push_back(out->node_stats[i]);
+    } else {
+      // Operator replication (§4.5): partition this node's query load
+      // round-robin across `replicas` executions; updates (if any) ride with
+      // replica 0 only. Outputs are concatenated — query subsets are
+      // disjoint, so results are identical to the unreplicated run.
+      const int replicas =
+          std::min<int>(node.replicas, static_cast<int>(queries.size()));
+      DQBatch merged(node.op->output_schema());
+      for (int r = 0; r < replicas; ++r) {
+        std::vector<OpQuery> subset;
+        subset.reserve(queries.size() / static_cast<size_t>(replicas) + 1);
+        for (size_t q = static_cast<size_t>(r); q < queries.size();
+             q += static_cast<size_t>(replicas)) {
+          subset.push_back(queries[q]);
+        }
+        std::vector<DQBatch> replica_inputs;
+        replica_inputs.reserve(inputs.size());
+        if (r + 1 == replicas) {
+          replica_inputs = std::move(inputs);
+        } else {
+          replica_inputs = inputs;  // copy: each replica reads the full input
+        }
+        CycleContext rctx = ctx;
+        if (r > 0) rctx.updates = nullptr;  // updates apply once, on replica 0
+        WorkStats replica_work;
+        DQBatch part =
+            node.op->RunCycle(std::move(replica_inputs), subset, rctx, &replica_work);
+        merged.Append(part);
+        out->node_stats[i].Add(replica_work);
+        out->unit_stats.push_back(replica_work);
+      }
+      outputs[i] = std::move(merged);
+    }
+    // Count how many participating consumers will read this output.
+    int consumers = 0;
+    for (const int c : node.consumers) {
+      if (participates[c]) ++consumers;
+    }
+    pending_consumers[i] = consumers;
+  }
+
+  for (const int r : in.needed_outputs) {
+    // `needed_outputs` lists the root once per query; move only on first sight.
+    const auto [it, inserted] = out->outputs.try_emplace(r);
+    if (inserted) it->second = std::move(outputs[r]);
+  }
+}
+
+}  // namespace shareddb

@@ -1,0 +1,22 @@
+// InlineRuntime: deterministic single-threaded execution of one plan cycle
+// in topological order. Used by tests, examples, and the virtual-time
+// simulator (which converts the per-node WorkStats this runtime produces
+// into time on a simulated N-core machine).
+
+#ifndef SHAREDDB_RUNTIME_INLINE_RUNTIME_H_
+#define SHAREDDB_RUNTIME_INLINE_RUNTIME_H_
+
+#include "core/engine.h"
+
+namespace shareddb {
+
+/// Executes all operators in plan order on the calling thread.
+class InlineRuntime : public Runtime {
+ public:
+  void ExecuteCycle(GlobalPlan* plan, const BatchInput& in, BatchOutput* out) override;
+  const char* name() const override { return "inline"; }
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_RUNTIME_INLINE_RUNTIME_H_

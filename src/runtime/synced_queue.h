@@ -1,0 +1,69 @@
+// SyncedQueue: the synchronized queue of Algorithm 1 ("Data: SyncedQueue iqq;
+// // incoming queries queue"). Blocking MPMC queue used between operator
+// threads in the threaded runtime.
+
+#ifndef SHAREDDB_RUNTIME_SYNCED_QUEUE_H_
+#define SHAREDDB_RUNTIME_SYNCED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace shareddb {
+
+/// Unbounded blocking queue. Pop() returns nullopt after Close() once empty.
+template <typename T>
+class SyncedQueue {
+ public:
+  void Push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_RUNTIME_SYNCED_QUEUE_H_

@@ -1,0 +1,67 @@
+// ThreadedRuntime: one thread per shared operator with hard processor
+// affinity (paper §4.3). Each node thread runs Algorithm 1's loop: wait for
+// the cycle's task, consume exactly one batch per input edge, run the
+// operator's cycle, push the output to every consumer edge.
+//
+// The dataflow is a DAG and each edge carries exactly one batch per cycle,
+// so execution is deadlock-free — the push-based design the paper adopts to
+// avoid the pull-based sharing deadlocks of [6].
+
+#ifndef SHAREDDB_RUNTIME_THREADED_RUNTIME_H_
+#define SHAREDDB_RUNTIME_THREADED_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "runtime/synced_queue.h"
+
+namespace shareddb {
+
+/// Thread-per-operator runtime.
+class ThreadedRuntime : public Runtime {
+ public:
+  /// `pin_threads`: best-effort hard affinity, operator i -> core i mod N.
+  explicit ThreadedRuntime(GlobalPlan* plan, bool pin_threads = true);
+  ~ThreadedRuntime() override;
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  void ExecuteCycle(GlobalPlan* plan, const BatchInput& in, BatchOutput* out) override;
+  const char* name() const override { return "threaded"; }
+
+  size_t num_threads() const { return node_threads_.size(); }
+
+ private:
+  struct CycleTask {
+    const BatchInput* input = nullptr;
+    std::vector<WorkStats>* stats = nullptr;        // per node
+    std::vector<char> needed;                        // node id -> root output?
+    SyncedQueue<std::pair<int, DQBatch>>* results = nullptr;
+    std::atomic<size_t> nodes_done{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  struct NodeThread {
+    std::thread thread;
+    SyncedQueue<std::shared_ptr<CycleTask>> tasks;
+    // One input queue per child edge, filled by the child's thread.
+    std::vector<std::unique_ptr<SyncedQueue<DQBatch>>> edges;
+  };
+
+  void NodeLoop(int node_id, bool pin);
+
+  GlobalPlan* plan_;
+  std::vector<std::unique_ptr<NodeThread>> node_threads_;
+  /// Static routing: node id -> (consumer node, consumer edge index).
+  std::vector<std::vector<std::pair<int, size_t>>> out_edges_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_RUNTIME_THREADED_RUNTIME_H_

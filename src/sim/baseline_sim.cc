@@ -1,0 +1,242 @@
+#include "sim/baseline_sim.h"
+
+#include <deque>
+#include <queue>
+
+namespace shareddb {
+namespace sim {
+
+double BaselineLoadSim::ServiceSeconds(const WorkStats& work, int concurrency) const {
+  const BaselineProfile& p = engine_->profile();
+  const double base =
+      (options_.cost.Nanos(work) + options_.cost.StatementNanos()) * 1e-9 *
+      p.cost_factor;
+  // Thread-per-query interference: latch/lock and memory-bus contention grow
+  // with the number of concurrently executing queries.
+  const double inflation =
+      1.0 + p.contention_per_query * static_cast<double>(std::max(0, concurrency - 1));
+  return base * inflation;
+}
+
+namespace {
+
+/// Event kinds of the worker-pool simulation.
+enum class EvKind { kClientWake, kServiceDone };
+
+struct Event {
+  double time;
+  EvKind kind;
+  int payload;  // EB index or worker slot
+  bool operator>(const Event& o) const { return time > o.time; }
+};
+
+}  // namespace
+
+LoadResult BaselineLoadSim::Run(const ClientConfig& config) {
+  LoadResult result;
+  std::vector<EbRuntimeState> ebs = MakeEbs(config, db_->scale);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  Rng stagger(config.seed);
+  for (int i = 0; i < config.num_ebs; ++i) {
+    events.push({stagger.NextDouble() * tpcw::kThinkTimeMeanSeconds *
+                     std::max(config.think_time_scale, 0.01),
+                 EvKind::kClientWake, i});
+  }
+
+  const int cores = EffectiveCores();
+  int busy = 0;
+  std::deque<int> waiting;               // EB indices queued for a worker
+  std::vector<int> worker_eb(cores, -1);  // which EB a worker serves
+
+  double now = 0;
+  const double end = config.duration_seconds;
+
+  // Starts service for the EB's next statement on worker slot `w` at `now`.
+  auto start_service = [&](int w, int eb_index) {
+    EbRuntimeState& st = ebs[eb_index];
+    SDB_CHECK(st.next_call < st.calls.size());
+    const tpcw::StatementCall& call = st.calls[st.next_call];
+    // Execute for real; the counted work defines the service demand.
+    baseline::BaselineResult r = engine_->ExecuteNamed(call.statement, call.params);
+    // Contention comes from jobs actually running on cores (thread-per-query
+    // interference, §3.5) — queued jobs consume no shared resources yet.
+    const double service = ServiceSeconds(r.work, busy);
+    worker_eb[w] = eb_index;
+    events.push({now + service, EvKind::kServiceDone, w});
+  };
+
+  auto submit_statement = [&](int eb_index) {
+    if (busy < cores) {
+      // Find a free worker slot.
+      for (int w = 0; w < cores; ++w) {
+        if (worker_eb[w] < 0) {
+          ++busy;
+          start_service(w, eb_index);
+          return;
+        }
+      }
+      SDB_CHECK(false && "busy < cores but no free slot");
+    } else {
+      waiting.push_back(eb_index);
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    if (now >= end && ev.kind == EvKind::kClientWake) continue;  // drain
+    if (now >= end * 4) break;  // hard stop for overload runs
+
+    if (ev.kind == EvKind::kClientWake) {
+      EbRuntimeState& st = ebs[ev.payload];
+      BeginInteraction(&st, config, db_->scale, &db_->ids, now,
+                       config.warmup_seconds);
+      submit_statement(ev.payload);
+    } else {
+      const int w = ev.payload;
+      const int eb_index = worker_eb[w];
+      worker_eb[w] = -1;
+      --busy;
+      EbRuntimeState& st = ebs[eb_index];
+      ++st.next_call;
+      if (st.next_call < st.calls.size()) {
+        submit_statement(eb_index);
+      } else {
+        RecordInteraction(&result, st, now);
+        if (now < end) {
+          const double think =
+              tpcw::SampleThinkTimeSeconds(&st.rng) * config.think_time_scale;
+          events.push({now + think, EvKind::kClientWake, eb_index});
+        }
+      }
+      // A worker freed: admit from the wait queue.
+      if (!waiting.empty() && busy < cores) {
+        const int next_eb = waiting.front();
+        waiting.pop_front();
+        for (int slot = 0; slot < cores; ++slot) {
+          if (worker_eb[slot] < 0) {
+            ++busy;
+            start_service(slot, next_eb);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  result.duration_seconds = config.duration_seconds - config.warmup_seconds;
+  return result;
+}
+
+OpenLoopResult BaselineLoadSim::RunOpenLoop(const std::vector<OpenLoopStream>& streams,
+                                            double duration_seconds, uint64_t seed) {
+  OpenLoopResult result;
+  result.streams.resize(streams.size());
+  result.duration_seconds = duration_seconds;
+
+  struct Job {
+    size_t stream;
+    double submit_time;
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<Job> jobs;  // indexed by job id
+  std::deque<int> waiting;
+  const int cores = EffectiveCores();
+  std::vector<int> worker_job(cores, -1);
+  int busy = 0;
+  double now = 0;
+
+  Rng rng(seed);
+  std::vector<Rng> stream_rngs;
+  // Arrival events carry stream index in payload; completions carry worker.
+  struct ArrivalState {
+    double next_time;
+  };
+  std::vector<ArrivalState> arr(streams.size());
+  for (size_t s = 0; s < streams.size(); ++s) {
+    stream_rngs.emplace_back(seed * 104729 + s);
+    arr[s].next_time = streams[s].rate_per_second > 0
+                           ? rng.Exponential(1.0 / streams[s].rate_per_second)
+                           : duration_seconds * 10;
+  }
+
+  auto start_job = [&](int w, int job_id) {
+    const Job& job = jobs[job_id];
+    const tpcw::StatementCall call =
+        streams[job.stream].make_call(&stream_rngs[job.stream]);
+    baseline::BaselineResult r = engine_->ExecuteNamed(call.statement, call.params);
+    const double service = ServiceSeconds(r.work, busy);
+    worker_job[w] = job_id;
+    events.push({now + service, EvKind::kServiceDone, w});
+  };
+
+  auto submit_job = [&](int job_id) {
+    if (busy < cores) {
+      for (int w = 0; w < cores; ++w) {
+        if (worker_job[w] < 0) {
+          ++busy;
+          start_job(w, job_id);
+          return;
+        }
+      }
+    }
+    waiting.push_back(job_id);
+  };
+
+  while (true) {
+    // Next event: earliest of arrivals and completions.
+    double next_arrival = duration_seconds * 10;
+    size_t next_stream = 0;
+    for (size_t s = 0; s < streams.size(); ++s) {
+      if (arr[s].next_time < next_arrival) {
+        next_arrival = arr[s].next_time;
+        next_stream = s;
+      }
+    }
+    const bool have_completion = !events.empty();
+    const double completion_time =
+        have_completion ? events.top().time : duration_seconds * 10;
+
+    if (next_arrival < completion_time && next_arrival < duration_seconds) {
+      now = next_arrival;
+      const int job_id = static_cast<int>(jobs.size());
+      jobs.push_back({next_stream, now});
+      ++result.streams[next_stream].issued;
+      submit_job(job_id);
+      arr[next_stream].next_time =
+          now + rng.Exponential(1.0 / streams[next_stream].rate_per_second);
+      continue;
+    }
+    if (!have_completion) break;
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    if (now > duration_seconds * 4) break;  // overload cutoff
+    const int w = ev.payload;
+    const int job_id = worker_job[w];
+    worker_job[w] = -1;
+    --busy;
+    const Job& job = jobs[job_id];
+    const double latency = now - job.submit_time;
+    OpenLoopResult::PerStream& s = result.streams[job.stream];
+    s.sum_latency += latency;
+    if (latency <= streams[job.stream].timeout_seconds) ++s.completed_in_time;
+    if (!waiting.empty()) {
+      const int next_job = waiting.front();
+      waiting.pop_front();
+      for (int slot = 0; slot < cores; ++slot) {
+        if (worker_job[slot] < 0) {
+          ++busy;
+          start_job(slot, next_job);
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sim
+}  // namespace shareddb

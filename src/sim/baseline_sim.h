@@ -1,0 +1,59 @@
+// Virtual-time load simulation of a query-at-a-time server (MySQL-like /
+// SystemX-like profiles). Statements execute FOR REAL on the baseline
+// engine; their counted work becomes a per-query service demand, and an
+// M/G/c-style event simulation models a worker pool of N cores with the
+// profile's core cap and contention inflation (§3.5: "traditional database
+// systems allocate a separate thread for each query and these threads might
+// compete for shared resources ... in an unpredictable way").
+
+#ifndef SHAREDDB_SIM_BASELINE_SIM_H_
+#define SHAREDDB_SIM_BASELINE_SIM_H_
+
+#include "baseline/engine.h"
+#include "sim/client_sim.h"
+#include "sim/cost_model.h"
+#include "sim/shareddb_sim.h"  // OpenLoopStream / OpenLoopResult
+#include "tpcw/harness.h"
+
+namespace shareddb {
+namespace sim {
+
+/// Server-model knobs for the baseline.
+struct BaselineSimOptions {
+  int num_cores = 24;
+  CostModel cost;
+};
+
+/// Event-driven worker-pool simulation.
+class BaselineLoadSim {
+ public:
+  BaselineLoadSim(baseline::BaselineEngine* engine, tpcw::TpcwDatabase* db,
+                  BaselineSimOptions options)
+      : engine_(engine), db_(db), options_(options) {}
+
+  /// Closed-loop EB workload (Figures 7, 8, 9).
+  LoadResult Run(const ClientConfig& config);
+
+  /// Open-loop statement streams (Figure 11).
+  OpenLoopResult RunOpenLoop(const std::vector<OpenLoopStream>& streams,
+                             double duration_seconds, uint64_t seed);
+
+  /// Service seconds for one statement's measured work under the profile,
+  /// at the given in-service concurrency (exposed for Figure 10 / tests).
+  double ServiceSeconds(const WorkStats& work, int concurrency) const;
+
+  /// Cores the profile can actually use.
+  int EffectiveCores() const {
+    return std::min(options_.num_cores, engine_->profile().max_effective_cores);
+  }
+
+ private:
+  baseline::BaselineEngine* engine_;
+  tpcw::TpcwDatabase* db_;
+  BaselineSimOptions options_;
+};
+
+}  // namespace sim
+}  // namespace shareddb
+
+#endif  // SHAREDDB_SIM_BASELINE_SIM_H_

@@ -1,0 +1,46 @@
+#include "sim/client_sim.h"
+
+namespace shareddb {
+namespace sim {
+
+std::vector<EbRuntimeState> MakeEbs(const ClientConfig& config,
+                                    const tpcw::TpcwScale& scale) {
+  std::vector<EbRuntimeState> ebs(config.num_ebs);
+  for (int i = 0; i < config.num_ebs; ++i) {
+    ebs[i].rng = Rng(config.seed * 1000003ULL + static_cast<uint64_t>(i));
+    ebs[i].eb.customer_id =
+        static_cast<int64_t>(i) % std::max(1, scale.NumCustomers());
+  }
+  return ebs;
+}
+
+void BeginInteraction(EbRuntimeState* st, const ClientConfig& config,
+                      const tpcw::TpcwScale& scale, tpcw::IdAllocator* ids,
+                      double now, double warmup) {
+  st->current_wi = config.only_interaction.has_value()
+                       ? *config.only_interaction
+                       : tpcw::SampleInteraction(config.mix, &st->rng);
+  st->calls = tpcw::BuildInteraction(st->current_wi, scale, &st->eb, ids, &st->rng);
+  st->next_call = 0;
+  st->wi_start_time = now;
+  st->counted = now >= warmup;
+}
+
+void RecordInteraction(LoadResult* result, const EbRuntimeState& st, double now) {
+  if (!st.counted) return;
+  const double latency = now - st.wi_start_time;
+  const double timeout = tpcw::InteractionTimeoutSeconds(st.current_wi);
+  ++result->interactions_completed;
+  result->sum_latency_seconds += latency;
+  result->statements_executed += st.calls.size();
+  LoadResult::PerWi& wi = result->per_wi[static_cast<int>(st.current_wi)];
+  ++wi.completed;
+  wi.sum_latency += latency;
+  if (latency <= timeout) {
+    ++result->interactions_successful;
+    ++wi.successful;
+  }
+}
+
+}  // namespace sim
+}  // namespace shareddb

@@ -1,0 +1,92 @@
+// Client model: TPC-W emulated browsers in virtual time (paper §5.1).
+// Each EB loops: think (exp(7 s), capped) -> pick an interaction from the
+// mix -> issue its statements strictly in sequence -> think again.
+// Interactions completing within their spec timeout count as successful
+// (the paper's throughput metric counts only successful interactions).
+
+#ifndef SHAREDDB_SIM_CLIENT_SIM_H_
+#define SHAREDDB_SIM_CLIENT_SIM_H_
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tpcw/harness.h"
+#include "tpcw/interactions.h"
+#include "tpcw/mixes.h"
+
+namespace shareddb {
+namespace sim {
+
+/// Load-generation configuration shared by both server models.
+struct ClientConfig {
+  int num_ebs = 100;
+  tpcw::Mix mix = tpcw::Mix::kShopping;
+  /// If set, every EB issues only this interaction (Figure 9 workloads).
+  std::optional<tpcw::WebInteraction> only_interaction;
+  double duration_seconds = 120.0;
+  double warmup_seconds = 10.0;  // interactions starting earlier are not counted
+  uint64_t seed = 42;
+  /// Scale think time (1.0 = spec's 7 s mean). Figure 9 uses ~0 for
+  /// saturation throughput.
+  double think_time_scale = 1.0;
+};
+
+/// Aggregate results of one simulated run.
+struct LoadResult {
+  double duration_seconds = 0;
+  uint64_t interactions_completed = 0;
+  uint64_t interactions_successful = 0;  // within the per-WI timeout
+  uint64_t statements_executed = 0;
+  double sum_latency_seconds = 0;
+
+  /// Per-interaction breakdown.
+  struct PerWi {
+    uint64_t completed = 0;
+    uint64_t successful = 0;
+    double sum_latency = 0;
+  };
+  std::array<PerWi, tpcw::kNumInteractions> per_wi{};
+
+  /// Successful web interactions per second — the paper's WIPS metric.
+  double Wips() const {
+    return duration_seconds > 0
+               ? static_cast<double>(interactions_successful) / duration_seconds
+               : 0;
+  }
+  double MeanLatency() const {
+    return interactions_completed > 0
+               ? sum_latency_seconds / static_cast<double>(interactions_completed)
+               : 0;
+  }
+};
+
+/// One emulated browser's progress through its current interaction.
+struct EbRuntimeState {
+  tpcw::EbState eb;
+  Rng rng{1};
+  // The statements of the in-flight interaction and the next one to issue.
+  std::vector<tpcw::StatementCall> calls;
+  size_t next_call = 0;
+  tpcw::WebInteraction current_wi = tpcw::WebInteraction::kHome;
+  double wi_start_time = 0;
+  bool counted = true;  // started after warmup?
+};
+
+/// Prepares `n` EB states with distinct customers and seeds.
+std::vector<EbRuntimeState> MakeEbs(const ClientConfig& config,
+                                    const tpcw::TpcwScale& scale);
+
+/// Starts the next interaction for an EB (samples WI, builds calls).
+void BeginInteraction(EbRuntimeState* st, const ClientConfig& config,
+                      const tpcw::TpcwScale& scale, tpcw::IdAllocator* ids,
+                      double now, double warmup);
+
+/// Records a finished interaction into `result`.
+void RecordInteraction(LoadResult* result, const EbRuntimeState& st, double now);
+
+}  // namespace sim
+}  // namespace shareddb
+
+#endif  // SHAREDDB_SIM_CLIENT_SIM_H_

@@ -1,0 +1,31 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace shareddb {
+namespace sim {
+
+double LptMakespanSeconds(const std::vector<double>& node_seconds, int cores) {
+  if (cores < 1) cores = 1;
+  // Longest processing time first onto the least-loaded core.
+  std::vector<double> sorted = node_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  std::priority_queue<double, std::vector<double>, std::greater<double>> loads;
+  for (int i = 0; i < cores; ++i) loads.push(0.0);
+  for (const double s : sorted) {
+    double least = loads.top();
+    loads.pop();
+    loads.push(least + s);
+  }
+  double makespan = 0;
+  while (!loads.empty()) {
+    makespan = loads.top();
+    loads.pop();
+  }
+  return makespan;
+}
+
+}  // namespace sim
+}  // namespace shareddb

@@ -1,0 +1,229 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace shareddb {
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  // Internal nodes: keys.size() + 1 == children.size().
+  std::vector<Value> keys;
+  std::vector<Node*> children;
+  // Leaf nodes: entries sorted by (key, row); doubly-linked chain.
+  std::vector<LeafEntry> entries;
+  Node* next = nullptr;
+  Node* prev = nullptr;
+};
+
+BTreeIndex::BTreeIndex(int fanout) : fanout_(fanout < 4 ? 4 : fanout) {
+  root_ = new Node();
+}
+
+BTreeIndex::~BTreeIndex() { FreeTree(root_); }
+
+void BTreeIndex::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  if (!n->leaf) {
+    for (Node* c : n->children) FreeTree(c);
+  }
+  delete n;
+}
+
+// Descends to the *leftmost* leaf whose range may contain `key`:
+// at each internal node, take the first child whose separator is >= key.
+BTreeIndex::Node* BTreeIndex::FindLeaf(const Value& key) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    size_t idx = 0;
+    while (idx < n->keys.size() && n->keys[idx].Compare(key) < 0) ++idx;
+    n = n->children[idx];
+  }
+  return n;
+}
+
+void BTreeIndex::Insert(const Value& key, RowId row) {
+  // For insertion, any admissible leaf works; use the rightmost (upper-bound
+  // descent) so runs of duplicates extend to the right.
+  Node* n = root_;
+  while (!n->leaf) {
+    size_t idx = 0;
+    while (idx < n->keys.size() && n->keys[idx].Compare(key) <= 0) ++idx;
+    n = n->children[idx];
+  }
+  InsertIntoLeaf(n, key, row);
+  ++size_;
+}
+
+void BTreeIndex::InsertIntoLeaf(Node* leaf, const Value& key, RowId row) {
+  LeafEntry e{key, row};
+  auto it = std::upper_bound(
+      leaf->entries.begin(), leaf->entries.end(), e,
+      [](const LeafEntry& a, const LeafEntry& b) {
+        const int c = a.key.Compare(b.key);
+        if (c != 0) return c < 0;
+        return a.row < b.row;
+      });
+  leaf->entries.insert(it, std::move(e));
+  if (leaf->entries.size() > static_cast<size_t>(fanout_)) SplitLeaf(leaf);
+}
+
+void BTreeIndex::SplitLeaf(Node* leaf) {
+  Node* right = new Node();
+  right->leaf = true;
+  const size_t mid = leaf->entries.size() / 2;
+  right->entries.assign(leaf->entries.begin() + mid, leaf->entries.end());
+  leaf->entries.resize(mid);
+  // Chain linkage.
+  right->next = leaf->next;
+  right->prev = leaf;
+  if (leaf->next != nullptr) leaf->next->prev = right;
+  leaf->next = right;
+  InsertIntoParent(leaf, right->entries.front().key, right);
+}
+
+void BTreeIndex::InsertIntoParent(Node* node, Value sep, Node* new_node) {
+  Node* parent = node->parent;
+  if (parent == nullptr) {
+    // New root.
+    Node* root = new Node();
+    root->leaf = false;
+    root->keys.push_back(std::move(sep));
+    root->children = {node, new_node};
+    node->parent = root;
+    new_node->parent = root;
+    root_ = root;
+    ++height_;
+    return;
+  }
+  // Find node's position among parent's children.
+  size_t pos = 0;
+  while (pos < parent->children.size() && parent->children[pos] != node) ++pos;
+  SDB_CHECK(pos < parent->children.size());
+  parent->keys.insert(parent->keys.begin() + pos, std::move(sep));
+  parent->children.insert(parent->children.begin() + pos + 1, new_node);
+  new_node->parent = parent;
+  if (parent->children.size() > static_cast<size_t>(fanout_)) SplitInternal(parent);
+}
+
+void BTreeIndex::SplitInternal(Node* node) {
+  Node* right = new Node();
+  right->leaf = false;
+  const size_t mid = node->children.size() / 2;  // children [mid, end) move right
+  Value sep = node->keys[mid - 1];
+  right->children.assign(node->children.begin() + mid, node->children.end());
+  right->keys.assign(node->keys.begin() + mid, node->keys.end());
+  node->children.resize(mid);
+  node->keys.resize(mid - 1);
+  for (Node* c : right->children) c->parent = right;
+  InsertIntoParent(node, std::move(sep), right);
+}
+
+bool BTreeIndex::Remove(const Value& key, RowId row) {
+  // Lazy deletion: erase the entry from its leaf; no rebalancing. The tree
+  // stays valid (possibly under-full), which is the common engineering
+  // trade-off for mixed read-heavy workloads.
+  Node* leaf = FindLeaf(key);
+  while (leaf != nullptr) {
+    if (!leaf->entries.empty() && leaf->entries.front().key.Compare(key) > 0) break;
+    for (auto it = leaf->entries.begin(); it != leaf->entries.end(); ++it) {
+      const int c = it->key.Compare(key);
+      if (c > 0) return false;
+      if (c == 0 && it->row == row) {
+        leaf->entries.erase(it);
+        --size_;
+        return true;
+      }
+    }
+    leaf = leaf->next;
+  }
+  return false;
+}
+
+void BTreeIndex::Lookup(const Value& key, std::vector<RowId>* out) const {
+  Node* leaf = FindLeaf(key);
+  while (leaf != nullptr) {
+    bool past = false;
+    for (const LeafEntry& e : leaf->entries) {
+      const int c = e.key.Compare(key);
+      if (c > 0) {
+        past = true;
+        break;
+      }
+      if (c == 0) out->push_back(e.row);
+    }
+    if (past) break;
+    leaf = leaf->next;
+  }
+}
+
+void BTreeIndex::Range(const std::optional<Value>& lo, bool lo_inclusive,
+                       const std::optional<Value>& hi, bool hi_inclusive,
+                       const std::function<bool(const Value&, RowId)>& cb) const {
+  Node* leaf;
+  if (lo.has_value()) {
+    leaf = FindLeaf(*lo);
+  } else {
+    Node* n = root_;
+    while (!n->leaf) n = n->children.front();
+    leaf = n;
+  }
+  while (leaf != nullptr) {
+    for (const LeafEntry& e : leaf->entries) {
+      if (lo.has_value()) {
+        const int c = e.key.Compare(*lo);
+        if (lo_inclusive ? c < 0 : c <= 0) continue;
+      }
+      if (hi.has_value()) {
+        const int c = e.key.Compare(*hi);
+        if (hi_inclusive ? c > 0 : c >= 0) return;
+      }
+      if (!cb(e.key, e.row)) return;
+    }
+    leaf = leaf->next;
+  }
+}
+
+void BTreeIndex::CheckInvariants() const {
+  // 1. Leaf chain sorted, total entries == size_.
+  const Node* n = root_;
+  int depth = 1;
+  while (!n->leaf) {
+    n = n->children.front();
+    ++depth;
+  }
+  SDB_CHECK(depth == height_);
+  size_t count = 0;
+  const Value* prev_key = nullptr;
+  const Node* prev_leaf = nullptr;
+  for (const Node* leaf = n; leaf != nullptr; leaf = leaf->next) {
+    SDB_CHECK(leaf->leaf);
+    SDB_CHECK(leaf->prev == prev_leaf);
+    for (const LeafEntry& e : leaf->entries) {
+      if (prev_key != nullptr) SDB_CHECK(prev_key->Compare(e.key) <= 0);
+      prev_key = &e.key;
+      ++count;
+    }
+    prev_leaf = leaf;
+  }
+  SDB_CHECK(count == size_);
+  // 2. Internal structure: child counts and parent pointers.
+  struct Walker {
+    void Walk(const Node* node) {
+      if (node->leaf) return;
+      SDB_CHECK(node->keys.size() + 1 == node->children.size());
+      for (size_t i = 1; i < node->keys.size(); ++i) {
+        SDB_CHECK(node->keys[i - 1].Compare(node->keys[i]) <= 0);
+      }
+      for (const Node* c : node->children) {
+        SDB_CHECK(c->parent == node);
+        Walk(c);
+      }
+    }
+  };
+  Walker{}.Walk(root_);
+}
+
+}  // namespace shareddb

@@ -1,0 +1,86 @@
+// In-memory B+-tree index over a single column (paper §4.4: "we extended
+// Crescando and implemented B-Tree indexes and index probe operators as an
+// additional access path").
+//
+// Keys are Values (total order via Value::Compare); payloads are row ids.
+// Duplicate keys are supported (secondary indexes). The tree is *not*
+// internally synchronized: writers are the storage operators that own the
+// table (one per table in the dataflow network), readers take the table's
+// shared latch (see Table).
+
+#ifndef SHAREDDB_STORAGE_BTREE_INDEX_H_
+#define SHAREDDB_STORAGE_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace shareddb {
+
+/// Physical row identifier (index into the table's row vector).
+using RowId = uint64_t;
+
+/// B+-tree with Value keys and RowId payloads; duplicates allowed.
+class BTreeIndex {
+ public:
+  /// `fanout` = max entries per node (>= 4). Small fanouts are useful in
+  /// tests to force deep trees.
+  explicit BTreeIndex(int fanout = 64);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Inserts (key, row). Duplicates (same key, different/same row) allowed.
+  void Insert(const Value& key, RowId row);
+
+  /// Removes one (key, row) entry. Returns false if absent.
+  bool Remove(const Value& key, RowId row);
+
+  /// Appends all rows with exactly `key` to `out`.
+  void Lookup(const Value& key, std::vector<RowId>* out) const;
+
+  /// Visits rows with key in [lo, hi] (either bound optional / inclusive
+  /// controlled by flags). `cb` returns false to stop early.
+  void Range(const std::optional<Value>& lo, bool lo_inclusive,
+             const std::optional<Value>& hi, bool hi_inclusive,
+             const std::function<bool(const Value&, RowId)>& cb) const;
+
+  /// Number of (key, row) entries.
+  size_t size() const { return size_; }
+
+  /// Depth of the tree (1 = just a leaf). Exposed for tests.
+  int height() const { return height_; }
+
+  /// Validates B+-tree structural invariants (ordering, fill, linkage);
+  /// aborts on violation. For tests.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafEntry {
+    Value key;
+    RowId row;
+  };
+
+  Node* FindLeaf(const Value& key) const;
+  void InsertIntoLeaf(Node* leaf, const Value& key, RowId row);
+  void SplitLeaf(Node* leaf);
+  void SplitInternal(Node* node);
+  void InsertIntoParent(Node* node, Value sep, Node* new_node);
+  void FreeTree(Node* n);
+
+  int fanout_;
+  Node* root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_STORAGE_BTREE_INDEX_H_

@@ -1,0 +1,39 @@
+#include "storage/catalog.h"
+
+namespace shareddb {
+
+Table* Catalog::CreateTable(const std::string& name, SchemaPtr schema) {
+  SDB_CHECK(GetTable(name) == nullptr);
+  tables_.push_back(std::make_unique<Table>(name, std::move(schema)));
+  return tables_.back().get();
+}
+
+Table* Catalog::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+Table* Catalog::MustGetTable(const std::string& name) const {
+  Table* t = GetTable(name);
+  if (t == nullptr) {
+    std::fprintf(stderr, "Catalog: no table '%s'\n", name.c_str());
+    std::abort();
+  }
+  return t;
+}
+
+int Catalog::TableId(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table* Catalog::TableById(size_t id) const {
+  SDB_CHECK(id < tables_.size());
+  return tables_[id].get();
+}
+
+}  // namespace shareddb

@@ -1,0 +1,50 @@
+// Catalog: the database — named tables with stable ids (for WAL records),
+// plus the global snapshot manager.
+
+#ifndef SHAREDDB_STORAGE_CATALOG_H_
+#define SHAREDDB_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/mvcc.h"
+#include "storage/table.h"
+
+namespace shareddb {
+
+/// Owns all tables of one database instance.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; name must be unique. Returns the live table.
+  Table* CreateTable(const std::string& name, SchemaPtr schema);
+
+  /// Table by name, or nullptr.
+  Table* GetTable(const std::string& name) const;
+
+  /// Table by name; aborts if absent.
+  Table* MustGetTable(const std::string& name) const;
+
+  /// Stable numeric id of a table (creation order), or -1.
+  int TableId(const std::string& name) const;
+
+  /// Table by id; aborts if out of range.
+  Table* TableById(size_t id) const;
+
+  size_t NumTables() const { return tables_.size(); }
+
+  SnapshotManager& snapshots() { return snapshots_; }
+  const SnapshotManager& snapshots() const { return snapshots_; }
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  SnapshotManager snapshots_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_STORAGE_CATALOG_H_

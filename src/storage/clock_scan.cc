@@ -1,0 +1,114 @@
+#include "storage/clock_scan.h"
+
+namespace shareddb {
+
+namespace {
+
+// Victim selection for UPDATE/DELETE: uses a B-tree when the WHERE clause
+// has an equality on an indexed column; falls back to a scan otherwise.
+// Visibility is at write_version so an update sees the batch's earlier
+// writes (arrival-order semantics).
+std::vector<RowId> FindVictims(Table* table, const ExprPtr& where,
+                               Version write_version) {
+  static const std::vector<Value> kNoParams;
+  std::vector<RowId> victims;
+  if (where != nullptr) {
+    const AnalyzedPredicate pred = AnalyzePredicate(where);
+    for (const EqConstraint& eq : pred.equalities) {
+      const TableIndex* idx = table->FindIndexOnColumn(eq.column);
+      if (idx == nullptr) continue;
+      std::vector<RowId> candidates;
+      table->IndexLookup(idx->name, eq.value, write_version, &candidates);
+      for (const RowId id : candidates) {
+        const Tuple t = table->GetRow(id).data;
+        if (where->EvalBool(t, kNoParams)) victims.push_back(id);
+      }
+      return victims;
+    }
+  }
+  table->ScanVisible(write_version, [&](RowId id, const Tuple& t) {
+    if (where == nullptr || where->EvalBool(t, kNoParams)) victims.push_back(id);
+    return true;
+  });
+  return victims;
+}
+
+}  // namespace
+
+size_t ClockScan::ApplyUpdate(Table* table, const UpdateOp& op,
+                              Version write_version) {
+  static const std::vector<Value> kNoParams;
+  size_t applied = 0;
+  switch (op.kind) {
+    case UpdateKind::kInsert:
+      table->Insert(op.row, write_version);
+      applied = 1;
+      break;
+    case UpdateKind::kUpdate: {
+      const std::vector<RowId> victims = FindVictims(table, op.where, write_version);
+      for (const RowId id : victims) {
+        const Tuple old = table->GetRow(id).data;
+        Tuple updated = old;
+        for (const auto& [col, expr] : op.sets) {
+          SDB_DCHECK(col < updated.size());
+          updated[col] = expr->Evaluate(old, kNoParams);
+        }
+        table->UpdateRow(id, std::move(updated), write_version);
+      }
+      applied = victims.size();
+      break;
+    }
+    case UpdateKind::kDelete: {
+      const std::vector<RowId> victims = FindVictims(table, op.where, write_version);
+      for (const RowId id : victims) table->DeleteRow(id, write_version);
+      applied = victims.size();
+      break;
+    }
+  }
+  if (op.applied_out != nullptr) *op.applied_out += applied;
+  return applied;
+}
+
+DQBatch ClockScan::RunCycle(const std::vector<ScanQuerySpec>& queries,
+                            const std::vector<UpdateOp>& updates,
+                            Version read_snapshot, Version write_version,
+                            ClockScanStats* stats) {
+  SDB_CHECK(read_snapshot < write_version);
+  // Phase 1: updates in arrival order.
+  for (const UpdateOp& op : updates) {
+    const size_t n = ApplyUpdate(table_, op, write_version);
+    if (stats != nullptr) stats->updates_applied += n;
+  }
+
+  // Phase 2: one circular pass evaluating all queries via the query index.
+  DQBatch out(table_->schema());
+  if (queries.empty()) return out;
+  const PredicateIndex index(queries);
+
+  const size_t seg_size = table_->rows_per_segment();
+  const size_t physical = table_->PhysicalSize();
+  const size_t num_segments = (physical + seg_size - 1) / seg_size;
+  if (num_segments == 0) return out;
+  const size_t start = clock_hand_ % num_segments;
+  clock_hand_ = (clock_hand_ + 1) % num_segments;
+
+  QueryIdSet qids;
+  for (size_t s = 0; s < num_segments; ++s) {
+    const size_t seg = (start + s) % num_segments;
+    const RowId lo = seg * seg_size;
+    const RowId hi = lo + seg_size;
+    table_->ScanRange(lo, hi, read_snapshot, [&](RowId, const Tuple& row) {
+      if (stats != nullptr) ++stats->rows_scanned;
+      index.Match(row, &qids, stats != nullptr ? &stats->pred : nullptr);
+      if (!qids.empty()) {
+        out.Push(row, std::move(qids));
+        qids = QueryIdSet();
+        if (stats != nullptr) ++stats->tuples_out;
+      }
+      return true;
+    });
+  }
+  return out;
+}
+
+}  // namespace shareddb

@@ -1,0 +1,79 @@
+// ClockScan: the shared table scan of the Crescando storage manager
+// ([28], paper §4.4). One scan cycle serves a whole batch of scan queries
+// and updates:
+//
+//   * updates execute first, in arrival order, at the batch's write version
+//     (an update's WHERE clause sees the effects of earlier updates in the
+//     same batch — arrival-order semantics);
+//   * then a single circular pass over the table segments evaluates every
+//     scan query against the *read snapshot* via the PredicateIndex,
+//     emitting tuples annotated with the ids of all interested queries.
+//
+// All selects of a cycle therefore read one consistent snapshot; the cycle's
+// updates become visible when the engine commits the batch version.
+// The "clock hand" (starting segment) advances each cycle, mirroring
+// Crescando's continuously rotating scan.
+
+#ifndef SHAREDDB_STORAGE_CLOCK_SCAN_H_
+#define SHAREDDB_STORAGE_CLOCK_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/batch.h"
+#include "storage/predicate_index.h"
+#include "storage/table.h"
+
+namespace shareddb {
+
+/// Kinds of update statements handled inside the scan.
+enum class UpdateKind { kInsert, kUpdate, kDelete };
+
+/// One queued update, already bound (no parameters).
+struct UpdateOp {
+  UpdateKind kind = UpdateKind::kInsert;
+  Tuple row;      // kInsert: the full new row
+  ExprPtr where;  // kUpdate/kDelete: bound predicate selecting victims (may be null)
+  /// kUpdate: column := expr(old row) — expressions may read the victim row
+  /// (e.g. I_STOCK := I_STOCK - 3).
+  std::vector<std::pair<size_t, ExprPtr>> sets;
+  /// Optional out-counter: number of row versions this op wrote (per-statement
+  /// update counts; the pointed-to counter must outlive the cycle).
+  uint64_t* applied_out = nullptr;
+};
+
+/// Per-cycle work statistics (drives the cost model and tests).
+struct ClockScanStats {
+  uint64_t rows_scanned = 0;     // visible rows examined
+  uint64_t updates_applied = 0;  // row versions written (incl. inserts)
+  uint64_t tuples_out = 0;       // annotated tuples emitted
+  PredicateIndexStats pred;
+};
+
+/// Shared scan over one table.
+class ClockScan {
+ public:
+  explicit ClockScan(Table* table) : table_(table) {}
+
+  /// Runs one cycle. Updates are applied at `write_version`; queries read
+  /// `read_snapshot` (< write_version). Returns the annotated output batch.
+  DQBatch RunCycle(const std::vector<ScanQuerySpec>& queries,
+                   const std::vector<UpdateOp>& updates, Version read_snapshot,
+                   Version write_version, ClockScanStats* stats = nullptr);
+
+  /// Applies one update (visible-at-`write_version` semantics). Exposed so
+  /// the engine can route updates through index-probe paths too.
+  /// Returns number of row versions written.
+  static size_t ApplyUpdate(Table* table, const UpdateOp& op, Version write_version);
+
+  Table* table() const { return table_; }
+  size_t clock_hand() const { return clock_hand_; }
+
+ private:
+  Table* table_;
+  size_t clock_hand_ = 0;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_STORAGE_CLOCK_SCAN_H_

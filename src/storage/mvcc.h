@@ -1,0 +1,58 @@
+// Multi-version concurrency control primitives (paper §4.4).
+//
+// SharedDB favors optimistic / multi-version concurrency control because
+// locking would destroy response-time predictability. The Crescando storage
+// manager guarantees that all selects of a batch read one consistent
+// snapshot while updates execute in arrival order. We implement that with
+// begin/end version stamps on rows and a monotone commit counter:
+//
+//   * a batch (heartbeat) reads snapshot S = last committed version;
+//   * the batch's updates are applied in arrival order at version S+1;
+//   * at batch end S+1 commits and becomes visible to the next batch.
+//
+// The same machinery gives the baseline engine per-statement snapshot
+// isolation (every auto-commit statement is its own tiny batch).
+
+#ifndef SHAREDDB_STORAGE_MVCC_H_
+#define SHAREDDB_STORAGE_MVCC_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace shareddb {
+
+/// Monotone commit timestamp.
+using Version = uint64_t;
+
+/// End-version of a live row ("infinity").
+inline constexpr Version kVersionMax = ~0ULL;
+
+/// True iff a row [begin, end) is visible at snapshot `s`.
+inline bool VisibleAt(Version begin, Version end, Version s) {
+  return begin <= s && s < end;
+}
+
+/// Issues snapshots and commit versions. Thread-safe.
+class SnapshotManager {
+ public:
+  /// Snapshot for reads: everything committed so far.
+  Version ReadSnapshot() const { return last_committed_.load(std::memory_order_acquire); }
+
+  /// Version at which the next batch's updates will be applied.
+  Version WriteVersion() const { return ReadSnapshot() + 1; }
+
+  /// Commits the pending write version; returns the new read snapshot.
+  Version Commit() { return last_committed_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+
+  /// Restores state during recovery.
+  void Reset(Version last_committed) {
+    last_committed_.store(last_committed, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<Version> last_committed_{0};
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_STORAGE_MVCC_H_

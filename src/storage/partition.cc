@@ -1,0 +1,94 @@
+#include "storage/partition.h"
+
+namespace shareddb {
+
+PartitionedTable::PartitionedTable(std::string name, SchemaPtr schema,
+                                   size_t key_column, size_t num_partitions)
+    : name_(std::move(name)), schema_(std::move(schema)), key_column_(key_column) {
+  SDB_CHECK(num_partitions >= 1);
+  SDB_CHECK(key_column_ < schema_->num_columns());
+  partitions_.reserve(num_partitions);
+  for (size_t i = 0; i < num_partitions; ++i) {
+    partitions_.push_back(
+        std::make_unique<Table>(name_ + ".p" + std::to_string(i), schema_));
+    scans_.push_back(std::make_unique<ClockScan>(partitions_.back().get()));
+  }
+}
+
+size_t PartitionedTable::PartitionFor(const Value& key) const {
+  return key.Hash() % partitions_.size();
+}
+
+void PartitionedTable::Insert(Tuple row, Version commit) {
+  SDB_DCHECK(row.size() == schema_->num_columns());
+  const size_t p = PartitionFor(row[key_column_]);
+  partitions_[p]->Insert(std::move(row), commit);
+}
+
+void PartitionedTable::ScanVisible(
+    Version snapshot, const std::function<bool(RowId, const Tuple&)>& cb) const {
+  for (const auto& p : partitions_) {
+    bool stopped = false;
+    p->ScanVisible(snapshot, [&](RowId id, const Tuple& t) {
+      if (!cb(id, t)) {
+        stopped = true;
+        return false;
+      }
+      return true;
+    });
+    if (stopped) return;
+  }
+}
+
+size_t PartitionedTable::VisibleCount(Version snapshot) const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->VisibleCount(snapshot);
+  return n;
+}
+
+DQBatch PartitionedTable::RunScanCycle(
+    const std::vector<ScanQuerySpec>& queries, const std::vector<UpdateOp>& updates,
+    Version read_snapshot, Version write_version,
+    std::vector<ClockScanStats>* per_partition_stats) {
+  if (per_partition_stats != nullptr) {
+    per_partition_stats->assign(partitions_.size(), ClockScanStats{});
+  }
+  DQBatch out(schema_);
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    // Partition pruning: keep only queries that may match rows in p —
+    // a query anchored on an equality over the key column goes to exactly
+    // one partition.
+    std::vector<ScanQuerySpec> local;
+    local.reserve(queries.size());
+    for (const ScanQuerySpec& q : queries) {
+      bool prunable = false;
+      if (q.predicate != nullptr) {
+        const AnalyzedPredicate ap = AnalyzePredicate(q.predicate);
+        for (const EqConstraint& eq : ap.equalities) {
+          if (eq.column == key_column_ && PartitionFor(eq.value) != p) {
+            prunable = true;
+            break;
+          }
+        }
+      }
+      if (!prunable) local.push_back(q);
+    }
+    // Updates: inserts route by key; update/delete predicates run everywhere.
+    std::vector<UpdateOp> local_updates;
+    for (const UpdateOp& u : updates) {
+      if (u.kind == UpdateKind::kInsert) {
+        if (PartitionFor(u.row[key_column_]) == p) local_updates.push_back(u);
+      } else {
+        local_updates.push_back(u);
+      }
+    }
+    ClockScanStats stats;
+    DQBatch part = scans_[p]->RunCycle(local, local_updates, read_snapshot,
+                                       write_version, &stats);
+    if (per_partition_stats != nullptr) (*per_partition_stats)[p] = stats;
+    out.Append(part);
+  }
+  return out;
+}
+
+}  // namespace shareddb

@@ -1,0 +1,149 @@
+#include "storage/predicate_index.h"
+
+#include <algorithm>
+
+namespace shareddb {
+
+namespace {
+
+bool SameRange(const RangeConstraint& a, const RangeConstraint& b) {
+  auto same_bound = [](const std::optional<Value>& x, const std::optional<Value>& y) {
+    if (x.has_value() != y.has_value()) return false;
+    return !x.has_value() || x->Compare(*y) == 0;
+  };
+  return a.column == b.column && a.lo_inclusive == b.lo_inclusive &&
+         a.hi_inclusive == b.hi_inclusive && same_bound(a.lo, b.lo) &&
+         same_bound(a.hi, b.hi);
+}
+
+}  // namespace
+
+PredicateIndex::PredicateIndex(const std::vector<ScanQuerySpec>& queries) {
+  queries_.reserve(queries.size());
+  for (const ScanQuerySpec& q : queries) {
+    queries_.push_back(CompiledQuery{q.id, AnalyzePredicate(q.predicate)});
+  }
+  for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
+    const AnalyzedPredicate& p = queries_[qi].pred;
+    if (p.IsTrivial()) {
+      // Match-all: no test to run, only the NF² membership to record.
+      match_all_.push_back(queries_[qi].id);
+    } else if (!p.equalities.empty()) {
+      // Anchor on the first equality constraint.
+      const EqConstraint& eq = p.equalities.front();
+      EqColumn* col = nullptr;
+      for (EqColumn& c : eq_columns_) {
+        if (c.column == eq.column) {
+          col = &c;
+          break;
+        }
+      }
+      if (col == nullptr) {
+        eq_columns_.push_back(EqColumn{eq.column, {}});
+        col = &eq_columns_.back();
+      }
+      col->buckets[eq.value.Hash()].push_back(qi);
+    } else if (!p.ranges.empty()) {
+      // A query whose WHOLE predicate is one range constraint joins a range
+      // GROUP of identical constraints: one test per row serves them all.
+      if (p.ranges.size() == 1 && p.residual.empty()) {
+        RangeGroup* grp = nullptr;
+        for (RangeGroup& g : range_groups_) {
+          if (SameRange(g.range, p.ranges.front())) {
+            grp = &g;
+            break;
+          }
+        }
+        if (grp == nullptr) {
+          range_groups_.push_back(RangeGroup{p.ranges.front(), {}});
+          grp = &range_groups_.back();
+        }
+        grp->ids.push_back(queries_[qi].id);
+      } else {
+        range_anchors_.push_back(RangeAnchor{qi, p.ranges.front()});
+      }
+    } else {
+      always_.push_back(qi);
+    }
+  }
+  std::sort(match_all_.begin(), match_all_.end());
+  for (RangeGroup& g : range_groups_) std::sort(g.ids.begin(), g.ids.end());
+}
+
+bool PredicateIndex::Verify(const CompiledQuery& q, const Tuple& row) const {
+  for (const EqConstraint& eq : q.pred.equalities) {
+    SDB_DCHECK(eq.column < row.size());
+    if (row[eq.column].is_null() || row[eq.column].Compare(eq.value) != 0) return false;
+  }
+  for (const RangeConstraint& r : q.pred.ranges) {
+    SDB_DCHECK(r.column < row.size());
+    if (!r.Matches(row[r.column])) return false;
+  }
+  static const std::vector<Value> kNoParams;
+  for (const ExprPtr& e : q.pred.residual) {
+    if (!e->EvalBool(row, kNoParams)) return false;
+  }
+  return true;
+}
+
+void PredicateIndex::Match(const Tuple& row, QueryIdSet* out,
+                           PredicateIndexStats* stats) const {
+  std::vector<QueryId> matched;   // individually verified queries
+  std::vector<uint32_t> groups;   // matching range-group indices
+  auto consider = [&](uint32_t qi) {
+    if (stats != nullptr) ++stats->candidates;
+    if (Verify(queries_[qi], row)) matched.push_back(queries_[qi].id);
+  };
+  for (const EqColumn& col : eq_columns_) {
+    SDB_DCHECK(col.column < row.size());
+    if (stats != nullptr) ++stats->hash_probes;
+    const auto it = col.buckets.find(row[col.column].Hash());
+    if (it == col.buckets.end()) continue;
+    for (const uint32_t qi : it->second) consider(qi);
+  }
+  for (uint32_t g = 0; g < range_groups_.size(); ++g) {
+    const RangeGroup& rg = range_groups_[g];
+    SDB_DCHECK(rg.range.column < row.size());
+    if (stats != nullptr) ++stats->candidates;  // one test serves the group
+    if (rg.range.Matches(row[rg.range.column])) groups.push_back(g);
+  }
+  for (const RangeAnchor& ra : range_anchors_) {
+    SDB_DCHECK(ra.range.column < row.size());
+    if (!ra.range.Matches(row[ra.range.column])) continue;
+    consider(ra.query);
+  }
+  for (const uint32_t qi : always_) consider(qi);
+  std::sort(matched.begin(), matched.end());
+  matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
+
+  // Hash-cons the final set: rows matched by the same (individuals, groups)
+  // combination share one canonical annotation set; repeats cost a lookup.
+  uint64_t h = 1469598103934665603ULL;
+  for (const QueryId id : matched) {
+    h = (h ^ id) * 1099511628211ULL;
+  }
+  for (const uint32_t g : groups) {
+    h = (h ^ (0x80000000u | g)) * 1099511628211ULL;
+  }
+  auto& bucket = interned_[h];
+  for (const InternEntry& e : bucket) {
+    if (e.indiv == matched && e.groups == groups) {
+      if (stats != nullptr) stats->matches += 1 + matched.size() + groups.size();
+      *out = e.set;
+      return;
+    }
+  }
+  // First occurrence: materialize individuals ∪ groups ∪ match-all.
+  QueryIdSet set = QueryIdSet::FromSorted(matched);
+  for (const uint32_t g : groups) {
+    set = set.Union(QueryIdSet::FromSorted(range_groups_[g].ids));
+  }
+  if (!match_all_.empty()) {
+    set = set.Union(QueryIdSet::FromSorted(match_all_));
+  }
+  if (stats != nullptr) stats->matches += set.size() + 1;
+  bucket.push_back(InternEntry{std::move(matched), std::move(groups), set});
+  *out = std::move(set);
+}
+
+}  // namespace shareddb

@@ -1,0 +1,115 @@
+// PredicateIndex: indexes the *queries* of a batch instead of the data —
+// the "query-data join" technique of Crescando [28] that ClockScan uses
+// (paper §4.4): "Performance is increased by indexing the query predicates
+// instead of the data".
+//
+// Each registered query contributes one *anchor* constraint:
+//   * an equality  (col = v)      -> hash table on that column: v -> queries
+//   * else a range (lo < col < hi) -> per-column interval list
+//   * else                         -> always-verify list
+// Matching a row probes one hash bucket per equality-anchored column and
+// scans the (short) interval/always lists; each candidate query's *full*
+// predicate is then verified. Per-row cost is thus proportional to the
+// number of candidate queries, not the number of active queries.
+
+#ifndef SHAREDDB_STORAGE_PREDICATE_INDEX_H_
+#define SHAREDDB_STORAGE_PREDICATE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/query_id_set.h"
+#include "common/tuple.h"
+#include "expr/predicate.h"
+
+namespace shareddb {
+
+/// A query registered for one scan cycle: id + bound predicate
+/// (nullptr = match-all).
+struct ScanQuerySpec {
+  QueryId id = 0;
+  ExprPtr predicate;  // bound (no params); may be null
+};
+
+/// Matching statistics (drives the cost model).
+struct PredicateIndexStats {
+  uint64_t hash_probes = 0;      // one per eq-indexed column per row
+  uint64_t candidates = 0;       // queries (or range groups) verified in full
+  uint64_t matches = 0;          // set-construction cost (hash-consed: a
+                                 // repeated annotation set charges O(1))
+};
+
+/// Immutable index over one batch of scan queries.
+///
+/// Annotation sets are hash-consed per scan cycle: consecutive rows matched
+/// by the same combination of (individual queries, range groups, match-all
+/// subscribers) reuse one canonical QueryIdSet, so producing a repeated set
+/// costs a table lookup — this is what keeps the NF² representation's
+/// construction cost bounded when thousands of queries subscribe to a scan.
+class PredicateIndex {
+ public:
+  explicit PredicateIndex(const std::vector<ScanQuerySpec>& queries);
+
+  /// Appends (sorted) ids of queries whose predicate matches `row` to `out`.
+  /// `out` is overwritten. Match is stateful only through the intern pool
+  /// (mutable); concurrent use requires one PredicateIndex per thread.
+  void Match(const Tuple& row, QueryIdSet* out, PredicateIndexStats* stats) const;
+
+  size_t num_queries() const { return queries_.size(); }
+
+  /// Number of distinct equality-anchored columns (exposed for tests).
+  size_t num_eq_columns() const { return eq_columns_.size(); }
+
+ private:
+  struct CompiledQuery {
+    QueryId id;
+    AnalyzedPredicate pred;
+  };
+
+  bool Verify(const CompiledQuery& q, const Tuple& row) const;
+
+  std::vector<CompiledQuery> queries_;
+
+  // Equality anchors: per column, hash(value) -> query indices.
+  struct EqColumn {
+    size_t column;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  };
+  std::vector<EqColumn> eq_columns_;
+
+  // Range anchors for queries with extra constraints beyond the range:
+  // (query index, range constraint), verified per candidate.
+  struct RangeAnchor {
+    uint32_t query;
+    RangeConstraint range;
+  };
+  std::vector<RangeAnchor> range_anchors_;
+
+  // Residual-free range queries grouped by IDENTICAL constraint: the range
+  // is tested once per row per group; a match subscribes the whole group.
+  struct RangeGroup {
+    RangeConstraint range;
+    std::vector<QueryId> ids;  // sorted
+  };
+  std::vector<RangeGroup> range_groups_;
+
+  // Queries with no indexable anchor (verified on every row).
+  std::vector<uint32_t> always_;
+
+  // Queries with a trivial (match-all) predicate: annotated onto every row
+  // without verification — a subscription, not a test.
+  std::vector<QueryId> match_all_;  // sorted ids
+
+  // Hash-cons pool: (matched individuals, matched groups) -> canonical set.
+  struct InternEntry {
+    std::vector<QueryId> indiv;
+    std::vector<uint32_t> groups;
+    QueryIdSet set;
+  };
+  mutable std::unordered_map<uint64_t, std::vector<InternEntry>> interned_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_STORAGE_PREDICATE_INDEX_H_

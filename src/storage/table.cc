@@ -1,0 +1,225 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace shareddb {
+
+Table::Table(std::string name, SchemaPtr schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  SDB_CHECK(schema_ != nullptr);
+}
+
+RowId Table::Insert(Tuple data, Version commit) {
+  SDB_CHECK(data.size() == schema_->num_columns());
+  std::unique_lock lock(latch_);
+  const RowId id = rows_.size();
+  for (TableIndex& idx : indexes_) {
+    idx.btree->Insert(data[idx.column], id);
+  }
+  rows_.push_back(Row{std::move(data), commit, kVersionMax});
+  if (observer_ != nullptr) observer_->OnInsert(*this, id, rows_.back().data, commit);
+  return id;
+}
+
+RowId Table::UpdateRow(RowId row, Tuple new_data, Version commit) {
+  SDB_CHECK(new_data.size() == schema_->num_columns());
+  std::unique_lock lock(latch_);
+  SDB_CHECK(row < rows_.size());
+  Row& old = rows_[row];
+  SDB_CHECK(old.end == kVersionMax);
+  old.end = commit;
+  const RowId id = rows_.size();
+  for (TableIndex& idx : indexes_) {
+    idx.btree->Insert(new_data[idx.column], id);
+  }
+  rows_.push_back(Row{std::move(new_data), commit, kVersionMax});
+  if (observer_ != nullptr) {
+    observer_->OnUpdate(*this, row, id, rows_.back().data, commit);
+  }
+  return id;
+}
+
+bool Table::DeleteRow(RowId row, Version commit) {
+  std::unique_lock lock(latch_);
+  SDB_CHECK(row < rows_.size());
+  Row& r = rows_[row];
+  if (r.end != kVersionMax) return false;
+  r.end = commit;
+  if (observer_ != nullptr) observer_->OnDelete(*this, row, commit);
+  return true;
+}
+
+size_t Table::PhysicalSize() const {
+  std::shared_lock lock(latch_);
+  return rows_.size();
+}
+
+Row Table::GetRow(RowId id) const {
+  std::shared_lock lock(latch_);
+  SDB_CHECK(id < rows_.size());
+  return rows_[id];
+}
+
+bool Table::IsVisible(RowId id, Version snapshot) const {
+  std::shared_lock lock(latch_);
+  SDB_CHECK(id < rows_.size());
+  return VisibleAt(rows_[id].begin, rows_[id].end, snapshot);
+}
+
+void Table::ScanVisible(Version snapshot,
+                        const std::function<bool(RowId, const Tuple&)>& cb) const {
+  std::shared_lock lock(latch_);
+  for (RowId i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    if (!VisibleAt(r.begin, r.end, snapshot)) continue;
+    if (!cb(i, r.data)) return;
+  }
+}
+
+void Table::ScanRange(RowId begin, RowId end, Version snapshot,
+                      const std::function<bool(RowId, const Tuple&)>& cb) const {
+  std::shared_lock lock(latch_);
+  const RowId limit = end < rows_.size() ? end : rows_.size();
+  for (RowId i = begin; i < limit; ++i) {
+    const Row& r = rows_[i];
+    if (!VisibleAt(r.begin, r.end, snapshot)) continue;
+    if (!cb(i, r.data)) return;
+  }
+}
+
+RowId Table::RecoverAppendRow(Row row) {
+  std::unique_lock lock(latch_);
+  SDB_CHECK(row.data.size() == schema_->num_columns());
+  const RowId id = rows_.size();
+  for (TableIndex& idx : indexes_) {
+    idx.btree->Insert(row.data[idx.column], id);
+  }
+  rows_.push_back(std::move(row));
+  return id;
+}
+
+void Table::RecoverCloseRow(RowId id, Version end) {
+  std::unique_lock lock(latch_);
+  SDB_CHECK(id < rows_.size());
+  rows_[id].end = end;
+}
+
+std::vector<Row> Table::DumpRows() const {
+  std::shared_lock lock(latch_);
+  return rows_;
+}
+
+size_t Table::VisibleCount(Version snapshot) const {
+  size_t n = 0;
+  ScanVisible(snapshot, [&n](RowId, const Tuple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+void Table::CreateIndex(const std::string& index_name,
+                        const std::string& column_name) {
+  std::unique_lock lock(latch_);
+  SDB_CHECK(std::none_of(indexes_.begin(), indexes_.end(),
+                         [&](const TableIndex& i) { return i.name == index_name; }));
+  TableIndex idx;
+  idx.name = index_name;
+  idx.column = schema_->ColumnIndex(column_name);
+  idx.btree = std::make_unique<BTreeIndex>();
+  for (RowId i = 0; i < rows_.size(); ++i) {
+    idx.btree->Insert(rows_[i].data[idx.column], i);
+  }
+  indexes_.push_back(std::move(idx));
+}
+
+namespace {
+
+const TableIndex* FindIndexByName(const std::vector<TableIndex>& indexes,
+                                  const std::string& name) {
+  for (const TableIndex& i : indexes) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool Table::HasIndex(const std::string& index_name) const {
+  std::shared_lock lock(latch_);
+  return FindIndexByName(indexes_, index_name) != nullptr;
+}
+
+const TableIndex* Table::FindIndexOnColumn(size_t column) const {
+  std::shared_lock lock(latch_);
+  for (const TableIndex& i : indexes_) {
+    if (i.column == column) return &i;
+  }
+  return nullptr;
+}
+
+void Table::IndexLookup(const std::string& index_name, const Value& key,
+                        Version snapshot, std::vector<RowId>* out) const {
+  std::shared_lock lock(latch_);
+  const TableIndex* idx = FindIndexByName(indexes_, index_name);
+  SDB_CHECK(idx != nullptr);
+  std::vector<RowId> candidates;
+  idx->btree->Lookup(key, &candidates);
+  for (const RowId id : candidates) {
+    const Row& r = rows_[id];
+    if (VisibleAt(r.begin, r.end, snapshot)) out->push_back(id);
+  }
+}
+
+void Table::IndexRange(const std::string& index_name, const std::optional<Value>& lo,
+                       bool lo_inclusive, const std::optional<Value>& hi,
+                       bool hi_inclusive, Version snapshot,
+                       const std::function<bool(RowId, const Tuple&)>& cb) const {
+  std::shared_lock lock(latch_);
+  const TableIndex* idx = FindIndexByName(indexes_, index_name);
+  SDB_CHECK(idx != nullptr);
+  idx->btree->Range(lo, lo_inclusive, hi, hi_inclusive,
+                    [&](const Value&, RowId id) {
+                      const Row& r = rows_[id];
+                      if (VisibleAt(r.begin, r.end, snapshot)) {
+                        return cb(id, r.data);
+                      }
+                      return true;
+                    });
+}
+
+size_t Table::Vacuum(Version horizon) {
+  std::unique_lock lock(latch_);
+  std::vector<Row> kept;
+  kept.reserve(rows_.size());
+  std::vector<RowId> remap(rows_.size(), ~0ULL);
+  for (RowId i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].end <= horizon) continue;  // dead to every snapshot >= horizon
+    remap[i] = kept.size();
+    kept.push_back(std::move(rows_[i]));
+  }
+  const size_t removed = rows_.size() - kept.size();
+  if (removed == 0) {
+    // Move rows back (they were moved out into kept).
+    rows_ = std::move(kept);
+    return 0;
+  }
+  rows_ = std::move(kept);
+  // Rebuild indexes against the compacted row ids.
+  for (TableIndex& idx : indexes_) {
+    auto fresh = std::make_unique<BTreeIndex>();
+    for (RowId i = 0; i < rows_.size(); ++i) {
+      fresh->Insert(rows_[i].data[idx.column], i);
+    }
+    idx.btree = std::move(fresh);
+  }
+  return removed;
+}
+
+size_t Table::NumSegments() const {
+  std::shared_lock lock(latch_);
+  return (rows_.size() + rows_per_segment_ - 1) / rows_per_segment_;
+}
+
+}  // namespace shareddb

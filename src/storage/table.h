@@ -1,0 +1,164 @@
+// Table: in-memory, multi-versioned row store (the Crescando storage
+// manager's heap, §4.4). All data lives in main memory; durability comes
+// from the WAL + checkpointing (wal.h).
+//
+// Versioning is append-only: an update closes the old row version
+// (end = commit version) and appends a new one; a delete just closes it.
+// Visibility: begin <= snapshot < end. `Vacuum` reclaims versions dead to
+// every possible snapshot.
+//
+// Concurrency: a shared latch protects the row vector; the write path
+// (one storage operator per table in the dataflow network, or the engine's
+// batch applier) is single-writer by construction.
+
+#ifndef SHAREDDB_STORAGE_TABLE_H_
+#define SHAREDDB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/batch.h"
+#include "common/schema.h"
+#include "storage/btree_index.h"
+#include "storage/mvcc.h"
+
+namespace shareddb {
+
+/// One physical row version.
+struct Row {
+  Tuple data;
+  Version begin = 0;
+  Version end = kVersionMax;
+};
+
+/// Named secondary index over one column.
+struct TableIndex {
+  std::string name;
+  size_t column;
+  std::unique_ptr<BTreeIndex> btree;
+};
+
+class Table;
+
+/// Observes committed-path mutations (used for WAL logging). Callbacks run
+/// with the table latch held — observers must not call back into the table.
+class TableWriteObserver {
+ public:
+  virtual ~TableWriteObserver() = default;
+  virtual void OnInsert(const Table& table, RowId row, const Tuple& t, Version v) = 0;
+  virtual void OnUpdate(const Table& table, RowId old_row, RowId new_row,
+                        const Tuple& t, Version v) = 0;
+  virtual void OnDelete(const Table& table, RowId row, Version v) = 0;
+};
+
+/// Multi-versioned in-memory table with optional B-tree indexes.
+class Table {
+ public:
+  Table(std::string name, SchemaPtr schema);
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// --- write path (single writer) ------------------------------------------
+
+  /// Appends a new row visible from `commit` on. Returns its RowId.
+  RowId Insert(Tuple data, Version commit);
+
+  /// Replaces the row's data: closes the visible version at `commit` and
+  /// appends the new version. `row` must be visible at commit-1.
+  /// Returns the new RowId.
+  RowId UpdateRow(RowId row, Tuple new_data, Version commit);
+
+  /// Closes the row version at `commit`. Returns false if already dead.
+  bool DeleteRow(RowId row, Version commit);
+
+  /// --- read path ------------------------------------------------------------
+
+  /// Number of physical row versions (dead + alive).
+  size_t PhysicalSize() const;
+
+  /// Row access by id (caller must hold no assumptions about visibility).
+  Row GetRow(RowId id) const;
+
+  /// True iff the row version is visible at `snapshot`.
+  bool IsVisible(RowId id, Version snapshot) const;
+
+  /// Calls `cb(RowId, const Tuple&)` for every row visible at `snapshot`.
+  /// `cb` returns false to stop.
+  void ScanVisible(Version snapshot,
+                   const std::function<bool(RowId, const Tuple&)>& cb) const;
+
+  /// Like ScanVisible but restricted to physical row ids [begin, end).
+  /// This is the segment access path used by ClockScan.
+  void ScanRange(RowId begin, RowId end, Version snapshot,
+                 const std::function<bool(RowId, const Tuple&)>& cb) const;
+
+  /// --- recovery hooks (WAL replay / checkpoint load; no index logging) -----
+
+  /// Appends a raw row version (recovery only). Returns its RowId.
+  RowId RecoverAppendRow(Row row);
+
+  /// Closes a row version at `end` (recovery only).
+  void RecoverCloseRow(RowId id, Version end);
+
+  /// Snapshot of all physical rows (checkpointing). Caller gets a copy.
+  std::vector<Row> DumpRows() const;
+
+  /// Count of rows visible at `snapshot`.
+  size_t VisibleCount(Version snapshot) const;
+
+  /// --- indexes ---------------------------------------------------------------
+
+  /// Creates a B-tree index on `column_name`; backfills existing rows.
+  /// Index entries reference row versions; probes must re-check visibility.
+  void CreateIndex(const std::string& index_name, const std::string& column_name);
+
+  /// Index lookup: row ids whose key equals `key` *and* are visible at
+  /// `snapshot`.
+  void IndexLookup(const std::string& index_name, const Value& key, Version snapshot,
+                   std::vector<RowId>* out) const;
+
+  /// Index range scan with visibility filtering.
+  void IndexRange(const std::string& index_name, const std::optional<Value>& lo,
+                  bool lo_inclusive, const std::optional<Value>& hi, bool hi_inclusive,
+                  Version snapshot,
+                  const std::function<bool(RowId, const Tuple&)>& cb) const;
+
+  /// True iff an index with this name exists.
+  bool HasIndex(const std::string& index_name) const;
+
+  /// Index on `column`, or nullptr.
+  const TableIndex* FindIndexOnColumn(size_t column) const;
+
+  const std::vector<TableIndex>& indexes() const { return indexes_; }
+
+  /// --- maintenance -----------------------------------------------------------
+
+  /// Physically removes row versions with end <= horizon and compacts index
+  /// entries pointing at them. Row ids are *not* stable across Vacuum; only
+  /// call between batches when no query is in flight. Returns #rows removed.
+  size_t Vacuum(Version horizon);
+
+  /// Segment geometry for ClockScan (rows per segment).
+  size_t rows_per_segment() const { return rows_per_segment_; }
+  void set_rows_per_segment(size_t n) { rows_per_segment_ = n ? n : 1; }
+  size_t NumSegments() const;
+
+  /// Installs a mutation observer (WAL logging). Not owned; may be null.
+  void set_write_observer(TableWriteObserver* observer) { observer_ = observer; }
+
+ private:
+  TableWriteObserver* observer_ = nullptr;
+  std::string name_;
+  SchemaPtr schema_;
+  mutable std::shared_mutex latch_;
+  std::vector<Row> rows_;
+  std::vector<TableIndex> indexes_;
+  size_t rows_per_segment_ = 4096;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_STORAGE_TABLE_H_

@@ -1,0 +1,309 @@
+#include "storage/wal.h"
+
+#include <cstring>
+#include <set>
+
+namespace shareddb {
+
+namespace {
+
+// --- primitive (de)serialization, little-endian host assumed -----------------
+
+void PutU8(std::FILE* f, uint8_t v) { std::fwrite(&v, 1, 1, f); }
+void PutU32(std::FILE* f, uint32_t v) { std::fwrite(&v, sizeof(v), 1, f); }
+void PutU64(std::FILE* f, uint64_t v) { std::fwrite(&v, sizeof(v), 1, f); }
+void PutI64(std::FILE* f, int64_t v) { std::fwrite(&v, sizeof(v), 1, f); }
+void PutF64(std::FILE* f, double v) { std::fwrite(&v, sizeof(v), 1, f); }
+
+bool GetU8(std::FILE* f, uint8_t* v) { return std::fread(v, 1, 1, f) == 1; }
+bool GetU32(std::FILE* f, uint32_t* v) { return std::fread(v, sizeof(*v), 1, f) == 1; }
+bool GetU64(std::FILE* f, uint64_t* v) { return std::fread(v, sizeof(*v), 1, f) == 1; }
+bool GetI64(std::FILE* f, int64_t* v) { return std::fread(v, sizeof(*v), 1, f) == 1; }
+bool GetF64(std::FILE* f, double* v) { return std::fread(v, sizeof(*v), 1, f) == 1; }
+
+void PutValue(std::FILE* f, const Value& v) {
+  PutU8(f, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      PutI64(f, v.AsInt());
+      break;
+    case ValueType::kDouble:
+      PutF64(f, v.AsDouble());
+      break;
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      PutU32(f, static_cast<uint32_t>(s.size()));
+      std::fwrite(s.data(), 1, s.size(), f);
+      break;
+    }
+  }
+}
+
+bool GetValue(std::FILE* f, Value* out) {
+  uint8_t tag;
+  if (!GetU8(f, &tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kInt: {
+      int64_t i;
+      if (!GetI64(f, &i)) return false;
+      *out = Value::Int(i);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double d;
+      if (!GetF64(f, &d)) return false;
+      *out = Value::Double(d);
+      return true;
+    }
+    case ValueType::kString: {
+      uint32_t len;
+      if (!GetU32(f, &len)) return false;
+      std::string s(len, '\0');
+      if (len > 0 && std::fread(s.data(), 1, len, f) != len) return false;
+      *out = Value::Str(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void PutTuple(std::FILE* f, const Tuple& t) {
+  PutU32(f, static_cast<uint32_t>(t.size()));
+  for (const Value& v : t) PutValue(f, v);
+}
+
+bool GetTuple(std::FILE* f, Tuple* t) {
+  uint32_t n;
+  if (!GetU32(f, &n)) return false;
+  t->clear();
+  t->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    if (!GetValue(f, &v)) return false;
+    t->push_back(std::move(v));
+  }
+  return true;
+}
+
+constexpr uint32_t kWalMagic = 0x53444257;   // "SDBW"
+constexpr uint32_t kCkptMagic = 0x53444243;  // "SDBC"
+
+}  // namespace
+
+Wal::Wal(std::string path) : path_(std::move(path)) {}
+
+Wal::~Wal() { Close(); }
+
+Status Wal::Open(bool truncate) {
+  Close();
+  file_ = std::fopen(path_.c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) return Status::IoError("cannot open WAL: " + path_);
+  if (truncate) PutU32(file_, kWalMagic);
+  records_written_ = 0;
+  return Status::OK();
+}
+
+void Wal::Close() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void Wal::AppendRecord(const WalRecord& rec) {
+  SDB_CHECK(file_ != nullptr);
+  PutU8(file_, static_cast<uint8_t>(rec.op));
+  PutU32(file_, rec.table_id);
+  PutU64(file_, rec.version);
+  PutU64(file_, rec.row);
+  if (rec.op == WalOp::kInsert || rec.op == WalOp::kUpdate) {
+    PutTuple(file_, rec.tuple);
+  }
+  ++records_written_;
+}
+
+void Wal::LogInsert(uint32_t table_id, Version v, RowId row, const Tuple& t) {
+  AppendRecord(WalRecord{WalOp::kInsert, table_id, v, row, t});
+}
+
+void Wal::LogUpdate(uint32_t table_id, Version v, RowId old_row, const Tuple& t) {
+  AppendRecord(WalRecord{WalOp::kUpdate, table_id, v, old_row, t});
+}
+
+void Wal::LogDelete(uint32_t table_id, Version v, RowId row) {
+  AppendRecord(WalRecord{WalOp::kDelete, table_id, v, row, {}});
+}
+
+void Wal::LogCommit(Version v) {
+  AppendRecord(WalRecord{WalOp::kCommit, 0, v, 0, {}});
+}
+
+Status Wal::Flush() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  if (std::fflush(file_) != 0) return Status::IoError("fflush failed");
+  return Status::OK();
+}
+
+Status Wal::Replay(const std::string& path,
+                   const std::function<void(const WalRecord&)>& cb) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no WAL at " + path);
+  uint32_t magic;
+  if (!GetU32(f, &magic) || magic != kWalMagic) {
+    std::fclose(f);
+    return Status::IoError("bad WAL magic in " + path);
+  }
+  while (true) {
+    WalRecord rec;
+    uint8_t op;
+    if (!GetU8(f, &op)) break;  // clean EOF
+    rec.op = static_cast<WalOp>(op);
+    if (op < 1 || op > 4) break;  // torn/corrupt tail: stop
+    if (!GetU32(f, &rec.table_id) || !GetU64(f, &rec.version) ||
+        !GetU64(f, &rec.row)) {
+      break;  // torn tail
+    }
+    if (rec.op == WalOp::kInsert || rec.op == WalOp::kUpdate) {
+      if (!GetTuple(f, &rec.tuple)) break;  // torn tail
+    }
+    cb(rec);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status WriteCheckpoint(const Catalog& catalog, const std::string& path) {
+  // Write to a temp file then rename for atomicity.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open checkpoint: " + tmp);
+  PutU32(f, kCkptMagic);
+  PutU64(f, catalog.snapshots().ReadSnapshot());
+  PutU32(f, static_cast<uint32_t>(catalog.NumTables()));
+  for (size_t ti = 0; ti < catalog.NumTables(); ++ti) {
+    const Table* t = catalog.TableById(ti);
+    const std::string& name = t->name();
+    PutU32(f, static_cast<uint32_t>(name.size()));
+    std::fwrite(name.data(), 1, name.size(), f);
+    const std::vector<Row> rows = t->DumpRows();
+    PutU64(f, rows.size());
+    for (const Row& r : rows) {
+      PutU64(f, r.begin);
+      PutU64(f, r.end);
+      PutTuple(f, r.data);
+    }
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    return Status::IoError("checkpoint flush failed");
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("checkpoint rename failed");
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(Catalog* catalog, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no checkpoint at " + path);
+  uint32_t magic;
+  if (!GetU32(f, &magic) || magic != kCkptMagic) {
+    std::fclose(f);
+    return Status::IoError("bad checkpoint magic");
+  }
+  uint64_t last_committed;
+  uint32_t num_tables;
+  if (!GetU64(f, &last_committed) || !GetU32(f, &num_tables)) {
+    std::fclose(f);
+    return Status::IoError("truncated checkpoint header");
+  }
+  for (uint32_t ti = 0; ti < num_tables; ++ti) {
+    uint32_t name_len;
+    if (!GetU32(f, &name_len)) {
+      std::fclose(f);
+      return Status::IoError("truncated checkpoint");
+    }
+    std::string name(name_len, '\0');
+    if (name_len > 0 && std::fread(name.data(), 1, name_len, f) != name_len) {
+      std::fclose(f);
+      return Status::IoError("truncated checkpoint");
+    }
+    Table* table = catalog->GetTable(name);
+    if (table == nullptr) {
+      std::fclose(f);
+      return Status::NotFound("checkpointed table missing from catalog: " + name);
+    }
+    uint64_t row_count;
+    if (!GetU64(f, &row_count)) {
+      std::fclose(f);
+      return Status::IoError("truncated checkpoint");
+    }
+    for (uint64_t i = 0; i < row_count; ++i) {
+      Row r;
+      if (!GetU64(f, &r.begin) || !GetU64(f, &r.end) || !GetTuple(f, &r.data)) {
+        std::fclose(f);
+        return Status::IoError("truncated checkpoint row");
+      }
+      table->RecoverAppendRow(std::move(r));
+    }
+  }
+  std::fclose(f);
+  catalog->snapshots().Reset(last_committed);
+  return Status::OK();
+}
+
+Status Recover(Catalog* catalog, const std::string& checkpoint_path,
+               const std::string& wal_path) {
+  if (!checkpoint_path.empty()) {
+    const Status s = LoadCheckpoint(catalog, checkpoint_path);
+    if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+  }
+  // Pass 1: find committed versions.
+  std::set<Version> committed;
+  Status s = Wal::Replay(wal_path, [&](const WalRecord& rec) {
+    if (rec.op == WalOp::kCommit) committed.insert(rec.version);
+  });
+  if (!s.ok()) {
+    // Missing WAL is fine when a checkpoint restored the state.
+    return s.code() == StatusCode::kNotFound ? Status::OK() : s;
+  }
+  // Pass 2: apply records of committed versions only.
+  const Version base = catalog->snapshots().ReadSnapshot();
+  Version max_committed = base;
+  s = Wal::Replay(wal_path, [&](const WalRecord& rec) {
+    if (rec.op == WalOp::kCommit) {
+      if (rec.version > max_committed) max_committed = rec.version;
+      return;
+    }
+    if (rec.version <= base) return;  // already in the checkpoint
+    if (committed.find(rec.version) == committed.end()) return;  // never sealed
+    Table* table = catalog->TableById(rec.table_id);
+    switch (rec.op) {
+      case WalOp::kInsert:
+        table->RecoverAppendRow(Row{rec.tuple, rec.version, kVersionMax});
+        break;
+      case WalOp::kUpdate:
+        table->RecoverCloseRow(rec.row, rec.version);
+        table->RecoverAppendRow(Row{rec.tuple, rec.version, kVersionMax});
+        break;
+      case WalOp::kDelete:
+        table->RecoverCloseRow(rec.row, rec.version);
+        break;
+      case WalOp::kCommit:
+        break;
+    }
+  });
+  if (!s.ok()) return s;
+  catalog->snapshots().Reset(max_committed);
+  return Status::OK();
+}
+
+}  // namespace shareddb

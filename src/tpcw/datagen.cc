@@ -1,0 +1,96 @@
+#include "tpcw/datagen.h"
+
+#include "tpcw/schema.h"
+
+namespace shareddb {
+namespace tpcw {
+
+void PopulateTpcw(Catalog* catalog, const TpcwScale& scale, uint64_t seed,
+                  IdAllocator* ids) {
+  Rng rng(seed);
+  const Version v = 1;
+
+  Table* country = catalog->MustGetTable(kCountry);
+  for (int i = 0; i < scale.NumCountries(); ++i) {
+    country->Insert({Value::Int(i), Value::Str("country" + std::to_string(i))}, v);
+  }
+
+  Table* address = catalog->MustGetTable(kAddress);
+  for (int i = 0; i < scale.NumAddresses(); ++i) {
+    address->Insert({Value::Int(i), Value::Str(rng.AlphaString(8, 16)),
+                     Value::Str(rng.AlphaString(4, 10)),
+                     Value::Int(rng.Uniform(0, scale.NumCountries() - 1))},
+                    v);
+  }
+
+  Table* customer = catalog->MustGetTable(kCustomer);
+  for (int i = 0; i < scale.NumCustomers(); ++i) {
+    const int64_t since = rng.Uniform(kTodayDay - 3000, kTodayDay - 1);
+    customer->Insert(
+        {Value::Int(i), Value::Str("user" + std::to_string(i)),
+         Value::Str(rng.AlphaString(4, 8)), Value::Str(rng.AlphaString(4, 10)),
+         Value::Int(rng.Uniform(0, scale.NumAddresses() - 1)), Value::Int(since),
+         Value::Int(since + 730), Value::Double(rng.Uniform(0, 50) / 100.0),
+         Value::Double(0.0)},
+        v);
+  }
+
+  Table* author = catalog->MustGetTable(kAuthor);
+  for (int i = 0; i < scale.NumAuthors(); ++i) {
+    author->Insert({Value::Int(i), Value::Str(rng.AlphaString(4, 8)),
+                    Value::Str("lname" + std::to_string(i))},
+                   v);
+  }
+
+  Table* item = catalog->MustGetTable(kItem);
+  for (int i = 0; i < scale.num_items; ++i) {
+    item->Insert({Value::Int(i),
+                  Value::Str("title " + std::to_string(i) + " " +
+                             rng.AlphaString(3, 10)),
+                  Value::Int(rng.Uniform(0, scale.NumAuthors() - 1)),
+                  Value::Int(i % scale.NumSubjects()),
+                  Value::Int(rng.Uniform(kTodayDay - 2000, kTodayDay)),
+                  Value::Double(1.0 + rng.Uniform(0, 9999) / 100.0),
+                  Value::Int(rng.Uniform(10, 30))},
+                 v);
+  }
+
+  Table* orders = catalog->MustGetTable(kOrders);
+  Table* order_line = catalog->MustGetTable(kOrderLine);
+  Table* cc = catalog->MustGetTable(kCcXacts);
+  int64_t next_ol = 0;
+  for (int o = 0; o < scale.NumOrders(); ++o) {
+    const int64_t c_id = rng.Uniform(0, scale.NumCustomers() - 1);
+    const int64_t date = rng.Uniform(kTodayDay - 365, kTodayDay);
+    const double total = rng.Uniform(1, 500) * 1.0;
+    orders->Insert({Value::Int(o), Value::Int(c_id), Value::Int(date),
+                    Value::Double(total),
+                    Value::Str(rng.Bernoulli(0.8) ? "SHIPPED" : "PENDING"),
+                    Value::Int(rng.Uniform(0, scale.NumAddresses() - 1))},
+                   v);
+    const int lines = static_cast<int>(rng.Uniform(1, 2 * scale.AvgOrderLines() - 1));
+    for (int l = 0; l < lines; ++l) {
+      order_line->Insert({Value::Int(next_ol++), Value::Int(o),
+                          Value::Int(rng.Uniform(0, scale.num_items - 1)),
+                          Value::Int(rng.Uniform(1, 5)),
+                          Value::Double(rng.Uniform(0, 30) / 100.0)},
+                         v);
+    }
+    cc->Insert({Value::Int(o), Value::Str("VISA"), Value::Double(total),
+                Value::Int(date)},
+               v);
+  }
+
+  // Shopping carts start empty; carts appear at runtime.
+  catalog->snapshots().Reset(v);
+
+  if (ids != nullptr) {
+    ids->next_order.store(scale.NumOrders());
+    ids->next_order_line.store(next_ol);
+    ids->next_cart.store(0);
+    ids->next_customer.store(scale.NumCustomers());
+  }
+}
+
+}  // namespace tpcw
+}  // namespace shareddb

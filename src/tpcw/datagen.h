@@ -1,0 +1,40 @@
+// TPC-W data generator: deterministic, seedable population of the ten
+// tables at a given scale (spec ratios; see params.h).
+
+#ifndef SHAREDDB_TPCW_DATAGEN_H_
+#define SHAREDDB_TPCW_DATAGEN_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "storage/catalog.h"
+#include "tpcw/params.h"
+
+namespace shareddb {
+namespace tpcw {
+
+/// Shared id allocator for entities created at runtime by the workload
+/// (orders, order lines, carts, customers...). Initialized past the loaded
+/// id ranges by PopulateTpcw.
+struct IdAllocator {
+  std::atomic<int64_t> next_order{0};
+  std::atomic<int64_t> next_order_line{0};
+  std::atomic<int64_t> next_cart{0};
+  std::atomic<int64_t> next_customer{0};
+
+  int64_t Order() { return next_order.fetch_add(1); }
+  int64_t OrderLine() { return next_order_line.fetch_add(1); }
+  int64_t Cart() { return next_cart.fetch_add(1); }
+  int64_t Customer() { return next_customer.fetch_add(1); }
+};
+
+/// Populates all tables at `scale` (commit version 1) and primes `ids`.
+/// Customer user names are "user<c_id>". Deterministic under `seed`.
+void PopulateTpcw(Catalog* catalog, const TpcwScale& scale, uint64_t seed,
+                  IdAllocator* ids);
+
+}  // namespace tpcw
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TPCW_DATAGEN_H_

@@ -1,0 +1,49 @@
+#include "tpcw/global_plan.h"
+
+#include "core/plan_builder.h"
+
+namespace shareddb {
+namespace tpcw {
+
+std::unique_ptr<GlobalPlan> BuildTpcwGlobalPlan(Catalog* catalog) {
+  GlobalPlanBuilder builder(catalog);
+  for (const TpcwStatementDef& s : BuildTpcwStatements(*catalog)) {
+    switch (s.kind) {
+      case TpcwStatementDef::Kind::kQuery:
+        builder.AddQuery(s.name, s.plan);
+        break;
+      case TpcwStatementDef::Kind::kInsert:
+        builder.AddInsert(s.name, s.table, s.row_values);
+        break;
+      case TpcwStatementDef::Kind::kUpdate:
+        builder.AddUpdate(s.name, s.table, s.sets, s.where);
+        break;
+      case TpcwStatementDef::Kind::kDelete:
+        builder.AddDelete(s.name, s.table, s.where);
+        break;
+    }
+  }
+  return builder.Build();
+}
+
+void RegisterTpcwBaseline(baseline::BaselineEngine* engine) {
+  for (const TpcwStatementDef& s : BuildTpcwStatements(*engine->catalog())) {
+    switch (s.kind) {
+      case TpcwStatementDef::Kind::kQuery:
+        engine->AddQuery(s.name, s.plan);
+        break;
+      case TpcwStatementDef::Kind::kInsert:
+        engine->AddInsert(s.name, s.table, s.row_values);
+        break;
+      case TpcwStatementDef::Kind::kUpdate:
+        engine->AddUpdate(s.name, s.table, s.sets, s.where);
+        break;
+      case TpcwStatementDef::Kind::kDelete:
+        engine->AddDelete(s.name, s.table, s.where);
+        break;
+    }
+  }
+}
+
+}  // namespace tpcw
+}  // namespace shareddb

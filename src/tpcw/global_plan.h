@@ -1,0 +1,27 @@
+// Registration of the TPC-W statement catalog into each engine. The
+// SharedDB side produces the Figure-6-style global plan (~26 shared
+// operators over the ten base tables); the baseline side registers the same
+// logical statements for per-query compilation.
+
+#ifndef SHAREDDB_TPCW_GLOBAL_PLAN_H_
+#define SHAREDDB_TPCW_GLOBAL_PLAN_H_
+
+#include <memory>
+
+#include "baseline/engine.h"
+#include "core/plan.h"
+#include "tpcw/statements.h"
+
+namespace shareddb {
+namespace tpcw {
+
+/// Merges all TPC-W statements into one global plan (Figure 6).
+std::unique_ptr<GlobalPlan> BuildTpcwGlobalPlan(Catalog* catalog);
+
+/// Registers all TPC-W statements into a query-at-a-time engine.
+void RegisterTpcwBaseline(baseline::BaselineEngine* engine);
+
+}  // namespace tpcw
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TPCW_GLOBAL_PLAN_H_

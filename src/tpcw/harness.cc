@@ -1,0 +1,28 @@
+#include "tpcw/harness.h"
+
+#include "tpcw/schema.h"
+
+namespace shareddb {
+namespace tpcw {
+
+std::unique_ptr<TpcwDatabase> MakeTpcwDatabase(const TpcwScale& scale,
+                                               uint64_t seed) {
+  auto db = std::make_unique<TpcwDatabase>();
+  db->scale = scale;
+  CreateTpcwTables(&db->catalog);
+  PopulateTpcw(&db->catalog, scale, seed, &db->ids);
+  return db;
+}
+
+size_t RunInteraction(WebInteraction wi, SyncConnection* conn,
+                      const TpcwScale& scale, EbState* eb, IdAllocator* ids,
+                      Rng* rng) {
+  const std::vector<StatementCall> calls = BuildInteraction(wi, scale, eb, ids, rng);
+  for (const StatementCall& call : calls) {
+    conn->Run(call.statement, call.params);
+  }
+  return calls.size();
+}
+
+}  // namespace tpcw
+}  // namespace shareddb

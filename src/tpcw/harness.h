@@ -1,0 +1,74 @@
+// TPC-W harness: assembles database + engines and runs interactions
+// synchronously on either engine (the functional path used by tests,
+// examples and work-measurement; the virtual-time load experiments live in
+// src/sim).
+
+#ifndef SHAREDDB_TPCW_HARNESS_H_
+#define SHAREDDB_TPCW_HARNESS_H_
+
+#include <memory>
+
+#include "baseline/engine.h"
+#include "core/engine.h"
+#include "tpcw/global_plan.h"
+#include "tpcw/interactions.h"
+
+namespace shareddb {
+namespace tpcw {
+
+/// A populated TPC-W database with its id allocator.
+struct TpcwDatabase {
+  Catalog catalog;
+  TpcwScale scale;
+  IdAllocator ids;
+};
+
+/// Creates tables, loads data, primes the id allocator.
+std::unique_ptr<TpcwDatabase> MakeTpcwDatabase(const TpcwScale& scale,
+                                               uint64_t seed);
+
+/// Engine-agnostic synchronous statement execution.
+class SyncConnection {
+ public:
+  virtual ~SyncConnection() = default;
+  virtual ResultSet Run(const std::string& statement, std::vector<Value> params) = 0;
+};
+
+/// Runs statements through the SharedDB engine, one heartbeat per call.
+class SharedDbConnection : public SyncConnection {
+ public:
+  explicit SharedDbConnection(Engine* engine) : engine_(engine) {}
+  ResultSet Run(const std::string& statement, std::vector<Value> params) override {
+    return engine_->ExecuteSyncNamed(statement, std::move(params));
+  }
+
+ private:
+  Engine* engine_;
+};
+
+/// Runs statements through the query-at-a-time engine; accumulates work.
+class BaselineConnection : public SyncConnection {
+ public:
+  explicit BaselineConnection(baseline::BaselineEngine* engine) : engine_(engine) {}
+  ResultSet Run(const std::string& statement, std::vector<Value> params) override {
+    baseline::BaselineResult r = engine_->ExecuteNamed(statement, params);
+    work_.Add(r.work);
+    return std::move(r.result);
+  }
+  const WorkStats& accumulated_work() const { return work_; }
+  void ResetWork() { work_ = WorkStats{}; }
+
+ private:
+  baseline::BaselineEngine* engine_;
+  WorkStats work_;
+};
+
+/// Executes one interaction's statements in order. Returns #statements run.
+size_t RunInteraction(WebInteraction wi, SyncConnection* conn,
+                      const TpcwScale& scale, EbState* eb, IdAllocator* ids,
+                      Rng* rng);
+
+}  // namespace tpcw
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TPCW_HARNESS_H_

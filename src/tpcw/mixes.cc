@@ -1,0 +1,90 @@
+#include "tpcw/mixes.h"
+
+#include "common/logging.h"
+
+namespace shareddb {
+namespace tpcw {
+
+namespace {
+
+// Percentages per (mix, interaction): the standard TPC-W mix table.
+// Rows: Browsing, Shopping, Ordering. Columns in WebInteraction order.
+constexpr double kMixTable[3][kNumInteractions] = {
+    // Home, NewPr, Best, Detail, SReq, SRes, Cart, CReg, BReq, BConf, OInq,
+    // ODisp, AReq, AConf
+    {29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30,
+     0.25, 0.10, 0.09},  // Browsing
+    {16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75,
+     0.66, 0.10, 0.09},  // Shopping
+    {9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18, 0.25,
+     0.22, 0.12, 0.11},  // Ordering
+};
+
+// Response-time constraints (seconds), per spec clause 5.1.1.1-ish; the
+// paper cites the 2..20 s range.
+constexpr double kTimeouts[kNumInteractions] = {
+    3,   // Home
+    5,   // NewProducts
+    5,   // BestSellers
+    3,   // ProductDetail
+    3,   // SearchRequest
+    10,  // SearchResults
+    3,   // ShoppingCart
+    3,   // CustomerRegistration
+    3,   // BuyRequest
+    5,   // BuyConfirm
+    3,   // OrderInquiry
+    3,   // OrderDisplay
+    3,   // AdminRequest
+    20,  // AdminConfirm
+};
+
+constexpr const char* kNames[kNumInteractions] = {
+    "Home",          "NewProducts",          "BestSellers",  "ProductDetail",
+    "SearchRequest", "SearchResults",        "ShoppingCart", "CustomerRegistration",
+    "BuyRequest",    "BuyConfirmation",      "OrderInquiry", "OrderDisplay",
+    "AdminRequest",  "AdminConfirm",
+};
+
+}  // namespace
+
+const char* InteractionName(WebInteraction wi) {
+  return kNames[static_cast<int>(wi)];
+}
+
+const char* MixName(Mix mix) {
+  switch (mix) {
+    case Mix::kBrowsing: return "Browsing";
+    case Mix::kShopping: return "Shopping";
+    case Mix::kOrdering: return "Ordering";
+  }
+  return "?";
+}
+
+double InteractionProbability(Mix mix, WebInteraction wi) {
+  return kMixTable[static_cast<int>(mix)][static_cast<int>(wi)];
+}
+
+double InteractionTimeoutSeconds(WebInteraction wi) {
+  return kTimeouts[static_cast<int>(wi)];
+}
+
+WebInteraction SampleInteraction(Mix mix, Rng* rng) {
+  const double* probs = kMixTable[static_cast<int>(mix)];
+  double total = 0;
+  for (int i = 0; i < kNumInteractions; ++i) total += probs[i];
+  double draw = rng->NextDouble() * total;
+  for (int i = 0; i < kNumInteractions; ++i) {
+    draw -= probs[i];
+    if (draw <= 0) return static_cast<WebInteraction>(i);
+  }
+  return WebInteraction::kHome;
+}
+
+double SampleThinkTimeSeconds(Rng* rng) {
+  const double t = rng->Exponential(kThinkTimeMeanSeconds);
+  return t > kThinkTimeMaxSeconds ? kThinkTimeMaxSeconds : t;
+}
+
+}  // namespace tpcw
+}  // namespace shareddb

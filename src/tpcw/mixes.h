@@ -1,0 +1,69 @@
+// TPC-W web interactions, workload mixes, and response-time constraints
+// (paper §5.1). The three mixes (Browsing / Shopping / Ordering) give each
+// of the 14 web interactions a probability; every interaction has a
+// spec-defined timeout (2..20 s) that defines "successful".
+//
+// Simplification (documented): the spec defines a Markov transition matrix
+// between interactions; like most research harnesses we draw interactions
+// i.i.d. from the mix's stationary probabilities, which preserves the mix
+// composition the paper reports.
+
+#ifndef SHAREDDB_TPCW_MIXES_H_
+#define SHAREDDB_TPCW_MIXES_H_
+
+#include <array>
+#include <string>
+
+#include "common/rng.h"
+
+namespace shareddb {
+namespace tpcw {
+
+/// The 14 TPC-W web interactions.
+enum class WebInteraction {
+  kHome = 0,
+  kNewProducts,
+  kBestSellers,
+  kProductDetail,
+  kSearchRequest,
+  kSearchResults,
+  kShoppingCart,
+  kCustomerRegistration,
+  kBuyRequest,
+  kBuyConfirm,
+  kOrderInquiry,
+  kOrderDisplay,
+  kAdminRequest,
+  kAdminConfirm,
+};
+
+inline constexpr int kNumInteractions = 14;
+
+/// The three workload mixes.
+enum class Mix { kBrowsing, kShopping, kOrdering };
+
+/// Display names.
+const char* InteractionName(WebInteraction wi);
+const char* MixName(Mix mix);
+
+/// Probability (in percent) of `wi` under `mix` (TPC-W spec Table 145-ish).
+double InteractionProbability(Mix mix, WebInteraction wi);
+
+/// Spec response-time constraint for `wi`, in seconds.
+double InteractionTimeoutSeconds(WebInteraction wi);
+
+/// Mean think time between interactions (spec: negative exponential, 7 s).
+inline constexpr double kThinkTimeMeanSeconds = 7.0;
+/// Spec cap on a single think time draw.
+inline constexpr double kThinkTimeMaxSeconds = 70.0;
+
+/// Draws an interaction from the mix distribution.
+WebInteraction SampleInteraction(Mix mix, Rng* rng);
+
+/// Draws a capped exponential think time.
+double SampleThinkTimeSeconds(Rng* rng);
+
+}  // namespace tpcw
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TPCW_MIXES_H_

@@ -1,0 +1,92 @@
+#include "tpcw/schema.h"
+
+namespace shareddb {
+namespace tpcw {
+
+void CreateTpcwTables(Catalog* catalog) {
+  using VT = ValueType;
+
+  Table* country = catalog->CreateTable(
+      kCountry, Schema::Make({{"co_id", VT::kInt}, {"co_name", VT::kString}}));
+  country->CreateIndex("country_id", "co_id");
+
+  Table* address = catalog->CreateTable(
+      kAddress, Schema::Make({{"addr_id", VT::kInt},
+                              {"addr_street", VT::kString},
+                              {"addr_city", VT::kString},
+                              {"addr_co_id", VT::kInt}}));
+  address->CreateIndex("address_id", "addr_id");
+
+  Table* customer = catalog->CreateTable(
+      kCustomer, Schema::Make({{"c_id", VT::kInt},
+                               {"c_uname", VT::kString},
+                               {"c_fname", VT::kString},
+                               {"c_lname", VT::kString},
+                               {"c_addr_id", VT::kInt},
+                               {"c_since", VT::kInt},       // day number
+                               {"c_expiration", VT::kInt},  // day number
+                               {"c_discount", VT::kDouble},
+                               {"c_balance", VT::kDouble}}));
+  customer->CreateIndex("customer_id", "c_id");
+  customer->CreateIndex("customer_uname", "c_uname");
+
+  Table* author = catalog->CreateTable(
+      kAuthor, Schema::Make({{"a_id", VT::kInt},
+                             {"a_fname", VT::kString},
+                             {"a_lname", VT::kString}}));
+  author->CreateIndex("author_id", "a_id");
+  author->CreateIndex("author_lname", "a_lname");
+
+  Table* item = catalog->CreateTable(
+      kItem, Schema::Make({{"i_id", VT::kInt},
+                           {"i_title", VT::kString},
+                           {"i_a_id", VT::kInt},
+                           {"i_subject", VT::kInt},   // subject id 0..23
+                           {"i_pub_date", VT::kInt},  // day number
+                           {"i_price", VT::kDouble},
+                           {"i_stock", VT::kInt}}));
+  item->CreateIndex("item_id", "i_id");
+  item->CreateIndex("item_subject", "i_subject");
+  item->CreateIndex("item_title", "i_title");
+
+  Table* orders = catalog->CreateTable(
+      kOrders, Schema::Make({{"o_id", VT::kInt},
+                             {"o_c_id", VT::kInt},
+                             {"o_date", VT::kInt},  // day number
+                             {"o_total", VT::kDouble},
+                             {"o_status", VT::kString},
+                             {"o_ship_addr_id", VT::kInt}}));
+  orders->CreateIndex("orders_id", "o_id");
+  orders->CreateIndex("orders_customer", "o_c_id");
+
+  Table* order_line = catalog->CreateTable(
+      kOrderLine, Schema::Make({{"ol_id", VT::kInt},
+                                {"ol_o_id", VT::kInt},
+                                {"ol_i_id", VT::kInt},
+                                {"ol_qty", VT::kInt},
+                                {"ol_discount", VT::kDouble}}));
+  order_line->CreateIndex("order_line_order", "ol_o_id");
+  order_line->CreateIndex("order_line_item", "ol_i_id");
+
+  Table* cc = catalog->CreateTable(
+      kCcXacts, Schema::Make({{"cx_o_id", VT::kInt},
+                              {"cx_type", VT::kString},
+                              {"cx_amount", VT::kDouble},
+                              {"cx_date", VT::kInt}}));
+  cc->CreateIndex("cc_xacts_order", "cx_o_id");
+
+  Table* cart = catalog->CreateTable(
+      kShoppingCart, Schema::Make({{"sc_id", VT::kInt},
+                                   {"sc_c_id", VT::kInt},
+                                   {"sc_date", VT::kInt}}));
+  cart->CreateIndex("cart_id", "sc_id");
+
+  Table* cart_line = catalog->CreateTable(
+      kShoppingCartLine, Schema::Make({{"scl_sc_id", VT::kInt},
+                                       {"scl_i_id", VT::kInt},
+                                       {"scl_qty", VT::kInt}}));
+  cart_line->CreateIndex("cart_line_cart", "scl_sc_id");
+}
+
+}  // namespace tpcw
+}  // namespace shareddb

@@ -1,0 +1,34 @@
+// TPC-W schema: the online-bookstore tables (paper §5.1, Figure 6).
+// Ten tables: the eight standard TPC-W tables (CUSTOMER, ADDRESS, COUNTRY,
+// ORDERS, ORDER_LINE, CC_XACTS, ITEM, AUTHOR) plus the shopping-cart pair
+// (SHOPPING_CART, SHOPPING_CART_LINE) that Figure 6's plan reads.
+// Columns are a representative subset of the spec's (every column used by a
+// query in the workload is present).
+
+#ifndef SHAREDDB_TPCW_SCHEMA_H_
+#define SHAREDDB_TPCW_SCHEMA_H_
+
+#include "storage/catalog.h"
+
+namespace shareddb {
+namespace tpcw {
+
+/// Creates all ten TPC-W tables (empty) plus their indexes in `catalog`.
+void CreateTpcwTables(Catalog* catalog);
+
+/// Table names.
+inline constexpr const char* kCountry = "country";
+inline constexpr const char* kAddress = "address";
+inline constexpr const char* kCustomer = "customer";
+inline constexpr const char* kAuthor = "author";
+inline constexpr const char* kItem = "item";
+inline constexpr const char* kOrders = "orders";
+inline constexpr const char* kOrderLine = "order_line";
+inline constexpr const char* kCcXacts = "cc_xacts";
+inline constexpr const char* kShoppingCart = "shopping_cart";
+inline constexpr const char* kShoppingCartLine = "shopping_cart_line";
+
+}  // namespace tpcw
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TPCW_SCHEMA_H_

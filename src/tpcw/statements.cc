@@ -1,0 +1,234 @@
+#include "tpcw/statements.h"
+
+#include "tpcw/schema.h"
+
+namespace shareddb {
+namespace tpcw {
+
+using logical::LogicalPtr;
+
+namespace {
+
+ExprPtr ColEq(const Schema& s, const std::string& col, size_t param) {
+  return Expr::Eq(Expr::Column(s, col), Expr::Param(param));
+}
+
+}  // namespace
+
+std::vector<TpcwStatementDef> BuildTpcwStatements(const Catalog& catalog) {
+  std::vector<TpcwStatementDef> out;
+  const Schema& customer = *catalog.MustGetTable(kCustomer)->schema();
+  const Schema& item = *catalog.MustGetTable(kItem)->schema();
+  const Schema& author = *catalog.MustGetTable(kAuthor)->schema();
+  const Schema& orders = *catalog.MustGetTable(kOrders)->schema();
+  const Schema& order_line = *catalog.MustGetTable(kOrderLine)->schema();
+  const Schema& cart_line = *catalog.MustGetTable(kShoppingCartLine)->schema();
+
+  auto query = [&](std::string name, LogicalPtr plan) {
+    TpcwStatementDef d;
+    d.name = std::move(name);
+    d.kind = TpcwStatementDef::Kind::kQuery;
+    d.plan = std::move(plan);
+    out.push_back(std::move(d));
+  };
+
+  // ---------------------------------------------------------------- queries
+
+  // Point accesses through shared index probes (§4.4).
+  query("customer_by_id",
+        logical::Probe(kCustomer, "customer_id", ColEq(customer, "c_id", 0)));
+  query("customer_by_uname",
+        logical::Probe(kCustomer, "customer_uname", ColEq(customer, "c_uname", 0)));
+  query("item_by_id", logical::Probe(kItem, "item_id", ColEq(item, "i_id", 0)));
+  query("cart_by_id", logical::Probe(kShoppingCart, "cart_id",
+                                     ColEq(*catalog.MustGetTable(kShoppingCart)
+                                                ->schema(),
+                                           "sc_id", 0)));
+  query("orders_by_customer",
+        logical::Probe(kOrders, "orders_customer", ColEq(orders, "o_c_id", 0)));
+
+  // BuyRequest: customer ⋈ address ⋈ country through index NL joins.
+  query("customer_full",
+        logical::IndexJoin(
+            logical::IndexJoin(
+                logical::Probe(kCustomer, "customer_id", ColEq(customer, "c_id", 0)),
+                kAddress, "address_id", "c_addr_id", nullptr, "", "a"),
+            kCountry, "country_id", "a.addr_co_id", nullptr, "", "co"));
+
+  // ProductDetail / AdminRequest: item ⋈ author point query.
+  query("product_detail",
+        logical::IndexJoin(
+            logical::Probe(kItem, "item_id", ColEq(item, "i_id", 0)), kAuthor,
+            "author_id", "i_a_id", nullptr, "i", "a"));
+
+  // The shared item ⋈ author analytical join (Fig 6: feeds the search and
+  // new-products pipelines). Selective item access goes through SHARED INDEX
+  // PROBES (§4.4: "index probe operators are used to implement regular scans
+  // (with predicates) on base tables"); the join and Top-N nodes are shared.
+  auto subject_items_author = [&](size_t subject_param) {
+    return logical::HashJoin(
+        logical::Probe(kItem, "item_subject",
+                       ColEq(item, "i_subject", subject_param)),
+        logical::Scan(kAuthor), "i_a_id", "a_id", nullptr, "i", "a");
+  };
+
+  // Home (promotions) & NewProducts: Top-N by publication date. One shared
+  // Top-N node; limits differ per statement (5 vs 50).
+  query("promo_items",
+        logical::TopN(subject_items_author(0),
+                      {{"i.i_pub_date", false}, {"i.i_title", true}},
+                      Expr::Literal(Value::Int(5))));
+  query("new_products",
+        logical::TopN(subject_items_author(0),
+                      {{"i.i_pub_date", false}, {"i.i_title", true}},
+                      Expr::Literal(Value::Int(50))));
+
+  // SearchResults: three variants share the Top-N (by title) shape (Fig 6).
+  // The anchored prefix searches (spec: "titles starting with") become
+  // B-tree ranges on both engines via the predicate analyzer (predicate.cc).
+  query("search_by_subject",
+        logical::TopN(subject_items_author(0),
+                      {{"i.i_title", true}, {"i.i_id", true}},
+                      Expr::Literal(Value::Int(50))));
+  query("search_by_title",
+        logical::TopN(
+            logical::HashJoin(
+                logical::Probe(kItem, "item_title",
+                               Expr::LikeParam(Expr::Column(item, "i_title"), 0,
+                                               /*case_insensitive=*/false)),
+                logical::Scan(kAuthor), "i_a_id", "a_id", nullptr, "i", "a"),
+            {{"i.i_title", true}, {"i.i_id", true}},
+            Expr::Literal(Value::Int(50))));
+  query("search_by_author",
+        logical::TopN(
+            logical::HashJoin(
+                logical::Scan(kItem),
+                logical::Probe(kAuthor, "author_lname",
+                               Expr::LikeParam(Expr::Column(author, "a_lname"), 0,
+                                               /*case_insensitive=*/false)),
+                "i_a_id", "a_id", nullptr, "i", "a"),
+            {{"i.i_title", true}, {"i.i_id", true}},
+            Expr::Literal(Value::Int(50))));
+
+  // BestSellers: analyze recent orders — order_line ⋈ orders(recent) ⋈
+  // item(subject), group by item, order by units sold. AdminConfirm's
+  // related-items query shares the whole pipeline with a different limit
+  // (substitution for the spec's ordered-together query; same shape:
+  // heavy join + aggregation over recent orders).
+  auto best_sellers_pipeline = [&] {
+    auto ol_orders = logical::HashJoin(
+        logical::Scan(kOrderLine),
+        logical::Scan(kOrders, Expr::Gt(Expr::Column(orders, "o_date"),
+                                        Expr::Param(1))),
+        "ol_o_id", "o_id", nullptr, "ol", "o");
+    auto with_item = logical::HashJoin(
+        ol_orders,
+        logical::Probe(kItem, "item_subject", ColEq(item, "i_subject", 0)),
+        "ol.ol_i_id", "i_id", nullptr, "", "i");
+    auto grouped = logical::GroupBy(
+        with_item, {"i.i_id", "i.i_title"},
+        {{AggSpec{AggFunc::kSum, -1, "units"}, "ol.ol_qty"}});
+    return logical::TopN(grouped, {{"units", false}, {"i.i_id", true}},
+                         Expr::Literal(Value::Int(50)));
+  };
+  query("best_sellers", best_sellers_pipeline());
+  {
+    auto related = best_sellers_pipeline();
+    // Same fingerprint as best_sellers' root: shares every operator; only
+    // the limit config differs.
+    auto relN = std::make_shared<logical::LogicalNode>(*related);
+    relN->limit = Expr::Literal(Value::Int(5));
+    query("related_items", relN);
+  }
+
+  // Shopping cart display: cart lines ⋈ item.
+  query("cart_lines",
+        logical::IndexJoin(
+            logical::Probe(kShoppingCartLine, "cart_line_cart",
+                           ColEq(cart_line, "scl_sc_id", 0)),
+            kItem, "item_id", "scl_i_id", nullptr, "l", "i"));
+
+  // OrderDisplay: the customer's most recent order + its lines with items.
+  query("last_order",
+        logical::TopN(logical::Probe(kOrders, "orders_customer",
+                                     ColEq(orders, "o_c_id", 0)),
+                      {{"o_date", false}, {"o_id", false}},
+                      Expr::Literal(Value::Int(1))));
+  query("order_lines",
+        logical::IndexJoin(
+            logical::Probe(kOrderLine, "order_line_order",
+                           ColEq(order_line, "ol_o_id", 0)),
+            kItem, "item_id", "ol_i_id", nullptr, "l", "i"));
+
+  // CustomerRegistration: country list for the form.
+  query("country_list", logical::Scan(kCountry));
+
+  // ----------------------------------------------------------------- DML
+
+  auto insert = [&](std::string name, std::string table, size_t columns) {
+    TpcwStatementDef d;
+    d.name = std::move(name);
+    d.kind = TpcwStatementDef::Kind::kInsert;
+    d.table = std::move(table);
+    for (size_t i = 0; i < columns; ++i) d.row_values.push_back(Expr::Param(i));
+    out.push_back(std::move(d));
+  };
+
+  insert("insert_customer", kCustomer, customer.num_columns());
+  insert("insert_order", kOrders, orders.num_columns());
+  insert("insert_order_line", kOrderLine, order_line.num_columns());
+  insert("insert_cc_xact", kCcXacts,
+         catalog.MustGetTable(kCcXacts)->schema()->num_columns());
+  insert("insert_cart", kShoppingCart,
+         catalog.MustGetTable(kShoppingCart)->schema()->num_columns());
+  insert("insert_cart_line", kShoppingCartLine, cart_line.num_columns());
+
+  auto update = [&](std::string name, std::string table,
+                    std::vector<std::pair<std::string, ExprPtr>> sets,
+                    ExprPtr where) {
+    TpcwStatementDef d;
+    d.name = std::move(name);
+    d.kind = TpcwStatementDef::Kind::kUpdate;
+    d.table = std::move(table);
+    d.sets = std::move(sets);
+    d.where = std::move(where);
+    out.push_back(std::move(d));
+  };
+
+  // BuyConfirm: stock decrement (+ spec's restock when depleted).
+  update("decrement_stock", kItem,
+         {{"i_stock", Expr::Sub(Expr::Column(item, "i_stock"), Expr::Param(1))}},
+         ColEq(item, "i_id", 0));
+  update("restock_item", kItem,
+         {{"i_stock", Expr::Add(Expr::Column(item, "i_stock"),
+                                Expr::Literal(Value::Int(21)))}},
+         ColEq(item, "i_id", 0));
+  // ShoppingCart refresh.
+  update("update_cart_line_qty", kShoppingCartLine, {{"scl_qty", Expr::Param(2)}},
+         Expr::And({ColEq(cart_line, "scl_sc_id", 0),
+                    ColEq(cart_line, "scl_i_id", 1)}));
+  // AdminConfirm: item maintenance.
+  update("update_item_admin", kItem,
+         {{"i_price", Expr::Param(1)}, {"i_pub_date", Expr::Param(2)}},
+         ColEq(item, "i_id", 0));
+  // BuyConfirm: order completion.
+  update("update_order_status", kOrders, {{"o_status", Expr::Param(1)}},
+         ColEq(orders, "o_id", 0));
+  // CustomerRegistration: returning customer refresh.
+  update("refresh_customer", kCustomer, {{"c_expiration", Expr::Param(1)}},
+         ColEq(customer, "c_id", 0));
+
+  {
+    TpcwStatementDef d;
+    d.name = "clear_cart";
+    d.kind = TpcwStatementDef::Kind::kDelete;
+    d.table = kShoppingCartLine;
+    d.where = ColEq(cart_line, "scl_sc_id", 0);
+    out.push_back(std::move(d));
+  }
+
+  return out;
+}
+
+}  // namespace tpcw
+}  // namespace shareddb

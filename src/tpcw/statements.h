@@ -1,0 +1,45 @@
+// The TPC-W prepared statements ("the implementation of the TPC-W benchmark
+// involves about thirty different JDBC PreparedStatements", paper §2).
+//
+// Each statement is defined ONCE as a logical plan (queries) or update
+// template (DML), in predicate-pushed-down form (step 1 of Figure 3), and is
+// registered both into the SharedDB global plan (which merges them, step 2)
+// and into the baseline engine (which compiles each per-query). This single
+// source of truth gives differential testing across engines for free.
+
+#ifndef SHAREDDB_TPCW_STATEMENTS_H_
+#define SHAREDDB_TPCW_STATEMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/logical.h"
+#include "storage/catalog.h"
+#include "storage/clock_scan.h"
+
+namespace shareddb {
+namespace tpcw {
+
+/// One prepared statement of the workload.
+struct TpcwStatementDef {
+  enum class Kind { kQuery, kInsert, kUpdate, kDelete };
+
+  std::string name;
+  Kind kind = Kind::kQuery;
+
+  logical::LogicalPtr plan;  // kQuery
+
+  std::string table;                                    // DML
+  std::vector<ExprPtr> row_values;                      // kInsert
+  std::vector<std::pair<std::string, ExprPtr>> sets;    // kUpdate
+  ExprPtr where;                                        // kUpdate / kDelete
+};
+
+/// Builds the full statement catalog against a TPC-W catalog
+/// (CreateTpcwTables must have run). ~30 statements.
+std::vector<TpcwStatementDef> BuildTpcwStatements(const Catalog& catalog);
+
+}  // namespace tpcw
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TPCW_STATEMENTS_H_

@@ -1,0 +1,183 @@
+// B+-tree tests: point/range/duplicate behaviour plus a randomized property
+// sweep against std::multimap across fanouts (deep trees included).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/rng.h"
+#include "storage/btree_index.h"
+
+namespace shareddb {
+namespace {
+
+TEST(BTreeTest, EmptyLookup) {
+  BTreeIndex t;
+  std::vector<RowId> rows;
+  t.Lookup(Value::Int(1), &rows);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(t.size(), 0u);
+  t.CheckInvariants();
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTreeIndex t;
+  for (int i = 0; i < 100; ++i) t.Insert(Value::Int(i), static_cast<RowId>(i * 10));
+  for (int i = 0; i < 100; ++i) {
+    std::vector<RowId> rows;
+    t.Lookup(Value::Int(i), &rows);
+    ASSERT_EQ(rows.size(), 1u) << i;
+    EXPECT_EQ(rows[0], static_cast<RowId>(i * 10));
+  }
+  EXPECT_EQ(t.size(), 100u);
+  t.CheckInvariants();
+}
+
+TEST(BTreeTest, DuplicateKeys) {
+  BTreeIndex t(4);  // tiny fanout forces duplicate runs across leaves
+  for (RowId r = 0; r < 50; ++r) t.Insert(Value::Int(7), r);
+  for (RowId r = 0; r < 5; ++r) t.Insert(Value::Int(8), 100 + r);
+  std::vector<RowId> rows;
+  t.Lookup(Value::Int(7), &rows);
+  EXPECT_EQ(rows.size(), 50u);
+  rows.clear();
+  t.Lookup(Value::Int(8), &rows);
+  EXPECT_EQ(rows.size(), 5u);
+  t.CheckInvariants();
+}
+
+TEST(BTreeTest, RemoveSpecificEntry) {
+  BTreeIndex t;
+  t.Insert(Value::Int(1), 10);
+  t.Insert(Value::Int(1), 11);
+  t.Insert(Value::Int(2), 20);
+  EXPECT_TRUE(t.Remove(Value::Int(1), 10));
+  EXPECT_FALSE(t.Remove(Value::Int(1), 10));  // already gone
+  EXPECT_FALSE(t.Remove(Value::Int(3), 1));   // never existed
+  std::vector<RowId> rows;
+  t.Lookup(Value::Int(1), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 11u);
+  EXPECT_EQ(t.size(), 2u);
+  t.CheckInvariants();
+}
+
+TEST(BTreeTest, RangeScanBounds) {
+  BTreeIndex t;
+  for (int i = 0; i < 50; ++i) t.Insert(Value::Int(i), static_cast<RowId>(i));
+  std::vector<int64_t> got;
+  t.Range(Value::Int(10), true, Value::Int(20), false,
+          [&](const Value& k, RowId) {
+            got.push_back(k.AsInt());
+            return true;
+          });
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_EQ(got.front(), 10);
+  EXPECT_EQ(got.back(), 19);
+
+  got.clear();
+  t.Range(std::nullopt, true, Value::Int(3), true, [&](const Value& k, RowId) {
+    got.push_back(k.AsInt());
+    return true;
+  });
+  EXPECT_EQ(got, (std::vector<int64_t>{0, 1, 2, 3}));
+
+  got.clear();
+  t.Range(Value::Int(47), false, std::nullopt, true, [&](const Value& k, RowId) {
+    got.push_back(k.AsInt());
+    return true;
+  });
+  EXPECT_EQ(got, (std::vector<int64_t>{48, 49}));
+}
+
+TEST(BTreeTest, RangeEarlyStop) {
+  BTreeIndex t;
+  for (int i = 0; i < 100; ++i) t.Insert(Value::Int(i), static_cast<RowId>(i));
+  int seen = 0;
+  t.Range(std::nullopt, true, std::nullopt, true, [&](const Value&, RowId) {
+    return ++seen < 5;
+  });
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(BTreeTest, StringKeys) {
+  BTreeIndex t;
+  t.Insert(Value::Str("banana"), 1);
+  t.Insert(Value::Str("apple"), 2);
+  t.Insert(Value::Str("cherry"), 3);
+  std::vector<std::string> got;
+  t.Range(std::nullopt, true, std::nullopt, true, [&](const Value& k, RowId) {
+    got.push_back(k.AsString());
+    return true;
+  });
+  EXPECT_EQ(got, (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+TEST(BTreeTest, DeepTreeHeightGrows) {
+  BTreeIndex t(4);
+  EXPECT_EQ(t.height(), 1);
+  for (int i = 0; i < 1000; ++i) t.Insert(Value::Int(i), static_cast<RowId>(i));
+  EXPECT_GE(t.height(), 4);
+  t.CheckInvariants();
+  std::vector<RowId> rows;
+  t.Lookup(Value::Int(999), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+}
+
+// --- randomized property sweep over fanouts ------------------------------------
+
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, MatchesMultimapUnderRandomOps) {
+  const int fanout = GetParam();
+  BTreeIndex tree(fanout);
+  std::multimap<int64_t, RowId> ref;
+  Rng rng(fanout * 1000 + 17);
+
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng.Uniform(0, 9));
+    const int64_t key = rng.Uniform(0, 60);
+    if (op < 5) {  // insert
+      const RowId row = static_cast<RowId>(rng.Uniform(0, 1000));
+      tree.Insert(Value::Int(key), row);
+      ref.emplace(key, row);
+    } else if (op < 7) {  // remove a random existing entry for this key
+      auto [lo, hi] = ref.equal_range(key);
+      if (lo != hi) {
+        tree.Remove(Value::Int(lo->first), lo->second);
+        ref.erase(lo);
+      }
+    } else if (op < 8) {  // point lookup
+      std::vector<RowId> rows;
+      tree.Lookup(Value::Int(key), &rows);
+      auto [lo, hi] = ref.equal_range(key);
+      std::multiset<RowId> expect;
+      for (auto it = lo; it != hi; ++it) expect.insert(it->second);
+      EXPECT_EQ(std::multiset<RowId>(rows.begin(), rows.end()), expect)
+          << "key=" << key << " step=" << step;
+    } else {  // range scan
+      const int64_t lo_key = rng.Uniform(0, 60);
+      const int64_t hi_key = lo_key + rng.Uniform(0, 20);
+      std::multiset<std::pair<int64_t, RowId>> got, expect;
+      tree.Range(Value::Int(lo_key), true, Value::Int(hi_key), true,
+                 [&](const Value& k, RowId r) {
+                   got.insert({k.AsInt(), r});
+                   return true;
+                 });
+      for (auto it = ref.lower_bound(lo_key); it != ref.end() && it->first <= hi_key;
+           ++it) {
+        expect.insert({it->first, it->second});
+      }
+      EXPECT_EQ(got, expect) << "range=[" << lo_key << "," << hi_key << "]";
+    }
+  }
+  EXPECT_EQ(tree.size(), ref.size());
+  tree.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreePropertyTest,
+                         ::testing::Values(4, 8, 16, 64, 256));
+
+}  // namespace
+}  // namespace shareddb

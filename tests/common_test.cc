@@ -1,0 +1,308 @@
+// Tests for the common substrate: Value, QueryIdSet, Schema, DQBatch, Rng.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/batch.h"
+#include "common/query_id_set.h"
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/string_util.h"
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace shareddb {
+namespace {
+
+// --- Value -------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Str("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Int(7).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(5).Compare(Value::Int(-5)), 0);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.5).Compare(Value::Int(4)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("").Compare(Value::Str("")), 0);
+  // Numerics order before strings in the total order.
+  EXPECT_LT(Value::Int(999).Compare(Value::Str("0")), 0);
+}
+
+TEST(ValueTest, NullOrdersFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Str("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashEqualForNumericEqual) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_NE(Value::Int(7).Hash(), Value::Int(8).Hash());
+}
+
+TEST(ValueTest, HashStringStability) {
+  EXPECT_EQ(Value::Str("hello").Hash(), Value::Str("hello").Hash());
+  EXPECT_NE(Value::Str("hello").Hash(), Value::Str("hellp").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::Str("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(ValueTest, OperatorOverloads) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Int(2) == Value::Double(2.0));
+  EXPECT_TRUE(Value::Str("b") >= Value::Str("a"));
+  EXPECT_TRUE(Value::Int(1) != Value::Int(3));
+}
+
+// --- QueryIdSet ----------------------------------------------------------------
+
+TEST(QueryIdSetTest, EmptyAndSingleton) {
+  QueryIdSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  QueryIdSet one(7);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one.Contains(7));
+  EXPECT_FALSE(one.Contains(8));
+}
+
+TEST(QueryIdSetTest, InitializerListDedupesAndSorts) {
+  QueryIdSet s{5, 1, 3, 5, 1};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids(), (std::vector<QueryId>{1, 3, 5}));
+}
+
+TEST(QueryIdSetTest, InsertKeepsOrder) {
+  QueryIdSet s;
+  s.Insert(5);
+  s.Insert(1);
+  s.Insert(3);
+  s.Insert(3);
+  EXPECT_EQ(s.ids(), (std::vector<QueryId>{1, 3, 5}));
+}
+
+TEST(QueryIdSetTest, IntersectAndUnion) {
+  QueryIdSet a{1, 2, 3, 7};
+  QueryIdSet b{2, 3, 4};
+  EXPECT_EQ(a.Intersect(b).ids(), (std::vector<QueryId>{2, 3}));
+  EXPECT_EQ(a.Union(b).ids(), (std::vector<QueryId>{1, 2, 3, 4, 7}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersect(QueryIdSet{9}).size());
+  EXPECT_FALSE(a.Intersects(QueryIdSet{9}));
+}
+
+TEST(QueryIdSetTest, IntersectEmpty) {
+  QueryIdSet a{1, 2};
+  QueryIdSet empty;
+  EXPECT_TRUE(a.Intersect(empty).empty());
+  EXPECT_FALSE(a.Intersects(empty));
+}
+
+// Property test: set algebra agrees with std::set on random inputs.
+TEST(QueryIdSetTest, PropertyMatchesStdSet) {
+  Rng rng(42);
+  for (int round = 0; round < 200; ++round) {
+    std::set<QueryId> ra, rb;
+    QueryIdSet a, b;
+    const int na = static_cast<int>(rng.Uniform(0, 20));
+    const int nb = static_cast<int>(rng.Uniform(0, 20));
+    for (int i = 0; i < na; ++i) {
+      const QueryId id = static_cast<QueryId>(rng.Uniform(0, 30));
+      ra.insert(id);
+      a.Insert(id);
+    }
+    for (int i = 0; i < nb; ++i) {
+      const QueryId id = static_cast<QueryId>(rng.Uniform(0, 30));
+      rb.insert(id);
+      b.Insert(id);
+    }
+    std::set<QueryId> rinter, runion;
+    for (const QueryId x : ra) {
+      if (rb.count(x)) rinter.insert(x);
+    }
+    runion = ra;
+    runion.insert(rb.begin(), rb.end());
+
+    const QueryIdSet inter = a.Intersect(b);
+    const QueryIdSet uni = a.Union(b);
+    EXPECT_EQ(std::vector<QueryId>(rinter.begin(), rinter.end()), inter.ids());
+    EXPECT_EQ(std::vector<QueryId>(runion.begin(), runion.end()), uni.ids());
+    EXPECT_EQ(!rinter.empty(), a.Intersects(b));
+    for (QueryId probe = 0; probe < 30; ++probe) {
+      EXPECT_EQ(ra.count(probe) > 0, a.Contains(probe));
+    }
+  }
+}
+
+TEST(QueryIdBitmapTest, Basics) {
+  QueryIdBitmap bm(200);
+  bm.Insert(0);
+  bm.Insert(63);
+  bm.Insert(64);
+  bm.Insert(199);
+  EXPECT_TRUE(bm.Contains(0));
+  EXPECT_TRUE(bm.Contains(63));
+  EXPECT_TRUE(bm.Contains(64));
+  EXPECT_TRUE(bm.Contains(199));
+  EXPECT_FALSE(bm.Contains(100));
+  EXPECT_EQ(bm.PopCount(), 4u);
+
+  QueryIdBitmap other(200);
+  other.Insert(63);
+  other.Insert(100);
+  bm.IntersectWith(other);
+  EXPECT_TRUE(bm.Contains(63));
+  EXPECT_FALSE(bm.Contains(0));
+  EXPECT_TRUE(bm.Any());
+  EXPECT_EQ(bm.PopCount(), 1u);
+}
+
+// --- Schema --------------------------------------------------------------------
+
+TEST(SchemaTest, LookupAndProject) {
+  auto s = Schema::Make({{"id", ValueType::kInt},
+                         {"name", ValueType::kString},
+                         {"price", ValueType::kDouble}});
+  EXPECT_EQ(s->num_columns(), 3u);
+  EXPECT_EQ(s->ColumnIndex("name"), 1u);
+  EXPECT_EQ(s->FindColumn("missing"), -1);
+  auto p = s->Project({2, 0});
+  EXPECT_EQ(p->num_columns(), 2u);
+  EXPECT_EQ(p->column(0).name, "price");
+  EXPECT_EQ(p->column(1).name, "id");
+}
+
+TEST(SchemaTest, JoinWithPrefixes) {
+  auto a = Schema::Make({{"id", ValueType::kInt}});
+  auto b = Schema::Make({{"id", ValueType::kInt}, {"x", ValueType::kDouble}});
+  auto j = Schema::Join(*a, *b, "l", "r");
+  EXPECT_EQ(j->num_columns(), 3u);
+  EXPECT_EQ(j->column(0).name, "l.id");
+  EXPECT_EQ(j->column(1).name, "r.id");
+  EXPECT_EQ(j->column(2).name, "r.x");
+}
+
+TEST(SchemaTest, Equals) {
+  auto a = Schema::Make({{"id", ValueType::kInt}});
+  auto b = Schema::Make({{"id", ValueType::kInt}});
+  auto c = Schema::Make({{"id", ValueType::kString}});
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+// --- Tuple / DQBatch -------------------------------------------------------------
+
+TEST(TupleTest, EqualityAndOrdering) {
+  Tuple a{Value::Int(1), Value::Str("x")};
+  Tuple b{Value::Int(1), Value::Str("x")};
+  Tuple c{Value::Int(1), Value::Str("y")};
+  EXPECT_TRUE(TuplesEqual(a, b));
+  EXPECT_FALSE(TuplesEqual(a, c));
+  EXPECT_TRUE(TupleLess(a, c));
+  EXPECT_EQ(TupleHash(a), TupleHash(b));
+}
+
+TEST(DQBatchTest, CompactRemovesDeadTuples) {
+  DQBatch b(Schema::Make({{"v", ValueType::kInt}}));
+  b.Push({Value::Int(1)}, QueryIdSet{1});
+  b.Push({Value::Int(2)}, QueryIdSet{});
+  b.Push({Value::Int(3)}, QueryIdSet{2, 3});
+  EXPECT_EQ(b.Compact(), 1u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.tuples[0][0].AsInt(), 1);
+  EXPECT_EQ(b.tuples[1][0].AsInt(), 3);
+  b.CheckValid();
+}
+
+TEST(DQBatchTest, RowsForAndMembership) {
+  DQBatch b(Schema::Make({{"v", ValueType::kInt}}));
+  b.Push({Value::Int(1)}, QueryIdSet{1, 2});
+  b.Push({Value::Int(2)}, QueryIdSet{2});
+  b.Push({Value::Int(3)}, QueryIdSet{1});
+  EXPECT_EQ(b.RowsFor(1).size(), 2u);
+  EXPECT_EQ(b.RowsFor(2).size(), 2u);
+  EXPECT_EQ(b.RowsFor(3).size(), 0u);
+  // NF² membership count = what first-normal-form would have materialized.
+  EXPECT_EQ(b.MembershipCount(), 4u);
+}
+
+TEST(DQBatchTest, AppendConcatenates) {
+  auto s = Schema::Make({{"v", ValueType::kInt}});
+  DQBatch a(s), b(s);
+  a.Push({Value::Int(1)}, QueryIdSet{1});
+  b.Push({Value::Int(2)}, QueryIdSet{2});
+  a.Append(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+// --- Rng -------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(7.0);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 7.0, 0.5);
+}
+
+TEST(RngTest, AlphaStringLengths) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = r.AlphaString(3, 8);
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 8u);
+  }
+}
+
+// --- string_util -----------------------------------------------------------------
+
+TEST(StringUtilTest, Basics) {
+  EXPECT_EQ(ToLowerAscii("AbC9"), "abc9");
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_TRUE(Contains("hello", "ell"));
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(JoinStrings({"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(StringPrintf("%d-%s", 5, "x"), "5-x");
+}
+
+}  // namespace
+}  // namespace shareddb

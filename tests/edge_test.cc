@@ -1,0 +1,182 @@
+// Edge cases for the query-indexing fast paths added on top of the core
+// operators: anchored-LIKE range extraction boundaries (0xFF prefixes,
+// '_' wildcards, case folding), MergeCost boundaries, and the shared index
+// probe's fallback paths.
+
+#include <gtest/gtest.h>
+
+#include "core/ops/probe_op.h"
+#include "expr/predicate.h"
+#include "storage/catalog.h"
+
+namespace shareddb {
+namespace {
+
+static const std::vector<Value> kNoParams;
+
+TEST(AnchoredLike, PrefixOfAll0xFFHasNoUpperBound) {
+  const std::string ff(3, static_cast<char>(0xFF));
+  const ExprPtr like = Expr::Like(Expr::Column(0), ff + "%", false);
+  const AnalyzedPredicate pred = AnalyzePredicate(like);
+  ASSERT_EQ(pred.ranges.size(), 1u);
+  EXPECT_TRUE(pred.ranges[0].lo.has_value());
+  EXPECT_FALSE(pred.ranges[0].hi.has_value());  // no successor exists
+  // Correctness: strings above and below the prefix.
+  EXPECT_TRUE(pred.ranges[0].Matches(Value::Str(ff + "zzz")));
+  EXPECT_FALSE(pred.ranges[0].Matches(Value::Str("abc")));
+}
+
+TEST(AnchoredLike, TrailingByteIncrementCarries) {
+  // Prefix "a\xff": successor must carry into "b".
+  const std::string p = std::string("a") + static_cast<char>(0xFF);
+  const ExprPtr like = Expr::Like(Expr::Column(0), p + "%", false);
+  const AnalyzedPredicate pred = AnalyzePredicate(like);
+  ASSERT_EQ(pred.ranges.size(), 1u);
+  ASSERT_TRUE(pred.ranges[0].hi.has_value());
+  EXPECT_EQ(pred.ranges[0].hi->AsString(), "b");
+}
+
+TEST(AnchoredLike, UnderscoreAnchorsTheRangeAndKeepsResidual) {
+  // "ab_d%": the range is on prefix "ab"; the '_' still needs the LIKE.
+  const ExprPtr like = Expr::Like(Expr::Column(0), "ab_d%", false);
+  const AnalyzedPredicate pred = AnalyzePredicate(like);
+  ASSERT_EQ(pred.ranges.size(), 1u);
+  EXPECT_EQ(pred.ranges[0].lo->AsString(), "ab");
+  EXPECT_EQ(pred.ranges[0].hi->AsString(), "ac");
+  ASSERT_EQ(pred.residual.size(), 1u);
+  EXPECT_TRUE(pred.residual[0]->EvalBool({Value::Str("abcd tail")}, kNoParams));
+  EXPECT_FALSE(pred.residual[0]->EvalBool({Value::Str("abzz tail")}, kNoParams));
+}
+
+TEST(AnchoredLike, CaseInsensitivePatternsAreNotRangeExtracted) {
+  // A range on the raw bytes would be wrong under case folding.
+  const ExprPtr like = Expr::Like(Expr::Column(0), "Abc%", true);
+  const AnalyzedPredicate pred = AnalyzePredicate(like);
+  EXPECT_TRUE(pred.ranges.empty());
+  ASSERT_EQ(pred.residual.size(), 1u);
+  EXPECT_TRUE(pred.residual[0]->EvalBool({Value::Str("aBCdef")}, kNoParams));
+}
+
+TEST(AnchoredLike, LeadingWildcardStaysResidual) {
+  for (const char* pattern : {"%abc", "_abc", "%"}) {
+    const ExprPtr like = Expr::Like(Expr::Column(0), pattern, false);
+    const AnalyzedPredicate pred = AnalyzePredicate(like);
+    EXPECT_TRUE(pred.ranges.empty()) << pattern;
+    EXPECT_FALSE(pred.residual.empty()) << pattern;
+  }
+}
+
+TEST(AnchoredLike, ExactPatternWithoutWildcardsStaysResidual) {
+  // "abc" (no wildcard) is equality-like; we keep it residual rather than
+  // fabricate a range (the LIKE itself is cheap and exact).
+  const ExprPtr like = Expr::Like(Expr::Column(0), "abc", false);
+  const AnalyzedPredicate pred = AnalyzePredicate(like);
+  EXPECT_TRUE(pred.ranges.empty());
+}
+
+TEST(AnchoredLike, CombinesWithOtherRangeConjuncts) {
+  // col LIKE 'b%' AND col >= 'ba' -> lo must tighten to 'ba'.
+  const ExprPtr conj = Expr::And(
+      {Expr::Like(Expr::Column(0), "b%", false),
+       Expr::Ge(Expr::Column(0), Expr::Literal(Value::Str("ba")))});
+  const AnalyzedPredicate pred = AnalyzePredicate(conj);
+  ASSERT_EQ(pred.ranges.size(), 1u);
+  EXPECT_EQ(pred.ranges[0].lo->AsString(), "ba");
+  EXPECT_EQ(pred.ranges[0].hi->AsString(), "c");
+}
+
+TEST(MergeCost, Boundaries) {
+  EXPECT_EQ(QueryIdSet::MergeCost(0, 0), 1u);
+  EXPECT_EQ(QueryIdSet::MergeCost(0, 1000), 1u);
+  // Similar sizes: plain merge.
+  EXPECT_EQ(QueryIdSet::MergeCost(10, 12), 22u);
+  // Skewed: galloping, sublinear in the large side.
+  EXPECT_LT(QueryIdSet::MergeCost(4, 4096), 4u + 4096u);
+  EXPECT_GE(QueryIdSet::MergeCost(4, 4096), 4u);
+}
+
+TEST(QueryIdSetEdge, EmptyAndSingleton) {
+  QueryIdSet empty;
+  QueryIdSet one(42);
+  EXPECT_TRUE(empty.Intersect(one).empty());
+  EXPECT_EQ(one.Union(empty).ids(), std::vector<QueryId>{42});
+  EXPECT_TRUE(one.Contains(42));
+  EXPECT_FALSE(one.Contains(41));
+  EXPECT_EQ(empty.HashValue(), QueryIdSet().HashValue());
+}
+
+class ProbeEdgeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t_ = catalog_.CreateTable("t", Schema::Make({{"id", ValueType::kInt},
+                                                 {"name", ValueType::kString},
+                                                 {"v", ValueType::kInt}}));
+    t_->CreateIndex("t_name", "name");
+    for (int i = 0; i < 50; ++i) {
+      t_->Insert({Value::Int(i), Value::Str("n" + std::to_string(i % 10)),
+                  Value::Int(i)},
+                 1);
+    }
+    catalog_.snapshots().Reset(1);
+    ctx_.read_snapshot = 1;
+    ctx_.write_version = 2;
+  }
+
+  DQBatch Run(std::vector<OpQuery> queries) {
+    ProbeOp op(t_, "t_name");
+    return op.RunCycle({}, queries, ctx_, nullptr);
+  }
+
+  Catalog catalog_;
+  Table* t_;
+  CycleContext ctx_;
+};
+
+TEST_F(ProbeEdgeFixture, EqGroupWithAndWithoutResidualsCoexist) {
+  // q0: name = 'n3' (no residual); q1: name = 'n3' AND v > 20 (residual).
+  OpQuery q0, q1;
+  q0.id = 0;
+  q0.predicate = Expr::Eq(Expr::Column(1), Expr::Literal(Value::Str("n3")));
+  q1.id = 1;
+  q1.predicate = Expr::And(
+      {Expr::Eq(Expr::Column(1), Expr::Literal(Value::Str("n3"))),
+       Expr::Gt(Expr::Column(2), Expr::Literal(Value::Int(20)))});
+  const DQBatch out = Run({q0, q1});
+  size_t q0_rows = 0, q1_rows = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.tuples[i][1].AsString(), "n3");
+    if (out.qids[i].Contains(0)) ++q0_rows;
+    if (out.qids[i].Contains(1)) {
+      EXPECT_GT(out.tuples[i][2].AsInt(), 20);
+      ++q1_rows;
+    }
+  }
+  EXPECT_EQ(q0_rows, 5u);  // ids 3,13,23,33,43
+  EXPECT_EQ(q1_rows, 3u);  // ids 23,33,43
+}
+
+TEST_F(ProbeEdgeFixture, RangeProbeOnStringPrefix) {
+  OpQuery q;
+  q.id = 0;
+  q.predicate = Expr::Like(Expr::Column(1), "n3%", false);
+  const DQBatch out = Run({q});
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST_F(ProbeEdgeFixture, NoConstraintOnIndexedColumnFallsBackToScan) {
+  OpQuery q;
+  q.id = 0;
+  q.predicate = Expr::Lt(Expr::Column(2), Expr::Literal(Value::Int(5)));
+  const DQBatch out = Run({q});
+  EXPECT_EQ(out.size(), 5u);  // v in 0..4
+}
+
+TEST_F(ProbeEdgeFixture, MissingKeyYieldsNoRows) {
+  OpQuery q;
+  q.id = 0;
+  q.predicate = Expr::Eq(Expr::Column(1), Expr::Literal(Value::Str("absent")));
+  EXPECT_TRUE(Run({q}).empty());
+}
+
+}  // namespace
+}  // namespace shareddb

@@ -1,0 +1,260 @@
+// Tests for the expression engine: evaluation, three-valued logic, LIKE
+// matching (including a property sweep against a reference matcher), binding,
+// and predicate analysis.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expr/expression.h"
+#include "expr/like_matcher.h"
+#include "expr/predicate.h"
+
+namespace shareddb {
+namespace {
+
+const std::vector<Value> kNoParams;
+
+Tuple Row(int64_t id, const std::string& name, double price) {
+  return {Value::Int(id), Value::Str(name), Value::Double(price)};
+}
+
+TEST(ExprTest, LiteralsAndColumns) {
+  const Tuple t = Row(7, "abc", 1.5);
+  EXPECT_EQ(Expr::Literal(Value::Int(5))->Evaluate(t, kNoParams).AsInt(), 5);
+  EXPECT_EQ(Expr::Column(0)->Evaluate(t, kNoParams).AsInt(), 7);
+  EXPECT_EQ(Expr::Column(1)->Evaluate(t, kNoParams).AsString(), "abc");
+}
+
+TEST(ExprTest, Comparisons) {
+  const Tuple t = Row(7, "abc", 1.5);
+  auto col0 = Expr::Column(0);
+  EXPECT_TRUE(Expr::Eq(col0, Expr::Literal(Value::Int(7)))->EvalBool(t, kNoParams));
+  EXPECT_FALSE(Expr::Ne(col0, Expr::Literal(Value::Int(7)))->EvalBool(t, kNoParams));
+  EXPECT_TRUE(Expr::Lt(col0, Expr::Literal(Value::Int(8)))->EvalBool(t, kNoParams));
+  EXPECT_TRUE(Expr::Ge(col0, Expr::Literal(Value::Int(7)))->EvalBool(t, kNoParams));
+  EXPECT_FALSE(Expr::Gt(col0, Expr::Literal(Value::Int(7)))->EvalBool(t, kNoParams));
+}
+
+TEST(ExprTest, ParamsAndBind) {
+  const Tuple t = Row(7, "abc", 1.5);
+  auto e = Expr::Eq(Expr::Column(0), Expr::Param(0));
+  EXPECT_TRUE(e->EvalBool(t, {Value::Int(7)}));
+  EXPECT_FALSE(e->EvalBool(t, {Value::Int(8)}));
+  // Binding produces a parameter-free tree with the same semantics.
+  auto bound = e->Bind({Value::Int(7)});
+  EXPECT_TRUE(bound->EvalBool(t, kNoParams));
+}
+
+TEST(ExprTest, AndOrNot) {
+  const Tuple t = Row(7, "abc", 1.5);
+  auto yes = Expr::Literal(Value::Int(1));
+  auto no = Expr::Literal(Value::Int(0));
+  EXPECT_TRUE(Expr::And({yes, yes})->EvalBool(t, kNoParams));
+  EXPECT_FALSE(Expr::And({yes, no})->EvalBool(t, kNoParams));
+  EXPECT_TRUE(Expr::Or({no, yes})->EvalBool(t, kNoParams));
+  EXPECT_FALSE(Expr::Or({no, no})->EvalBool(t, kNoParams));
+  EXPECT_TRUE(Expr::Not(no)->EvalBool(t, kNoParams));
+}
+
+TEST(ExprTest, ThreeValuedLogic) {
+  const Tuple t{Value::Null(), Value::Int(1)};
+  auto null_cmp = Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(5)));
+  // NULL = 5 evaluates to NULL, which is falsy.
+  EXPECT_TRUE(null_cmp->Evaluate(t, kNoParams).is_null());
+  EXPECT_FALSE(null_cmp->EvalBool(t, kNoParams));
+  // NULL OR TRUE = TRUE; NULL AND TRUE = NULL.
+  auto yes = Expr::Literal(Value::Int(1));
+  EXPECT_TRUE(Expr::Or({null_cmp, yes})->EvalBool(t, kNoParams));
+  EXPECT_TRUE(Expr::And({null_cmp, yes})->Evaluate(t, kNoParams).is_null());
+  // IS NULL.
+  EXPECT_TRUE(Expr::IsNull(Expr::Column(0))->EvalBool(t, kNoParams));
+  EXPECT_FALSE(Expr::IsNull(Expr::Column(1))->EvalBool(t, kNoParams));
+}
+
+TEST(ExprTest, InAndBetween) {
+  const Tuple t = Row(7, "abc", 1.5);
+  auto in = Expr::In(Expr::Column(0), {Expr::Literal(Value::Int(5)),
+                                       Expr::Literal(Value::Int(7))});
+  EXPECT_TRUE(in->EvalBool(t, kNoParams));
+  auto not_in = Expr::In(Expr::Column(0), {Expr::Literal(Value::Int(5))});
+  EXPECT_FALSE(not_in->EvalBool(t, kNoParams));
+  auto between = Expr::Between(Expr::Column(2), Expr::Literal(Value::Double(1.0)),
+                               Expr::Literal(Value::Double(2.0)));
+  EXPECT_TRUE(between->EvalBool(t, kNoParams));
+}
+
+TEST(ExprTest, LikeOnColumn) {
+  const Tuple t = Row(7, "the quick brown fox", 1.5);
+  EXPECT_TRUE(Expr::Like(Expr::Column(1), "%quick%")->EvalBool(t, kNoParams));
+  EXPECT_FALSE(Expr::Like(Expr::Column(1), "%quack%")->EvalBool(t, kNoParams));
+  EXPECT_TRUE(Expr::Like(Expr::Column(1), "the%fox")->EvalBool(t, kNoParams));
+  // Parameterized pattern, bound later.
+  auto e = Expr::LikeParam(Expr::Column(1), 0);
+  EXPECT_TRUE(e->EvalBool(t, {Value::Str("%brown%")}));
+  auto bound = e->Bind({Value::Str("%brown%")});
+  EXPECT_TRUE(bound->EvalBool(t, kNoParams));
+}
+
+TEST(ExprTest, RemapAndOffsetColumns) {
+  const Tuple joined{Value::Int(1), Value::Int(2), Value::Int(3)};
+  auto e = Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(3)));
+  auto shifted = e->OffsetColumns(2);
+  EXPECT_TRUE(shifted->EvalBool(joined, kNoParams));
+  std::vector<int> mapping{2, -1, -1};
+  auto remapped = e->RemapColumns(mapping);
+  EXPECT_TRUE(remapped->EvalBool(joined, kNoParams));
+}
+
+TEST(ExprTest, ToStringSmoke) {
+  auto e = Expr::And({Expr::Eq(Expr::Column(0), Expr::Param(0)),
+                      Expr::Like(Expr::Column(1), "%x%")});
+  const std::string s = e->ToString();
+  EXPECT_NE(s.find("AND"), std::string::npos);
+  EXPECT_NE(s.find("LIKE"), std::string::npos);
+}
+
+// --- LikeMatcher -----------------------------------------------------------------
+
+struct LikeCase {
+  const char* pattern;
+  const char* input;
+  bool expect;
+};
+
+class LikeMatcherTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatcherTest, Matches) {
+  const LikeCase& c = GetParam();
+  LikeMatcher m(c.pattern);
+  EXPECT_EQ(m.Matches(c.input), c.expect)
+      << "pattern=" << c.pattern << " input=" << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeMatcherTest,
+    ::testing::Values(
+        LikeCase{"abc", "abc", true}, LikeCase{"abc", "abd", false},
+        LikeCase{"abc", "ab", false}, LikeCase{"abc", "abcd", false},
+        LikeCase{"%", "", true}, LikeCase{"%", "anything", true},
+        LikeCase{"", "", true}, LikeCase{"", "x", false},
+        LikeCase{"a%", "a", true}, LikeCase{"a%", "abc", true},
+        LikeCase{"a%", "ba", false}, LikeCase{"%a", "a", true},
+        LikeCase{"%a", "bca", true}, LikeCase{"%a", "ab", false},
+        LikeCase{"%abc%", "xxabcyy", true}, LikeCase{"%abc%", "xxbcyy", false},
+        LikeCase{"a%b%c", "aXbYc", true}, LikeCase{"a%b%c", "acb", false},
+        LikeCase{"a_c", "abc", true}, LikeCase{"a_c", "ac", false},
+        LikeCase{"a_c", "abbc", false}, LikeCase{"_", "x", true},
+        LikeCase{"_", "", false}, LikeCase{"__", "xy", true},
+        LikeCase{"%_", "x", true}, LikeCase{"%_", "", false},
+        LikeCase{"a%%b", "ab", true}, LikeCase{"a%%b", "aXYb", true},
+        LikeCase{"%ab%ab%", "abab", true}, LikeCase{"%ab%ab%", "aab", false},
+        LikeCase{"x%yz", "xAByz", true}, LikeCase{"x%yz", "xyzq", false}));
+
+// Reference matcher: classic recursive definition.
+bool RefLike(const std::string& p, size_t pi, const std::string& s, size_t si) {
+  if (pi == p.size()) return si == s.size();
+  if (p[pi] == '%') {
+    for (size_t k = si; k <= s.size(); ++k) {
+      if (RefLike(p, pi + 1, s, k)) return true;
+    }
+    return false;
+  }
+  if (si == s.size()) return false;
+  if (p[pi] == '_' || p[pi] == s[si]) return RefLike(p, pi + 1, s, si + 1);
+  return false;
+}
+
+TEST(LikeMatcherTest, PropertyAgainstReference) {
+  Rng rng(99);
+  const char alphabet[] = "ab%_";
+  for (int round = 0; round < 3000; ++round) {
+    std::string pattern, input;
+    const int plen = static_cast<int>(rng.Uniform(0, 6));
+    const int slen = static_cast<int>(rng.Uniform(0, 8));
+    for (int i = 0; i < plen; ++i) pattern += alphabet[rng.Next() % 4];
+    for (int i = 0; i < slen; ++i) input += alphabet[rng.Next() % 2];  // a/b only
+    LikeMatcher m(pattern);
+    EXPECT_EQ(m.Matches(input), RefLike(pattern, 0, input, 0))
+        << "pattern=" << pattern << " input=" << input;
+  }
+}
+
+TEST(LikeMatcherTest, CaseInsensitive) {
+  LikeMatcher m("%HeLLo%", /*case_insensitive=*/true);
+  EXPECT_TRUE(m.Matches("say hello world"));
+  EXPECT_TRUE(m.Matches("HELLO"));
+  EXPECT_FALSE(m.Matches("helo"));
+}
+
+// --- predicate analysis ------------------------------------------------------------
+
+TEST(PredicateTest, EqualityExtraction) {
+  auto pred = Expr::And({Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(5))),
+                         Expr::Eq(Expr::Literal(Value::Str("x")), Expr::Column(1))});
+  const AnalyzedPredicate ap = AnalyzePredicate(pred);
+  ASSERT_EQ(ap.equalities.size(), 2u);
+  EXPECT_EQ(ap.equalities[0].column, 0u);
+  EXPECT_EQ(ap.equalities[0].value.AsInt(), 5);
+  EXPECT_EQ(ap.equalities[1].column, 1u);
+  EXPECT_TRUE(ap.ranges.empty());
+  EXPECT_TRUE(ap.residual.empty());
+}
+
+TEST(PredicateTest, RangeMerging) {
+  // 3 < c0 AND c0 <= 10 merges into one range.
+  auto pred = Expr::And({Expr::Gt(Expr::Column(0), Expr::Literal(Value::Int(3))),
+                         Expr::Le(Expr::Column(0), Expr::Literal(Value::Int(10)))});
+  const AnalyzedPredicate ap = AnalyzePredicate(pred);
+  ASSERT_EQ(ap.ranges.size(), 1u);
+  const RangeConstraint& r = ap.ranges[0];
+  EXPECT_FALSE(r.Matches(Value::Int(3)));
+  EXPECT_TRUE(r.Matches(Value::Int(4)));
+  EXPECT_TRUE(r.Matches(Value::Int(10)));
+  EXPECT_FALSE(r.Matches(Value::Int(11)));
+}
+
+TEST(PredicateTest, FlippedLiteralSide) {
+  // 5 > c0 means c0 < 5.
+  auto pred = Expr::Gt(Expr::Literal(Value::Int(5)), Expr::Column(0));
+  const AnalyzedPredicate ap = AnalyzePredicate(pred);
+  ASSERT_EQ(ap.ranges.size(), 1u);
+  EXPECT_TRUE(ap.ranges[0].Matches(Value::Int(4)));
+  EXPECT_FALSE(ap.ranges[0].Matches(Value::Int(5)));
+}
+
+TEST(PredicateTest, ResidualCapturesNonIndexable) {
+  auto pred = Expr::And({Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(5))),
+                         Expr::Like(Expr::Column(1), "%x%"),
+                         Expr::Ne(Expr::Column(2), Expr::Literal(Value::Int(0)))});
+  const AnalyzedPredicate ap = AnalyzePredicate(pred);
+  EXPECT_EQ(ap.equalities.size(), 1u);
+  EXPECT_EQ(ap.residual.size(), 2u);  // LIKE and !=
+  ASSERT_NE(ap.ResidualExpr(), nullptr);
+}
+
+TEST(PredicateTest, NullPredicateIsTrivial) {
+  const AnalyzedPredicate ap = AnalyzePredicate(nullptr);
+  EXPECT_TRUE(ap.IsTrivial());
+  EXPECT_EQ(ap.ResidualExpr(), nullptr);
+}
+
+TEST(PredicateTest, OrIsResidual) {
+  auto pred = Expr::Or({Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(1))),
+                        Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(2)))});
+  const AnalyzedPredicate ap = AnalyzePredicate(pred);
+  EXPECT_TRUE(ap.equalities.empty());
+  EXPECT_EQ(ap.residual.size(), 1u);
+}
+
+TEST(PredicateTest, CollectConjunctsFlattensNesting) {
+  auto pred = Expr::And(
+      {Expr::And({Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(1))),
+                  Expr::Eq(Expr::Column(1), Expr::Literal(Value::Int(2)))}),
+       Expr::Eq(Expr::Column(2), Expr::Literal(Value::Int(3)))});
+  std::vector<ExprPtr> out;
+  CollectConjuncts(pred, &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+}  // namespace
+}  // namespace shareddb

@@ -1,0 +1,329 @@
+// Property-based differential tests: randomized inputs checked against
+// straightforward reference implementations. These guard the invariants the
+// optimized shared-execution code paths must preserve:
+//   * QueryIdSet algebra (galloping intersect == reference intersect),
+//   * anchored-LIKE range extraction == direct LIKE evaluation,
+//   * PredicateIndex::Match == naive evaluate-every-query,
+//   * shared GroupBy (per-set-class accumulation) == per-query grouping,
+//   * shared TopN == per-query sort+limit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "core/ops/group_by_op.h"
+#include "core/ops/top_n_op.h"
+#include "expr/predicate.h"
+#include "storage/predicate_index.h"
+
+namespace shareddb {
+namespace {
+
+std::vector<QueryId> RandomSortedIds(Rng* rng, int universe, double density) {
+  std::vector<QueryId> ids;
+  for (int i = 0; i < universe; ++i) {
+    if (rng->Bernoulli(density)) ids.push_back(static_cast<QueryId>(i));
+  }
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// QueryIdSet algebra vs. std::set_* reference.
+// ---------------------------------------------------------------------------
+
+class QidSetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QidSetProperty, IntersectMatchesReference) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    // Skewed densities exercise both the merge and the galloping path.
+    const double da = rng.Bernoulli(0.5) ? 0.01 : 0.6;
+    const double db = rng.Bernoulli(0.5) ? 0.01 : 0.6;
+    const auto a = RandomSortedIds(&rng, 500, da);
+    const auto b = RandomSortedIds(&rng, 500, db);
+    std::vector<QueryId> expect;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect));
+    const QueryIdSet got =
+        QueryIdSet::FromSorted(a).Intersect(QueryIdSet::FromSorted(b));
+    EXPECT_EQ(got.ids(), expect);
+    // Cost estimate is positive and never worse than the naive merge by much.
+    EXPECT_GE(QueryIdSet::MergeCost(a.size(), b.size()), 1u);
+    EXPECT_LE(QueryIdSet::MergeCost(a.size(), b.size()), a.size() + b.size() + 1);
+  }
+}
+
+TEST_P(QidSetProperty, UnionAndContainsMatchReference) {
+  Rng rng(GetParam() + 1000);
+  for (int round = 0; round < 50; ++round) {
+    const auto a = RandomSortedIds(&rng, 300, 0.1);
+    const auto b = RandomSortedIds(&rng, 300, 0.1);
+    std::vector<QueryId> expect;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(expect));
+    const QueryIdSet u = QueryIdSet::FromSorted(a).Union(QueryIdSet::FromSorted(b));
+    EXPECT_EQ(u.ids(), expect);
+    for (QueryId probe = 0; probe < 300; probe += 7) {
+      const bool in = std::binary_search(expect.begin(), expect.end(), probe);
+      EXPECT_EQ(u.Contains(probe), in) << probe;
+    }
+    EXPECT_EQ(QueryIdSet::FromSorted(a).Intersects(QueryIdSet::FromSorted(b)),
+              !QueryIdSet::FromSorted(a).Intersect(QueryIdSet::FromSorted(b)).empty());
+  }
+}
+
+TEST_P(QidSetProperty, HashValueIsContentBased) {
+  Rng rng(GetParam() + 2000);
+  const auto a = RandomSortedIds(&rng, 200, 0.2);
+  const QueryIdSet s1 = QueryIdSet::FromSorted(a);
+  const QueryIdSet s2 = QueryIdSet::FromSorted(a);
+  EXPECT_EQ(s1.HashValue(), s2.HashValue());
+  if (!a.empty()) {
+    std::vector<QueryId> mutated = a;
+    mutated.back() += 1;
+    EXPECT_NE(s1.HashValue(), QueryIdSet::FromSorted(mutated).HashValue());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QidSetProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Anchored LIKE -> range extraction.
+// ---------------------------------------------------------------------------
+
+class LikeRangeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LikeRangeProperty, RangePlusResidualEqualsDirectLike) {
+  Rng rng(GetParam());
+  static const std::vector<Value> kNoParams;
+  for (int round = 0; round < 60; ++round) {
+    // Random anchored pattern over a small alphabet (forces collisions).
+    std::string prefix;
+    const int plen = static_cast<int>(rng.Uniform(1, 3));
+    for (int i = 0; i < plen; ++i) {
+      prefix.push_back(static_cast<char>('a' + rng.Uniform(0, 2)));
+    }
+    const std::string pattern =
+        prefix + (rng.Bernoulli(0.5) ? "%" : "%x%");
+    const ExprPtr like =
+        Expr::Like(Expr::Column(0), pattern, /*case_insensitive=*/false);
+    const AnalyzedPredicate pred = AnalyzePredicate(like);
+    ASSERT_EQ(pred.ranges.size(), 1u) << pattern;
+
+    for (int s = 0; s < 40; ++s) {
+      std::string str;
+      const int slen = static_cast<int>(rng.Uniform(0, 5));
+      for (int i = 0; i < slen; ++i) {
+        str.push_back(static_cast<char>('a' + rng.Uniform(0, 3)));
+      }
+      if (rng.Bernoulli(0.3)) str += "x";
+      const Tuple row = {Value::Str(str)};
+      const bool direct = like->EvalBool(row, kNoParams);
+      bool via_index = pred.ranges[0].Matches(row[0]);
+      for (const ExprPtr& r : pred.residual) {
+        via_index = via_index && r->EvalBool(row, kNoParams);
+      }
+      EXPECT_EQ(via_index, direct) << "pattern='" << pattern << "' str='" << str
+                                   << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LikeRangeProperty, ::testing::Values(10, 11, 12));
+
+// ---------------------------------------------------------------------------
+// PredicateIndex::Match vs. naive per-query evaluation.
+// ---------------------------------------------------------------------------
+
+class PredicateIndexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredicateIndexProperty, MatchEqualsNaiveEvaluation) {
+  Rng rng(GetParam());
+  static const std::vector<Value> kNoParams;
+  // Mix of predicate shapes: eq, range, anchored LIKE (range group),
+  // residual-only, and match-all.
+  std::vector<ScanQuerySpec> specs;
+  for (QueryId id = 0; id < 60; ++id) {
+    ExprPtr pred;
+    switch (rng.Uniform(0, 4)) {
+      case 0:
+        pred = Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(rng.Uniform(0, 9))));
+        break;
+      case 1:
+        pred = Expr::Gt(Expr::Column(1), Expr::Literal(Value::Int(rng.Uniform(0, 50))));
+        break;
+      case 2:
+        pred = Expr::Like(Expr::Column(2),
+                          std::string(1, static_cast<char>('a' + rng.Uniform(0, 2))) +
+                              "%",
+                          false);
+        break;
+      case 3:
+        // Residual-only: disjunction is not indexable.
+        pred = Expr::Or({Expr::Eq(Expr::Column(0),
+                                  Expr::Literal(Value::Int(rng.Uniform(0, 9)))),
+                         Expr::Lt(Expr::Column(1),
+                                  Expr::Literal(Value::Int(rng.Uniform(0, 20))))});
+        break;
+      default:
+        pred = nullptr;  // match-all
+        break;
+    }
+    specs.push_back(ScanQuerySpec{id, pred});
+  }
+  const PredicateIndex index(specs);
+
+  for (int r = 0; r < 200; ++r) {
+    const Tuple row = {Value::Int(rng.Uniform(0, 9)), Value::Int(rng.Uniform(0, 99)),
+                       Value::Str(std::string(1, static_cast<char>(
+                                                    'a' + rng.Uniform(0, 3))) +
+                                  "zz")};
+    QueryIdSet got;
+    index.Match(row, &got, nullptr);
+    std::vector<QueryId> expect;
+    for (const ScanQuerySpec& q : specs) {
+      if (q.predicate == nullptr || q.predicate->EvalBool(row, kNoParams)) {
+        expect.push_back(q.id);
+      }
+    }
+    EXPECT_EQ(got.ids(), expect) << "row " << TupleToString(row);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateIndexProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+// ---------------------------------------------------------------------------
+// Shared GroupBy vs. per-query reference grouping.
+// ---------------------------------------------------------------------------
+
+class GroupByProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupByProperty, PerClassAccumulationEqualsPerQuery) {
+  Rng rng(GetParam());
+  const SchemaPtr schema = Schema::Make({{"k", ValueType::kInt},
+                                         {"v", ValueType::kInt}});
+  const int kQueries = 12;
+
+  // Random batch with OVERLAPPING annotation sets (exercises the merge
+  // fallback where one query's tuples span several set classes).
+  DQBatch in(schema);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<QueryId> ids = RandomSortedIds(&rng, kQueries, 0.4);
+    if (ids.empty()) continue;
+    in.Push({Value::Int(rng.Uniform(0, 5)), Value::Int(rng.Uniform(0, 100))},
+            QueryIdSet::FromSorted(std::move(ids)));
+  }
+
+  GroupByOp op(schema, {0},
+               {AggSpec{AggFunc::kSum, 1, "sum"}, AggSpec{AggFunc::kCount, -1, "cnt"},
+                AggSpec{AggFunc::kMin, 1, "min"}, AggSpec{AggFunc::kMax, 1, "max"}});
+  std::vector<OpQuery> queries(kQueries);
+  for (int i = 0; i < kQueries; ++i) queries[static_cast<size_t>(i)].id =
+      static_cast<QueryId>(i);
+  CycleContext ctx;
+  std::vector<DQBatch> inputs;
+  inputs.push_back(in);
+  const DQBatch out = op.RunCycle(std::move(inputs), queries, ctx, nullptr);
+
+  // Reference: per query, group its subscribed tuples with std::map.
+  for (QueryId q = 0; q < static_cast<QueryId>(kQueries); ++q) {
+    struct Ref {
+      double sum = 0;
+      int64_t cnt = 0;
+      int64_t min = INT64_MAX, max = INT64_MIN;
+    };
+    std::map<int64_t, Ref> expect;
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (!in.qids[i].Contains(q)) continue;
+      Ref& r = expect[in.tuples[i][0].AsInt()];
+      r.sum += static_cast<double>(in.tuples[i][1].AsInt());
+      r.cnt += 1;
+      r.min = std::min(r.min, in.tuples[i][1].AsInt());
+      r.max = std::max(r.max, in.tuples[i][1].AsInt());
+    }
+    std::map<int64_t, int> seen;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (!out.qids[i].Contains(q)) continue;
+      const int64_t key = out.tuples[i][0].AsInt();
+      seen[key]++;
+      ASSERT_TRUE(expect.count(key)) << "q=" << q << " group " << key;
+      const Ref& r = expect[key];
+      EXPECT_DOUBLE_EQ(out.tuples[i][1].AsNumeric(), r.sum) << "q=" << q;
+      EXPECT_EQ(out.tuples[i][2].AsInt(), r.cnt) << "q=" << q;
+      EXPECT_EQ(out.tuples[i][3].AsInt(), r.min) << "q=" << q;
+      EXPECT_EQ(out.tuples[i][4].AsInt(), r.max) << "q=" << q;
+    }
+    // Exactly one output row per (query, group) — no duplicates, no misses.
+    EXPECT_EQ(seen.size(), expect.size()) << "q=" << q;
+    for (const auto& [key, n] : seen) {
+      EXPECT_EQ(n, 1) << "q=" << q << " group " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupByProperty, ::testing::Values(31, 32, 33, 34, 35));
+
+// ---------------------------------------------------------------------------
+// Shared TopN vs. per-query sort+limit reference.
+// ---------------------------------------------------------------------------
+
+class TopNProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopNProperty, SharedTopNEqualsPerQueryLimit) {
+  Rng rng(GetParam());
+  const SchemaPtr schema = Schema::Make({{"a", ValueType::kInt},
+                                         {"b", ValueType::kInt}});
+  const int kQueries = 8;
+
+  DQBatch in(schema);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<QueryId> ids = RandomSortedIds(&rng, kQueries, 0.3);
+    if (ids.empty()) continue;
+    in.Push({Value::Int(rng.Uniform(0, 1000)), Value::Int(i)},
+            QueryIdSet::FromSorted(std::move(ids)));
+  }
+
+  TopNOp op(schema, {{0, true}, {1, true}}, /*default_limit=*/5);
+  std::vector<OpQuery> queries(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    queries[static_cast<size_t>(i)].id = static_cast<QueryId>(i);
+    queries[static_cast<size_t>(i)].limit = 1 + i % 7;  // distinct limits
+  }
+  CycleContext ctx;
+  std::vector<DQBatch> inputs;
+  inputs.push_back(in);
+  const DQBatch out = op.RunCycle(std::move(inputs), queries, ctx, nullptr);
+
+  for (int qi = 0; qi < kQueries; ++qi) {
+    const QueryId q = static_cast<QueryId>(qi);
+    // Reference: this query's tuples, sorted, first `limit`.
+    std::vector<Tuple> mine;
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (in.qids[i].Contains(q)) mine.push_back(in.tuples[i]);
+    }
+    std::stable_sort(mine.begin(), mine.end(), [](const Tuple& x, const Tuple& y) {
+      if (x[0].AsInt() != y[0].AsInt()) return x[0].AsInt() < y[0].AsInt();
+      return x[1].AsInt() < y[1].AsInt();
+    });
+    mine.resize(std::min<size_t>(mine.size(),
+                                 static_cast<size_t>(queries[static_cast<size_t>(qi)].limit)));
+
+    std::vector<Tuple> got;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out.qids[i].Contains(q)) got.push_back(out.tuples[i]);
+    }
+    ASSERT_EQ(got.size(), mine.size()) << "q=" << qi;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(TuplesEqual(got[i], mine[i])) << "q=" << qi << " row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopNProperty, ::testing::Values(41, 42, 43, 44, 45));
+
+}  // namespace
+}  // namespace shareddb

@@ -1,0 +1,150 @@
+// Operator replication tests (paper §4.5: "if a specific operator becomes a
+// bottleneck, SharedDB can partition the load across two replicas of the
+// same physical operators"). Replication must never change results, must
+// split the per-replica work, and must reduce the simulated batch makespan
+// when the bottleneck is per-query work.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/plan_builder.h"
+#include "sim/cost_model.h"
+
+namespace shareddb {
+namespace {
+
+class ReplicationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    items_ = catalog_.CreateTable(
+        "items", Schema::Make({{"id", ValueType::kInt},
+                               {"cat", ValueType::kInt},
+                               {"price", ValueType::kInt}}));
+    for (int i = 0; i < 400; ++i) {
+      items_->Insert({Value::Int(i), Value::Int(i % 8), Value::Int(i * 3 % 97)}, 1);
+    }
+    catalog_.snapshots().Reset(1);
+  }
+
+  std::unique_ptr<GlobalPlan> BuildPlan() {
+    GlobalPlanBuilder b(&catalog_);
+    const SchemaPtr s = items_->schema();
+    b.AddQuery("by_cat", logical::Scan("items", Expr::Eq(Expr::Column(*s, "cat"),
+                                                         Expr::Param(0))));
+    b.AddQuery("top_price", logical::TopN(logical::Scan("items"),
+                                          {{"price", false}, {"id", true}},
+                                          Expr::Param(0)));
+    b.AddInsert("add_item", "items",
+                {Expr::Param(0), Expr::Param(1), Expr::Param(2)});
+    return b.Build();
+  }
+
+  // The scan node is node 0 (sources are built first).
+  static constexpr int kScanNode = 0;
+
+  Catalog catalog_;
+  Table* items_;
+};
+
+TEST_F(ReplicationFixture, ReplicatedResultsMatchUnreplicated) {
+  auto run = [&](int replicas) {
+    auto plan = BuildPlan();
+    plan->SetReplicas(kScanNode, replicas);
+    Engine engine(std::move(plan));
+    std::vector<std::future<ResultSet>> fs;
+    for (int i = 0; i < 40; ++i) {
+      fs.push_back(engine.SubmitNamed("by_cat", {Value::Int(i % 8)}));
+    }
+    fs.push_back(engine.SubmitNamed("top_price", {Value::Int(5)}));
+    engine.RunOneBatch();
+    std::vector<std::vector<std::string>> out;
+    for (auto& f : fs) {
+      std::vector<std::string> rows;
+      for (const Tuple& t : f.get().rows) rows.push_back(TupleToString(t));
+      std::sort(rows.begin(), rows.end());
+      out.push_back(std::move(rows));
+    }
+    return out;
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(4), base);
+  // More replicas than queries degrades gracefully.
+  EXPECT_EQ(run(64), base);
+}
+
+TEST_F(ReplicationFixture, UnitStatsSplitAcrossReplicas) {
+  auto plan = BuildPlan();
+  plan->SetReplicas(kScanNode, 3);
+  Engine engine(std::move(plan));
+  std::vector<std::future<ResultSet>> fs;
+  for (int i = 0; i < 30; ++i) {
+    fs.push_back(engine.SubmitNamed("by_cat", {Value::Int(i % 8)}));
+  }
+  const BatchReport report = engine.RunOneBatch();
+  for (auto& f : fs) f.get();
+  // One unit per replica of the scan + one per other participating node.
+  EXPECT_GT(report.unit_stats.size(), report.node_stats.size() - 1);
+  // Each scan replica scanned the whole table (the replication tradeoff:
+  // more data work, less per-query work per core).
+  uint64_t scan_rows = 0;
+  int scan_units = 0;
+  for (const WorkStats& u : report.unit_stats) {
+    if (u.rows_scanned > 0) {
+      EXPECT_EQ(u.rows_scanned, 400u);
+      scan_rows += u.rows_scanned;
+      ++scan_units;
+    }
+  }
+  EXPECT_EQ(scan_units, 3);
+  EXPECT_EQ(report.node_stats[kScanNode].rows_scanned, scan_rows);
+}
+
+TEST_F(ReplicationFixture, UpdatesApplyExactlyOnceUnderReplication) {
+  auto plan = BuildPlan();
+  plan->SetReplicas(kScanNode, 4);
+  Engine engine(std::move(plan));
+  auto fu = engine.SubmitNamed("add_item",
+                               {Value::Int(1000), Value::Int(1), Value::Int(5)});
+  for (int i = 0; i < 8; ++i) {
+    engine.SubmitNamed("by_cat", {Value::Int(i)});
+  }
+  engine.RunOneBatch();
+  EXPECT_EQ(fu.get().update_count, 1u);
+  // Exactly one copy of the row exists.
+  const ResultSet rs = engine.ExecuteSyncNamed("by_cat", {Value::Int(1)});
+  int found = 0;
+  for (const Tuple& t : rs.rows) {
+    if (t[0].AsInt() == 1000) ++found;
+  }
+  EXPECT_EQ(found, 1);
+}
+
+TEST_F(ReplicationFixture, ReplicationReducesSimulatedMakespan) {
+  // Saturate the scan with per-query work, then check that the LPT makespan
+  // over unit stats shrinks when the node is replicated.
+  sim::CostModel cost;
+  auto makespan = [&](int replicas) {
+    auto plan = BuildPlan();
+    plan->SetReplicas(kScanNode, replicas);
+    Engine engine(std::move(plan));
+    std::vector<std::future<ResultSet>> fs;
+    for (int i = 0; i < 512; ++i) {
+      fs.push_back(engine.SubmitNamed("by_cat", {Value::Int(i % 8)}));
+    }
+    const BatchReport r = engine.RunOneBatch();
+    for (auto& f : fs) f.get();
+    std::vector<double> units;
+    for (const WorkStats& u : r.unit_stats) {
+      const double s = cost.Seconds(u);
+      if (s > 0) units.push_back(s);
+    }
+    return sim::LptMakespanSeconds(units, /*cores=*/8);
+  };
+  const double one = makespan(1);
+  const double four = makespan(4);
+  EXPECT_LT(four, one * 0.75) << "replication should relieve the bottleneck";
+}
+
+}  // namespace
+}  // namespace shareddb

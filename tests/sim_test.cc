@@ -1,0 +1,231 @@
+// Tests of the virtual-time evaluation substrate (DESIGN.md §3): cost
+// model, LPT core packing, client model, and both load simulators.
+
+#include <gtest/gtest.h>
+
+#include "sim/baseline_sim.h"
+#include "sim/shareddb_sim.h"
+#include "tpcw/global_plan.h"
+
+namespace shareddb {
+namespace sim {
+namespace {
+
+tpcw::TpcwScale TinyScale() {
+  tpcw::TpcwScale s;
+  s.num_items = 300;
+  s.num_ebs = 1;
+  return s;
+}
+
+TEST(CostModel, NanosIsAdditiveInCounters) {
+  CostModel cost;
+  WorkStats a, b;
+  a.rows_scanned = 10;
+  a.hash_probes = 5;
+  b.comparisons = 7;
+  b.tuples_out = 3;
+  WorkStats both = a;
+  both.Add(b);
+  EXPECT_DOUBLE_EQ(cost.Nanos(both), cost.Nanos(a) + cost.Nanos(b));
+}
+
+TEST(CostModel, ScaleKnobIsLinear) {
+  CostModel cost;
+  WorkStats w;
+  w.rows_scanned = 1000;
+  const double at_default = cost.Nanos(w);
+  cost.scale = 2 * cost.scale;
+  EXPECT_DOUBLE_EQ(cost.Nanos(w), 2 * at_default);
+  EXPECT_GT(cost.StatementNanos(), 0);
+}
+
+TEST(LptMakespan, SingleCoreIsSum) {
+  EXPECT_DOUBLE_EQ(LptMakespanSeconds({1.0, 2.0, 3.0}, 1), 6.0);
+}
+
+TEST(LptMakespan, EnoughCoresIsMax) {
+  EXPECT_DOUBLE_EQ(LptMakespanSeconds({1.0, 2.0, 3.0}, 3), 3.0);
+  EXPECT_DOUBLE_EQ(LptMakespanSeconds({1.0, 2.0, 3.0}, 10), 3.0);
+}
+
+TEST(LptMakespan, PacksGreedily) {
+  // LPT on {3,3,2,2,2} with 2 cores: {3,2,2}=7 vs {3,2}=5 -> makespan 6:
+  // 3+2+... actually LPT: sort desc 3,3,2,2,2; assign 3->c1, 3->c2, 2->c1(5),
+  // 2->c2(5), 2->c1(7) -> makespan 7? No: ties broken to least-loaded: c1=3,
+  // c2=3, then 2->c1=5, 2->c2=5, 2->c1=7. Makespan 7? Optimal is 6 (3+3 / 2+2+2).
+  const double m = LptMakespanSeconds({3, 3, 2, 2, 2}, 2);
+  EXPECT_GE(m, 6.0);          // cannot beat optimal
+  EXPECT_LE(m, 6.0 * 4 / 3);  // LPT's approximation bound
+}
+
+TEST(LptMakespan, EmptyAndZero) {
+  EXPECT_DOUBLE_EQ(LptMakespanSeconds({}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(LptMakespanSeconds({0.0, 0.0}, 2), 0.0);
+}
+
+TEST(ClientSim, MakeEbsAssignsDistinctCustomers) {
+  ClientConfig cc;
+  cc.num_ebs = 20;
+  std::vector<EbRuntimeState> ebs = MakeEbs(cc, TinyScale());
+  ASSERT_EQ(ebs.size(), 20u);
+  std::set<int64_t> customers;
+  for (const EbRuntimeState& s : ebs) customers.insert(s.eb.customer_id);
+  EXPECT_GE(customers.size(), 10u);  // mostly distinct
+}
+
+TEST(ClientSim, BeginInteractionBuildsCalls) {
+  ClientConfig cc;
+  cc.num_ebs = 1;
+  tpcw::IdAllocator ids;
+  ids.next_order = 1000;
+  ids.next_cart = 1000;
+  ids.next_customer = 1000;
+  ids.next_order_line = 1000;
+  std::vector<EbRuntimeState> ebs = MakeEbs(cc, TinyScale());
+  BeginInteraction(&ebs[0], cc, TinyScale(), &ids, /*now=*/5.0, /*warmup=*/1.0);
+  EXPECT_FALSE(ebs[0].calls.empty());
+  EXPECT_EQ(ebs[0].next_call, 0u);
+  EXPECT_TRUE(ebs[0].counted);  // 5.0 > warmup
+}
+
+class SimFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = tpcw::MakeTpcwDatabase(TinyScale(), 5);
+    engine_ = std::make_unique<Engine>(tpcw::BuildTpcwGlobalPlan(&db_->catalog));
+  }
+  std::unique_ptr<tpcw::TpcwDatabase> db_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SimFixture, BatchSecondsRespectsHeartbeatFloor) {
+  SharedDbSimOptions opt;
+  opt.num_cores = 8;
+  opt.min_heartbeat_seconds = 0.5;
+  SharedDbLoadSim sim(engine_.get(), db_.get(), opt);
+  BatchReport empty;
+  EXPECT_DOUBLE_EQ(sim.BatchSeconds(empty), 0.5);
+}
+
+TEST_F(SimFixture, MoreCoresNeverSlower) {
+  engine_->SubmitNamed("best_sellers",
+                       {Value::Int(1), Value::Int(tpcw::kTodayDay - 60)});
+  const BatchReport report = engine_->RunOneBatch();
+  double prev = 1e100;
+  for (const int cores : {1, 2, 8, 32}) {
+    SharedDbSimOptions opt;
+    opt.num_cores = cores;
+    opt.min_heartbeat_seconds = 0;
+    SharedDbLoadSim sim(engine_.get(), db_.get(), opt);
+    const double t = sim.BatchSeconds(report);
+    EXPECT_LE(t, prev + 1e-12) << cores;
+    prev = t;
+  }
+}
+
+TEST_F(SimFixture, LightLoadTracksOfferedThroughput) {
+  SharedDbSimOptions opt;
+  opt.num_cores = 8;
+  SharedDbLoadSim sim(engine_.get(), db_.get(), opt);
+  ClientConfig cc;
+  cc.num_ebs = 30;
+  cc.duration_seconds = 60;
+  cc.warmup_seconds = 10;
+  const LoadResult r = sim.Run(cc);
+  // 30 EBs / 7s think ≈ 4.3 interactions/s; all should succeed at this load.
+  EXPECT_NEAR(r.Wips(), 4.3, 1.5);
+  EXPECT_EQ(r.interactions_completed, r.interactions_successful);
+}
+
+TEST_F(SimFixture, PerWiBreakdownSumsToTotal) {
+  SharedDbSimOptions opt;
+  opt.num_cores = 8;
+  SharedDbLoadSim sim(engine_.get(), db_.get(), opt);
+  ClientConfig cc;
+  cc.num_ebs = 20;
+  cc.duration_seconds = 40;
+  const LoadResult r = sim.Run(cc);
+  uint64_t sum = 0;
+  for (const auto& wi : r.per_wi) sum += wi.completed;
+  EXPECT_EQ(sum, r.interactions_completed);
+}
+
+TEST_F(SimFixture, OnlyInteractionConfigIsHonored) {
+  SharedDbSimOptions opt;
+  opt.num_cores = 8;
+  SharedDbLoadSim sim(engine_.get(), db_.get(), opt);
+  ClientConfig cc;
+  cc.num_ebs = 10;
+  cc.duration_seconds = 30;
+  cc.only_interaction = tpcw::WebInteraction::kProductDetail;
+  const LoadResult r = sim.Run(cc);
+  ASSERT_GT(r.interactions_completed, 0u);
+  for (int i = 0; i < tpcw::kNumInteractions; ++i) {
+    if (static_cast<tpcw::WebInteraction>(i) == tpcw::WebInteraction::kProductDetail)
+      continue;
+    EXPECT_EQ(r.per_wi[static_cast<size_t>(i)].completed, 0u);
+  }
+}
+
+TEST(BaselineSim, EffectiveCoresHonorsProfileCap) {
+  auto db = tpcw::MakeTpcwDatabase(TinyScale(), 5);
+  baseline::BaselineEngine engine(&db->catalog, MySQLLikeProfile());
+  tpcw::RegisterTpcwBaseline(&engine);
+  BaselineSimOptions opt;
+  opt.num_cores = 48;
+  BaselineLoadSim sim(&engine, db.get(), opt);
+  EXPECT_EQ(sim.EffectiveCores(), 12);  // MySQL does not scale beyond 12 [23]
+}
+
+TEST(BaselineSim, ServiceSecondsScalesWithProfileAndContention) {
+  auto db = tpcw::MakeTpcwDatabase(TinyScale(), 5);
+  baseline::BaselineEngine mysql(&db->catalog, MySQLLikeProfile());
+  auto db2 = tpcw::MakeTpcwDatabase(TinyScale(), 5);
+  baseline::BaselineEngine sysx(&db2->catalog, SystemXLikeProfile());
+  BaselineSimOptions opt;
+  BaselineLoadSim m(&mysql, db.get(), opt), s(&sysx, db2.get(), opt);
+  WorkStats w;
+  w.rows_scanned = 100000;
+  EXPECT_GT(m.ServiceSeconds(w, 1), s.ServiceSeconds(w, 1));  // maturity gap
+  EXPECT_GT(s.ServiceSeconds(w, 24), s.ServiceSeconds(w, 1));  // contention
+}
+
+TEST(BaselineSim, ClosedLoopSaturatesBelowOffered) {
+  auto db = tpcw::MakeTpcwDatabase(TinyScale(), 5);
+  baseline::BaselineEngine engine(&db->catalog, MySQLLikeProfile());
+  tpcw::RegisterTpcwBaseline(&engine);
+  BaselineSimOptions opt;
+  opt.num_cores = 1;
+  BaselineLoadSim sim(&engine, db.get(), opt);
+  ClientConfig low, high;
+  low.num_ebs = 20;
+  low.duration_seconds = high.duration_seconds = 40;
+  high.num_ebs = 4000;
+  const double wips_low = sim.Run(low).Wips();
+  const double wips_high = sim.Run(high).Wips();
+  // Offered load grows 200x; successful throughput must not (1-core cap).
+  EXPECT_LT(wips_high, wips_low * 100);
+}
+
+TEST(OpenLoop, LightStreamAloneMeetsItsRate) {
+  auto db = tpcw::MakeTpcwDatabase(TinyScale(), 5);
+  Engine engine(tpcw::BuildTpcwGlobalPlan(&db->catalog));
+  SharedDbSimOptions opt;
+  opt.num_cores = 8;
+  SharedDbLoadSim sim(&engine, db.get(), opt);
+  OpenLoopStream light;
+  light.name = "product_detail";
+  light.rate_per_second = 50;
+  light.timeout_seconds = 3.0;
+  light.make_call = [](Rng* rng) {
+    return tpcw::StatementCall{"product_detail", {Value::Int(rng->Uniform(0, 299))}};
+  };
+  const OpenLoopResult r = sim.RunOpenLoop({light}, 30.0, 3);
+  EXPECT_NEAR(r.ThroughputInTime(), 50.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(r.streams[0].issued) / 30.0, 50.0, 10.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace shareddb

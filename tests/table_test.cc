@@ -1,0 +1,227 @@
+// Table / MVCC tests: snapshot visibility, update/delete versioning, index
+// maintenance and visibility filtering, vacuum, segments, write observer.
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace shareddb {
+namespace {
+
+SchemaPtr UserSchema() {
+  return Schema::Make({{"id", ValueType::kInt},
+                       {"name", ValueType::kString},
+                       {"account", ValueType::kInt}});
+}
+
+Tuple User(int64_t id, const std::string& name, int64_t account) {
+  return {Value::Int(id), Value::Str(name), Value::Int(account)};
+}
+
+TEST(TableTest, InsertVisibility) {
+  Table t("users", UserSchema());
+  t.Insert(User(1, "ann", 100), /*commit=*/5);
+  EXPECT_EQ(t.VisibleCount(4), 0u);  // before commit
+  EXPECT_EQ(t.VisibleCount(5), 1u);  // at commit
+  EXPECT_EQ(t.VisibleCount(100), 1u);
+}
+
+TEST(TableTest, UpdateCreatesNewVersion) {
+  Table t("users", UserSchema());
+  const RowId r0 = t.Insert(User(1, "ann", 100), 1);
+  const RowId r1 = t.UpdateRow(r0, User(1, "ann", 250), 2);
+  EXPECT_NE(r0, r1);
+  EXPECT_EQ(t.PhysicalSize(), 2u);
+  // Snapshot 1 sees the old account; snapshot 2 the new.
+  EXPECT_TRUE(t.IsVisible(r0, 1));
+  EXPECT_FALSE(t.IsVisible(r0, 2));
+  EXPECT_TRUE(t.IsVisible(r1, 2));
+  size_t count = 0;
+  t.ScanVisible(1, [&](RowId, const Tuple& row) {
+    EXPECT_EQ(row[2].AsInt(), 100);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+  t.ScanVisible(2, [&](RowId, const Tuple& row) {
+    EXPECT_EQ(row[2].AsInt(), 250);
+    return true;
+  });
+}
+
+TEST(TableTest, DeleteEndsVisibility) {
+  Table t("users", UserSchema());
+  const RowId r = t.Insert(User(1, "ann", 100), 1);
+  EXPECT_TRUE(t.DeleteRow(r, 3));
+  EXPECT_FALSE(t.DeleteRow(r, 4));  // already dead
+  EXPECT_EQ(t.VisibleCount(2), 1u);
+  EXPECT_EQ(t.VisibleCount(3), 0u);
+}
+
+TEST(TableTest, ScanRangeRespectsBounds) {
+  Table t("users", UserSchema());
+  for (int i = 0; i < 10; ++i) t.Insert(User(i, "u", i), 1);
+  std::vector<int64_t> ids;
+  t.ScanRange(3, 7, 1, [&](RowId, const Tuple& row) {
+    ids.push_back(row[0].AsInt());
+    return true;
+  });
+  EXPECT_EQ(ids, (std::vector<int64_t>{3, 4, 5, 6}));
+  // Out-of-bounds end is clamped.
+  ids.clear();
+  t.ScanRange(8, 100, 1, [&](RowId, const Tuple& row) {
+    ids.push_back(row[0].AsInt());
+    return true;
+  });
+  EXPECT_EQ(ids, (std::vector<int64_t>{8, 9}));
+}
+
+TEST(TableTest, IndexLookupFiltersVisibility) {
+  Table t("users", UserSchema());
+  t.CreateIndex("users_id", "id");
+  const RowId r0 = t.Insert(User(1, "ann", 100), 1);
+  t.UpdateRow(r0, User(1, "ann", 300), 5);
+  // Both versions are in the index; visibility filters them.
+  std::vector<RowId> rows;
+  t.IndexLookup("users_id", Value::Int(1), /*snapshot=*/1, &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(t.GetRow(rows[0]).data[2].AsInt(), 100);
+  rows.clear();
+  t.IndexLookup("users_id", Value::Int(1), /*snapshot=*/5, &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(t.GetRow(rows[0]).data[2].AsInt(), 300);
+}
+
+TEST(TableTest, IndexCreatedAfterInsertsBackfills) {
+  Table t("users", UserSchema());
+  for (int i = 0; i < 20; ++i) t.Insert(User(i % 5, "u", i), 1);
+  t.CreateIndex("users_id", "id");
+  std::vector<RowId> rows;
+  t.IndexLookup("users_id", Value::Int(3), 1, &rows);
+  EXPECT_EQ(rows.size(), 4u);  // 3, 8, 13, 18
+}
+
+TEST(TableTest, IndexRangeScan) {
+  Table t("users", UserSchema());
+  t.CreateIndex("users_account", "account");
+  for (int i = 0; i < 10; ++i) t.Insert(User(i, "u", i * 100), 1);
+  std::vector<int64_t> accounts;
+  t.IndexRange("users_account", Value::Int(250), true, Value::Int(700), true, 1,
+               [&](RowId, const Tuple& row) {
+                 accounts.push_back(row[2].AsInt());
+                 return true;
+               });
+  EXPECT_EQ(accounts, (std::vector<int64_t>{300, 400, 500, 600, 700}));
+}
+
+TEST(TableTest, FindIndexOnColumn) {
+  Table t("users", UserSchema());
+  t.CreateIndex("users_id", "id");
+  EXPECT_NE(t.FindIndexOnColumn(0), nullptr);
+  EXPECT_EQ(t.FindIndexOnColumn(1), nullptr);
+  EXPECT_TRUE(t.HasIndex("users_id"));
+  EXPECT_FALSE(t.HasIndex("nope"));
+}
+
+TEST(TableTest, VacuumReclaimsDeadVersions) {
+  Table t("users", UserSchema());
+  t.CreateIndex("users_id", "id");
+  RowId r = t.Insert(User(1, "ann", 0), 1);
+  for (Version v = 2; v <= 11; ++v) {
+    r = t.UpdateRow(r, User(1, "ann", static_cast<int64_t>(v)), v);
+  }
+  EXPECT_EQ(t.PhysicalSize(), 11u);
+  const size_t removed = t.Vacuum(/*horizon=*/11);
+  EXPECT_EQ(removed, 10u);
+  EXPECT_EQ(t.PhysicalSize(), 1u);
+  EXPECT_EQ(t.VisibleCount(11), 1u);
+  // Index was rebuilt consistently.
+  std::vector<RowId> rows;
+  t.IndexLookup("users_id", Value::Int(1), 11, &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(t.GetRow(rows[0]).data[2].AsInt(), 11);
+}
+
+TEST(TableTest, VacuumKeepsVersionsAliveAtHorizon) {
+  Table t("users", UserSchema());
+  const RowId r0 = t.Insert(User(1, "a", 1), 1);
+  t.UpdateRow(r0, User(1, "a", 2), 5);
+  // Horizon 4: the old version (end=5) is still visible at snapshot 4.
+  EXPECT_EQ(t.Vacuum(4), 0u);
+  EXPECT_EQ(t.VisibleCount(4), 1u);
+  // Horizon 5: old version dead everywhere >= 5.
+  EXPECT_EQ(t.Vacuum(5), 1u);
+  EXPECT_EQ(t.VisibleCount(5), 1u);
+}
+
+TEST(TableTest, SegmentsGeometry) {
+  Table t("users", UserSchema());
+  t.set_rows_per_segment(16);
+  EXPECT_EQ(t.NumSegments(), 0u);
+  for (int i = 0; i < 40; ++i) t.Insert(User(i, "u", 0), 1);
+  EXPECT_EQ(t.NumSegments(), 3u);
+}
+
+TEST(TableTest, RecoveryHooks) {
+  Table t("users", UserSchema());
+  t.RecoverAppendRow(Row{User(1, "ann", 9), 3, kVersionMax});
+  t.RecoverAppendRow(Row{User(2, "bob", 8), 3, 7});
+  EXPECT_EQ(t.VisibleCount(3), 2u);
+  EXPECT_EQ(t.VisibleCount(7), 1u);
+  t.RecoverCloseRow(0, 9);
+  EXPECT_EQ(t.VisibleCount(9), 0u);
+  const std::vector<Row> dump = t.DumpRows();
+  ASSERT_EQ(dump.size(), 2u);
+  EXPECT_EQ(dump[0].end, 9u);
+}
+
+class CountingObserver : public TableWriteObserver {
+ public:
+  int inserts = 0, updates = 0, deletes = 0;
+  void OnInsert(const Table&, RowId, const Tuple&, Version) override { ++inserts; }
+  void OnUpdate(const Table&, RowId, RowId, const Tuple&, Version) override {
+    ++updates;
+  }
+  void OnDelete(const Table&, RowId, Version) override { ++deletes; }
+};
+
+TEST(TableTest, WriteObserverSeesMutations) {
+  Table t("users", UserSchema());
+  CountingObserver obs;
+  t.set_write_observer(&obs);
+  const RowId r = t.Insert(User(1, "a", 1), 1);
+  const RowId r2 = t.UpdateRow(r, User(1, "a", 2), 2);
+  t.DeleteRow(r2, 3);
+  EXPECT_EQ(obs.inserts, 1);
+  EXPECT_EQ(obs.updates, 1);
+  EXPECT_EQ(obs.deletes, 1);
+  // Recovery hooks do NOT notify.
+  t.RecoverAppendRow(Row{User(9, "z", 0), 1, kVersionMax});
+  EXPECT_EQ(obs.inserts, 1);
+}
+
+TEST(CatalogTest, TablesAndIds) {
+  Catalog cat;
+  Table* a = cat.CreateTable("a", UserSchema());
+  Table* b = cat.CreateTable("b", UserSchema());
+  EXPECT_EQ(cat.NumTables(), 2u);
+  EXPECT_EQ(cat.GetTable("a"), a);
+  EXPECT_EQ(cat.GetTable("z"), nullptr);
+  EXPECT_EQ(cat.TableId("b"), 1);
+  EXPECT_EQ(cat.TableById(1), b);
+  EXPECT_EQ(cat.TableId("zz"), -1);
+}
+
+TEST(SnapshotManagerTest, CommitAdvances) {
+  SnapshotManager sm;
+  EXPECT_EQ(sm.ReadSnapshot(), 0u);
+  EXPECT_EQ(sm.WriteVersion(), 1u);
+  EXPECT_EQ(sm.Commit(), 1u);
+  EXPECT_EQ(sm.ReadSnapshot(), 1u);
+  sm.Reset(10);
+  EXPECT_EQ(sm.WriteVersion(), 11u);
+}
+
+}  // namespace
+}  // namespace shareddb

@@ -1,0 +1,258 @@
+// TPC-W substrate tests: data generator, mixes, statements, and — most
+// importantly — DIFFERENTIAL execution: every web interaction is run with
+// identical parameters against SharedDB (batched shared execution) and the
+// query-at-a-time baseline over identically seeded databases; every SELECT
+// must return the same rows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baseline/profiles.h"
+#include "tpcw/global_plan.h"
+#include "tpcw/harness.h"
+#include "tpcw/schema.h"
+
+namespace shareddb {
+namespace tpcw {
+namespace {
+
+TpcwScale SmallScale() {
+  TpcwScale s;
+  s.num_items = 500;
+  s.num_ebs = 2;
+  return s;
+}
+
+TEST(TpcwDatagen, DeterministicUnderSeed) {
+  auto a = MakeTpcwDatabase(SmallScale(), 7);
+  auto b = MakeTpcwDatabase(SmallScale(), 7);
+  ASSERT_EQ(a->catalog.NumTables(), b->catalog.NumTables());
+  for (size_t t = 0; t < a->catalog.NumTables(); ++t) {
+    Table* ta = a->catalog.TableById(t);
+    Table* tb = b->catalog.TableById(t);
+    ASSERT_EQ(ta->PhysicalSize(), tb->PhysicalSize()) << ta->name();
+    const auto rows_a = ta->DumpRows();
+    const auto rows_b = tb->DumpRows();
+    for (size_t i = 0; i < rows_a.size(); ++i) {
+      EXPECT_TRUE(TuplesEqual(rows_a[i].data, rows_b[i].data))
+          << ta->name() << " row " << i;
+    }
+  }
+}
+
+TEST(TpcwDatagen, CardinalitiesFollowScale) {
+  const TpcwScale s = SmallScale();
+  auto db = MakeTpcwDatabase(s, 7);
+  EXPECT_EQ(db->catalog.MustGetTable(kItem)->PhysicalSize(),
+            static_cast<size_t>(s.num_items));
+  EXPECT_EQ(db->catalog.MustGetTable(kCustomer)->PhysicalSize(),
+            static_cast<size_t>(s.NumCustomers()));
+  EXPECT_EQ(db->catalog.MustGetTable(kCountry)->PhysicalSize(),
+            static_cast<size_t>(s.NumCountries()));
+  EXPECT_EQ(db->catalog.MustGetTable(kOrders)->PhysicalSize(),
+            static_cast<size_t>(s.NumOrders()));
+  // The id allocator must start past every loaded id.
+  EXPECT_GE(db->ids.next_order.load(), static_cast<int64_t>(s.NumOrders()));
+  EXPECT_GE(db->ids.next_customer.load(), static_cast<int64_t>(s.NumCustomers()));
+}
+
+TEST(TpcwMixes, ProbabilitiesArePositiveAndNormalized) {
+  for (const Mix mix : {Mix::kBrowsing, Mix::kShopping, Mix::kOrdering}) {
+    double total = 0;
+    for (int i = 0; i < kNumInteractions; ++i) {
+      const double p =
+          InteractionProbability(mix, static_cast<WebInteraction>(i));
+      EXPECT_GE(p, 0) << MixName(mix) << " " << i;
+      total += p;
+    }
+    EXPECT_NEAR(total, 100.0, 0.5) << MixName(mix);
+  }
+}
+
+TEST(TpcwMixes, SampleFollowsDistribution) {
+  Rng rng(9);
+  std::array<int, kNumInteractions> counts{};
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[static_cast<size_t>(SampleInteraction(Mix::kBrowsing, &rng))]++;
+  }
+  for (int i = 0; i < kNumInteractions; ++i) {
+    const double expect =
+        InteractionProbability(Mix::kBrowsing, static_cast<WebInteraction>(i)) /
+        100.0 * kDraws;
+    EXPECT_NEAR(counts[static_cast<size_t>(i)], expect,
+                5 * std::sqrt(expect + 1) + 10)
+        << InteractionName(static_cast<WebInteraction>(i));
+  }
+}
+
+TEST(TpcwMixes, ThinkTimesCappedAndPositive) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double t = SampleThinkTimeSeconds(&rng);
+    ASSERT_GE(t, 0);
+    ASSERT_LE(t, kThinkTimeMaxSeconds);
+    sum += t;
+  }
+  EXPECT_NEAR(sum / 5000, kThinkTimeMeanSeconds, 0.7);
+}
+
+TEST(TpcwMixes, TimeoutsWithinSpecRange) {
+  for (int i = 0; i < kNumInteractions; ++i) {
+    const double t = InteractionTimeoutSeconds(static_cast<WebInteraction>(i));
+    EXPECT_GE(t, 2.0);
+    EXPECT_LE(t, 20.0);
+  }
+}
+
+TEST(TpcwStatements, CatalogHasUniqueNames) {
+  auto db = MakeTpcwDatabase(SmallScale(), 7);
+  const std::vector<TpcwStatementDef> defs = BuildTpcwStatements(db->catalog);
+  EXPECT_GE(defs.size(), 25u);  // "about thirty" prepared statements (§2)
+  std::map<std::string, int> names;
+  for (const TpcwStatementDef& d : defs) names[d.name]++;
+  for (const auto& [name, count] : names) {
+    EXPECT_EQ(count, 1) << "duplicate statement " << name;
+  }
+}
+
+TEST(TpcwGlobalPlan, SharesOperatorsAcrossStatements) {
+  auto db = MakeTpcwDatabase(SmallScale(), 7);
+  std::unique_ptr<GlobalPlan> plan = BuildTpcwGlobalPlan(&db->catalog);
+  // ~26 database operators + sources (Figure 6); sharing means the node
+  // count is far below the sum of per-statement plan sizes.
+  EXPECT_GE(plan->num_nodes(), 20u);
+  EXPECT_LE(plan->num_nodes(), 60u);
+  size_t per_statement_nodes = 0;
+  for (size_t s = 0; s < plan->num_statements(); ++s) {
+    per_statement_nodes += plan->statement(s).node_configs.size();
+  }
+  EXPECT_GT(per_statement_nodes, plan->num_nodes());
+}
+
+// ---------------------------------------------------------------------------
+// Differential: SharedDB vs. query-at-a-time on identical databases.
+// ---------------------------------------------------------------------------
+
+class TpcwDifferential : public ::testing::TestWithParam<int> {};
+
+std::multiset<std::string> Canonical(const ResultSet& rs) {
+  std::multiset<std::string> rows;
+  for (const Tuple& t : rs.rows) rows.insert(TupleToString(t));
+  return rows;
+}
+
+TEST_P(TpcwDifferential, InteractionMatchesBaseline) {
+  const auto wi = static_cast<WebInteraction>(GetParam());
+  const TpcwScale scale = SmallScale();
+
+  auto db_s = MakeTpcwDatabase(scale, 11);
+  Engine engine(BuildTpcwGlobalPlan(&db_s->catalog));
+  auto db_b = MakeTpcwDatabase(scale, 11);
+  baseline::BaselineEngine base(&db_b->catalog, SystemXLikeProfile());
+  RegisterTpcwBaseline(&base);
+
+  // Drive both engines with the SAME seeded statement streams.
+  EbState eb_s, eb_b;
+  eb_s.customer_id = eb_b.customer_id = 5;
+  Rng rng_s(77), rng_b(77);
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<StatementCall> calls_s =
+        BuildInteraction(wi, scale, &eb_s, &db_s->ids, &rng_s);
+    const std::vector<StatementCall> calls_b =
+        BuildInteraction(wi, scale, &eb_b, &db_b->ids, &rng_b);
+    ASSERT_EQ(calls_s.size(), calls_b.size());
+    for (size_t c = 0; c < calls_s.size(); ++c) {
+      ASSERT_EQ(calls_s[c].statement, calls_b[c].statement);
+      ResultSet rs = engine.ExecuteSyncNamed(calls_s[c].statement, calls_s[c].params);
+      baseline::BaselineResult rb =
+          base.ExecuteNamed(calls_b[c].statement, calls_b[c].params);
+      EXPECT_EQ(rs.update_count, rb.result.update_count)
+          << calls_s[c].statement << " round " << round;
+      EXPECT_EQ(Canonical(rs), Canonical(rb.result))
+          << calls_s[c].statement << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInteractions, TpcwDifferential,
+                         ::testing::Range(0, kNumInteractions),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return InteractionName(
+                               static_cast<WebInteraction>(info.param));
+                         });
+
+// Many concurrent queries of one statement in one batch must each see
+// exactly what per-query execution produces.
+TEST(TpcwDifferential2, BatchedBestSellersMatchesSequentialBaseline) {
+  const TpcwScale scale = SmallScale();
+  auto db_s = MakeTpcwDatabase(scale, 3);
+  Engine engine(BuildTpcwGlobalPlan(&db_s->catalog));
+  auto db_b = MakeTpcwDatabase(scale, 3);
+  baseline::BaselineEngine base(&db_b->catalog, SystemXLikeProfile());
+  RegisterTpcwBaseline(&base);
+
+  std::vector<std::vector<Value>> params;
+  for (int i = 0; i < 40; ++i) {
+    params.push_back({Value::Int(i % 24), Value::Int(kTodayDay - 60)});
+  }
+  std::vector<std::future<ResultSet>> fs;
+  for (const auto& p : params) fs.push_back(engine.SubmitNamed("best_sellers", p));
+  engine.RunOneBatch();
+  for (size_t i = 0; i < params.size(); ++i) {
+    ResultSet shared = fs[i].get();
+    baseline::BaselineResult b = base.ExecuteNamed("best_sellers", params[i]);
+    EXPECT_EQ(Canonical(shared), Canonical(b.result)) << "query " << i;
+  }
+}
+
+TEST(TpcwDifferential2, BatchedSearchesMatchBaseline) {
+  const TpcwScale scale = SmallScale();
+  auto db_s = MakeTpcwDatabase(scale, 3);
+  Engine engine(BuildTpcwGlobalPlan(&db_s->catalog));
+  auto db_b = MakeTpcwDatabase(scale, 3);
+  baseline::BaselineEngine base(&db_b->catalog, SystemXLikeProfile());
+  RegisterTpcwBaseline(&base);
+
+  std::vector<std::vector<Value>> params;
+  for (int i = 0; i < 30; ++i) {
+    params.push_back({Value::Str("title " + std::to_string(i * 7 % 500) + " %")});
+  }
+  std::vector<std::future<ResultSet>> fs;
+  for (const auto& p : params) fs.push_back(engine.SubmitNamed("search_by_title", p));
+  engine.RunOneBatch();
+  for (size_t i = 0; i < params.size(); ++i) {
+    ResultSet shared = fs[i].get();
+    baseline::BaselineResult b = base.ExecuteNamed("search_by_title", params[i]);
+    EXPECT_EQ(Canonical(shared), Canonical(b.result)) << "query " << i;
+    EXPECT_GE(shared.rows.size(), 1u) << "query " << i;  // its own item
+  }
+}
+
+// Sharing sanity: a batch of N best-sellers queries does far less work than
+// N times the single-query batch (the paper's bounded-computation claim).
+TEST(TpcwSharing, BestSellersWorkIsSublinear) {
+  const TpcwScale scale = SmallScale();
+  auto run = [&](int n) {
+    auto db = MakeTpcwDatabase(scale, 3);
+    Engine engine(BuildTpcwGlobalPlan(&db->catalog));
+    std::vector<std::future<ResultSet>> fs;
+    for (int i = 0; i < n; ++i) {
+      fs.push_back(engine.SubmitNamed(
+          "best_sellers", {Value::Int(i % 24), Value::Int(kTodayDay - 60)}));
+    }
+    const BatchReport r = engine.RunOneBatch();
+    for (auto& f : fs) f.get();
+    return r.TotalWork().Total();
+  };
+  const uint64_t w1 = run(1);
+  const uint64_t w64 = run(64);
+  EXPECT_LT(w64, w1 * 16) << "w1=" << w1 << " w64=" << w64;
+}
+
+}  // namespace
+}  // namespace tpcw
+}  // namespace shareddb
