@@ -112,7 +112,7 @@ void BM_SharedJoin_DataKey(benchmark::State& state) {
   HashJoinOp op(f.left_schema, f.right_schema, 0, 0, /*build_left=*/true, "l", "r");
   CycleContext ctx;
   for (auto _ : state) {
-    std::vector<DQBatch> inputs;
+    std::vector<BatchRef> inputs;
     inputs.push_back(f.left);
     inputs.push_back(f.right);
     DQBatch out = op.RunCycle(std::move(inputs), f.queries, ctx, nullptr);
@@ -128,7 +128,7 @@ void BM_SharedJoin_QidKey(benchmark::State& state) {
   QidJoinOp op(f.left_schema, f.right_schema, 0, 0, "l", "r");
   CycleContext ctx;
   for (auto _ : state) {
-    std::vector<DQBatch> inputs;
+    std::vector<BatchRef> inputs;
     inputs.push_back(f.left);
     inputs.push_back(f.right);
     DQBatch out = op.RunCycle(std::move(inputs), f.queries, ctx, nullptr);

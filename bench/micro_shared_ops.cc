@@ -66,7 +66,7 @@ void BM_SharedSort(benchmark::State& state) {
   ctx.write_version = 2;
 
   for (auto _ : state) {
-    std::vector<DQBatch> inputs;
+    std::vector<BatchRef> inputs;
     inputs.push_back(in);
     DQBatch out = op.RunCycle(std::move(inputs), queries, ctx, nullptr);
     benchmark::DoNotOptimize(out);

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Runs the two micro benchmarks (micro_shared_ops, micro_ablation) in Release
+# and emits a merged BENCH_micro.json for the perf trajectory.
+#
+# Usage:
+#   bench/run_benches.sh [output.json] [--min-time SECONDS]
+#
+# The output records one entry per benchmark: {"name", "ns"}. When a previous
+# BENCH_micro.json with "before_ns"/"after_ns" entries exists at the output
+# path it is left as committed history unless you pass --overwrite.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+OUT="${1:-$REPO_ROOT/BENCH_micro.json}"
+MIN_TIME="0.5"
+OVERWRITE=0
+shift || true
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --min-time) MIN_TIME="$2"; shift 2 ;;
+    --overwrite) OVERWRITE=1; shift ;;
+    *) echo "unknown arg: $1" >&2; exit 2 ;;
+  esac
+done
+
+BUILD_DIR="$REPO_ROOT/build-bench"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
+      -DSDB_BUILD_TESTS=OFF -DSDB_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_shared_ops micro_ablation >/dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+"$BUILD_DIR/micro_shared_ops" --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json > "$TMP/shared.json" 2>/dev/null
+"$BUILD_DIR/micro_ablation" --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json > "$TMP/ablation.json" 2>/dev/null
+
+python3 - "$TMP/shared.json" "$TMP/ablation.json" "$OUT" "$OVERWRITE" <<'EOF'
+import json, sys, datetime
+
+shared, ablation, out_path, overwrite = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] == "1"
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return [{"name": b["name"], "ns": round(b["real_time"], 1)}
+            for b in data["benchmarks"]]
+
+entries = load(shared) + load(ablation)
+
+try:
+    with open(out_path) as f:
+        existing = json.load(f)
+    has_history = any("before_ns" in b for b in existing.get("benchmarks", []))
+except (FileNotFoundError, json.JSONDecodeError):
+    existing, has_history = None, False
+
+if has_history and not overwrite:
+    print(f"{out_path} holds committed before/after history; "
+          "pass --overwrite to replace it. Current run:")
+    for e in entries:
+        print(f'  {e["name"]:45s} {e["ns"]:>14} ns')
+    sys.exit(0)
+
+result = {
+    "meta": {
+        "date": datetime.date.today().isoformat(),
+        "config": f"Release, benchmark_min_time from run_benches.sh",
+        "unit": "ns",
+    },
+    "benchmarks": entries,
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=1)
+print(f"wrote {out_path} ({len(entries)} benchmarks)")
+EOF

@@ -1,11 +1,28 @@
 #include "common/batch.h"
 
+#include <iterator>
+
 namespace shareddb {
 
 void DQBatch::Append(const DQBatch& other) {
   SDB_DCHECK(other.tuples.size() == other.qids.size());
   tuples.insert(tuples.end(), other.tuples.begin(), other.tuples.end());
   qids.insert(qids.end(), other.qids.begin(), other.qids.end());
+}
+
+void DQBatch::Append(DQBatch&& other) {
+  SDB_DCHECK(other.tuples.size() == other.qids.size());
+  if (tuples.empty()) {
+    tuples = std::move(other.tuples);
+    qids = std::move(other.qids);
+    return;
+  }
+  tuples.insert(tuples.end(), std::make_move_iterator(other.tuples.begin()),
+                std::make_move_iterator(other.tuples.end()));
+  qids.insert(qids.end(), std::make_move_iterator(other.qids.begin()),
+              std::make_move_iterator(other.qids.end()));
+  other.tuples.clear();
+  other.qids.clear();
 }
 
 size_t DQBatch::Compact() {

@@ -5,7 +5,10 @@
 #ifndef SHAREDDB_COMMON_BATCH_H_
 #define SHAREDDB_COMMON_BATCH_H_
 
+#include <atomic>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/query_id_set.h"
@@ -43,6 +46,10 @@ struct DQBatch {
 
   /// Appends all rows of another batch (schemas must match arity).
   void Append(const DQBatch& other);
+  /// Move-append: steals the other batch's tuples. Adopts the other batch's
+  /// storage outright when this batch is still empty (the single-input
+  /// operator fast path).
+  void Append(DQBatch&& other);
 
   /// Removes rows whose qid set is empty. Returns number removed.
   size_t Compact();
@@ -59,6 +66,53 @@ struct DQBatch {
 
   /// Validates invariants (arity, parallel arrays); aborts on violation.
   void CheckValid() const;
+};
+
+/// Handle to a batch flowing along one dataflow edge.
+///
+/// A producer with several consumers publishes ONE batch as a
+/// shared_ptr<const DQBatch>; every consumer edge carries a refcounted
+/// handle instead of a deep copy (tuples are vectors of values — copying a
+/// batch per consumer was the dominant fan-out cost). A consumer that only
+/// reads uses view(); a consumer that wants to mutate calls Take(), which
+/// moves when this handle is the only owner and copies otherwise
+/// (copy-on-write).
+class BatchRef {
+ public:
+  BatchRef() = default;
+  /// Owning handle (single consumer / freshly built input).
+  /*implicit*/ BatchRef(DQBatch b) : owned_(std::move(b)) {}
+  /// Shared handle (multi-consumer fan-out).
+  /*implicit*/ BatchRef(std::shared_ptr<const DQBatch> b) : shared_(std::move(b)) {}
+
+  /// Read-only view. Valid while this handle lives.
+  const DQBatch& view() const { return shared_ ? *shared_ : owned_; }
+
+  size_t size() const { return view().size(); }
+  bool empty() const { return view().empty(); }
+
+  /// True when Take() will move instead of copy.
+  bool unique() const { return !shared_ || shared_.use_count() == 1; }
+
+  /// Takes ownership of the batch: moves when sole owner, copies when the
+  /// batch is still shared with other consumers.
+  DQBatch Take() {
+    if (!shared_) return std::move(owned_);
+    std::shared_ptr<const DQBatch> sp = std::move(shared_);
+    if (sp.use_count() == 1) {
+      // Sole owner. use_count() is a relaxed load; fence so the releasing
+      // decrements of the other (former) owners happen-before our mutation.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      // The const-ness was only a sharing contract; the object was created
+      // non-const by the producer, so casting it back is safe.
+      return std::move(const_cast<DQBatch&>(*sp));
+    }
+    return *sp;  // copy-on-write: others still read the original
+  }
+
+ private:
+  std::shared_ptr<const DQBatch> shared_;
+  DQBatch owned_;
 };
 
 }  // namespace shareddb

@@ -1,0 +1,185 @@
+// FlatHashMap: open-addressing hash table for the shared data path.
+//
+// The hot operator loops (hash join build/probe, group-by, distinct, the
+// predicate index, per-cycle memo caches) key on integer hashes and never
+// erase. std::unordered_map pays one heap node per entry and a pointer chase
+// per probe; this table stores entries inline in one power-of-two array and
+// resolves collisions by linear probing, so a probe is one cache line in the
+// common case and building n entries costs O(1) allocations.
+//
+// Contract (deliberately narrower than std::unordered_map):
+//   * no erase — tables live for one operator cycle and are then dropped;
+//   * keys and values must be default-constructible and movable;
+//   * rehashing invalidates pointers returned by Find/operator[] (as does
+//     any insert, like std::vector growth) — don't hold them across inserts;
+//   * not thread-safe.
+
+#ifndef SHAREDDB_COMMON_FLAT_HASH_H_
+#define SHAREDDB_COMMON_FLAT_HASH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace shareddb {
+
+/// Finalizing mixer (splitmix64): defends the power-of-two bucket mask
+/// against identity-like input hashes (sequential ids, aligned pointers).
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Default hasher: integral keys are mixed directly; anything else must
+/// provide its own hasher functor.
+template <typename K>
+struct FlatDefaultHash {
+  uint64_t operator()(const K& k) const { return MixHash64(static_cast<uint64_t>(k)); }
+};
+
+template <typename K, typename V, typename Hash = FlatDefaultHash<K>>
+class FlatHashMap {
+ public:
+  struct Entry {
+    K key{};
+    V value{};
+  };
+
+  FlatHashMap() = default;
+  explicit FlatHashMap(size_t expected) { Reserve(expected); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Pre-sizes the table for `n` entries without rehashing on the way there.
+  void Reserve(size_t n) {
+    size_t want = 16;
+    while (want * 3 < n * 4) want *= 2;  // keep load factor <= 0.75
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  /// Returns the value for `key`, default-constructing it on first access.
+  V& operator[](const K& key) { return *TryEmplace(key).first; }
+
+  /// Returns (pointer to value, inserted?). The value is default-constructed
+  /// when inserted.
+  std::pair<V*, bool> TryEmplace(const K& key) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash_(key)) & mask;
+    while (used_[i]) {
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+      i = (i + 1) & mask;
+    }
+    used_[i] = 1;
+    slots_[i].key = key;
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  /// Pointer to the value for `key`, or nullptr.
+  V* Find(const K& key) {
+    return const_cast<V*>(static_cast<const FlatHashMap*>(this)->Find(key));
+  }
+  const V* Find(const K& key) const {
+    if (slots_.empty()) return nullptr;
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash_(key)) & mask;
+    while (used_[i]) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Drops all entries but keeps the allocated capacity.
+  void Clear() {
+    if (size_ == 0) return;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) slots_[i] = Entry{};
+    }
+    std::fill(used_.begin(), used_.end(), uint8_t{0});
+    size_ = 0;
+  }
+
+  /// Visits every (key, value) pair; `fn(const K&, V&)`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  /// Minimal forward iteration over occupied entries (for range-for).
+  template <typename MapT, typename EntryT>
+  class Iter {
+   public:
+    Iter(MapT* m, size_t i) : m_(m), i_(i) { Skip(); }
+    EntryT& operator*() const { return m_->slots_[i_]; }
+    EntryT* operator->() const { return &m_->slots_[i_]; }
+    Iter& operator++() {
+      ++i_;
+      Skip();
+      return *this;
+    }
+    bool operator!=(const Iter& o) const { return i_ != o.i_; }
+    bool operator==(const Iter& o) const { return i_ == o.i_; }
+
+   private:
+    void Skip() {
+      while (i_ < m_->slots_.size() && !m_->used_[i_]) ++i_;
+    }
+    MapT* m_;
+    size_t i_;
+  };
+  using iterator = Iter<FlatHashMap, Entry>;
+  using const_iterator = Iter<const FlatHashMap, const Entry>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slots_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+ private:
+  void Rehash(size_t new_cap) {
+    SDB_DCHECK((new_cap & (new_cap - 1)) == 0);
+    std::vector<Entry> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slots_.assign(new_cap, Entry{});
+    used_.assign(new_cap, 0);
+    const size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      size_t j = static_cast<size_t>(hash_(old_slots[i].key)) & mask;
+      while (used_[j]) j = (j + 1) & mask;
+      used_[j] = 1;
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::vector<uint8_t> used_;  // separate bytes: probe scans touch no payload
+  size_t size_ = 0;
+  Hash hash_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_FLAT_HASH_H_

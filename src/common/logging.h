@@ -24,8 +24,9 @@ namespace shareddb {
     if (!(cond)) ::shareddb::CheckFailed(__FILE__, __LINE__, #cond); \
   } while (0)
 
-/// Debug-only check: compiled out in NDEBUG builds.
-#ifdef NDEBUG
+/// Debug-only check: compiled out in NDEBUG builds unless SDB_FORCE_DCHECKS
+/// is defined (the CMake option of the same name).
+#if defined(NDEBUG) && !defined(SDB_FORCE_DCHECKS)
 #define SDB_DCHECK(cond) \
   do {                   \
   } while (0)

@@ -1,60 +1,210 @@
 #include "common/query_id_set.h"
 
 #include <algorithm>
+#include <new>
 
 namespace shareddb {
 
-QueryIdSet::QueryIdSet(std::initializer_list<QueryId> ids) : ids_(ids) {
-  std::sort(ids_.begin(), ids_.end());
-  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+// ---------------------------------------------------------------------------
+// Representation
+// ---------------------------------------------------------------------------
+
+QueryIdSet::HeapRep* QueryIdSet::NewRep(uint32_t capacity) {
+  void* mem = ::operator new(sizeof(HeapRep) + capacity * sizeof(QueryId));
+  return new (mem) HeapRep{{1}, capacity, {0}};
+}
+
+void QueryIdSet::DecRef(HeapRep* rep) {
+  if (rep->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    rep->~HeapRep();
+    ::operator delete(rep);
+  }
+}
+
+QueryIdSet::QueryIdSet(const QueryIdSet& o) : size_(o.size_), heap_(o.heap_) {
+  if (heap_) {
+    store_.heap = o.store_.heap;
+    store_.heap->refs.fetch_add(1, std::memory_order_relaxed);
+  } else if (size_ != 0) {
+    std::memcpy(store_.inline_ids, o.store_.inline_ids, size_ * sizeof(QueryId));
+  }
+}
+
+QueryIdSet::QueryIdSet(QueryIdSet&& o) noexcept : size_(o.size_), heap_(o.heap_) {
+  if (heap_) {
+    store_.heap = o.store_.heap;
+    o.size_ = 0;
+    o.heap_ = 0;
+  } else if (size_ != 0) {
+    std::memcpy(store_.inline_ids, o.store_.inline_ids, size_ * sizeof(QueryId));
+  }
+}
+
+QueryIdSet& QueryIdSet::operator=(const QueryIdSet& o) {
+  if (this == &o) return *this;
+  QueryIdSet tmp(o);
+  *this = std::move(tmp);
+  return *this;
+}
+
+QueryIdSet& QueryIdSet::operator=(QueryIdSet&& o) noexcept {
+  if (this == &o) return *this;
+  if (heap_) DecRef(store_.heap);
+  size_ = o.size_;
+  heap_ = o.heap_;
+  if (heap_) {
+    store_.heap = o.store_.heap;
+    o.size_ = 0;
+    o.heap_ = 0;
+  } else if (size_ != 0) {
+    std::memcpy(store_.inline_ids, o.store_.inline_ids, size_ * sizeof(QueryId));
+  }
+  return *this;
+}
+
+void QueryIdSet::AssignFrom(const QueryId* src, size_t n) {
+  SDB_DCHECK(size_ == 0 && heap_ == 0);
+  size_ = static_cast<uint32_t>(n);
+  if (n <= kInlineCapacity) {
+    if (n != 0) std::memcpy(store_.inline_ids, src, n * sizeof(QueryId));
+    return;
+  }
+  HeapRep* rep = NewRep(static_cast<uint32_t>(n));
+  std::memcpy(rep->data(), src, n * sizeof(QueryId));
+  store_.heap = rep;
+  heap_ = 1;
+}
+
+void QueryIdSet::EnsureUnique(size_t need) {
+  if (!heap_) {
+    if (need <= kInlineCapacity) return;
+    HeapRep* rep = NewRep(static_cast<uint32_t>(std::max(need, size_t{2} * size_)));
+    std::memcpy(rep->data(), store_.inline_ids, size_ * sizeof(QueryId));
+    store_.heap = rep;
+    heap_ = 1;
+    return;
+  }
+  HeapRep* old = store_.heap;
+  if (old->refs.load(std::memory_order_acquire) == 1 && old->capacity >= need) {
+    old->hash_cache.store(0, std::memory_order_relaxed);  // about to mutate
+    return;
+  }
+  HeapRep* rep = NewRep(static_cast<uint32_t>(std::max(need, size_t{2} * size_)));
+  std::memcpy(rep->data(), old->data(), size_ * sizeof(QueryId));
+  store_.heap = rep;
+  DecRef(old);
+}
+
+QueryIdSet::QueryIdSet(std::initializer_list<QueryId> ids) : size_(0), heap_(0) {
+  std::vector<QueryId> v(ids);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  AssignFrom(v.data(), v.size());
 }
 
 QueryIdSet QueryIdSet::FromSorted(std::vector<QueryId> sorted_ids) {
-#ifndef NDEBUG
-  for (size_t i = 1; i < sorted_ids.size(); ++i) {
-    SDB_DCHECK(sorted_ids[i - 1] < sorted_ids[i]);
-  }
+  return FromSorted(sorted_ids.data(), sorted_ids.size());
+}
+
+QueryIdSet QueryIdSet::FromSorted(const QueryId* data, size_t n) {
+#if !defined(NDEBUG) || defined(SDB_FORCE_DCHECKS)
+  for (size_t i = 1; i < n; ++i) SDB_DCHECK(data[i - 1] < data[i]);
 #endif
   QueryIdSet s;
-  s.ids_ = std::move(sorted_ids);
+  s.AssignFrom(data, n);
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// Set algebra
+// ---------------------------------------------------------------------------
+
 bool QueryIdSet::Contains(QueryId id) const {
-  if (ids_.size() <= 8) {
-    for (const QueryId x : ids_) {
-      if (x == id) return true;
-      if (x > id) return false;
+  const QueryId* d = data();
+  if (size_ <= 8) {
+    for (size_t i = 0; i < size_; ++i) {
+      if (d[i] == id) return true;
+      if (d[i] > id) return false;
     }
     return false;
   }
-  return std::binary_search(ids_.begin(), ids_.end(), id);
+  return std::binary_search(d, d + size_, id);
 }
 
 void QueryIdSet::Insert(QueryId id) {
-  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-  if (it != ids_.end() && *it == id) return;
-  ids_.insert(it, id);
+  const QueryId* d = data();
+  const size_t pos =
+      static_cast<size_t>(std::lower_bound(d, d + size_, id) - d);
+  if (pos < size_ && d[pos] == id) return;
+  EnsureUnique(size_ + size_t{1});
+  QueryId* md = mutable_data();
+  std::memmove(md + pos + 1, md + pos, (size_ - pos) * sizeof(QueryId));
+  md[pos] = id;
+  ++size_;
 }
 
+namespace {
+
+/// Scratch buffer for set-algebra results: stack for small outputs, a
+/// per-thread spill vector beyond that. The result is copied into an
+/// exact-size QueryIdSet afterwards, so no allocation survives the call.
+struct Scratch {
+  static constexpr size_t kStack = 64;
+  QueryId stack[kStack];
+  std::vector<QueryId>* spill;
+  QueryId* buf;
+
+  explicit Scratch(size_t bound) {
+    if (bound <= kStack) {
+      spill = nullptr;
+      buf = stack;
+    } else {
+      static thread_local std::vector<QueryId> tls;
+      if (tls.size() < bound) tls.resize(bound);
+      spill = &tls;
+      buf = tls.data();
+    }
+  }
+};
+
+}  // namespace
+
 QueryIdSet QueryIdSet::Intersect(const QueryIdSet& other) const {
-  const QueryIdSet& small = ids_.size() <= other.ids_.size() ? *this : other;
-  const QueryIdSet& large = ids_.size() <= other.ids_.size() ? other : *this;
-  QueryIdSet out;
-  out.ids_.reserve(small.ids_.size());
-  if (large.ids_.size() >= kGallopRatio * (small.ids_.size() + 1)) {
+  if (SharesStorageWith(other)) return *this;  // A ∩ A = A, one refcount bump
+  if (empty() || other.empty()) return QueryIdSet();
+  const QueryIdSet& small = size_ <= other.size_ ? *this : other;
+  const QueryIdSet& large = size_ <= other.size_ ? other : *this;
+  const QueryId* sd = small.data();
+  const QueryId* ld = large.data();
+  const size_t sn = small.size_, ln = large.size_;
+
+  Scratch scratch(sn);
+  QueryId* out = scratch.buf;
+  size_t n = 0;
+  if (ln >= kGallopRatio * (sn + 1)) {
     // Galloping: probe each element of the small side into the large side.
-    auto from = large.ids_.begin();
-    for (const QueryId id : small.ids_) {
-      from = std::lower_bound(from, large.ids_.end(), id);
-      if (from == large.ids_.end()) break;
-      if (*from == id) out.ids_.push_back(id);
+    const QueryId* from = ld;
+    const QueryId* lend = ld + ln;
+    for (size_t i = 0; i < sn; ++i) {
+      from = std::lower_bound(from, lend, sd[i]);
+      if (from == lend) break;
+      if (*from == sd[i]) out[n++] = sd[i];
     }
   } else {
-    std::set_intersection(small.ids_.begin(), small.ids_.end(), large.ids_.begin(),
-                          large.ids_.end(), std::back_inserter(out.ids_));
+    size_t i = 0, j = 0;
+    while (i < sn && j < ln) {
+      if (sd[i] < ld[j]) {
+        ++i;
+      } else if (sd[i] > ld[j]) {
+        ++j;
+      } else {
+        out[n++] = sd[i];
+        ++i;
+        ++j;
+      }
+    }
   }
-  return out;
+  return FromSorted(out, n);
 }
 
 uint64_t QueryIdSet::MergeCost(size_t a, size_t b) {
@@ -71,18 +221,39 @@ uint64_t QueryIdSet::MergeCost(size_t a, size_t b) {
 }
 
 QueryIdSet QueryIdSet::Union(const QueryIdSet& other) const {
-  QueryIdSet out;
-  out.ids_.reserve(ids_.size() + other.ids_.size());
-  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
-                 std::back_inserter(out.ids_));
-  return out;
+  if (SharesStorageWith(other)) return *this;  // A ∪ A = A
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  const QueryId* ad = data();
+  const QueryId* bd = other.data();
+  const size_t an = size_, bn = other.size_;
+
+  Scratch scratch(an + bn);
+  QueryId* out = scratch.buf;
+  size_t n = 0, i = 0, j = 0;
+  while (i < an && j < bn) {
+    if (ad[i] < bd[j]) {
+      out[n++] = ad[i++];
+    } else if (ad[i] > bd[j]) {
+      out[n++] = bd[j++];
+    } else {
+      out[n++] = ad[i++];
+      ++j;
+    }
+  }
+  while (i < an) out[n++] = ad[i++];
+  while (j < bn) out[n++] = bd[j++];
+  return FromSorted(out, n);
 }
 
 bool QueryIdSet::Intersects(const QueryIdSet& other) const {
+  if (SharesStorageWith(other)) return size_ != 0;
+  const QueryId* ad = data();
+  const QueryId* bd = other.data();
   size_t i = 0, j = 0;
-  while (i < ids_.size() && j < other.ids_.size()) {
-    if (ids_[i] == other.ids_[j]) return true;
-    if (ids_[i] < other.ids_[j]) {
+  while (i < size_ && j < other.size_) {
+    if (ad[i] == bd[j]) return true;
+    if (ad[i] < bd[j]) {
       ++i;
     } else {
       ++j;
@@ -92,21 +263,47 @@ bool QueryIdSet::Intersects(const QueryIdSet& other) const {
 }
 
 uint64_t QueryIdSet::HashValue() const {
+  if (heap_) {
+    const uint64_t cached = store_.heap->hash_cache.load(std::memory_order_relaxed);
+    if (cached != 0) return cached;
+  }
   uint64_t h = 1469598103934665603ULL;  // FNV offset basis
-  for (const QueryId id : ids_) {
-    h ^= id;
+  const QueryId* d = data();
+  for (size_t i = 0; i < size_; ++i) {
+    h ^= d[i];
     h *= 1099511628211ULL;  // FNV prime
   }
+  if (h == 0) h = 1469598103934665603ULL;  // keep 0 free as "not cached"
+  if (heap_) store_.heap->hash_cache.store(h, std::memory_order_relaxed);
   return h;
 }
 
 std::string QueryIdSet::ToString() const {
   std::string s = "{";
-  for (size_t i = 0; i < ids_.size(); ++i) {
+  const QueryId* d = data();
+  for (size_t i = 0; i < size_; ++i) {
     if (i) s += ", ";
-    s += std::to_string(ids_[i]);
+    s += std::to_string(d[i]);
   }
   s += "}";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Interning
+// ---------------------------------------------------------------------------
+
+QueryIdSet QidInternPool::Intern(const QueryIdSet& s, bool* was_known) {
+  std::vector<QueryIdSet>& chain = table_[s.HashValue()];
+  for (const QueryIdSet& canonical : chain) {
+    if (canonical == s) {
+      if (was_known != nullptr) *was_known = true;
+      return canonical;
+    }
+  }
+  if (was_known != nullptr) *was_known = false;
+  chain.push_back(s);
+  ++entries_;
   return s;
 }
 

@@ -1,17 +1,29 @@
 // QueryIdSet: the set-valued `query_id` attribute of the data-query model
-// (paper §3.1). Implemented as a sorted list (small vector) because the paper
-// found lists to be "the more space and time efficient option in all our
-// experiments" compared to bitmaps. A bitmap variant is provided for the
-// ablation benchmark that re-validates that choice.
+// (paper §3.1). Implemented as a sorted list because the paper found lists to
+// be "the more space and time efficient option in all our experiments"
+// compared to bitmaps. A bitmap variant is provided for the ablation
+// benchmark that re-validates that choice.
+//
+// Representation: small-buffer-optimized. Most tuples are relevant to few
+// queries, so sets of up to kInlineCapacity ids live inline in the object
+// (no heap allocation; copies are 32-byte memcpys). Larger sets spill to a
+// refcounted immutable-when-shared heap buffer, so copying a big annotation
+// set — the dominant operation when one scan output fans out to thousands of
+// subscribers — is a refcount bump, and hash-consed sets (QidInternPool)
+// genuinely share one allocation, making repeated-set equality a pointer
+// compare.
 
 #ifndef SHAREDDB_COMMON_QUERY_ID_SET_H_
 #define SHAREDDB_COMMON_QUERY_ID_SET_H_
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/logging.h"
 
 namespace shareddb {
@@ -19,35 +31,88 @@ namespace shareddb {
 /// Identifier of an active query within a batch generation.
 using QueryId = uint32_t;
 
+/// Read-only view of a sorted id array (what QueryIdSet::ids() returns).
+class QueryIdSpan {
+ public:
+  QueryIdSpan() = default;
+  QueryIdSpan(const QueryId* data, size_t size) : data_(data), size_(size) {}
+
+  const QueryId* begin() const { return data_; }
+  const QueryId* end() const { return data_ + size_; }
+  const QueryId* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  QueryId operator[](size_t i) const { return data_[i]; }
+
+  std::vector<QueryId> ToVector() const { return {begin(), end()}; }
+
+ private:
+  const QueryId* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+inline bool operator==(const QueryIdSpan& a, const QueryIdSpan& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(QueryId)) == 0);
+}
+inline bool operator==(const QueryIdSpan& a, const std::vector<QueryId>& b) {
+  return a == QueryIdSpan(b.data(), b.size());
+}
+inline bool operator==(const std::vector<QueryId>& a, const QueryIdSpan& b) {
+  return b == a;
+}
+inline bool operator!=(const QueryIdSpan& a, const QueryIdSpan& b) { return !(a == b); }
+
 /// Sorted-list set of query ids annotating one tuple.
-///
-/// Most tuples are relevant to few queries, so the representation favors
-/// small cardinalities: inline storage comes from std::vector's small size,
-/// set algebra is merge-based (linear in the sizes of the operands).
 class QueryIdSet {
  public:
-  QueryIdSet() = default;
+  /// Ids held without heap allocation. Chosen so sizeof(QueryIdSet) is 32
+  /// bytes (same cache footprint as the std::vector it replaces, +8).
+  static constexpr size_t kInlineCapacity = 6;
+
+  QueryIdSet() : size_(0), heap_(0) {}
   /// Singleton set (the common case when a per-query predicate matched).
-  explicit QueryIdSet(QueryId id) : ids_{id} {}
+  explicit QueryIdSet(QueryId id) : size_(1), heap_(0) { store_.inline_ids[0] = id; }
   /// From an unsorted or sorted list; duplicates are removed.
   QueryIdSet(std::initializer_list<QueryId> ids);
+
+  QueryIdSet(const QueryIdSet& o);
+  QueryIdSet(QueryIdSet&& o) noexcept;
+  QueryIdSet& operator=(const QueryIdSet& o);
+  QueryIdSet& operator=(QueryIdSet&& o) noexcept;
+  ~QueryIdSet() { if (heap_) DecRef(store_.heap); }
+
   /// Takes a vector that must already be sorted and unique (checked in debug).
   static QueryIdSet FromSorted(std::vector<QueryId> sorted_ids);
+  /// Same, from a raw array.
+  static QueryIdSet FromSorted(const QueryId* data, size_t n);
 
-  bool empty() const { return ids_.empty(); }
-  size_t size() const { return ids_.size(); }
-  const std::vector<QueryId>& ids() const { return ids_; }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  QueryIdSpan ids() const { return {data(), size_}; }
+  const QueryId* begin() const { return data(); }
+  const QueryId* end() const { return data() + size_; }
+
+  /// True when the set lives in the inline buffer (no heap allocation).
+  bool is_inline() const { return heap_ == 0; }
+  /// True when two sets share one heap buffer (hash-consed / copied).
+  bool SharesStorageWith(const QueryIdSet& o) const {
+    return heap_ && o.heap_ && store_.heap == o.store_.heap;
+  }
 
   /// Membership test (binary search; linear scan for tiny sets).
   bool Contains(QueryId id) const;
 
-  /// Inserts one id, keeping order; no-op if present.
+  /// Inserts one id, keeping order; no-op if present. Copies on write when
+  /// the heap buffer is shared.
   void Insert(QueryId id);
 
   /// Set intersection — the shared-join conjunct R.query_id = S.query_id.
   /// Merge-based for similar sizes; gallops (binary probes of the larger
   /// side) when one operand is much smaller, which is the common case when a
-  /// selective tuple meets a broadly subscribed one.
+  /// selective tuple meets a broadly subscribed one. Identical operands
+  /// (shared storage) short-circuit to a refcount bump.
   QueryIdSet Intersect(const QueryIdSet& other) const;
 
   /// Number of element touches an Intersect of sets with these sizes costs —
@@ -63,20 +128,90 @@ class QueryIdSet {
   /// True iff the intersection is non-empty (cheaper than materializing it).
   bool Intersects(const QueryIdSet& other) const;
 
-  bool operator==(const QueryIdSet& o) const { return ids_ == o.ids_; }
+  bool operator==(const QueryIdSet& o) const {
+    if (SharesStorageWith(o)) return true;  // hash-consed fast path
+    return size_ == o.size_ &&
+           (size_ == 0 ||
+            std::memcmp(data(), o.data(), size_ * sizeof(QueryId)) == 0);
+  }
+  bool operator!=(const QueryIdSet& o) const { return !(*this == o); }
 
-  /// Content hash (FNV-1a over the id array). Batches of tuples produced by
-  /// one operator cycle carry few DISTINCT annotation sets (e.g. "all
-  /// subscribers of this scan"), so set-algebra results can be memoized per
-  /// cycle keyed on content — the hash-consing the cost model assumes when
-  /// operators charge a reduced touch cost for repeated operands.
+  /// Content hash (FNV-1a over the id array), cached on heap sets. Batches
+  /// of tuples produced by one operator cycle carry few DISTINCT annotation
+  /// sets (e.g. "all subscribers of this scan"), so set-algebra results are
+  /// memoized per cycle keyed on content — see QidInternPool.
   uint64_t HashValue() const;
 
   /// "{1, 2, 5}"
   std::string ToString() const;
 
  private:
-  std::vector<QueryId> ids_;
+  /// Heap representation: refcounted so that copies of one annotation set —
+  /// a batch fanning out to consumers, hash-consed repeats — share one
+  /// allocation. Refs are atomic because batches cross operator threads.
+  struct HeapRep {
+    std::atomic<uint32_t> refs;
+    uint32_t capacity;
+    mutable std::atomic<uint64_t> hash_cache;  // 0 = not yet computed
+    // `capacity` QueryIds follow the header.
+    QueryId* data() { return reinterpret_cast<QueryId*>(this + 1); }
+    const QueryId* data() const { return reinterpret_cast<const QueryId*>(this + 1); }
+  };
+
+  static HeapRep* NewRep(uint32_t capacity);
+  static void DecRef(HeapRep* rep);
+
+  const QueryId* data() const { return heap_ ? store_.heap->data() : store_.inline_ids; }
+  /// Mutable data pointer; caller must hold a unique (or inline) rep.
+  QueryId* mutable_data() { return heap_ ? store_.heap->data() : store_.inline_ids; }
+
+  /// Ensures the rep is safely mutable with room for `need` ids: inline
+  /// stays put, a shared or full heap rep is replaced by a private copy.
+  void EnsureUnique(size_t need);
+
+  /// Builds a set of size n, copying from `src` (must be sorted unique).
+  void AssignFrom(const QueryId* src, size_t n);
+
+  union Store {
+    QueryId inline_ids[kInlineCapacity];
+    HeapRep* heap;
+    Store() {}
+  } store_;
+  uint32_t size_;
+  uint32_t heap_;  // discriminant: 1 = store_.heap is live
+
+  friend class QidInternPool;
+};
+
+static_assert(sizeof(QueryIdSet) == 32, "QueryIdSet should stay one half cache line");
+
+/// Per-cycle hash-consing pool. Operators producing many tuples with
+/// repeated annotation sets (scan subscriber sets, probe groups) intern
+/// them: all copies then share one heap allocation, set equality becomes a
+/// pointer compare, and per-cycle memo caches hit without touching ids.
+/// Inline sets pass through untouched — they already cost no allocation.
+class QidInternPool {
+ public:
+  QidInternPool() = default;
+  QidInternPool(const QidInternPool&) = delete;
+  QidInternPool& operator=(const QidInternPool&) = delete;
+
+  /// Returns the canonical set equal to `s` (inserting s if new). When
+  /// `was_known` is non-null it is set to true iff an equal set was already
+  /// interned (operators charge a repeated set O(1), not O(size)).
+  QueryIdSet Intern(const QueryIdSet& s, bool* was_known = nullptr);
+
+  /// Drops all canonical sets (start of a new cycle).
+  void Clear() {
+    table_.Clear();
+    entries_ = 0;
+  }
+
+  size_t size() const { return entries_; }
+
+ private:
+  FlatHashMap<uint64_t, std::vector<QueryIdSet>> table_;  // hash -> chains
+  size_t entries_ = 0;
 };
 
 /// Bitmap-based alternative used only by the ablation bench (micro_ablation):

@@ -59,8 +59,12 @@ class SharedOp {
  public:
   virtual ~SharedOp() = default;
 
-  /// Executes one batch cycle. `inputs` are moved in (one per child edge).
-  virtual DQBatch RunCycle(std::vector<DQBatch> inputs,
+  /// Executes one batch cycle. `inputs` carries one BatchRef per child edge:
+  /// a refcounted handle when the producer fans out to several consumers
+  /// (zero-copy), an owned batch otherwise. Operators that mutate their
+  /// input call BatchRef::Take() (move-or-copy-on-write); read-only
+  /// operators use view().
+  virtual DQBatch RunCycle(std::vector<BatchRef> inputs,
                            const std::vector<OpQuery>& queries,
                            const CycleContext& ctx, WorkStats* stats) = 0;
 
@@ -73,7 +77,11 @@ class SharedOp {
 
 /// Masks every tuple's annotation to the node's active query set and drops
 /// dead tuples. Returns the masked batch. Helper shared by operators.
+/// The BatchRef overload rewrites in place when it owns the batch and
+/// builds a fresh batch of the survivors when the input is shared (the
+/// shared original is left untouched for the other consumers).
 DQBatch MaskToActive(DQBatch in, const QueryIdSet& active, WorkStats* stats);
+DQBatch MaskToActive(BatchRef in, const QueryIdSet& active, WorkStats* stats);
 
 }  // namespace shareddb
 

@@ -1,40 +1,55 @@
 #include "core/ops/distinct_op.h"
 
-#include <unordered_map>
+#include "common/flat_hash.h"
 
 namespace shareddb {
 
 DistinctOp::DistinctOp(SchemaPtr schema) : schema_(std::move(schema)) {}
 
-DQBatch DistinctOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch DistinctOp::RunCycle(std::vector<BatchRef> inputs,
                              const std::vector<OpQuery>& queries,
                              const CycleContext& ctx, WorkStats* stats) {
   (void)ctx;
   const QueryIdSet active = ActiveIdSet(queries);
   DQBatch in(schema_);
-  for (DQBatch& b : inputs) {
+  for (BatchRef& b : inputs) {
     if (stats != nullptr) stats->tuples_in += b.size();
     in.Append(MaskToActive(std::move(b), active, stats));
   }
 
-  // Hash rows to merge duplicates; annotations accumulate by union.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> seen;  // hash -> out indices
+  // Hash rows to merge duplicates; annotations accumulate by union. The
+  // flat index maps row hash -> first out-index; hash collisions chain
+  // through `next` (parallel to out rows), so deduplicating n rows costs
+  // O(1) allocations beyond the output itself.
+  FlatHashMap<uint64_t, int32_t> seen(in.size());
+  std::vector<int32_t> next;
   DQBatch out(schema_);
   for (size_t i = 0; i < in.size(); ++i) {
     const uint64_t h = TupleHash(in.tuples[i]);
     if (stats != nullptr) ++stats->hash_probes;
-    std::vector<uint32_t>& bucket = seen[h];
+    auto [head, inserted] = seen.TryEmplace(h);
+    int32_t last = -1;
     bool merged = false;
-    for (const uint32_t oi : bucket) {
-      if (TuplesEqual(out.tuples[oi], in.tuples[i])) {
-        out.qids[oi] = out.qids[oi].Union(in.qids[i]);
-        if (stats != nullptr) stats->qid_elems += in.qids[i].size();
-        merged = true;
-        break;
+    if (!inserted) {
+      for (int32_t oi = *head; oi >= 0; oi = next[static_cast<size_t>(oi)]) {
+        last = oi;
+        if (TuplesEqual(out.tuples[static_cast<size_t>(oi)], in.tuples[i])) {
+          out.qids[static_cast<size_t>(oi)] =
+              out.qids[static_cast<size_t>(oi)].Union(in.qids[i]);
+          if (stats != nullptr) stats->qid_elems += in.qids[i].size();
+          merged = true;
+          break;
+        }
       }
     }
     if (!merged) {
-      bucket.push_back(static_cast<uint32_t>(out.size()));
+      const int32_t oi = static_cast<int32_t>(out.size());
+      if (inserted) {
+        *head = oi;
+      } else {
+        next[static_cast<size_t>(last)] = oi;
+      }
+      next.push_back(-1);
       if (stats != nullptr) {
         ++stats->hash_builds;
         ++stats->tuples_out;

@@ -16,7 +16,7 @@ class DistinctOp : public SharedOp {
  public:
   explicit DistinctOp(SchemaPtr schema);
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "Distinct"; }

@@ -1,40 +1,73 @@
 #include "core/ops/filter_op.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace shareddb {
 
-DQBatch MaskToActive(DQBatch in, const QueryIdSet& active, WorkStats* stats) {
-  // Tuples of one cycle carry few DISTINCT annotation sets (often just "all
-  // subscribers of the producing scan"), so memoize the intersection per
-  // distinct operand — hash-consing; a cache hit costs a hash + compare
-  // touch, not a merge.
-  std::unordered_map<uint64_t, std::pair<QueryIdSet, QueryIdSet>> cache;
-  for (QueryIdSet& q : in.qids) {
-    const uint64_t h = q.HashValue();
-    const auto it = cache.find(h);
-    if (it != cache.end() && it->second.first == q) {
-      // Hash-consed sets make a repeated operand a pointer-compare hit.
-      if (stats != nullptr) stats->qid_elems += 1;
-      q = it->second.second;
-      continue;
+namespace {
+
+/// Per-cycle memo of `q ∩ active`, keyed on operand content. Tuples of one
+/// cycle carry few DISTINCT annotation sets (often just "all subscribers of
+/// the producing scan"), so after the first merge a repeated operand costs a
+/// hash + compare — and with refcounted sets the memoized result is shared,
+/// not copied.
+class MaskMemo {
+ public:
+  explicit MaskMemo(const QueryIdSet& active, WorkStats* stats)
+      : active_(active), stats_(stats) {}
+
+  QueryIdSet Mask(const QueryIdSet& q) {
+    auto [entry, inserted] = cache_.TryEmplace(q.HashValue());
+    if (!inserted && entry->first == q) {
+      if (stats_ != nullptr) stats_->qid_elems += 1;
+      return entry->second;
     }
-    if (stats != nullptr) {
-      stats->qid_elems += QueryIdSet::MergeCost(q.size(), active.size());
+    if (stats_ != nullptr) {
+      stats_->qid_elems += QueryIdSet::MergeCost(q.size(), active_.size());
     }
-    QueryIdSet masked = q.Intersect(active);
-    cache[h] = {std::move(q), masked};
-    q = std::move(masked);
+    QueryIdSet masked = q.Intersect(active_);
+    *entry = {q, masked};
+    return masked;
   }
+
+ private:
+  const QueryIdSet& active_;
+  WorkStats* stats_;
+  // hash -> (operand, operand ∩ active); collisions overwrite (memo only).
+  FlatHashMap<uint64_t, std::pair<QueryIdSet, QueryIdSet>> cache_;
+};
+
+}  // namespace
+
+DQBatch MaskToActive(DQBatch in, const QueryIdSet& active, WorkStats* stats) {
+  MaskMemo memo(active, stats);
+  for (QueryIdSet& q : in.qids) q = memo.Mask(q);
   in.Compact();
   return in;
+}
+
+DQBatch MaskToActive(BatchRef in, const QueryIdSet& active, WorkStats* stats) {
+  if (in.unique()) return MaskToActive(in.Take(), active, stats);
+  // Shared input: leave the original for the other consumers and copy only
+  // the surviving tuples.
+  const DQBatch& src = in.view();
+  MaskMemo memo(active, stats);
+  DQBatch out(src.schema);
+  out.Reserve(src.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    QueryIdSet masked = memo.Mask(src.qids[i]);
+    if (masked.empty()) continue;
+    out.Push(src.tuples[i], std::move(masked));
+  }
+  return out;
 }
 
 FilterOp::FilterOp(SchemaPtr schema, ExprPtr shared_predicate)
     : schema_(std::move(schema)), shared_predicate_(std::move(shared_predicate)) {}
 
-DQBatch FilterOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch FilterOp::RunCycle(std::vector<BatchRef> inputs,
                            const std::vector<OpQuery>& queries,
                            const CycleContext& ctx, WorkStats* stats) {
   (void)ctx;
@@ -43,19 +76,19 @@ DQBatch FilterOp::RunCycle(std::vector<DQBatch> inputs,
 
   // Gather all inputs into one batch, masking to this node's queries.
   DQBatch in(schema_);
-  for (DQBatch& b : inputs) {
+  for (BatchRef& b : inputs) {
     if (stats != nullptr) stats->tuples_in += b.size();
     in.Append(MaskToActive(std::move(b), active, stats));
   }
 
   // qid -> per-query config, so per-tuple cost is O(|qid set|), not
   // O(#active queries).
-  std::unordered_map<QueryId, const OpQuery*> by_id;
-  by_id.reserve(queries.size());
+  FlatHashMap<QueryId, const OpQuery*> by_id(queries.size());
   for (const OpQuery& q : queries) by_id[q.id] = &q;
 
   DQBatch out(schema_);
   out.Reserve(in.size());
+  std::vector<QueryId> surviving;
   for (size_t i = 0; i < in.size(); ++i) {
     const Tuple& t = in.tuples[i];
     if (shared_predicate_ != nullptr) {
@@ -64,21 +97,32 @@ DQBatch FilterOp::RunCycle(std::vector<DQBatch> inputs,
     }
     // Per-query predicates: evaluate only for subscribed queries.
     const QueryIdSet& qids = in.qids[i];
-    std::vector<QueryId> surviving;
-    surviving.reserve(qids.size());
-    for (const QueryId id : qids.ids()) {
-      const auto it = by_id.find(id);
-      if (it == by_id.end()) continue;  // masked already, defensive
-      const OpQuery* q = it->second;
-      if (q->predicate != nullptr) {
+    surviving.clear();
+    bool all_survive = true;
+    for (const QueryId id : qids) {
+      const OpQuery* const* q = by_id.Find(id);
+      if (q == nullptr) {  // masked already, defensive
+        all_survive = false;
+        continue;
+      }
+      if ((*q)->predicate != nullptr) {
         if (stats != nullptr) ++stats->predicate_evals;
-        if (!q->predicate->EvalBool(t, kNoParams)) continue;
+        if (!(*q)->predicate->EvalBool(t, kNoParams)) {
+          all_survive = false;
+          continue;
+        }
       }
       surviving.push_back(id);
     }
     if (surviving.empty()) continue;
-    out.Push(std::move(in.tuples[i]), QueryIdSet::FromSorted(std::move(surviving)));
     if (stats != nullptr) ++stats->tuples_out;
+    if (all_survive) {
+      // Nothing stripped: reuse the (possibly shared) annotation set.
+      out.Push(std::move(in.tuples[i]), std::move(in.qids[i]));
+    } else {
+      out.Push(std::move(in.tuples[i]),
+               QueryIdSet::FromSorted(surviving.data(), surviving.size()));
+    }
   }
   return out;
 }

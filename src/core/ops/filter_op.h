@@ -21,7 +21,7 @@ class FilterOp : public SharedOp {
   /// per-query predicates come from OpQuery::predicate.
   FilterOp(SchemaPtr schema, ExprPtr shared_predicate = nullptr);
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "Filter"; }

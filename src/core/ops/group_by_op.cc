@@ -1,6 +1,6 @@
 #include "core/ops/group_by_op.h"
 
-#include <unordered_map>
+#include "common/flat_hash.h"
 
 namespace shareddb {
 
@@ -72,14 +72,14 @@ GroupByOp::GroupByOp(SchemaPtr input_schema, std::vector<size_t> group_columns,
   schema_ = Schema::Make(std::move(cols));
 }
 
-DQBatch GroupByOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch GroupByOp::RunCycle(std::vector<BatchRef> inputs,
                             const std::vector<OpQuery>& queries,
                             const CycleContext& ctx, WorkStats* stats) {
   (void)ctx;
   static const std::vector<Value> kNoParams;
   const QueryIdSet active = ActiveIdSet(queries);
   DQBatch in(input_schema_);
-  for (DQBatch& b : inputs) {
+  for (BatchRef& b : inputs) {
     if (stats != nullptr) stats->tuples_in += b.size();
     in.Append(MaskToActive(std::move(b), active, stats));
   }
@@ -96,9 +96,12 @@ DQBatch GroupByOp::RunCycle(std::vector<DQBatch> inputs,
   struct Group {
     Tuple key;  // group column values
     std::vector<ClassSlot> classes;
+    int32_t next_same_hash = -1;  // collision chain within group_index
   };
-  std::unordered_map<uint64_t, std::vector<Group>> groups;  // hash -> collision list
-  size_t num_groups = 0;
+  // Flat index (hash -> first group with that hash) over a first-seen-order
+  // arena; hash collisions chain through the groups themselves.
+  std::vector<Group> groups;
+  FlatHashMap<uint64_t, int32_t> group_index(in.size() / 4 + 8);
 
   for (size_t i = 0; i < in.size(); ++i) {
     const Tuple& t = in.tuples[i];
@@ -107,18 +110,24 @@ DQBatch GroupByOp::RunCycle(std::vector<DQBatch> inputs,
     for (const size_t g : group_columns_) key.push_back(t[g]);
     const uint64_t h = TupleHash(key);
     if (stats != nullptr) ++stats->hash_probes;
-    std::vector<Group>& bucket = groups[h];
+    auto [slot_head, inserted] = group_index.TryEmplace(h);
     Group* grp = nullptr;
-    for (Group& g : bucket) {
-      if (TuplesEqual(g.key, key)) {
-        grp = &g;
-        break;
+    if (!inserted) {
+      for (int32_t gi = *slot_head; gi >= 0;
+           gi = groups[static_cast<size_t>(gi)].next_same_hash) {
+        if (TuplesEqual(groups[static_cast<size_t>(gi)].key, key)) {
+          grp = &groups[static_cast<size_t>(gi)];
+          break;
+        }
       }
     }
     if (grp == nullptr) {
-      bucket.push_back(Group{std::move(key), {}});
-      grp = &bucket.back();
-      ++num_groups;
+      Group g;
+      g.key = std::move(key);
+      g.next_same_hash = inserted ? -1 : *slot_head;
+      *slot_head = static_cast<int32_t>(groups.size());
+      groups.push_back(std::move(g));
+      grp = &groups.back();
       if (stats != nullptr) ++stats->hash_builds;
     }
     // One accumulator update per (tuple, set class) — hash-consed sets make
@@ -148,8 +157,7 @@ DQBatch GroupByOp::RunCycle(std::vector<DQBatch> inputs,
 
   // Phase 2: finalize each (group, class) once; HAVING splits a class only
   // when present (rare — HAVING predicates are per query by §3.4).
-  std::unordered_map<QueryId, const OpQuery*> by_id;
-  by_id.reserve(queries.size());
+  FlatHashMap<QueryId, const OpQuery*> by_id(queries.size());
   for (const OpQuery& q : queries) by_id[q.id] = &q;
   bool any_having = false;
   for (const OpQuery& q : queries) any_having |= (q.having != nullptr);
@@ -165,8 +173,8 @@ DQBatch GroupByOp::RunCycle(std::vector<DQBatch> inputs,
     if (any_having) {
       std::vector<QueryId> keep;
       keep.reserve(survivors.size());
-      for (const QueryId id : survivors.ids()) {
-        const OpQuery* q = by_id.at(id);
+      for (const QueryId id : survivors) {
+        const OpQuery* q = *by_id.Find(id);
         if (q->having != nullptr) {
           if (stats != nullptr) ++stats->predicate_evals;
           if (!q->having->EvalBool(row, kNoParams)) continue;
@@ -180,51 +188,48 @@ DQBatch GroupByOp::RunCycle(std::vector<DQBatch> inputs,
     out.Push(std::move(row), std::move(survivors));
   };
 
-  for (auto& [h, bucket] : groups) {
-    (void)h;
-    for (Group& grp : bucket) {
-      // Classes within a group are usually disjoint (one row per class). A
-      // query spanning several classes needs its partial accumulators
-      // merged, else it would see duplicate partial rows for the group.
-      bool disjoint = true;
-      if (grp.classes.size() > 1) {
-        size_t total = 0;
-        QueryIdSet all;
-        for (const ClassSlot& c : grp.classes) {
-          total += c.cls.size();
-          all = all.Union(c.cls);
-        }
-        disjoint = all.size() == total;
+  for (Group& grp : groups) {
+    // Classes within a group are usually disjoint (one row per class). A
+    // query spanning several classes needs its partial accumulators
+    // merged, else it would see duplicate partial rows for the group.
+    bool disjoint = true;
+    if (grp.classes.size() > 1) {
+      size_t total = 0;
+      QueryIdSet all;
+      for (const ClassSlot& c : grp.classes) {
+        total += c.cls.size();
+        all = all.Union(c.cls);
       }
-      if (disjoint) {
-        for (ClassSlot& slot : grp.classes) {
-          emit(grp.key, slot.accs, slot.cls);
-        }
-      } else {
-        // Rare slow path: merge per query.
-        std::vector<std::pair<QueryId, std::vector<Acc>>> per_query;
-        for (const ClassSlot& slot : grp.classes) {
-          for (const QueryId id : slot.cls.ids()) {
-            std::vector<Acc>* accs = nullptr;
-            for (auto& [qid, a] : per_query) {
-              if (qid == id) {
-                accs = &a;
-                break;
-              }
-            }
-            if (accs == nullptr) {
-              per_query.emplace_back(id, std::vector<Acc>(aggs_.size()));
-              accs = &per_query.back().second;
-            }
-            for (size_t a = 0; a < aggs_.size(); ++a) {
-              (*accs)[a].Merge(slot.accs[a]);
-              if (stats != nullptr) ++stats->agg_updates;
+      disjoint = all.size() == total;
+    }
+    if (disjoint) {
+      for (ClassSlot& slot : grp.classes) {
+        emit(grp.key, slot.accs, slot.cls);
+      }
+    } else {
+      // Rare slow path: merge per query.
+      std::vector<std::pair<QueryId, std::vector<Acc>>> per_query;
+      for (const ClassSlot& slot : grp.classes) {
+        for (const QueryId id : slot.cls) {
+          std::vector<Acc>* accs = nullptr;
+          for (auto& [qid, a] : per_query) {
+            if (qid == id) {
+              accs = &a;
+              break;
             }
           }
+          if (accs == nullptr) {
+            per_query.emplace_back(id, std::vector<Acc>(aggs_.size()));
+            accs = &per_query.back().second;
+          }
+          for (size_t a = 0; a < aggs_.size(); ++a) {
+            (*accs)[a].Merge(slot.accs[a]);
+            if (stats != nullptr) ++stats->agg_updates;
+          }
         }
-        for (auto& [qid, accs] : per_query) {
-          emit(grp.key, accs, QueryIdSet(qid));
-        }
+      }
+      for (auto& [qid, accs] : per_query) {
+        emit(grp.key, accs, QueryIdSet(qid));
       }
     }
   }

@@ -36,7 +36,7 @@ class GroupByOp : public SharedOp {
   GroupByOp(SchemaPtr input_schema, std::vector<size_t> group_columns,
             std::vector<AggSpec> aggs);
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "GroupBy"; }

@@ -1,6 +1,6 @@
 #include "core/ops/hash_join_op.h"
 
-#include <unordered_map>
+#include "common/flat_hash.h"
 
 namespace shareddb {
 
@@ -18,7 +18,7 @@ HashJoinOp::HashJoinOp(SchemaPtr left_schema, SchemaPtr right_schema, size_t lef
   schema_ = Schema::Join(*left_schema_, *right_schema_, left_prefix, right_prefix);
 }
 
-DQBatch HashJoinOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch HashJoinOp::RunCycle(std::vector<BatchRef> inputs,
                              const std::vector<OpQuery>& queries,
                              const CycleContext& ctx, WorkStats* stats) {
   (void)ctx;
@@ -37,55 +37,69 @@ DQBatch HashJoinOp::RunCycle(std::vector<DQBatch> inputs,
   const size_t build_key = build_left_ ? left_key_ : right_key_;
   const size_t probe_key = build_left_ ? right_key_ : left_key_;
 
-  // Build phase: hash on the data key.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> table;
-  table.reserve(build.size() * 2);
+  // Build phase: open-addressing head table + intrusive chains. One flat
+  // array probe per key; duplicate build keys chain through `next` instead
+  // of one heap vector per key.
+  struct Chain {
+    int32_t head = -1;
+    int32_t tail = -1;
+  };
+  FlatHashMap<uint64_t, Chain> table(build.size());
+  std::vector<int32_t> next(build.size(), -1);
   for (uint32_t i = 0; i < build.size(); ++i) {
     const Value& k = build.tuples[i][build_key];
     if (k.is_null()) continue;  // NULL never joins
-    table[k.Hash()].push_back(i);
+    auto [chain, inserted] = table.TryEmplace(k.Hash());
+    if (inserted) {
+      chain->head = static_cast<int32_t>(i);
+    } else {
+      next[static_cast<size_t>(chain->tail)] = static_cast<int32_t>(i);
+    }
+    chain->tail = static_cast<int32_t>(i);
     if (stats != nullptr) ++stats->hash_builds;
   }
 
   // Per-query residual lookup.
-  std::unordered_map<QueryId, const OpQuery*> by_id;
-  by_id.reserve(queries.size());
+  FlatHashMap<QueryId, const OpQuery*> by_id(queries.size());
   for (const OpQuery& q : queries) by_id[q.id] = &q;
   bool any_residual = false;
   for (const OpQuery& q : queries) any_residual |= (q.predicate != nullptr);
 
   // Intersections repeat across pairs (few distinct annotation sets per
   // side), so memoize by operand content — see MaskToActive. Entries keep
-  // their operands so a hash collision can never produce a wrong result.
+  // their operands so a hash collision can never produce a wrong result;
+  // refcounted sets make the memoized result a shared handle, not a copy.
   struct PairEntry {
     QueryIdSet a, b, joint;
   };
-  std::unordered_map<uint64_t, PairEntry> pair_cache;
+  FlatHashMap<uint64_t, PairEntry> pair_cache;
   auto intersect_sets = [&](const QueryIdSet& a, const QueryIdSet& b) {
     const uint64_t key = a.HashValue() * 0x9E3779B97F4A7C15ULL + b.HashValue();
-    const auto it = pair_cache.find(key);
-    if (it != pair_cache.end() && it->second.a == a && it->second.b == b) {
+    auto [entry, inserted] = pair_cache.TryEmplace(key);
+    if (!inserted && entry->a == a && entry->b == b) {
       // Hash-consed sets make a repeated operand pair a pointer-compare hit.
       if (stats != nullptr) stats->qid_elems += 1;
-      return it->second.joint;
+      return entry->joint;
     }
     if (stats != nullptr) {
       stats->qid_elems += QueryIdSet::MergeCost(a.size(), b.size());
     }
     QueryIdSet joint = a.Intersect(b);
-    pair_cache[key] = PairEntry{a, b, joint};
+    *entry = PairEntry{a, b, joint};
     return joint;
   };
 
   // Probe phase.
   DQBatch out(schema_);
+  std::vector<QueryId> surviving;
   for (size_t p = 0; p < probe.size(); ++p) {
     const Value& k = probe.tuples[p][probe_key];
     if (k.is_null()) continue;
     if (stats != nullptr) ++stats->hash_probes;
-    const auto it = table.find(k.Hash());
-    if (it == table.end()) continue;
-    for (const uint32_t b : it->second) {
+    const Chain* chain = table.Find(k.Hash());
+    if (chain == nullptr) continue;
+    for (int32_t bi = chain->head; bi >= 0; bi = next[static_cast<size_t>(bi)]) {
+      const size_t b = static_cast<size_t>(bi);
       // Hash collision check on the actual key.
       if (build.tuples[b][build_key].Compare(k) != 0) continue;
       // The query-id conjunct: interest sets must intersect.
@@ -97,10 +111,9 @@ DQBatch HashJoinOp::RunCycle(std::vector<DQBatch> inputs,
       Tuple joined = ConcatTuples(lt, rt);
       // Per-query residuals strip ids.
       if (any_residual) {
-        std::vector<QueryId> surviving;
-        surviving.reserve(joint.size());
-        for (const QueryId id : joint.ids()) {
-          const OpQuery* q = by_id.at(id);
+        surviving.clear();
+        for (const QueryId id : joint) {
+          const OpQuery* q = *by_id.Find(id);
           if (q->predicate != nullptr) {
             if (stats != nullptr) ++stats->predicate_evals;
             if (!q->predicate->EvalBool(joined, kNoParams)) continue;
@@ -108,7 +121,9 @@ DQBatch HashJoinOp::RunCycle(std::vector<DQBatch> inputs,
           surviving.push_back(id);
         }
         if (surviving.empty()) continue;
-        joint = QueryIdSet::FromSorted(std::move(surviving));
+        if (surviving.size() != joint.size()) {
+          joint = QueryIdSet::FromSorted(surviving.data(), surviving.size());
+        }
       }
       if (stats != nullptr) ++stats->tuples_out;
       out.Push(std::move(joined), std::move(joint));

@@ -1,6 +1,6 @@
 #include "core/ops/index_join_op.h"
 
-#include <unordered_map>
+#include "common/flat_hash.h"
 
 namespace shareddb {
 
@@ -19,7 +19,7 @@ IndexJoinOp::IndexJoinOp(SchemaPtr outer_schema, size_t outer_key, Table* inner,
   schema_ = Schema::Join(*outer_schema_, *inner_->schema(), outer_prefix, inner_prefix);
 }
 
-DQBatch IndexJoinOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch IndexJoinOp::RunCycle(std::vector<BatchRef> inputs,
                               const std::vector<OpQuery>& queries,
                               const CycleContext& ctx, WorkStats* stats) {
   SDB_CHECK(inputs.size() == 1);
@@ -28,30 +28,30 @@ DQBatch IndexJoinOp::RunCycle(std::vector<DQBatch> inputs,
   if (stats != nullptr) stats->tuples_in += inputs[0].size();
   DQBatch outer = MaskToActive(std::move(inputs[0]), active, stats);
 
-  std::unordered_map<QueryId, const OpQuery*> by_id;
-  by_id.reserve(queries.size());
+  FlatHashMap<QueryId, const OpQuery*> by_id(queries.size());
   for (const OpQuery& q : queries) by_id[q.id] = &q;
   bool any_residual = false;
   for (const OpQuery& q : queries) any_residual |= (q.predicate != nullptr);
 
   // Shared look-up cache: each distinct key probes the B-tree once per cycle.
-  std::unordered_map<uint64_t, std::vector<RowId>> lookup_cache;
+  FlatHashMap<uint64_t, std::pair<bool, std::vector<RowId>>> lookup_cache;
 
   DQBatch out(schema_);
   for (size_t i = 0; i < outer.size(); ++i) {
     const Value& k = outer.tuples[i][outer_key_];
     if (k.is_null()) continue;
     const uint64_t h = k.Hash();
-    auto it = lookup_cache.find(h);
-    if (it == lookup_cache.end()) {
+    std::pair<bool, std::vector<RowId>>& cached = lookup_cache[h];
+    if (!cached.first) {
+      cached.first = true;
       if (stats != nullptr) ++stats->index_lookups;
-      std::vector<RowId> rows;
-      inner_->IndexLookup(index_name_, k, ctx.read_snapshot, &rows);
-      it = lookup_cache.emplace(h, std::move(rows)).first;
+      inner_->IndexLookup(index_name_, k, ctx.read_snapshot, &cached.second);
     } else if (stats != nullptr) {
       ++stats->hash_probes;  // cache hit
     }
-    for (const RowId rid : it->second) {
+    // `cached` stays valid through this iteration: nothing below inserts
+    // into lookup_cache.
+    for (const RowId rid : cached.second) {
       const Tuple inner_row = inner_->GetRow(rid).data;
       // Guard against hash collisions in the look-up cache.
       if (inner_row[inner_key_].Compare(k) != 0) continue;
@@ -60,8 +60,8 @@ DQBatch IndexJoinOp::RunCycle(std::vector<DQBatch> inputs,
       if (any_residual) {
         std::vector<QueryId> surviving;
         surviving.reserve(qids.size());
-        for (const QueryId id : qids.ids()) {
-          const OpQuery* q = by_id.at(id);
+        for (const QueryId id : qids) {
+          const OpQuery* q = *by_id.Find(id);
           if (q->predicate != nullptr) {
             if (stats != nullptr) ++stats->predicate_evals;
             if (!q->predicate->EvalBool(joined, kNoParams)) continue;

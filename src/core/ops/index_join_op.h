@@ -24,7 +24,7 @@ class IndexJoinOp : public SharedOp {
               std::string index_name, const std::string& outer_prefix = "",
               const std::string& inner_prefix = "");
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "IndexNLJoin"; }

@@ -1,7 +1,8 @@
 #include "core/ops/probe_op.h"
 
-#include <map>
+#include <algorithm>
 
+#include "common/flat_hash.h"
 #include "expr/predicate.h"
 
 namespace shareddb {
@@ -19,7 +20,7 @@ ProbeOp::ProbeOp(Table* table, std::string index_name)
   indexed_column_ = found->column;
 }
 
-DQBatch ProbeOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
                           const std::vector<OpQuery>& queries,
                           const CycleContext& ctx, WorkStats* stats) {
   SDB_CHECK(inputs.empty());  // source operator
@@ -90,27 +91,78 @@ DQBatch ProbeOp::RunCycle(std::vector<DQBatch> inputs,
     return true;
   };
 
-  std::map<RowId, QueryIdSet> hits;  // ordered: stable output
+  FlatHashMap<RowId, QueryIdSet>& hits = hits_scratch_;
+  hits.Clear();  // emit sorts by RowId for stable output
 
-  // Equality probes, grouped by key value.
-  const auto value_less = [](const Value& a, const Value& b) {
-    return a.Compare(b) < 0;
-  };
-  std::map<Value, std::vector<const CompiledProbe*>, decltype(value_less)> eq_groups(
-      value_less);
-  for (const CompiledProbe& cp : compiled) {
-    if (cp.eq != nullptr) eq_groups[cp.eq->value].push_back(&cp);
+  // Equality probes, grouped by key value via a flat hash on the value
+  // (no per-key tree nodes, no Value comparison sort).
+  FlatHashMap<uint64_t, std::vector<uint32_t>>& eq_groups = eq_groups_scratch_;
+  eq_groups.Clear();
+  for (uint32_t ci = 0; ci < compiled.size(); ++ci) {
+    if (compiled[ci].eq != nullptr) {
+      eq_groups[compiled[ci].eq->value.Hash()].push_back(ci);
+    }
   }
-  for (const auto& [key, group] : eq_groups) {
+  std::vector<RowId>& rows = rows_scratch_;
+  std::vector<QueryId>& base_ids = base_ids_scratch_;
+  std::vector<const CompiledProbe*> extras;
+  std::vector<char> done;
+  auto run_group = [&](const std::vector<uint32_t>& members, size_t first) {
+    const Value& key = compiled[members[first]].eq->value;
     if (stats != nullptr) ++stats->index_lookups;
-    std::vector<RowId> rows;
+    rows.clear();
     table_->IndexLookup(index_name_, key, ctx.read_snapshot, &rows);
-    for (const RowId id : rows) {
-      const Tuple t = table_->GetRow(id).data;
-      for (const CompiledProbe* cp : group) {
-        // Subscription without a test when the anchor is the whole predicate.
-        if (!cp->has_extra || verify(*cp, t)) hits[id].Insert(cp->id);
+    if (rows.empty()) return;
+    // The whole-predicate-anchored probes subscribe to every row of the
+    // group without a test; build their shared set ONCE — all rows of the
+    // group then share one annotation allocation.
+    base_ids.clear();
+    extras.clear();
+    for (size_t i = first; i < members.size(); ++i) {
+      const CompiledProbe& cp = compiled[members[i]];
+      if (i != first && cp.eq->value.Compare(key) != 0) continue;  // hash collision
+      if (cp.has_extra) {
+        extras.push_back(&cp);
+      } else {
+        base_ids.push_back(cp.id);
       }
+    }
+    std::sort(base_ids.begin(), base_ids.end());
+    base_ids.erase(std::unique(base_ids.begin(), base_ids.end()), base_ids.end());
+    const QueryIdSet base_set =
+        QueryIdSet::FromSorted(base_ids.data(), base_ids.size());
+    for (const RowId id : rows) {
+      QueryIdSet& h = hits[id];
+      if (!base_set.empty()) {
+        h = h.empty() ? base_set : h.Union(base_set);
+      }
+      if (!extras.empty()) {
+        const Tuple& t = table_->GetRow(id).data;
+        for (const CompiledProbe* cp : extras) {
+          if (verify(*cp, t)) h.Insert(cp->id);
+        }
+      }
+    }
+  };
+  for (auto& bucket : eq_groups) {
+    // Values hashing to one bucket are almost always identical; a genuine
+    // hash collision splits the bucket into several probe groups.
+    run_group(bucket.value, 0);
+    const Value& first_key = compiled[bucket.value[0]].eq->value;
+    for (size_t i = 1; i < bucket.value.size(); ++i) {
+      const Value& v = compiled[bucket.value[i]].eq->value;
+      if (v.Compare(first_key) == 0) continue;
+      // Collision: run this value as its own group unless an earlier
+      // collided member already covered it.
+      bool seen = false;
+      for (size_t j = 1; j < i; ++j) {
+        if (compiled[bucket.value[j]].eq->value.Compare(first_key) != 0 &&
+            compiled[bucket.value[j]].eq->value.Compare(v) == 0) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) run_group(bucket.value, i);
     }
   }
 
@@ -137,24 +189,30 @@ DQBatch ProbeOp::RunCycle(std::vector<DQBatch> inputs,
     }
   }
 
-  // Emit, hash-consing annotation sets: all rows of one probe group carry
-  // the same subscriber set, so repeated sets charge O(1), not O(size).
+  // Emit in RowId order (stable output). Heap annotation sets are interned:
+  // all rows of one probe group already share one allocation (base_set
+  // copies), and the pool unifies equal sets built through different paths,
+  // so repeated sets charge O(1), not O(size).
+  std::vector<std::pair<RowId, QueryIdSet>> ordered;
+  ordered.reserve(hits.size());
+  for (auto& entry : hits) ordered.emplace_back(entry.key, std::move(entry.value));
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
   DQBatch out(schema_);
-  out.Reserve(hits.size());
-  std::unordered_map<uint64_t, QueryIdSet> canon;
-  for (auto& [row_id, qids] : hits) {
-    if (stats != nullptr) {
-      ++stats->tuples_out;
-      const uint64_t h = qids.HashValue();
-      const auto it = canon.find(h);
-      if (it != canon.end() && it->second == qids) {
-        stats->qid_elems += 1;
-      } else {
-        stats->qid_elems += qids.size();
-        canon.emplace(h, qids);
-      }
+  out.Reserve(ordered.size());
+  QidInternPool pool;
+  for (auto& [row_id, qids] : ordered) {
+    if (stats != nullptr) ++stats->tuples_out;
+    if (qids.is_inline()) {
+      if (stats != nullptr) stats->qid_elems += qids.size();
+      out.Push(table_->GetRow(row_id).data, std::move(qids));
+    } else {
+      bool known = false;
+      QueryIdSet canonical = pool.Intern(qids, &known);
+      if (stats != nullptr) stats->qid_elems += known ? 1 : canonical.size();
+      out.Push(table_->GetRow(row_id).data, std::move(canonical));
     }
-    out.Push(table_->GetRow(row_id).data, std::move(qids));
   }
   return out;
 }

@@ -9,7 +9,9 @@
 #define SHAREDDB_CORE_OPS_PROBE_OP_H_
 
 #include <string>
+#include <vector>
 
+#include "common/flat_hash.h"
 #include "core/op.h"
 #include "storage/table.h"
 
@@ -24,7 +26,7 @@ class ProbeOp : public SharedOp {
  public:
   ProbeOp(Table* table, std::string index_name);
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "IndexProbe"; }
@@ -38,6 +40,13 @@ class ProbeOp : public SharedOp {
   std::string index_name_;
   size_t indexed_column_;
   SchemaPtr schema_;
+
+  // Per-cycle scratch, reused across cycles so a probe cycle costs O(1)
+  // table allocations (an operator runs its cycles single-threaded).
+  FlatHashMap<RowId, QueryIdSet> hits_scratch_;
+  FlatHashMap<uint64_t, std::vector<uint32_t>> eq_groups_scratch_;
+  std::vector<RowId> rows_scratch_;
+  std::vector<QueryId> base_ids_scratch_;
 };
 
 }  // namespace shareddb

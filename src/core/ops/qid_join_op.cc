@@ -1,7 +1,8 @@
 #include "core/ops/qid_join_op.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace shareddb {
 
@@ -17,7 +18,7 @@ QidJoinOp::QidJoinOp(SchemaPtr left_schema, SchemaPtr right_schema, size_t left_
   schema_ = Schema::Join(*left_schema_, *right_schema_, left_prefix, right_prefix);
 }
 
-DQBatch QidJoinOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch QidJoinOp::RunCycle(std::vector<BatchRef> inputs,
                             const std::vector<OpQuery>& queries,
                             const CycleContext& ctx, WorkStats* stats) {
   (void)ctx;
@@ -28,15 +29,13 @@ DQBatch QidJoinOp::RunCycle(std::vector<DQBatch> inputs,
   DQBatch left = MaskToActive(std::move(inputs[0]), active, stats);
   DQBatch right = MaskToActive(std::move(inputs[1]), active, stats);
 
-  std::unordered_map<QueryId, const OpQuery*> by_id;
-  by_id.reserve(queries.size());
+  FlatHashMap<QueryId, const OpQuery*> by_id(queries.size());
   for (const OpQuery& q : queries) by_id[q.id] = &q;
 
   // Build: query id -> left tuples carrying it.
-  std::unordered_map<QueryId, std::vector<uint32_t>> by_qid;
-  by_qid.reserve(queries.size());
+  FlatHashMap<QueryId, std::vector<uint32_t>> by_qid(queries.size());
   for (uint32_t i = 0; i < left.size(); ++i) {
-    for (const QueryId id : left.qids[i].ids()) {
+    for (const QueryId id : left.qids[i]) {
       by_qid[id].push_back(i);
       if (stats != nullptr) ++stats->hash_builds;
     }
@@ -45,27 +44,29 @@ DQBatch QidJoinOp::RunCycle(std::vector<DQBatch> inputs,
   // Probe: for each right tuple, walk its (small) id set; join pairs found
   // via several shared ids are emitted once with the accumulated id set.
   DQBatch out(schema_);
-  std::unordered_map<uint32_t, std::vector<QueryId>> pair_ids;  // left idx -> ids
+  FlatHashMap<uint32_t, std::vector<QueryId>> pair_ids;  // left idx -> ids
   for (size_t r = 0; r < right.size(); ++r) {
-    pair_ids.clear();
+    pair_ids.Clear();
     const Value& rk = right.tuples[r][right_key_];
     if (rk.is_null()) continue;
-    for (const QueryId id : right.qids[r].ids()) {
-      const auto it = by_qid.find(id);
-      if (it == by_qid.end()) continue;
+    for (const QueryId id : right.qids[r]) {
+      const std::vector<uint32_t>* lefts = by_qid.Find(id);
+      if (lefts == nullptr) continue;
       if (stats != nullptr) ++stats->hash_probes;
-      for (const uint32_t l : it->second) {
+      for (const uint32_t l : *lefts) {
         if (left.tuples[l][left_key_].Compare(rk) != 0) continue;  // data key
         pair_ids[l].push_back(id);
       }
     }
-    for (auto& [l, ids] : pair_ids) {
+    for (auto& entry : pair_ids) {
+      const uint32_t l = entry.key;
+      std::vector<QueryId>& ids = entry.value;
       Tuple joined = ConcatTuples(left.tuples[l], right.tuples[r]);
       std::vector<QueryId> surviving;
       surviving.reserve(ids.size());
       std::sort(ids.begin(), ids.end());
       for (const QueryId id : ids) {
-        const OpQuery* q = by_id.at(id);
+        const OpQuery* q = *by_id.Find(id);
         if (q->predicate != nullptr) {
           if (stats != nullptr) ++stats->predicate_evals;
           if (!q->predicate->EvalBool(joined, kNoParams)) continue;

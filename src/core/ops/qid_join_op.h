@@ -24,7 +24,7 @@ class QidJoinOp : public SharedOp {
             size_t right_key, const std::string& left_prefix = "",
             const std::string& right_prefix = "");
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "QidJoin"; }

@@ -2,11 +2,11 @@
 
 namespace shareddb {
 
-std::unordered_map<QueryId, std::vector<Tuple>> RouteByQueryId(const DQBatch& batch,
-                                                               WorkStats* stats) {
-  std::unordered_map<QueryId, std::vector<Tuple>> out;
+FlatHashMap<QueryId, std::vector<Tuple>> RouteByQueryId(const DQBatch& batch,
+                                                        WorkStats* stats) {
+  FlatHashMap<QueryId, std::vector<Tuple>> out;
   for (size_t i = 0; i < batch.size(); ++i) {
-    for (const QueryId id : batch.qids[i].ids()) {
+    for (const QueryId id : batch.qids[i]) {
       out[id].push_back(batch.tuples[i]);
       if (stats != nullptr) ++stats->qid_elems;
     }
@@ -19,13 +19,13 @@ ProjectOp::ProjectOp(SchemaPtr input_schema, std::vector<size_t> columns)
   schema_ = input_schema_->Project(columns_);
 }
 
-DQBatch ProjectOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch ProjectOp::RunCycle(std::vector<BatchRef> inputs,
                             const std::vector<OpQuery>& queries,
                             const CycleContext& ctx, WorkStats* stats) {
   (void)ctx;
   const QueryIdSet active = ActiveIdSet(queries);
   DQBatch out(schema_);
-  for (DQBatch& b : inputs) {
+  for (BatchRef& b : inputs) {
     if (stats != nullptr) stats->tuples_in += b.size();
     DQBatch masked = MaskToActive(std::move(b), active, stats);
     for (size_t i = 0; i < masked.size(); ++i) {
@@ -41,13 +41,13 @@ DQBatch ProjectOp::RunCycle(std::vector<DQBatch> inputs,
 
 UnionOp::UnionOp(SchemaPtr schema) : schema_(std::move(schema)) {}
 
-DQBatch UnionOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch UnionOp::RunCycle(std::vector<BatchRef> inputs,
                           const std::vector<OpQuery>& queries, const CycleContext& ctx,
                           WorkStats* stats) {
   (void)ctx;
   const QueryIdSet active = ActiveIdSet(queries);
   DQBatch out(schema_);
-  for (DQBatch& b : inputs) {
+  for (BatchRef& b : inputs) {
     if (stats != nullptr) {
       stats->tuples_in += b.size();
       stats->tuples_out += b.size();

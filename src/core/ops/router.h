@@ -9,24 +9,24 @@
 #ifndef SHAREDDB_CORE_OPS_ROUTER_H_
 #define SHAREDDB_CORE_OPS_ROUTER_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "core/op.h"
 
 namespace shareddb {
 
 /// Splits one annotated batch into per-query plain result rows.
 /// Rows keep the batch order (sorted operators upstream stay sorted).
-std::unordered_map<QueryId, std::vector<Tuple>> RouteByQueryId(const DQBatch& batch,
-                                                               WorkStats* stats);
+FlatHashMap<QueryId, std::vector<Tuple>> RouteByQueryId(const DQBatch& batch,
+                                                        WorkStats* stats);
 
 /// Column projection (schema alignment before shared sorts/unions).
 class ProjectOp : public SharedOp {
  public:
   ProjectOp(SchemaPtr input_schema, std::vector<size_t> columns);
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "Project"; }
@@ -45,7 +45,7 @@ class UnionOp : public SharedOp {
  public:
   explicit UnionOp(SchemaPtr schema);
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "Union"; }

@@ -4,7 +4,7 @@ namespace shareddb {
 
 ScanOp::ScanOp(Table* table) : scan_(table), schema_(table->schema()) {}
 
-DQBatch ScanOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch ScanOp::RunCycle(std::vector<BatchRef> inputs,
                          const std::vector<OpQuery>& queries, const CycleContext& ctx,
                          WorkStats* stats) {
   SDB_CHECK(inputs.empty());  // source operator

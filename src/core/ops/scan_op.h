@@ -17,7 +17,7 @@ class ScanOp : public SharedOp {
  public:
   explicit ScanOp(Table* table);
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "ClockScan"; }

@@ -19,13 +19,13 @@ SortOp::SortOp(SchemaPtr schema, std::vector<SortKey> keys)
   for (const SortKey& k : keys_) SDB_CHECK(k.column < schema_->num_columns());
 }
 
-DQBatch SortOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch SortOp::RunCycle(std::vector<BatchRef> inputs,
                          const std::vector<OpQuery>& queries, const CycleContext& ctx,
                          WorkStats* stats) {
   (void)ctx;
   const QueryIdSet active = ActiveIdSet(queries);
   DQBatch in(schema_);
-  for (DQBatch& b : inputs) {
+  for (BatchRef& b : inputs) {
     if (stats != nullptr) stats->tuples_in += b.size();
     in.Append(MaskToActive(std::move(b), active, stats));
   }

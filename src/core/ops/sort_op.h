@@ -28,7 +28,7 @@ class SortOp : public SharedOp {
  public:
   SortOp(SchemaPtr schema, std::vector<SortKey> keys);
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "Sort"; }

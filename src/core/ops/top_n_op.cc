@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace shareddb {
 
@@ -12,14 +13,14 @@ TopNOp::TopNOp(SchemaPtr schema, std::vector<SortKey> keys, int64_t default_limi
   SDB_CHECK(!keys_.empty());
 }
 
-DQBatch TopNOp::RunCycle(std::vector<DQBatch> inputs,
+DQBatch TopNOp::RunCycle(std::vector<BatchRef> inputs,
                          const std::vector<OpQuery>& queries, const CycleContext& ctx,
                          WorkStats* stats) {
   (void)ctx;
   static const std::vector<Value> kNoParams;
   const QueryIdSet active = ActiveIdSet(queries);
   DQBatch in(schema_);
-  for (DQBatch& b : inputs) {
+  for (BatchRef& b : inputs) {
     if (stats != nullptr) stats->tuples_in += b.size();
     in.Append(MaskToActive(std::move(b), active, stats));
   }
@@ -36,24 +37,24 @@ DQBatch TopNOp::RunCycle(std::vector<DQBatch> inputs,
 
   // Phase 2 (per query): walk in order, keep each query's first N matches.
   struct PerQuery {
-    const OpQuery* q;
-    int64_t remaining;
+    const OpQuery* q = nullptr;
+    int64_t remaining = 0;
   };
-  std::unordered_map<QueryId, PerQuery> state;
-  state.reserve(queries.size());
+  FlatHashMap<QueryId, PerQuery> state(queries.size());
   for (const OpQuery& q : queries) {
     const int64_t n = q.limit >= 0 ? q.limit : default_limit_;
-    state.emplace(q.id, PerQuery{&q, n});
+    state[q.id] = PerQuery{&q, n};
   }
 
   DQBatch out(schema_);
+  std::vector<QueryId> keep;
   for (const uint32_t i : order) {
     const Tuple& t = in.tuples[i];
-    std::vector<QueryId> keep;
-    for (const QueryId id : in.qids[i].ids()) {
-      auto it = state.find(id);
-      if (it == state.end()) continue;
-      PerQuery& pq = it->second;
+    keep.clear();
+    for (const QueryId id : in.qids[i]) {
+      PerQuery* found = state.Find(id);
+      if (found == nullptr) continue;
+      PerQuery& pq = *found;
       if (pq.remaining == 0) continue;  // already full (negative = unlimited)
       if (pq.q->predicate != nullptr) {
         if (stats != nullptr) ++stats->predicate_evals;
@@ -64,7 +65,7 @@ DQBatch TopNOp::RunCycle(std::vector<DQBatch> inputs,
     }
     if (keep.empty()) continue;
     if (stats != nullptr) ++stats->tuples_out;
-    out.Push(in.tuples[i], QueryIdSet::FromSorted(std::move(keep)));
+    out.Push(in.tuples[i], QueryIdSet::FromSorted(keep.data(), keep.size()));
   }
   return out;
 }

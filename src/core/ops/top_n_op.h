@@ -22,7 +22,7 @@ class TopNOp : public SharedOp {
   /// `default_limit` applies to queries whose OpQuery::limit is -1.
   TopNOp(SchemaPtr schema, std::vector<SortKey> keys, int64_t default_limit = -1);
 
-  DQBatch RunCycle(std::vector<DQBatch> inputs, const std::vector<OpQuery>& queries,
+  DQBatch RunCycle(std::vector<BatchRef> inputs, const std::vector<OpQuery>& queries,
                    const CycleContext& ctx, WorkStats* stats) override;
 
   const char* kind_name() const override { return "TopN"; }

@@ -120,77 +120,92 @@ bool AsAnchoredLike(const ExprPtr& c, size_t* column, RangeConstraint* range,
 
 }  // namespace
 
+namespace {
+
+/// Folds one conjunct into the decomposition (the body of AnalyzePredicate's
+/// per-conjunct loop, shared with the single-conjunct fast path).
+void AbsorbConjunct(AnalyzedPredicate* out, const ExprPtr& c) {
+  size_t column = 0;
+  Value literal;
+  CompareOp op = CompareOp::kEq;
+  if (!AsColumnLiteral(c, &column, &literal, &op) || literal.is_null()) {
+    RangeConstraint like_range;
+    bool exact = false;
+    if (AsAnchoredLike(c, &column, &like_range, &exact)) {
+      RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      if (!r->lo.has_value() || like_range.lo->Compare(*r->lo) > 0) {
+        r->lo = like_range.lo;
+        r->lo_inclusive = true;
+      }
+      if (like_range.hi.has_value() &&
+          (!r->hi.has_value() || like_range.hi->Compare(*r->hi) < 0)) {
+        r->hi = like_range.hi;
+        r->hi_inclusive = false;
+      }
+      if (!exact) out->residual.push_back(c);
+      return;
+    }
+    out->residual.push_back(c);
+    return;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      out->equalities.push_back(EqConstraint{column, literal});
+      break;
+    case CompareOp::kLt: {
+      RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      if (!r->hi.has_value() || literal.Compare(*r->hi) < 0 ||
+          (literal.Compare(*r->hi) == 0 && r->hi_inclusive)) {
+        r->hi = literal;
+        r->hi_inclusive = false;
+      }
+      break;
+    }
+    case CompareOp::kLe: {
+      RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      if (!r->hi.has_value() || literal.Compare(*r->hi) < 0) {
+        r->hi = literal;
+        r->hi_inclusive = true;
+      }
+      break;
+    }
+    case CompareOp::kGt: {
+      RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      if (!r->lo.has_value() || literal.Compare(*r->lo) > 0 ||
+          (literal.Compare(*r->lo) == 0 && r->lo_inclusive)) {
+        r->lo = literal;
+        r->lo_inclusive = false;
+      }
+      break;
+    }
+    case CompareOp::kGe: {
+      RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      if (!r->lo.has_value() || literal.Compare(*r->lo) > 0) {
+        r->lo = literal;
+        r->lo_inclusive = true;
+      }
+      break;
+    }
+    case CompareOp::kNe:
+      out->residual.push_back(c);
+      break;
+  }
+}
+
+}  // namespace
+
 AnalyzedPredicate AnalyzePredicate(const ExprPtr& expr) {
   AnalyzedPredicate out;
+  if (expr == nullptr) return out;
+  // Fast path: a predicate that is not a conjunction (single comparison —
+  // the common shape of a shared point look-up) needs no conjunct list.
+  if (expr->kind() != ExprKind::kAnd) {
+    AbsorbConjunct(&out, expr);
+    return out;
+  }
   std::vector<ExprPtr> conjuncts;
   CollectConjuncts(expr, &conjuncts);
-  for (const ExprPtr& c : conjuncts) {
-    size_t column = 0;
-    Value literal;
-    CompareOp op = CompareOp::kEq;
-    if (!AsColumnLiteral(c, &column, &literal, &op) || literal.is_null()) {
-      RangeConstraint like_range;
-      bool exact = false;
-      if (AsAnchoredLike(c, &column, &like_range, &exact)) {
-        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
-        if (!r->lo.has_value() || like_range.lo->Compare(*r->lo) > 0) {
-          r->lo = like_range.lo;
-          r->lo_inclusive = true;
-        }
-        if (like_range.hi.has_value() &&
-            (!r->hi.has_value() || like_range.hi->Compare(*r->hi) < 0)) {
-          r->hi = like_range.hi;
-          r->hi_inclusive = false;
-        }
-        if (!exact) out.residual.push_back(c);
-        continue;
-      }
-      out.residual.push_back(c);
-      continue;
-    }
-    switch (op) {
-      case CompareOp::kEq:
-        out.equalities.push_back(EqConstraint{column, literal});
-        break;
-      case CompareOp::kLt: {
-        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
-        if (!r->hi.has_value() || literal.Compare(*r->hi) < 0 ||
-            (literal.Compare(*r->hi) == 0 && r->hi_inclusive)) {
-          r->hi = literal;
-          r->hi_inclusive = false;
-        }
-        break;
-      }
-      case CompareOp::kLe: {
-        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
-        if (!r->hi.has_value() || literal.Compare(*r->hi) < 0) {
-          r->hi = literal;
-          r->hi_inclusive = true;
-        }
-        break;
-      }
-      case CompareOp::kGt: {
-        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
-        if (!r->lo.has_value() || literal.Compare(*r->lo) > 0 ||
-            (literal.Compare(*r->lo) == 0 && r->lo_inclusive)) {
-          r->lo = literal;
-          r->lo_inclusive = false;
-        }
-        break;
-      }
-      case CompareOp::kGe: {
-        RangeConstraint* r = FindOrAddRange(&out.ranges, column);
-        if (!r->lo.has_value() || literal.Compare(*r->lo) > 0) {
-          r->lo = literal;
-          r->lo_inclusive = true;
-        }
-        break;
-      }
-      case CompareOp::kNe:
-        out.residual.push_back(c);
-        break;
-    }
-  }
+  for (const ExprPtr& c : conjuncts) AbsorbConjunct(&out, c);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "runtime/inline_runtime.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace shareddb {
 
@@ -26,7 +27,11 @@ void InlineRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
   // How many participating consumers still need each node's output.
   std::vector<int> pending_consumers(n, 0);
 
-  std::vector<DQBatch> outputs(n);
+  // Outputs are published once as shared batches; consumer edges hand out
+  // refcounted BatchRefs instead of deep copies. The last participating
+  // consumer of a non-root node receives the only remaining reference, so
+  // its Take() moves instead of copying.
+  std::vector<std::shared_ptr<DQBatch>> outputs(n);
   CycleContext ctx;
   ctx.read_snapshot = in.ctx.read_snapshot;
   ctx.write_version = in.ctx.write_version;
@@ -39,18 +44,19 @@ void InlineRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
     PlanNode& node = plan->node(i);
     if (!participates[i]) {
       // Emit a typed empty batch so participating parents still execute.
-      outputs[i] = DQBatch(node.op->output_schema());
+      outputs[i] = std::make_shared<DQBatch>(node.op->output_schema());
       continue;
     }
-    // Gather inputs: move from the child when we are its last participating
-    // consumer, copy otherwise.
-    std::vector<DQBatch> inputs;
+    // Gather inputs: release our reference when we are the child's last
+    // participating consumer (the operator's Take() then moves), share it
+    // otherwise (the operator copies on write).
+    std::vector<BatchRef> inputs;
     inputs.reserve(node.inputs.size());
     for (const int child : node.inputs) {
       if (--pending_consumers[child] == 0 && !needed[child]) {
-        inputs.push_back(std::move(outputs[child]));
+        inputs.emplace_back(std::shared_ptr<const DQBatch>(std::move(outputs[child])));
       } else {
-        inputs.push_back(outputs[child]);
+        inputs.emplace_back(std::shared_ptr<const DQBatch>(outputs[child]));
       }
     }
     const auto qit = in.node_queries.find(static_cast<int>(i));
@@ -58,8 +64,8 @@ void InlineRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
         qit == in.node_queries.end() ? kNoQueries : qit->second;
     ctx.node_id = static_cast<int>(i);
     if (node.replicas <= 1 || queries.size() <= 1) {
-      outputs[i] =
-          node.op->RunCycle(std::move(inputs), queries, ctx, &out->node_stats[i]);
+      outputs[i] = std::make_shared<DQBatch>(
+          node.op->RunCycle(std::move(inputs), queries, ctx, &out->node_stats[i]));
       out->unit_stats.push_back(out->node_stats[i]);
     } else {
       // Operator replication (§4.5): partition this node's query load
@@ -76,23 +82,23 @@ void InlineRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
              q += static_cast<size_t>(replicas)) {
           subset.push_back(queries[q]);
         }
-        std::vector<DQBatch> replica_inputs;
+        std::vector<BatchRef> replica_inputs;
         replica_inputs.reserve(inputs.size());
         if (r + 1 == replicas) {
           replica_inputs = std::move(inputs);
         } else {
-          replica_inputs = inputs;  // copy: each replica reads the full input
+          replica_inputs = inputs;  // share: each replica reads the full input
         }
         CycleContext rctx = ctx;
         if (r > 0) rctx.updates = nullptr;  // updates apply once, on replica 0
         WorkStats replica_work;
         DQBatch part =
             node.op->RunCycle(std::move(replica_inputs), subset, rctx, &replica_work);
-        merged.Append(part);
+        merged.Append(std::move(part));
         out->node_stats[i].Add(replica_work);
         out->unit_stats.push_back(replica_work);
       }
-      outputs[i] = std::move(merged);
+      outputs[i] = std::make_shared<DQBatch>(std::move(merged));
     }
     // Count how many participating consumers will read this output.
     int consumers = 0;
@@ -105,7 +111,7 @@ void InlineRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
   for (const int r : in.needed_outputs) {
     // `needed_outputs` lists the root once per query; move only on first sight.
     const auto [it, inserted] = out->outputs.try_emplace(r);
-    if (inserted) it->second = std::move(outputs[r]);
+    if (inserted && outputs[r] != nullptr) it->second = std::move(*outputs[r]);
   }
 }
 

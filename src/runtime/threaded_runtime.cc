@@ -1,5 +1,7 @@
 #include "runtime/threaded_runtime.h"
 
+#include <memory>
+
 #include "runtime/affinity.h"
 
 namespace shareddb {
@@ -10,7 +12,7 @@ ThreadedRuntime::ThreadedRuntime(GlobalPlan* plan, bool pin_threads) : plan_(pla
   for (size_t i = 0; i < n; ++i) {
     auto nt = std::make_unique<NodeThread>();
     for (size_t e = 0; e < plan_->node(i).inputs.size(); ++e) {
-      nt->edges.push_back(std::make_unique<SyncedQueue<DQBatch>>());
+      nt->edges.push_back(std::make_unique<SyncedQueue<BatchRef>>());
     }
     node_threads_.push_back(std::move(nt));
   }
@@ -47,10 +49,10 @@ void ThreadedRuntime::NodeLoop(int node_id, bool pin) {
     CycleTask& task = **task_opt;
 
     // Consume exactly one batch per input edge (children always push one).
-    std::vector<DQBatch> inputs;
+    std::vector<BatchRef> inputs;
     inputs.reserve(self.edges.size());
     for (auto& edge : self.edges) {
-      std::optional<DQBatch> b = edge->Pop();
+      std::optional<BatchRef> b = edge->Pop();
       SDB_CHECK(b.has_value());
       inputs.push_back(std::move(*b));
     }
@@ -68,20 +70,28 @@ void ThreadedRuntime::NodeLoop(int node_id, bool pin) {
     DQBatch output =
         node.op->RunCycle(std::move(inputs), queries, ctx, &(*task.stats)[node_id]);
 
-    // Push to every consumer edge (copy for all but the last).
+    // Fan out: one owned hand-off when there is a single consumer; otherwise
+    // publish the batch once as a shared_ptr and push refcounted handles —
+    // consumers copy only if they mutate while others still hold the batch.
     const std::vector<std::pair<int, size_t>>& dests = out_edges_[node_id];
-    for (size_t d = 0; d < dests.size(); ++d) {
-      const auto [consumer, edge] = dests[d];
-      const bool last_push = (d + 1 == dests.size()) && !task.needed[node_id];
-      if (last_push) {
-        node_threads_[consumer]->edges[edge]->Push(std::move(output));
-        output = DQBatch(node.op->output_schema());
+    const bool needed = task.needed[node_id] != 0;
+    const size_t fanout = dests.size() + (needed ? 1 : 0);
+    if (fanout == 1) {
+      if (!dests.empty()) {
+        const auto [consumer, edge] = dests[0];
+        node_threads_[consumer]->edges[edge]->Push(BatchRef(std::move(output)));
       } else {
-        node_threads_[consumer]->edges[edge]->Push(output);
+        task.results->Push({node_id, BatchRef(std::move(output))});
       }
-    }
-    if (task.needed[node_id]) {
-      task.results->Push({node_id, std::move(output)});
+    } else if (fanout > 1) {
+      auto sp = std::make_shared<DQBatch>(std::move(output));
+      for (const auto& [consumer, edge] : dests) {
+        node_threads_[consumer]->edges[edge]->Push(
+            BatchRef(std::shared_ptr<const DQBatch>(sp)));
+      }
+      if (needed) {
+        task.results->Push({node_id, BatchRef(std::shared_ptr<const DQBatch>(sp))});
+      }
     }
 
     const size_t done = task.nodes_done.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -98,7 +108,7 @@ void ThreadedRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
   const size_t n = plan_->num_nodes();
   out->node_stats.assign(n, WorkStats{});
 
-  SyncedQueue<std::pair<int, DQBatch>> results;
+  SyncedQueue<std::pair<int, BatchRef>> results;
   auto task = std::make_shared<CycleTask>();
   task->input = &in;
   task->stats = &out->node_stats;
@@ -114,8 +124,10 @@ void ThreadedRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
       return task->nodes_done.load(std::memory_order_acquire) == n;
     });
   }
-  while (std::optional<std::pair<int, DQBatch>> r = results.TryPop()) {
-    out->outputs[r->first] = std::move(r->second);
+  // All node threads are done: any shared output batch is now referenced
+  // only by the results queue, so Take() moves instead of copying.
+  while (std::optional<std::pair<int, BatchRef>> r = results.TryPop()) {
+    out->outputs[r->first] = r->second.Take();
   }
   // The threaded runtime runs each node on its own dedicated thread; the
   // unit granularity equals the node granularity (replication of a node

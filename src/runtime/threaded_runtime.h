@@ -41,7 +41,7 @@ class ThreadedRuntime : public Runtime {
     const BatchInput* input = nullptr;
     std::vector<WorkStats>* stats = nullptr;        // per node
     std::vector<char> needed;                        // node id -> root output?
-    SyncedQueue<std::pair<int, DQBatch>>* results = nullptr;
+    SyncedQueue<std::pair<int, BatchRef>>* results = nullptr;
     std::atomic<size_t> nodes_done{0};
     std::mutex done_mu;
     std::condition_variable done_cv;
@@ -50,8 +50,9 @@ class ThreadedRuntime : public Runtime {
   struct NodeThread {
     std::thread thread;
     SyncedQueue<std::shared_ptr<CycleTask>> tasks;
-    // One input queue per child edge, filled by the child's thread.
-    std::vector<std::unique_ptr<SyncedQueue<DQBatch>>> edges;
+    // One input queue per child edge, filled by the child's thread. Each
+    // entry is a refcounted handle: multi-consumer fan-out shares one batch.
+    std::vector<std::unique_ptr<SyncedQueue<BatchRef>>> edges;
   };
 
   void NodeLoop(int node_id, bool pin);

@@ -88,8 +88,10 @@ bool PredicateIndex::Verify(const CompiledQuery& q, const Tuple& row) const {
 
 void PredicateIndex::Match(const Tuple& row, QueryIdSet* out,
                            PredicateIndexStats* stats) const {
-  std::vector<QueryId> matched;   // individually verified queries
-  std::vector<uint32_t> groups;   // matching range-group indices
+  std::vector<QueryId>& matched = matched_scratch_;  // individually verified
+  std::vector<uint32_t>& groups = groups_scratch_;   // matching range groups
+  matched.clear();
+  groups.clear();
   auto consider = [&](uint32_t qi) {
     if (stats != nullptr) ++stats->candidates;
     if (Verify(queries_[qi], row)) matched.push_back(queries_[qi].id);
@@ -97,9 +99,9 @@ void PredicateIndex::Match(const Tuple& row, QueryIdSet* out,
   for (const EqColumn& col : eq_columns_) {
     SDB_DCHECK(col.column < row.size());
     if (stats != nullptr) ++stats->hash_probes;
-    const auto it = col.buckets.find(row[col.column].Hash());
-    if (it == col.buckets.end()) continue;
-    for (const uint32_t qi : it->second) consider(qi);
+    const std::vector<uint32_t>* bucket = col.buckets.Find(row[col.column].Hash());
+    if (bucket == nullptr) continue;
+    for (const uint32_t qi : *bucket) consider(qi);
   }
   for (uint32_t g = 0; g < range_groups_.size(); ++g) {
     const RangeGroup& rg = range_groups_[g];
@@ -142,7 +144,7 @@ void PredicateIndex::Match(const Tuple& row, QueryIdSet* out,
     set = set.Union(QueryIdSet::FromSorted(match_all_));
   }
   if (stats != nullptr) stats->matches += set.size() + 1;
-  bucket.push_back(InternEntry{std::move(matched), std::move(groups), set});
+  bucket.push_back(InternEntry{matched, groups, set});
   *out = std::move(set);
 }
 

@@ -16,9 +16,9 @@
 #define SHAREDDB_STORAGE_PREDICATE_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/query_id_set.h"
 #include "common/tuple.h"
 #include "expr/predicate.h"
@@ -73,8 +73,8 @@ class PredicateIndex {
 
   // Equality anchors: per column, hash(value) -> query indices.
   struct EqColumn {
-    size_t column;
-    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    size_t column = 0;
+    FlatHashMap<uint64_t, std::vector<uint32_t>> buckets;
   };
   std::vector<EqColumn> eq_columns_;
 
@@ -102,12 +102,18 @@ class PredicateIndex {
   std::vector<QueryId> match_all_;  // sorted ids
 
   // Hash-cons pool: (matched individuals, matched groups) -> canonical set.
+  // Canonical sets are refcounted, so every matching row of the cycle
+  // physically shares one allocation.
   struct InternEntry {
     std::vector<QueryId> indiv;
     std::vector<uint32_t> groups;
     QueryIdSet set;
   };
-  mutable std::unordered_map<uint64_t, std::vector<InternEntry>> interned_;
+  mutable FlatHashMap<uint64_t, std::vector<InternEntry>> interned_;
+  // Per-row scratch, reused across Match calls (Match is single-threaded
+  // per index by contract).
+  mutable std::vector<QueryId> matched_scratch_;
+  mutable std::vector<uint32_t> groups_scratch_;
 };
 
 }  // namespace shareddb

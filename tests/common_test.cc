@@ -154,6 +154,155 @@ TEST(QueryIdSetTest, PropertyMatchesStdSet) {
   }
 }
 
+// --- QueryIdSet representation (SBO / refcounted heap / interning) -------------
+
+TEST(QueryIdSetTest, SmallSetsStayInline) {
+  QueryIdSet s;
+  for (QueryId id = 0; id < QueryIdSet::kInlineCapacity; ++id) s.Insert(id * 2);
+  EXPECT_TRUE(s.is_inline());
+  EXPECT_EQ(s.size(), QueryIdSet::kInlineCapacity);
+}
+
+TEST(QueryIdSetTest, InlineToHeapSpill) {
+  QueryIdSet s;
+  const size_t n = QueryIdSet::kInlineCapacity + 3;
+  for (QueryId id = 0; id < n; ++id) {
+    s.Insert(id * 3);
+    EXPECT_TRUE(s.Contains(id * 3));
+  }
+  EXPECT_FALSE(s.is_inline());
+  EXPECT_EQ(s.size(), n);
+  std::vector<QueryId> expect;
+  for (QueryId id = 0; id < n; ++id) expect.push_back(id * 3);
+  EXPECT_EQ(s.ids(), expect);
+}
+
+TEST(QueryIdSetTest, CopiesShareHeapStorage) {
+  std::vector<QueryId> big;
+  for (QueryId id = 0; id < 20; ++id) big.push_back(id);
+  const QueryIdSet a = QueryIdSet::FromSorted(big);
+  const QueryIdSet b = a;  // refcount bump, no allocation
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_EQ(a, b);
+  // Mutation copies on write: the original is untouched.
+  QueryIdSet c = a;
+  c.Insert(100);
+  EXPECT_FALSE(c.SharesStorageWith(a));
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(c.size(), 21u);
+  EXPECT_FALSE(a.Contains(100));
+  EXPECT_TRUE(c.Contains(100));
+}
+
+TEST(QueryIdSetTest, SharedOperandAlgebraFastPaths) {
+  std::vector<QueryId> big;
+  for (QueryId id = 0; id < 32; ++id) big.push_back(id);
+  const QueryIdSet a = QueryIdSet::FromSorted(big);
+  const QueryIdSet b = a;
+  EXPECT_EQ(a.Intersect(b), a);
+  EXPECT_EQ(a.Union(b), a);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(a.Intersect(b).SharesStorageWith(a));
+}
+
+TEST(QueryIdSetTest, GallopPathIntersect) {
+  // Large side >= kGallopRatio * (small + 1) forces the galloping path.
+  std::vector<QueryId> large;
+  for (QueryId id = 0; id < 1024; ++id) large.push_back(id * 2);
+  const QueryIdSet big = QueryIdSet::FromSorted(large);
+  const QueryIdSet small{0, 2, 5, 2046, 4000};
+  const QueryIdSet inter = small.Intersect(big);
+  EXPECT_EQ(inter.ids(), (std::vector<QueryId>{0, 2, 2046}));
+  // Symmetric call takes the same path (small side drives).
+  EXPECT_EQ(big.Intersect(small), inter);
+}
+
+TEST(QueryIdSetTest, MergeCostConsistency) {
+  // Zero-size operands charge the constant probe.
+  EXPECT_EQ(QueryIdSet::MergeCost(0, 100), 1u);
+  EXPECT_EQ(QueryIdSet::MergeCost(100, 0), 1u);
+  // Balanced operands charge the merge (a + b), symmetrically.
+  EXPECT_EQ(QueryIdSet::MergeCost(8, 10), 18u);
+  EXPECT_EQ(QueryIdSet::MergeCost(10, 8), 18u);
+  // Skewed operands charge the gallop: small * (log(ratio) + 1) < a + b.
+  const uint64_t skewed = QueryIdSet::MergeCost(4, 4096);
+  EXPECT_LT(skewed, 4u + 4096u);
+  EXPECT_EQ(skewed, QueryIdSet::MergeCost(4096, 4));
+  // The gallop threshold matches Intersect's.
+  const size_t small_n = 4;
+  const size_t at_threshold = QueryIdSet::kGallopRatio * (small_n + 1);
+  EXPECT_LT(QueryIdSet::MergeCost(small_n, at_threshold),
+            static_cast<uint64_t>(small_n + at_threshold));
+}
+
+TEST(QueryIdSetTest, HashValueStableAcrossRepresentation) {
+  // Same contents, different construction paths: equal hashes.
+  QueryIdSet incremental;
+  std::vector<QueryId> bulk;
+  for (QueryId id = 0; id < 12; ++id) {
+    incremental.Insert(id * 5);
+    bulk.push_back(id * 5);
+  }
+  const QueryIdSet direct = QueryIdSet::FromSorted(bulk);
+  EXPECT_EQ(incremental.HashValue(), direct.HashValue());
+  // Cached hash is invalidated by in-place mutation.
+  QueryIdSet mutated = direct;
+  (void)mutated.HashValue();
+  mutated.Insert(1);
+  EXPECT_NE(mutated.HashValue(), direct.HashValue());
+}
+
+TEST(QidInternPoolTest, DedupesEqualSets) {
+  std::vector<QueryId> ids;
+  for (QueryId id = 0; id < 16; ++id) ids.push_back(id);
+  const QueryIdSet a = QueryIdSet::FromSorted(ids);
+  const QueryIdSet b = QueryIdSet::FromSorted(ids);  // equal, separate alloc
+  EXPECT_FALSE(a.SharesStorageWith(b));
+
+  QidInternPool pool;
+  bool known = false;
+  const QueryIdSet ca = pool.Intern(a, &known);
+  EXPECT_FALSE(known);
+  const QueryIdSet cb = pool.Intern(b, &known);
+  EXPECT_TRUE(known);
+  EXPECT_TRUE(ca.SharesStorageWith(cb));
+  EXPECT_EQ(pool.size(), 1u);
+
+  pool.Clear();
+  EXPECT_EQ(pool.size(), 0u);
+  const QueryIdSet cc = pool.Intern(b, &known);
+  EXPECT_FALSE(known);
+  EXPECT_EQ(cc, a);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+// --- BatchRef ------------------------------------------------------------------
+
+TEST(BatchRefTest, OwnedTakeMoves) {
+  DQBatch b;
+  b.Push({Value::Int(1)}, QueryIdSet(0));
+  BatchRef ref(std::move(b));
+  EXPECT_TRUE(ref.unique());
+  DQBatch taken = ref.Take();
+  EXPECT_EQ(taken.size(), 1u);
+}
+
+TEST(BatchRefTest, SharedTakeCopiesWhileOthersHold) {
+  auto sp = std::make_shared<DQBatch>();
+  sp->Push({Value::Int(7)}, QueryIdSet(0));
+  sp->Push({Value::Int(8)}, QueryIdSet(1));
+  BatchRef r1{std::shared_ptr<const DQBatch>(sp)};
+  BatchRef r2{std::shared_ptr<const DQBatch>(sp)};
+  sp.reset();
+  EXPECT_FALSE(r1.unique());
+  DQBatch first = r1.Take();  // copy: r2 still holds the batch
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_EQ(r2.view().size(), 2u);
+  EXPECT_TRUE(r2.unique());
+  DQBatch second = r2.Take();  // move: last owner
+  EXPECT_EQ(second.size(), 2u);
+}
+
 TEST(QueryIdBitmapTest, Basics) {
   QueryIdBitmap bm(200);
   bm.Insert(0);

@@ -62,7 +62,7 @@ TEST(HashJoinOpTest, Figure3Semantics) {
 
   HashJoinOp op(r, s, 0, 0, true, "r", "s");
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}, {1, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(left));
   inputs.push_back(std::move(right));
   WorkStats stats;
@@ -90,7 +90,7 @@ TEST(HashJoinOpTest, PerQueryResidualStripsIds) {
   std::vector<OpQuery> queries{
       {0, Expr::Gt(Expr::Column(3), Expr::Literal(Value::Int(500))), nullptr, -1},
       {1, Expr::Gt(Expr::Column(3), Expr::Literal(Value::Int(50))), nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(left));
   inputs.push_back(std::move(right));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
@@ -107,7 +107,7 @@ TEST(HashJoinOpTest, MasksForeignQueryIds) {
   right.Push({Value::Int(1), Value::Int(100)}, QueryIdSet{0, 7});
   HashJoinOp op(r, s, 0, 0);
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}};  // 7 is foreign
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(left));
   inputs.push_back(std::move(right));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
@@ -131,7 +131,7 @@ TEST(HashJoinOpTest, BuildSideSelectionEquivalent) {
                                {2, nullptr, nullptr, -1}};
   HashJoinOp build_l(r, s, 0, 0, true);
   HashJoinOp build_r(r, s, 0, 0, false);
-  std::vector<DQBatch> in1, in2;
+  std::vector<BatchRef> in1, in2;
   in1.push_back(left);
   in1.push_back(right);
   in2.push_back(left);
@@ -168,7 +168,7 @@ TEST(QidJoinOpTest, AgreesWithHashJoin) {
     for (QueryId q = 0; q < 4; ++q) queries.push_back({q, nullptr, nullptr, -1});
     HashJoinOp hj(r, s, 0, 0);
     QidJoinOp qj(r, s, 0, 0);
-    std::vector<DQBatch> in1, in2;
+    std::vector<BatchRef> in1, in2;
     in1.push_back(left);
     in1.push_back(right);
     in2.push_back(left);
@@ -203,7 +203,7 @@ TEST(SortOpTest, Figure4SharedSort) {
 
   SortOp op(schema, {{0, true}});
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}, {1, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   WorkStats stats;
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), &stats);
@@ -230,7 +230,7 @@ TEST(SortOpTest, DescendingAndMultiKey) {
   in.Push({Value::Int(3), Value::Int(1)}, QueryIdSet{0});
   SortOp op(schema, {{1, false}, {0, true}});  // city desc, id asc
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
   ASSERT_EQ(out.size(), 3u);
@@ -249,7 +249,7 @@ TEST(TopNOpTest, PerQueryLimits) {
   }
   TopNOp op(schema, {{0, true}});
   std::vector<OpQuery> queries{{0, nullptr, nullptr, 3}, {1, nullptr, nullptr, 7}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
   EXPECT_EQ(out.RowsFor(0).size(), 3u);
@@ -270,7 +270,7 @@ TEST(TopNOpTest, PerQueryPredicateFiltersBeforeCounting) {
   // Only odd cities count; take top 2.
   std::vector<OpQuery> queries{
       {0, Expr::Eq(Expr::Column(1), Expr::Literal(Value::Int(1))), nullptr, 2}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
   const std::vector<Tuple> rows = out.RowsFor(0);
@@ -285,7 +285,7 @@ TEST(TopNOpTest, UnlimitedQueryGetsAll) {
   for (int i = 0; i < 5; ++i) in.Push({Value::Int(i), Value::Int(0)}, QueryIdSet{0});
   TopNOp op(schema, {{0, true}});
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
   EXPECT_EQ(out.RowsFor(0).size(), 5u);
@@ -304,7 +304,7 @@ TEST(GroupByOpTest, SharedGroupingPerQueryAggregation) {
   GroupByOp op(schema, {0},
                {AggSpec{AggFunc::kCount, -1, "cnt"}, AggSpec{AggFunc::kSum, 1, "total"}});
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}, {1, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   WorkStats stats;
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), &stats);
@@ -331,7 +331,7 @@ TEST(GroupByOpTest, PerQueryHaving) {
   std::vector<OpQuery> queries{
       {0, nullptr, Expr::Gt(Expr::Column(1), Expr::Literal(Value::Int(100))), -1},
       {1, nullptr, Expr::Ge(Expr::Column(1), Expr::Literal(Value::Int(4))), -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
   EXPECT_TRUE(out.RowsFor(0).empty());
@@ -347,7 +347,7 @@ TEST(GroupByOpTest, MinMaxAvg) {
                {AggSpec{AggFunc::kMin, 1, "mn"}, AggSpec{AggFunc::kMax, 1, "mx"},
                 AggSpec{AggFunc::kAvg, 1, "avg"}});
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
   ASSERT_EQ(out.size(), 1u);
@@ -368,7 +368,7 @@ TEST(FilterOpTest, PerQueryPredicates) {
   std::vector<OpQuery> queries{
       {0, Expr::Lt(Expr::Column(0), Expr::Literal(Value::Int(2))), nullptr, -1},
       {1, Expr::Ge(Expr::Column(0), Expr::Literal(Value::Int(4))), nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   WorkStats stats;
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), &stats);
@@ -388,7 +388,7 @@ TEST(FilterOpTest, SharedPredicateEvaluatedOncePerTuple) {
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1},
                                {1, nullptr, nullptr, -1},
                                {2, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   WorkStats stats;
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), &stats);
@@ -405,7 +405,7 @@ TEST(DistinctOpTest, MergesDuplicatesAndUnionsIds) {
   in.Push({Value::Int(2), Value::Int(2)}, QueryIdSet{0});
   DistinctOp op(schema);
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}, {1, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
   EXPECT_EQ(out.size(), 2u);  // physical: the duplicate collapsed
@@ -419,7 +419,7 @@ TEST(ProjectOpTest, ReordersColumns) {
   in.Push({Value::Int(7), Value::Int(70)}, QueryIdSet{0});
   ProjectOp op(schema, {1, 0});
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(in));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
   ASSERT_EQ(out.size(), 1u);
@@ -435,7 +435,7 @@ TEST(UnionOpTest, ConcatenatesInputs) {
   b.Push({Value::Int(2), Value::Int(2)}, QueryIdSet{0});
   UnionOp op(schema);
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(a));
   inputs.push_back(std::move(b));
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), nullptr);
@@ -517,7 +517,7 @@ TEST_F(TableOpsFixture, IndexJoinOpSharedLookupCache) {
   outer.Push({Value::Int(9), Value::Int(4)}, QueryIdSet{1});
   IndexJoinOp op(outer_schema, 0, items_.get(), "items_id", "o", "i");
   std::vector<OpQuery> queries{{0, nullptr, nullptr, -1}, {1, nullptr, nullptr, -1}};
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(std::move(outer));
   WorkStats stats;
   DQBatch out = op.RunCycle(std::move(inputs), queries, Ctx(), &stats);
@@ -583,7 +583,7 @@ TEST(SharedOpsProperty, JoinSortTopNMatchReference) {
       queries.push_back({q, nullptr, nullptr, -1});
     }
     HashJoinOp join(r, s, 0, 0);
-    std::vector<DQBatch> inputs;
+    std::vector<BatchRef> inputs;
     inputs.push_back(std::move(left));
     inputs.push_back(std::move(right));
     DQBatch joined = join.RunCycle(std::move(inputs), queries, Ctx(), nullptr);

@@ -225,7 +225,7 @@ TEST_P(GroupByProperty, PerClassAccumulationEqualsPerQuery) {
   for (int i = 0; i < kQueries; ++i) queries[static_cast<size_t>(i)].id =
       static_cast<QueryId>(i);
   CycleContext ctx;
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(in);
   const DQBatch out = op.RunCycle(std::move(inputs), queries, ctx, nullptr);
 
@@ -294,7 +294,7 @@ TEST_P(TopNProperty, SharedTopNEqualsPerQueryLimit) {
     queries[static_cast<size_t>(i)].limit = 1 + i % 7;  // distinct limits
   }
   CycleContext ctx;
-  std::vector<DQBatch> inputs;
+  std::vector<BatchRef> inputs;
   inputs.push_back(in);
   const DQBatch out = op.RunCycle(std::move(inputs), queries, ctx, nullptr);
 
