@@ -38,6 +38,9 @@ struct BenchArgs {
   double duration = 40.0;
   double warmup = 5.0;
   uint64_t seed = 42;
+  /// Intra-operator worker pool size for the SharedDB engine (0 = serial);
+  /// also settable via env SDB_WORKERS for sweep scripts.
+  int workers = 0;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs a;
@@ -52,13 +55,18 @@ struct BenchArgs {
       else if (const char* v = val("--items=")) a.num_items = std::atoi(v);
       else if (const char* v = val("--duration=")) a.duration = std::atof(v);
       else if (const char* v = val("--seed=")) a.seed = std::strtoull(v, nullptr, 10);
+      else if (const char* v = val("--workers=")) a.workers = std::atoi(v);
       else if (arg == "--help" || arg == "-h") {
-        std::printf("flags: --quick --scale-ebs=N --duration=SECS --seed=N\n");
+        std::printf(
+            "flags: --quick --scale-ebs=N --duration=SECS --seed=N --workers=N\n");
         std::exit(0);
       }
     }
     if (const char* env = std::getenv("SDB_BENCH_QUICK")) {
       if (env[0] == '1') a.quick = true;
+    }
+    if (const char* env = std::getenv("SDB_WORKERS")) {
+      a.workers = std::atoi(env);
     }
     return a;
   }
@@ -82,7 +90,12 @@ struct SharedDbSut {
   static SharedDbSut Make(const BenchArgs& args, int cores) {
     SharedDbSut s;
     s.db = tpcw::MakeTpcwDatabase(args.Scale(), args.seed);
-    s.engine = std::make_unique<Engine>(tpcw::BuildTpcwGlobalPlan(&s.db->catalog));
+    EngineOptions eopts;
+    if (args.workers > 0) {
+      eopts.parallel.num_workers = static_cast<size_t>(args.workers);
+    }
+    s.engine = std::make_unique<Engine>(tpcw::BuildTpcwGlobalPlan(&s.db->catalog),
+                                        std::move(eopts));
     sim::SharedDbSimOptions opt;
     opt.num_cores = cores;
     s.sim = std::make_unique<sim::SharedDbLoadSim>(s.engine.get(), s.db.get(), opt);

@@ -9,10 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/ops/hash_join_op.h"
 #include "core/ops/probe_op.h"
 #include "core/ops/sort_op.h"
+#include "runtime/task_pool.h"
 #include "storage/catalog.h"
 #include "storage/clock_scan.h"
+#include "storage/partition.h"
 #include "common/rng.h"
 
 namespace shareddb {
@@ -186,6 +189,188 @@ void BM_ClockScanCycle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
 }
 BENCHMARK(BM_ClockScanCycle)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
+
+// --- Intra-operator parallelism (the fig8 core-scaling story at operator
+// --- level): worker count is the benchmark argument, 0 = serial path.
+
+ParallelContext BenchCtx(TaskPool* pool) {
+  ParallelContext pc;
+  pc.pool = pool;
+  pc.min_rows_per_task = 1024;
+  return pc;
+}
+
+/// Morsel-parallel ClockScan cycle over a table big enough to split.
+/// Args: {queries, workers}.
+void BM_ClockScanCycleParallel(benchmark::State& state) {
+  const size_t rows = 65536;
+  const int q = static_cast<int>(state.range(0));
+  const size_t workers = static_cast<size_t>(state.range(1));
+  auto catalog = MakeTable(rows);
+  Table* t = catalog->MustGetTable("t");
+
+  ClockScan scan(t);
+  std::vector<ScanQuerySpec> specs;
+  Rng rng(11);
+  for (int i = 0; i < q; ++i) {
+    specs.push_back(ScanQuerySpec{
+        static_cast<QueryId>(i),
+        Expr::Eq(Expr::Column(1), Expr::Literal(Value::Int(rng.Uniform(0, 999))))});
+  }
+
+  TaskPool pool(workers);
+  const ParallelContext pc = BenchCtx(&pool);
+  const ParallelContext* ctx = workers > 0 ? &pc : nullptr;
+  for (auto _ : state) {
+    ClockScanStats stats;
+    DQBatch out = scan.RunCycle(specs, {}, 1, 2, &stats, ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ClockScanCycleParallel)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
+
+/// Partition-parallel scan cycle. Args: {partitions, workers}.
+void BM_PartitionedScanParallel(benchmark::State& state) {
+  const size_t rows = 65536;
+  const size_t parts = static_cast<size_t>(state.range(0));
+  const size_t workers = static_cast<size_t>(state.range(1));
+  PartitionedTable pt("pt",
+                      Schema::Make({{"id", ValueType::kInt},
+                                    {"val", ValueType::kInt},
+                                    {"name", ValueType::kString}}),
+                      /*key_column=*/0, parts);
+  Rng rng(7);
+  for (size_t i = 0; i < rows; ++i) {
+    pt.Insert({Value::Int(static_cast<int64_t>(i)), Value::Int(rng.Uniform(0, 999)),
+               Value::Str("name" + std::to_string(i))},
+              1);
+  }
+  std::vector<ScanQuerySpec> specs;
+  for (int i = 0; i < 128; ++i) {
+    specs.push_back(ScanQuerySpec{
+        static_cast<QueryId>(i),
+        Expr::Eq(Expr::Column(1), Expr::Literal(Value::Int(rng.Uniform(0, 999))))});
+  }
+
+  TaskPool pool(workers);
+  const ParallelContext pc = BenchCtx(&pool);
+  const ParallelContext* ctx = workers > 0 ? &pc : nullptr;
+  for (auto _ : state) {
+    DQBatch out = pt.RunScanCycle(specs, {}, 1, 2, nullptr, ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_PartitionedScanParallel)
+    ->Args({4, 0})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({8, 8});
+
+/// Parallel shared sort (partition sort + k-way merge). Arg: workers.
+void BM_SharedSortParallel(benchmark::State& state) {
+  const size_t rows = 65536;
+  const int q = 64;
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const SchemaPtr schema = Schema::Make({{"id", ValueType::kInt},
+                                         {"val", ValueType::kInt},
+                                         {"name", ValueType::kString}});
+  DQBatch in(schema);
+  Rng rng(3);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<QueryId> ids;
+    for (int j = 0; j < q; ++j) {
+      if (rng.Bernoulli(0.5)) ids.push_back(static_cast<QueryId>(j));
+    }
+    in.Push({Value::Int(static_cast<int64_t>(i)),
+             Value::Int(rng.Uniform(0, 999)),
+             Value::Str("name" + std::to_string(i))},
+            QueryIdSet::FromSorted(std::move(ids)));
+  }
+
+  SortOp op(schema, {{1, true}});
+  std::vector<OpQuery> queries(static_cast<size_t>(q));
+  for (int i = 0; i < q; ++i) {
+    queries[static_cast<size_t>(i)].id = static_cast<QueryId>(i);
+  }
+  TaskPool pool(workers);
+  const ParallelContext pc = BenchCtx(&pool);
+  CycleContext ctx;
+  ctx.read_snapshot = 1;
+  ctx.write_version = 2;
+  if (workers > 0) ctx.parallel = &pc;
+
+  for (auto _ : state) {
+    std::vector<BatchRef> inputs;
+    inputs.push_back(in);
+    DQBatch out = op.RunCycle(std::move(inputs), queries, ctx, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SharedSortParallel)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Parallel shared hash join (partitioned build + chunked probe).
+/// Arg: workers.
+void BM_HashJoinParallel(benchmark::State& state) {
+  const size_t build_rows = 16384;
+  const size_t probe_rows = 65536;
+  const int q = 32;
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const SchemaPtr left = Schema::Make({{"uid", ValueType::kInt},
+                                       {"country", ValueType::kInt}});
+  const SchemaPtr right = Schema::Make({{"oid", ValueType::kInt},
+                                        {"uid", ValueType::kInt},
+                                        {"amount", ValueType::kInt}});
+  DQBatch lbatch(left), rbatch(right);
+  Rng rng(29);
+  auto make_qids = [&] {
+    std::vector<QueryId> ids;
+    for (int j = 0; j < q; ++j) {
+      if (rng.Bernoulli(0.5)) ids.push_back(static_cast<QueryId>(j));
+    }
+    return QueryIdSet::FromSorted(std::move(ids));
+  };
+  for (size_t i = 0; i < build_rows; ++i) {
+    lbatch.Push({Value::Int(static_cast<int64_t>(i)), Value::Int(rng.Uniform(0, 5))},
+                make_qids());
+  }
+  for (size_t i = 0; i < probe_rows; ++i) {
+    rbatch.Push({Value::Int(static_cast<int64_t>(i)),
+                 Value::Int(rng.Uniform(0, static_cast<int>(build_rows) - 1)),
+                 Value::Int(rng.Uniform(1, 500))},
+                make_qids());
+  }
+
+  HashJoinOp op(left, right, 0, 1, true, "u", "o");
+  std::vector<OpQuery> queries(static_cast<size_t>(q));
+  for (int i = 0; i < q; ++i) {
+    queries[static_cast<size_t>(i)].id = static_cast<QueryId>(i);
+  }
+  TaskPool pool(workers);
+  const ParallelContext pc = BenchCtx(&pool);
+  CycleContext ctx;
+  ctx.read_snapshot = 1;
+  ctx.write_version = 2;
+  if (workers > 0) ctx.parallel = &pc;
+
+  for (auto _ : state) {
+    std::vector<BatchRef> inputs;
+    inputs.push_back(lbatch);
+    inputs.push_back(rbatch);
+    DQBatch out = op.RunCycle(std::move(inputs), queries, ctx, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(build_rows + probe_rows));
+}
+BENCHMARK(BM_HashJoinParallel)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace shareddb

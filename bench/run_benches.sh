@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
-# Runs the two micro benchmarks (micro_shared_ops, micro_ablation) in Release
-# and emits a merged BENCH_micro.json for the perf trajectory.
+# Runs the micro benchmarks (micro_shared_ops, micro_ablation) in Release and
+# emits a merged BENCH_micro.json for the perf trajectory. The parallel
+# benchmarks (BM_*Parallel) carry their worker count as a benchmark argument,
+# so one run records the whole worker sweep (0 = serial path baseline).
 #
 # Usage:
-#   bench/run_benches.sh [output.json] [--min-time SECONDS]
+#   bench/run_benches.sh [output.json] [--min-time SECONDS] [--overwrite]
+#                        [--with-fig8]
+#
+# --with-fig8 additionally runs fig8_core_scaling --quick once per worker
+# count in SDB_FIG8_WORKERS (default "0 2 4") with SDB_WORKERS=<n> and
+# records the wall seconds of each run as fig8_wall_seconds/<n>. The fig8
+# WIPS numbers themselves are virtual-time (cost-model) results and do not
+# change with real worker counts; the wall series shows how long the real
+# execution underneath takes.
 #
 # The output records one entry per benchmark: {"name", "ns"}. When a previous
 # BENCH_micro.json with "before_ns"/"after_ns" entries exists at the output
-# path it is left as committed history unless you pass --overwrite.
+# path it is left as committed history unless you pass --overwrite; a
+# "parallel_sweep" section is appended/refreshed either way.
 
 set -euo pipefail
 
@@ -15,11 +26,13 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 OUT="${1:-$REPO_ROOT/BENCH_micro.json}"
 MIN_TIME="0.5"
 OVERWRITE=0
+WITH_FIG8=0
 shift || true
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --min-time) MIN_TIME="$2"; shift 2 ;;
     --overwrite) OVERWRITE=1; shift ;;
+    --with-fig8) WITH_FIG8=1; shift ;;
     *) echo "unknown arg: $1" >&2; exit 2 ;;
   esac
 done
@@ -27,7 +40,9 @@ done
 BUILD_DIR="$REPO_ROOT/build-bench"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DSDB_BUILD_TESTS=OFF -DSDB_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_shared_ops micro_ablation >/dev/null
+TARGETS=(micro_shared_ops micro_ablation)
+if [[ "$WITH_FIG8" == "1" ]]; then TARGETS+=(fig8_core_scaling); fi
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TARGETS[@]}" >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -36,10 +51,23 @@ trap 'rm -rf "$TMP"' EXIT
 "$BUILD_DIR/micro_ablation" --benchmark_min_time="$MIN_TIME" \
     --benchmark_format=json > "$TMP/ablation.json" 2>/dev/null
 
-python3 - "$TMP/shared.json" "$TMP/ablation.json" "$OUT" "$OVERWRITE" <<'EOF'
+FIG8_SERIES=""
+if [[ "$WITH_FIG8" == "1" ]]; then
+  for W in ${SDB_FIG8_WORKERS:-0 2 4}; do
+    T0=$(date +%s.%N)
+    SDB_WORKERS="$W" "$BUILD_DIR/fig8_core_scaling" --quick >/dev/null
+    T1=$(date +%s.%N)
+    FIG8_SERIES+="$W $(echo "$T1 $T0" | awk '{print $1-$2}')\n"
+  done
+fi
+
+python3 - "$TMP/shared.json" "$TMP/ablation.json" "$OUT" "$OVERWRITE" \
+    "$(printf "%b" "$FIG8_SERIES")" <<'EOF'
 import json, sys, datetime
 
-shared, ablation, out_path, overwrite = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] == "1"
+shared, ablation, out_path, overwrite = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] == "1")
+fig8_raw = sys.argv[5] if len(sys.argv) > 5 else ""
 
 def load(path):
     with open(path) as f:
@@ -48,6 +76,11 @@ def load(path):
             for b in data["benchmarks"]]
 
 entries = load(shared) + load(ablation)
+sweep = [e for e in entries if "Parallel" in e["name"]]
+for line in fig8_raw.strip().splitlines():
+    w, secs = line.split()
+    sweep.append({"name": f"fig8_wall_seconds/workers:{w}",
+                  "ns": round(float(secs) * 1e9, 1)})
 
 try:
     with open(out_path) as f:
@@ -57,8 +90,16 @@ except (FileNotFoundError, json.JSONDecodeError):
     existing, has_history = None, False
 
 if has_history and not overwrite:
-    print(f"{out_path} holds committed before/after history; "
-          "pass --overwrite to replace it. Current run:")
+    # Committed history stays; refresh only the parallel sweep section.
+    existing["parallel_sweep"] = {
+        "date": datetime.date.today().isoformat(),
+        "note": "BM_*Parallel arg pairs end in the worker count; 0 = serial path",
+        "benchmarks": sweep,
+    }
+    with open(out_path, "w") as f:
+        json.dump(existing, f, indent=1)
+    print(f"{out_path}: committed history kept; parallel_sweep refreshed "
+          f"({len(sweep)} series). Full current run:")
     for e in entries:
         print(f'  {e["name"]:45s} {e["ns"]:>14} ns')
     sys.exit(0)
@@ -66,11 +107,17 @@ if has_history and not overwrite:
 result = {
     "meta": {
         "date": datetime.date.today().isoformat(),
-        "config": f"Release, benchmark_min_time from run_benches.sh",
+        "config": "Release, benchmark_min_time from run_benches.sh",
         "unit": "ns",
     },
     "benchmarks": entries,
 }
+if sweep:
+    result["parallel_sweep"] = {
+        "date": datetime.date.today().isoformat(),
+        "note": "BM_*Parallel arg pairs end in the worker count; 0 = serial path",
+        "benchmarks": sweep,
+    }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=1)
 print(f"wrote {out_path} ({len(entries)} benchmarks)")

@@ -15,6 +15,19 @@
 #include "common/schema.h"
 #include "common/tuple.h"
 
+// True in ThreadSanitizer builds (gcc defines __SANITIZE_THREAD__, clang
+// exposes __has_feature(thread_sanitizer)).
+#if defined(__SANITIZE_THREAD__)
+#define SDB_THREAD_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SDB_THREAD_SANITIZER 1
+#endif
+#endif
+#ifndef SDB_THREAD_SANITIZER
+#define SDB_THREAD_SANITIZER 0
+#endif
+
 namespace shareddb {
 
 /// Batch of tuples + per-tuple query-id annotations, sharing one schema.
@@ -99,14 +112,18 @@ class BatchRef {
   DQBatch Take() {
     if (!shared_) return std::move(owned_);
     std::shared_ptr<const DQBatch> sp = std::move(shared_);
+#if !SDB_THREAD_SANITIZER
     if (sp.use_count() == 1) {
       // Sole owner. use_count() is a relaxed load; fence so the releasing
       // decrements of the other (former) owners happen-before our mutation.
+      // (TSan does not model fence-based synchronization and would flag this
+      // correct pattern, so TSan builds always take the copy below.)
       std::atomic_thread_fence(std::memory_order_acquire);
       // The const-ness was only a sharing contract; the object was created
       // non-const by the producer, so casting it back is safe.
       return std::move(const_cast<DQBatch&>(*sp));
     }
+#endif
     return *sp;  // copy-on-write: others still read the original
   }
 

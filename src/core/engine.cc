@@ -34,6 +34,24 @@ Engine::Engine(std::unique_ptr<GlobalPlan> plan, EngineOptions options,
       runtime_(std::move(runtime)) {
   SDB_CHECK(plan_ != nullptr);
   if (runtime_ == nullptr) runtime_ = std::make_unique<InlineRuntime>();
+  const ParallelOptions& po = options_.parallel;
+  if (po.num_workers > 0) {
+    TaskPool::Options tp;
+    tp.num_workers = po.num_workers;
+    tp.pin_threads = po.pin_workers;
+    // Auto offset: pool workers start above the cores the runtime's own
+    // pinned threads claim (none for the inline runtime).
+    tp.pin_core_offset =
+        po.pin_core_offset >= 0 ? po.pin_core_offset : runtime_->claimed_cores();
+    task_pool_ = std::make_unique<TaskPool>(tp);
+    parallel_ctx_.pool = task_pool_.get();
+    parallel_ctx_.scan = po.scan;
+    parallel_ctx_.partitions = po.partitions;
+    parallel_ctx_.sort = po.sort;
+    parallel_ctx_.join = po.join;
+    parallel_ctx_.min_rows_per_task = po.min_rows_per_task;
+    parallel_ctx_.morsels_per_worker = po.morsels_per_worker;
+  }
   if (options_.enable_wal) InstallWal();
 }
 
@@ -105,6 +123,7 @@ BatchReport Engine::RunOneBatch() {
   BatchInput in;
   in.ctx.read_snapshot = cat->snapshots().ReadSnapshot();
   in.ctx.write_version = cat->snapshots().WriteVersion();
+  if (task_pool_ != nullptr) in.ctx.parallel = &parallel_ctx_;
 
   // --- batch formation: assign query ids, bind parameters -------------------
   struct QueryRouting {

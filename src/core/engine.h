@@ -25,6 +25,7 @@
 #include "core/plan.h"
 #include "core/query.h"
 #include "core/work_stats.h"
+#include "runtime/task_pool.h"
 #include "storage/wal.h"
 
 namespace shareddb {
@@ -60,6 +61,10 @@ class Runtime {
   virtual void ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
                             BatchOutput* out) = 0;
   virtual const char* name() const = 0;
+  /// Cores this runtime's own threads claim with hard affinity (cores
+  /// [0, claimed_cores()) are taken). The engine starts pool-worker pinning
+  /// above them. 0 = runtime pins nothing (inline).
+  virtual int claimed_cores() const { return 0; }
 };
 
 /// Summary of one heartbeat, for monitoring and the simulator.
@@ -78,12 +83,36 @@ struct BatchReport {
   }
 };
 
+/// Intra-operator parallelism knobs (see ParallelContext in task_pool.h).
+struct ParallelOptions {
+  /// Worker threads in the shared pool (0 = serial execution everywhere).
+  size_t num_workers = 0;
+  /// Pin pool workers with hard affinity. Workers land on cores ABOVE the
+  /// runtime's operator threads (see pin_core_offset); workers that would
+  /// fall off the machine run unpinned instead of stacking on claimed cores.
+  bool pin_workers = false;
+  /// First core for worker 0. Negative = auto: past the plan's node threads
+  /// under the threaded runtime, core 0 under the inline runtime.
+  int pin_core_offset = -1;
+  // Per-operator enables (ablation/bench knobs).
+  bool scan = true;
+  bool partitions = true;
+  bool sort = true;
+  bool join = true;
+  /// Inputs smaller than this stay on the serial paths.
+  size_t min_rows_per_task = 2048;
+  /// Scan morsel granularity: tasks per worker (stealing headroom).
+  size_t morsels_per_worker = 4;
+};
+
 /// Engine options.
 struct EngineOptions {
   bool enable_wal = false;
   std::string wal_path;
   /// Vacuum dead row versions every N batches (0 = never).
   int vacuum_interval = 0;
+  /// Shared worker pool for intra-operator parallelism.
+  ParallelOptions parallel;
 };
 
 /// The SharedDB engine.
@@ -124,6 +153,11 @@ class Engine {
 
   uint64_t batches_run() const { return batch_number_; }
 
+  /// The engine's shared worker pool (null when running serial).
+  TaskPool* task_pool() const { return task_pool_.get(); }
+  /// The per-cycle parallelism view handed to operators (pool may be null).
+  const ParallelContext& parallel_context() const { return parallel_ctx_; }
+
  private:
   struct Pending {
     StatementId statement;
@@ -137,6 +171,8 @@ class Engine {
   std::unique_ptr<GlobalPlan> plan_;
   EngineOptions options_;
   std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<TaskPool> task_pool_;
+  ParallelContext parallel_ctx_;
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<class WalTableLogger> wal_logger_;
 

@@ -45,6 +45,10 @@ struct CycleContext {
   const std::unordered_map<int, std::vector<UpdateOp>>* updates = nullptr;
   /// Plan-node id of the operator currently running (set by the executor).
   int node_id = -1;
+  /// Intra-operator parallelism: worker pool + enables (null = serial).
+  /// Heavy operators (ClockScan, Sort, HashJoin) fan their cycle out over
+  /// the shared pool; parallel and serial paths emit identical batches.
+  const ParallelContext* parallel = nullptr;
 
   const std::vector<UpdateOp>& UpdatesForCurrentNode() const {
     static const std::vector<UpdateOp> kNone;

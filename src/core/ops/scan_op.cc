@@ -15,7 +15,7 @@ DQBatch ScanOp::RunCycle(std::vector<BatchRef> inputs,
   }
   ClockScanStats scan_stats;
   DQBatch out = scan_.RunCycle(specs, ctx.UpdatesForCurrentNode(), ctx.read_snapshot,
-                               ctx.write_version, &scan_stats);
+                               ctx.write_version, &scan_stats, ctx.parallel);
   if (stats != nullptr) stats->AddScan(scan_stats);
   return out;
 }

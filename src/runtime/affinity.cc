@@ -4,11 +4,15 @@
 #include <sched.h>
 #include <unistd.h>
 
+#include <thread>
+
 namespace shareddb {
 
 int NumOnlineCores() {
   const long n = sysconf(_SC_NPROCESSORS_ONLN);
-  return n < 1 ? 1 : static_cast<int>(n);
+  if (n >= 1) return static_cast<int>(n);
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc >= 1 ? static_cast<int>(hc) : 1;
 }
 
 bool PinCurrentThreadToCore(int core) {
@@ -17,6 +21,11 @@ bool PinCurrentThreadToCore(int core) {
   CPU_ZERO(&set);
   CPU_SET(core % n, &set);
   return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+bool TryPinCurrentThreadToCore(int core) {
+  if (core < 0 || core >= NumOnlineCores()) return false;
+  return PinCurrentThreadToCore(core);
 }
 
 }  // namespace shareddb

@@ -13,7 +13,15 @@ namespace shareddb {
 /// unpinned — a documented degradation, not an error).
 bool PinCurrentThreadToCore(int core);
 
-/// Number of cores available to this process.
+/// Pins only when `core` names a real core (0 <= core < NumOnlineCores()).
+/// Returns false — leaving the thread unpinned — otherwise. Use this when a
+/// wrapped pin would stack the thread onto a core another pinned thread
+/// already claimed (oversubscribed pinning serializes both threads; unpinned
+/// at least lets the OS balance them).
+bool TryPinCurrentThreadToCore(int core);
+
+/// Number of cores available to this process (sysconf, falling back to
+/// std::thread::hardware_concurrency; never less than 1).
 int NumOnlineCores();
 
 }  // namespace shareddb

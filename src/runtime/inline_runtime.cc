@@ -36,6 +36,7 @@ void InlineRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
   ctx.read_snapshot = in.ctx.read_snapshot;
   ctx.write_version = in.ctx.write_version;
   ctx.updates = &in.node_updates;
+  ctx.parallel = in.ctx.parallel;
 
   std::vector<char> needed(n, 0);
   for (const int r : in.needed_outputs) needed[r] = 1;

@@ -1,0 +1,170 @@
+#include "runtime/task_pool.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "runtime/affinity.h"
+
+namespace shareddb {
+
+TaskPool::TaskPool(const Options& options) : options_(options) {
+  workers_.reserve(options.num_workers);
+  for (size_t i = 0; i < options.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (size_t i = 0; i < options.num_workers; ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void TaskPool::Submit(size_t home, Task task) {
+  // Publish the count BEFORE the task: a pop can then never observe a task
+  // whose increment is still pending (queued_ would underflow). The converse
+  // window — a worker waking to a count whose task is not yet pushed — only
+  // costs that worker one empty scan before it re-checks the predicate.
+  {
+    std::lock_guard lock(idle_mu_);
+    ++queued_;
+  }
+  {
+    std::lock_guard lock(workers_[home]->mu);
+    workers_[home]->tasks.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
+}
+
+bool TaskPool::RunOneTask(size_t self) {
+  const size_t n = workers_.size();
+  if (n == 0) return false;
+  Task task;
+  bool found = false;
+  bool stolen = false;
+  const size_t first = self < n ? self : 0;
+  for (size_t k = 0; k < n && !found; ++k) {
+    const size_t w = (first + k) % n;
+    Worker& worker = *workers_[w];
+    std::lock_guard lock(worker.mu);
+    if (worker.tasks.empty()) continue;
+    if (w == self) {
+      // Own deque: LIFO end for cache locality.
+      task = std::move(worker.tasks.back());
+      worker.tasks.pop_back();
+    } else {
+      // Steal the oldest task — the classic stealing end.
+      task = std::move(worker.tasks.front());
+      worker.tasks.pop_front();
+      stolen = self < n;  // participation by a waiter is not a worker steal
+    }
+    found = true;
+  }
+  if (!found) return false;
+  {
+    std::lock_guard lock(idle_mu_);
+    SDB_DCHECK(queued_ > 0);
+    --queued_;
+  }
+  if (stolen) worker_steals_.fetch_add(1, std::memory_order_relaxed);
+
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  task.group->Finish(error);
+  return true;
+}
+
+void TaskPool::WorkerLoop(size_t index) {
+  if (options_.pin_threads) {
+    // Cores below the offset belong to the runtime's operator threads; a
+    // worker whose target core does not exist runs unpinned instead of
+    // doubling up on an already-claimed core.
+    TryPinCurrentThreadToCore(options_.pin_core_offset + static_cast<int>(index));
+  }
+  for (;;) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock lock(idle_mu_);
+    idle_cv_.wait(lock, [this] { return queued_ > 0 || stop_; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+TaskGroup::TaskGroup(TaskPool* pool) : pool_(pool) {
+  if (pool_ != nullptr && pool_->num_workers() > 0) {
+    home_ = pool_->next_home_.fetch_add(1, std::memory_order_relaxed) %
+            pool_->num_workers();
+  } else {
+    pool_ = nullptr;  // inline mode
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  // Wait() is the normal join point; the destructor only has to survive an
+  // exceptional unwind without leaving tasks referencing a dead group.
+  if (pool_ == nullptr) return;
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    // Inline mode: same capture semantics as the pooled path.
+    try {
+      fn();
+    } catch (...) {
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit(home_, TaskPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::Wait() {
+  if (pool_ != nullptr) {
+    for (;;) {
+      {
+        std::lock_guard lock(mu_);
+        if (pending_ == 0) break;
+      }
+      // Participate: run any queued task (ours or another group's). Our own
+      // tasks are only ever enqueued by this thread, so when none is queued
+      // the stragglers are running on workers — sleep until one finishes.
+      if (pool_->RunOneTask(SIZE_MAX)) continue;
+      std::unique_lock lock(mu_);
+      if (pending_ == 0) break;
+      cv_.wait_for(lock, std::chrono::milliseconds(1),
+                   [this] { return pending_ == 0; });
+    }
+  }
+  if (error_ != nullptr) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void TaskGroup::Finish(std::exception_ptr error) {
+  std::lock_guard lock(mu_);
+  if (error != nullptr && error_ == nullptr) error_ = error;
+  SDB_DCHECK(pending_ > 0);
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+}  // namespace shareddb

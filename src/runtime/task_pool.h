@@ -1,0 +1,176 @@
+// TaskPool: a work-stealing worker pool shared by both runtimes for
+// INTRA-operator parallelism (paper §4.4–§4.5: Crescando "supports horizontal
+// partitioning of data and processing several partitions with different cores
+// in parallel"). The thread-per-operator runtime (§4.3) gives each plan node
+// one core; this pool lets a single heavy operator — ClockScan, sort, hash
+// join, a partitioned scan — soak up additional cores within one cycle.
+//
+// Design:
+//   * Each worker owns a deque. A TaskGroup enqueues its tasks onto ONE home
+//     deque (round-robin per group); idle workers steal from the front of
+//     other workers' deques, so morsels migrate to free cores automatically.
+//   * TaskGroup::Wait() PARTICIPATES: the waiting thread executes queued
+//     tasks (its own group's or others') instead of blocking, so a pool with
+//     zero workers degrades to inline serial execution and nested groups
+//     (a partition task that fans out scan morsels) cannot deadlock.
+//   * The first exception thrown by a task is captured and rethrown from
+//     Wait(); remaining tasks still run (operators must not be torn mid-
+//     cycle).
+//
+// Threading contract: TaskPool is internally synchronized. Destroying a pool
+// while a TaskGroup still has pending tasks is undefined — cycle barriers
+// (TaskGroup::Wait) always complete before the engine tears the pool down.
+
+#ifndef SHAREDDB_RUNTIME_TASK_POOL_H_
+#define SHAREDDB_RUNTIME_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shareddb {
+
+class TaskGroup;
+
+/// Work-stealing pool of `num_workers` threads (0 = everything runs inline
+/// on the submitting thread inside TaskGroup::Wait).
+class TaskPool {
+ public:
+  struct Options {
+    size_t num_workers = 0;
+    /// Pin worker i to core `pin_core_offset + i` — only when that core
+    /// exists; workers beyond the machine run unpinned rather than stacking
+    /// onto cores already claimed by operator threads.
+    bool pin_threads = false;
+    int pin_core_offset = 0;
+  };
+
+  explicit TaskPool(size_t num_workers)
+      : TaskPool(Options{num_workers, false, 0}) {}
+  explicit TaskPool(const Options& options);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Tasks popped by a worker thread from another worker's deque (not
+  /// counting waiter participation). Observability for tests/benches.
+  uint64_t worker_steals() const {
+    return worker_steals_.load(std::memory_order_relaxed);
+  }
+  /// Total tasks executed (by workers and participating waiters).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> tasks;
+    std::thread thread;
+  };
+
+  /// Enqueues onto `home`'s deque and wakes one sleeper.
+  void Submit(size_t home, Task task);
+
+  /// Pops one task (own deque back first, then steals from others' fronts)
+  /// and runs it. `self` is the calling worker's index, or SIZE_MAX for a
+  /// participating waiter. Returns false when every deque was empty.
+  bool RunOneTask(size_t self);
+
+  void WorkerLoop(size_t index);
+
+  const Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Sleep/wake for idle workers. `queued_` is guarded by `idle_mu_`.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  size_t queued_ = 0;
+  bool stop_ = false;
+
+  std::atomic<size_t> next_home_{0};
+  std::atomic<uint64_t> worker_steals_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+};
+
+/// A set of tasks forming one fork-join region (e.g. the morsels of one scan
+/// cycle). Not thread-safe: one thread forks, the same thread joins.
+class TaskGroup {
+ public:
+  /// `pool` may be null or have zero workers: Run() then executes inline.
+  explicit TaskGroup(TaskPool* pool);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules one task (or runs it inline without a pool). Exceptions are
+  /// captured; the first one is rethrown by Wait().
+  void Run(std::function<void()> fn);
+
+  /// Executes queued work on the calling thread until every task of this
+  /// group has finished, then rethrows the first captured exception (if any).
+  void Wait();
+
+ private:
+  friend class TaskPool;
+
+  /// Called by the pool when one of this group's tasks finishes.
+  void Finish(std::exception_ptr error);
+
+  TaskPool* pool_;
+  size_t home_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+/// Per-cycle parallelism configuration, plumbed to operators through
+/// CycleContext. A null ParallelContext (or one without a pool) selects the
+/// serial paths everywhere — parallel and serial paths produce byte-identical
+/// batches, so this is purely a performance knob.
+struct ParallelContext {
+  TaskPool* pool = nullptr;
+
+  // Per-operator enables (all default on; useful for ablation benches).
+  bool scan = true;        // morsel-parallel ClockScan phase 2
+  bool partitions = true;  // PartitionedTable: one cycle task per partition
+  bool sort = true;        // SortOp: parallel partition sort + k-way merge
+  bool join = true;        // HashJoinOp: partitioned build + chunked probe
+
+  /// Inputs smaller than this stay serial (task dispatch would dominate).
+  size_t min_rows_per_task = 2048;
+  /// Morsel granularity: aim for this many tasks per worker so stealing can
+  /// rebalance skewed morsels.
+  size_t morsels_per_worker = 4;
+
+  size_t workers() const { return pool == nullptr ? 0 : pool->num_workers(); }
+
+  /// True when the `flag`-gated parallel path should run for `rows` items.
+  bool Enabled(bool flag, size_t rows) const {
+    return flag && workers() > 0 && rows >= 2 * min_rows_per_task;
+  }
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_RUNTIME_TASK_POOL_H_

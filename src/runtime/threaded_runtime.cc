@@ -1,12 +1,14 @@
 #include "runtime/threaded_runtime.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "runtime/affinity.h"
 
 namespace shareddb {
 
-ThreadedRuntime::ThreadedRuntime(GlobalPlan* plan, bool pin_threads) : plan_(plan) {
+ThreadedRuntime::ThreadedRuntime(GlobalPlan* plan, bool pin_threads)
+    : plan_(plan), pin_threads_(pin_threads) {
   const size_t n = plan_->num_nodes();
   node_threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -30,6 +32,12 @@ ThreadedRuntime::ThreadedRuntime(GlobalPlan* plan, bool pin_threads) : plan_(pla
   }
 }
 
+int ThreadedRuntime::claimed_cores() const {
+  if (!pin_threads_) return 0;
+  const int n = static_cast<int>(node_threads_.size());
+  return std::min(n, NumOnlineCores());
+}
+
 ThreadedRuntime::~ThreadedRuntime() {
   for (auto& nt : node_threads_) nt->tasks.Close();
   for (auto& nt : node_threads_) {
@@ -38,7 +46,11 @@ ThreadedRuntime::~ThreadedRuntime() {
 }
 
 void ThreadedRuntime::NodeLoop(int node_id, bool pin) {
-  if (pin) PinCurrentThreadToCore(node_id);
+  // Operator i takes core i while cores last; with more plan nodes than
+  // cores the surplus threads run unpinned — wrapping the pin would stack
+  // several pinned threads on one core and serialize them, which is worse
+  // than letting the OS schedule the overflow.
+  if (pin) TryPinCurrentThreadToCore(node_id);
   PlanNode& node = plan_->node(node_id);
   NodeThread& self = *node_threads_[node_id];
   static const std::vector<OpQuery> kNoQueries;
@@ -66,6 +78,7 @@ void ThreadedRuntime::NodeLoop(int node_id, bool pin) {
     ctx.write_version = task.input->ctx.write_version;
     ctx.updates = &task.input->node_updates;
     ctx.node_id = node_id;
+    ctx.parallel = task.input->ctx.parallel;
 
     DQBatch output =
         node.op->RunCycle(std::move(inputs), queries, ctx, &(*task.stats)[node_id]);

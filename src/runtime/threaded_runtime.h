@@ -24,7 +24,8 @@ namespace shareddb {
 /// Thread-per-operator runtime.
 class ThreadedRuntime : public Runtime {
  public:
-  /// `pin_threads`: best-effort hard affinity, operator i -> core i mod N.
+  /// `pin_threads`: best-effort hard affinity, operator i -> core i while
+  /// cores last; surplus operators (more plan nodes than cores) run unpinned.
   explicit ThreadedRuntime(GlobalPlan* plan, bool pin_threads = true);
   ~ThreadedRuntime() override;
 
@@ -33,6 +34,8 @@ class ThreadedRuntime : public Runtime {
 
   void ExecuteCycle(GlobalPlan* plan, const BatchInput& in, BatchOutput* out) override;
   const char* name() const override { return "threaded"; }
+  /// Node thread i pins to core i while cores last (see NodeLoop).
+  int claimed_cores() const override;
 
   size_t num_threads() const { return node_threads_.size(); }
 
@@ -58,6 +61,7 @@ class ThreadedRuntime : public Runtime {
   void NodeLoop(int node_id, bool pin);
 
   GlobalPlan* plan_;
+  bool pin_threads_;
   std::vector<std::unique_ptr<NodeThread>> node_threads_;
   /// Static routing: node id -> (consumer node, consumer edge index).
   std::vector<std::vector<std::pair<int, size_t>>> out_edges_;

@@ -1,5 +1,7 @@
 #include "storage/clock_scan.h"
 
+#include <algorithm>
+
 namespace shareddb {
 
 namespace {
@@ -69,10 +71,64 @@ size_t ClockScan::ApplyUpdate(Table* table, const UpdateOp& op,
   return applied;
 }
 
+const PredicateIndex& ClockScan::GetIndex(const std::vector<ScanQuerySpec>& queries) {
+  bool hit = index_ != nullptr && index_key_.size() == queries.size();
+  if (hit) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (index_key_[i].first != queries[i].id ||
+          index_key_[i].second.get() != queries[i].predicate.get()) {
+        hit = false;
+        break;
+      }
+    }
+  }
+  if (!hit) {
+    index_ = std::make_unique<PredicateIndex>(queries);
+    ++index_builds_;
+    index_key_.clear();
+    index_key_.reserve(queries.size());
+    for (const ScanQuerySpec& q : queries) {
+      index_key_.emplace_back(q.id, q.predicate);
+    }
+  }
+  return *index_;
+}
+
+namespace {
+
+/// Phase-2 inner loop over one run of segments (in clock order). Shared by
+/// the serial pass and every parallel morsel; each caller brings its own
+/// output batch, stats, and match context, so morsels share no mutable state.
+void ScanSegmentRun(const Table& table, const PredicateIndex& index,
+                    Version read_snapshot, size_t start, size_t first_seg,
+                    size_t end_seg, size_t num_segments, size_t seg_size,
+                    PredicateIndex::MatchContext* mctx, DQBatch* out,
+                    ClockScanStats* stats) {
+  QueryIdSet qids;
+  for (size_t s = first_seg; s < end_seg; ++s) {
+    const size_t seg = (start + s) % num_segments;
+    const RowId lo = seg * seg_size;
+    const RowId hi = lo + seg_size;
+    table.ScanRange(lo, hi, read_snapshot, [&](RowId, const Tuple& row) {
+      if (stats != nullptr) ++stats->rows_scanned;
+      index.Match(row, &qids, stats != nullptr ? &stats->pred : nullptr, mctx);
+      if (!qids.empty()) {
+        out->Push(row, std::move(qids));
+        qids = QueryIdSet();
+        if (stats != nullptr) ++stats->tuples_out;
+      }
+      return true;
+    });
+  }
+}
+
+}  // namespace
+
 DQBatch ClockScan::RunCycle(const std::vector<ScanQuerySpec>& queries,
                             const std::vector<UpdateOp>& updates,
                             Version read_snapshot, Version write_version,
-                            ClockScanStats* stats) {
+                            ClockScanStats* stats,
+                            const ParallelContext* parallel) {
   SDB_CHECK(read_snapshot < write_version);
   // Phase 1: updates in arrival order.
   for (const UpdateOp& op : updates) {
@@ -83,7 +139,7 @@ DQBatch ClockScan::RunCycle(const std::vector<ScanQuerySpec>& queries,
   // Phase 2: one circular pass evaluating all queries via the query index.
   DQBatch out(table_->schema());
   if (queries.empty()) return out;
-  const PredicateIndex index(queries);
+  const PredicateIndex& index = GetIndex(queries);
 
   const size_t seg_size = table_->rows_per_segment();
   const size_t physical = table_->PhysicalSize();
@@ -92,21 +148,50 @@ DQBatch ClockScan::RunCycle(const std::vector<ScanQuerySpec>& queries,
   const size_t start = clock_hand_ % num_segments;
   clock_hand_ = (clock_hand_ + 1) % num_segments;
 
-  QueryIdSet qids;
-  for (size_t s = 0; s < num_segments; ++s) {
-    const size_t seg = (start + s) % num_segments;
-    const RowId lo = seg * seg_size;
-    const RowId hi = lo + seg_size;
-    table_->ScanRange(lo, hi, read_snapshot, [&](RowId, const Tuple& row) {
-      if (stats != nullptr) ++stats->rows_scanned;
-      index.Match(row, &qids, stats != nullptr ? &stats->pred : nullptr);
-      if (!qids.empty()) {
-        out.Push(row, std::move(qids));
-        qids = QueryIdSet();
-        if (stats != nullptr) ++stats->tuples_out;
-      }
-      return true;
+  const bool parallelize = parallel != nullptr && num_segments > 1 &&
+                           parallel->Enabled(parallel->scan, physical);
+  if (!parallelize) {
+    PredicateIndex::MatchContext mctx;
+    ScanSegmentRun(*table_, index, read_snapshot, start, 0, num_segments,
+                   num_segments, seg_size, &mctx, &out, stats);
+    return out;
+  }
+
+  // Morsel-parallel pass: contiguous runs of segments (still in clock order)
+  // become tasks; each evaluates into a thread-local slice. Slices are then
+  // move-concatenated in run order — the same segment order the serial pass
+  // walks — so the output batch is byte-identical.
+  size_t num_tasks = std::min(
+      num_segments, parallel->workers() * parallel->morsels_per_worker);
+  const size_t max_by_rows = std::max<size_t>(1, physical / parallel->min_rows_per_task);
+  num_tasks = std::max<size_t>(1, std::min(num_tasks, max_by_rows));
+
+  std::vector<DQBatch> slices(num_tasks);
+  std::vector<ClockScanStats> slice_stats(num_tasks);
+  TaskGroup group(parallel->pool);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    const size_t first_seg = t * num_segments / num_tasks;
+    const size_t end_seg = (t + 1) * num_segments / num_tasks;
+    DQBatch* slice = &slices[t];
+    ClockScanStats* sstats = stats != nullptr ? &slice_stats[t] : nullptr;
+    group.Run([this, &index, read_snapshot, start, first_seg, end_seg,
+               num_segments, seg_size, slice, sstats] {
+      PredicateIndex::MatchContext mctx;
+      ScanSegmentRun(*table_, index, read_snapshot, start, first_seg, end_seg,
+                     num_segments, seg_size, &mctx, slice, sstats);
     });
+  }
+  group.Wait();
+
+  for (size_t t = 0; t < num_tasks; ++t) {
+    out.Append(std::move(slices[t]));
+    if (stats != nullptr) {
+      stats->rows_scanned += slice_stats[t].rows_scanned;
+      stats->tuples_out += slice_stats[t].tuples_out;
+      stats->pred.hash_probes += slice_stats[t].pred.hash_probes;
+      stats->pred.candidates += slice_stats[t].pred.candidates;
+      stats->pred.matches += slice_stats[t].pred.matches;
+    }
   }
   return out;
 }

@@ -18,9 +18,11 @@
 #define SHAREDDB_STORAGE_CLOCK_SCAN_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/batch.h"
+#include "runtime/task_pool.h"
 #include "storage/predicate_index.h"
 #include "storage/table.h"
 
@@ -57,9 +59,16 @@ class ClockScan {
 
   /// Runs one cycle. Updates are applied at `write_version`; queries read
   /// `read_snapshot` (< write_version). Returns the annotated output batch.
+  ///
+  /// When `parallel` carries a pool and the table is large enough, phase 2
+  /// splits the segment ring into morsels evaluated by pool workers, each
+  /// into its own thread-local batch; the slices are move-concatenated in
+  /// clock (segment) order, so rows, order, and annotations are identical to
+  /// the serial pass.
   DQBatch RunCycle(const std::vector<ScanQuerySpec>& queries,
                    const std::vector<UpdateOp>& updates, Version read_snapshot,
-                   Version write_version, ClockScanStats* stats = nullptr);
+                   Version write_version, ClockScanStats* stats = nullptr,
+                   const ParallelContext* parallel = nullptr);
 
   /// Applies one update (visible-at-`write_version` semantics). Exposed so
   /// the engine can route updates through index-probe paths too.
@@ -69,9 +78,24 @@ class ClockScan {
   Table* table() const { return table_; }
   size_t clock_hand() const { return clock_hand_; }
 
+  /// Number of times RunCycle had to (re)build the PredicateIndex. The index
+  /// is cached across cycles and reused while the registered query batch is
+  /// unchanged (same ids, same bound predicate objects).
+  uint64_t index_builds() const { return index_builds_; }
+
  private:
+  /// Returns the cached index, rebuilding when the query batch changed.
+  const PredicateIndex& GetIndex(const std::vector<ScanQuerySpec>& queries);
+
   Table* table_;
   size_t clock_hand_ = 0;
+
+  // PredicateIndex cache. The key holds owning ExprPtr copies: predicates are
+  // immutable once bound, and pinning them makes raw-pointer identity sound
+  // (a freed-and-reallocated Expr can never alias a pinned one).
+  std::vector<std::pair<QueryId, ExprPtr>> index_key_;
+  std::unique_ptr<PredicateIndex> index_;
+  uint64_t index_builds_ = 0;
 };
 
 }  // namespace shareddb

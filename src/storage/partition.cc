@@ -49,16 +49,21 @@ size_t PartitionedTable::VisibleCount(Version snapshot) const {
 DQBatch PartitionedTable::RunScanCycle(
     const std::vector<ScanQuerySpec>& queries, const std::vector<UpdateOp>& updates,
     Version read_snapshot, Version write_version,
-    std::vector<ClockScanStats>* per_partition_stats) {
+    std::vector<ClockScanStats>* per_partition_stats,
+    const ParallelContext* parallel) {
+  const size_t num_parts = partitions_.size();
   if (per_partition_stats != nullptr) {
-    per_partition_stats->assign(partitions_.size(), ClockScanStats{});
+    per_partition_stats->assign(num_parts, ClockScanStats{});
   }
-  DQBatch out(schema_);
-  for (size_t p = 0; p < partitions_.size(); ++p) {
+
+  // Route queries and updates to partitions (cheap, serial).
+  std::vector<std::vector<ScanQuerySpec>> local_queries(num_parts);
+  std::vector<std::vector<UpdateOp>> local_updates(num_parts);
+  for (size_t p = 0; p < num_parts; ++p) {
     // Partition pruning: keep only queries that may match rows in p —
     // a query anchored on an equality over the key column goes to exactly
     // one partition.
-    std::vector<ScanQuerySpec> local;
+    std::vector<ScanQuerySpec>& local = local_queries[p];
     local.reserve(queries.size());
     for (const ScanQuerySpec& q : queries) {
       bool prunable = false;
@@ -74,20 +79,38 @@ DQBatch PartitionedTable::RunScanCycle(
       if (!prunable) local.push_back(q);
     }
     // Updates: inserts route by key; update/delete predicates run everywhere.
-    std::vector<UpdateOp> local_updates;
     for (const UpdateOp& u : updates) {
       if (u.kind == UpdateKind::kInsert) {
-        if (PartitionFor(u.row[key_column_]) == p) local_updates.push_back(u);
+        if (PartitionFor(u.row[key_column_]) == p) local_updates[p].push_back(u);
       } else {
-        local_updates.push_back(u);
+        local_updates[p].push_back(u);
       }
     }
-    ClockScanStats stats;
-    DQBatch part = scans_[p]->RunCycle(local, local_updates, read_snapshot,
-                                       write_version, &stats);
-    if (per_partition_stats != nullptr) (*per_partition_stats)[p] = stats;
-    out.Append(part);
   }
+
+  // One cycle per partition — each as a pool task when a pool is available
+  // and there is more than one partition; partitions are independent tables,
+  // so tasks share no mutable state. Each partition's own cycle may further
+  // morsel-parallelize its segment pass via the same pool (nested groups are
+  // safe: waiting tasks participate in execution).
+  std::vector<DQBatch> parts(num_parts);
+  const bool parallelize = parallel != nullptr && num_parts > 1 &&
+                           parallel->partitions && parallel->workers() > 0;
+  TaskGroup group(parallelize ? parallel->pool : nullptr);
+  for (size_t p = 0; p < num_parts; ++p) {
+    group.Run([this, p, &local_queries, &local_updates, read_snapshot,
+               write_version, per_partition_stats, parallel, &parts] {
+      ClockScanStats stats;
+      parts[p] = scans_[p]->RunCycle(local_queries[p], local_updates[p],
+                                     read_snapshot, write_version, &stats,
+                                     parallel);
+      if (per_partition_stats != nullptr) (*per_partition_stats)[p] = stats;
+    });
+  }
+  group.Wait();
+
+  DQBatch out(schema_);
+  for (size_t p = 0; p < num_parts; ++p) out.Append(std::move(parts[p]));
   return out;
 }
 

@@ -44,10 +44,16 @@ class PartitionedTable {
   /// Runs one ClockScan cycle *per partition* and concatenates the outputs —
   /// the parallel shared scan of §4.5. Equality predicates on the key column
   /// are routed to the single owning partition.
+  ///
+  /// With a ParallelContext, each partition's cycle runs as one pool task
+  /// ("processing several partitions with different cores in parallel",
+  /// §4.4); partitions are separate tables, so the cycles share no state.
+  /// Outputs concatenate in partition order — identical to the serial loop.
   DQBatch RunScanCycle(const std::vector<ScanQuerySpec>& queries,
                        const std::vector<UpdateOp>& updates, Version read_snapshot,
                        Version write_version,
-                       std::vector<ClockScanStats>* per_partition_stats = nullptr);
+                       std::vector<ClockScanStats>* per_partition_stats = nullptr,
+                       const ParallelContext* parallel = nullptr);
 
  private:
   std::string name_;

@@ -87,9 +87,9 @@ bool PredicateIndex::Verify(const CompiledQuery& q, const Tuple& row) const {
 }
 
 void PredicateIndex::Match(const Tuple& row, QueryIdSet* out,
-                           PredicateIndexStats* stats) const {
-  std::vector<QueryId>& matched = matched_scratch_;  // individually verified
-  std::vector<uint32_t>& groups = groups_scratch_;   // matching range groups
+                           PredicateIndexStats* stats, MatchContext* mctx) const {
+  std::vector<QueryId>& matched = mctx->matched_scratch;  // individually verified
+  std::vector<uint32_t>& groups = mctx->groups_scratch;   // matching range groups
   matched.clear();
   groups.clear();
   auto consider = [&](uint32_t qi) {
@@ -127,8 +127,8 @@ void PredicateIndex::Match(const Tuple& row, QueryIdSet* out,
   for (const uint32_t g : groups) {
     h = (h ^ (0x80000000u | g)) * 1099511628211ULL;
   }
-  auto& bucket = interned_[h];
-  for (const InternEntry& e : bucket) {
+  auto& bucket = mctx->interned[h];
+  for (const MatchContext::InternEntry& e : bucket) {
     if (e.indiv == matched && e.groups == groups) {
       if (stats != nullptr) stats->matches += 1 + matched.size() + groups.size();
       *out = e.set;
@@ -144,7 +144,7 @@ void PredicateIndex::Match(const Tuple& row, QueryIdSet* out,
     set = set.Union(QueryIdSet::FromSorted(match_all_));
   }
   if (stats != nullptr) stats->matches += set.size() + 1;
-  bucket.push_back(InternEntry{matched, groups, set});
+  bucket.push_back(MatchContext::InternEntry{matched, groups, set});
   *out = std::move(set);
 }
 

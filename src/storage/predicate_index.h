@@ -49,12 +49,33 @@ struct PredicateIndexStats {
 /// construction cost bounded when thousands of queries subscribe to a scan.
 class PredicateIndex {
  public:
+  /// Per-thread matching state: the hash-cons intern pool plus row scratch.
+  /// The index itself is immutable after construction, so any number of
+  /// threads may Match concurrently as long as each brings its OWN context
+  /// (morsel-parallel ClockScan gives every worker one). Contexts may be
+  /// reused across rows and cycles; interned sets accrete per context.
+  struct MatchContext {
+    struct InternEntry {
+      std::vector<QueryId> indiv;
+      std::vector<uint32_t> groups;
+      QueryIdSet set;
+    };
+    FlatHashMap<uint64_t, std::vector<InternEntry>> interned;
+    std::vector<QueryId> matched_scratch;
+    std::vector<uint32_t> groups_scratch;
+  };
+
   explicit PredicateIndex(const std::vector<ScanQuerySpec>& queries);
 
   /// Appends (sorted) ids of queries whose predicate matches `row` to `out`.
-  /// `out` is overwritten. Match is stateful only through the intern pool
-  /// (mutable); concurrent use requires one PredicateIndex per thread.
-  void Match(const Tuple& row, QueryIdSet* out, PredicateIndexStats* stats) const;
+  /// `out` is overwritten. Thread-safe: all mutable state lives in `mctx`.
+  void Match(const Tuple& row, QueryIdSet* out, PredicateIndexStats* stats,
+             MatchContext* mctx) const;
+
+  /// Single-threaded convenience overload using an index-owned context.
+  void Match(const Tuple& row, QueryIdSet* out, PredicateIndexStats* stats) const {
+    Match(row, out, stats, &default_ctx_);
+  }
 
   size_t num_queries() const { return queries_.size(); }
 
@@ -101,19 +122,8 @@ class PredicateIndex {
   // without verification — a subscription, not a test.
   std::vector<QueryId> match_all_;  // sorted ids
 
-  // Hash-cons pool: (matched individuals, matched groups) -> canonical set.
-  // Canonical sets are refcounted, so every matching row of the cycle
-  // physically shares one allocation.
-  struct InternEntry {
-    std::vector<QueryId> indiv;
-    std::vector<uint32_t> groups;
-    QueryIdSet set;
-  };
-  mutable FlatHashMap<uint64_t, std::vector<InternEntry>> interned_;
-  // Per-row scratch, reused across Match calls (Match is single-threaded
-  // per index by contract).
-  mutable std::vector<QueryId> matched_scratch_;
-  mutable std::vector<uint32_t> groups_scratch_;
+  // Context for the single-threaded Match overload.
+  mutable MatchContext default_ctx_;
 };
 
 }  // namespace shareddb

@@ -183,6 +183,41 @@ TEST_F(ClockScanFixture, EmptyQueryListSkipsScan) {
   EXPECT_EQ(stats.rows_scanned, 0u);
 }
 
+TEST_F(ClockScanFixture, PredicateIndexCachedAcrossCycles) {
+  // An unchanged query batch (same ids, same bound predicate objects) reuses
+  // the PredicateIndex built on the first cycle.
+  std::vector<ScanQuerySpec> queries{{0, CatEq(1)}, {1, PriceLt(8)}};
+  EXPECT_EQ(scan_->index_builds(), 0u);
+  scan_->RunCycle(queries, {}, 1, 2, nullptr);
+  EXPECT_EQ(scan_->index_builds(), 1u);
+  scan_->RunCycle(queries, {}, 1, 2, nullptr);
+  scan_->RunCycle(queries, {}, 2, 3, nullptr);  // snapshot change: still cached
+  EXPECT_EQ(scan_->index_builds(), 1u);
+
+  // Any change to the batch invalidates: a different id ...
+  std::vector<ScanQuerySpec> renumbered{{7, queries[0].predicate},
+                                        {1, queries[1].predicate}};
+  scan_->RunCycle(renumbered, {}, 1, 2, nullptr);
+  EXPECT_EQ(scan_->index_builds(), 2u);
+
+  // ... a different predicate object (even a structurally equal one) ...
+  std::vector<ScanQuerySpec> rebound{{7, CatEq(1)}, {1, queries[1].predicate}};
+  scan_->RunCycle(rebound, {}, 1, 2, nullptr);
+  EXPECT_EQ(scan_->index_builds(), 3u);
+
+  // ... or a different batch size.
+  std::vector<ScanQuerySpec> grown = rebound;
+  grown.push_back({9, nullptr});
+  scan_->RunCycle(grown, {}, 1, 2, nullptr);
+  EXPECT_EQ(scan_->index_builds(), 4u);
+
+  // The cached index still answers correctly after invalidations and reuse.
+  DQBatch out = scan_->RunCycle(rebound, {}, 1, 2, nullptr);
+  EXPECT_EQ(scan_->index_builds(), 5u);
+  EXPECT_EQ(out.RowsFor(7).size(), 16u);
+  EXPECT_EQ(out.RowsFor(1).size(), 8u);
+}
+
 // Property: the shared scan equals per-query reference scans, and examines
 // each row exactly once regardless of the number of queries (the bounded-
 // computation claim at scan level).

@@ -1,0 +1,429 @@
+// Serial-vs-parallel equivalence: the morsel-parallel ClockScan, the
+// parallel partitioned scan, the parallel sort, and the parallel hash join
+// must produce batches IDENTICAL to their serial paths — same rows, same
+// order, same annotations — across worker counts, plus matching totals for
+// every deterministic work counter. (Counters that measure memoization hits
+// — pred.matches, qid_elems — legitimately differ: each worker interns its
+// own annotation sets.)
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/ops/hash_join_op.h"
+#include "core/ops/sort_op.h"
+#include "core/plan_builder.h"
+#include "runtime/task_pool.h"
+#include "runtime/threaded_runtime.h"
+#include "storage/catalog.h"
+#include "storage/clock_scan.h"
+#include "storage/partition.h"
+
+namespace shareddb {
+namespace {
+
+const std::vector<size_t> kWorkerCounts = {1, 2, 4, 8};
+
+/// Asserts batches are identical: same size, row order, values, annotations.
+void ExpectBatchesIdentical(const DQBatch& a, const DQBatch& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.tuples[i].size(), b.tuples[i].size()) << label << " row " << i;
+    for (size_t c = 0; c < a.tuples[i].size(); ++c) {
+      EXPECT_EQ(a.tuples[i][c].Compare(b.tuples[i][c]), 0)
+          << label << " row " << i << " col " << c;
+    }
+    EXPECT_TRUE(a.qids[i] == b.qids[i]) << label << " qids of row " << i;
+  }
+}
+
+/// A ParallelContext with a low split threshold so small test tables
+/// exercise the parallel paths.
+ParallelContext MakeCtx(TaskPool* pool) {
+  ParallelContext pc;
+  pc.pool = pool;
+  pc.min_rows_per_task = 16;
+  return pc;
+}
+
+// --- ClockScan ---------------------------------------------------------------
+
+/// Fresh table (id INT, val INT, name STRING) with `rows` deterministic rows
+/// and small segments so there are many morsels.
+std::unique_ptr<Catalog> MakeScanCatalog(size_t rows) {
+  auto catalog = std::make_unique<Catalog>();
+  Table* t = catalog->CreateTable(
+      "t", Schema::Make({{"id", ValueType::kInt},
+                         {"val", ValueType::kInt},
+                         {"name", ValueType::kString}}));
+  t->set_rows_per_segment(64);
+  Rng rng(7);
+  for (size_t i = 0; i < rows; ++i) {
+    t->Insert({Value::Int(static_cast<int64_t>(i)), Value::Int(rng.Uniform(0, 99)),
+               Value::Str("n" + std::to_string(i % 37))},
+              1);
+  }
+  catalog->snapshots().Reset(1);
+  return catalog;
+}
+
+/// A mixed query batch: equality anchors, shared ranges, a residual LIKE,
+/// and a match-all subscription.
+std::vector<ScanQuerySpec> MakeScanQueries() {
+  std::vector<ScanQuerySpec> specs;
+  QueryId id = 0;
+  for (int v = 0; v < 20; ++v) {
+    specs.push_back(
+        {id++, Expr::Eq(Expr::Column(1), Expr::Literal(Value::Int(v * 5)))});
+  }
+  for (int lo = 0; lo < 3; ++lo) {
+    specs.push_back(
+        {id++,
+         Expr::And({Expr::Ge(Expr::Column(1), Expr::Literal(Value::Int(lo * 30))),
+                    Expr::Lt(Expr::Column(1),
+                             Expr::Literal(Value::Int(lo * 30 + 15)))})});
+  }
+  specs.push_back({id++, Expr::Like(Expr::Column(2), "%n1%")});
+  specs.push_back({id++, nullptr});  // match-all
+  return specs;
+}
+
+std::vector<UpdateOp> MakeScanUpdates() {
+  std::vector<UpdateOp> updates;
+  UpdateOp ins;
+  ins.kind = UpdateKind::kInsert;
+  ins.row = {Value::Int(100000), Value::Int(5), Value::Str("fresh")};
+  updates.push_back(ins);
+  UpdateOp upd;
+  upd.kind = UpdateKind::kUpdate;
+  upd.where = Expr::Eq(Expr::Column(1), Expr::Literal(Value::Int(10)));
+  upd.sets = {{1, Expr::Literal(Value::Int(11))}};
+  updates.push_back(upd);
+  return updates;
+}
+
+TEST(ParallelEquivalence, ClockScanMatchesSerial) {
+  constexpr size_t kRows = 2000;
+  // Serial reference (no parallel context).
+  auto serial_cat = MakeScanCatalog(kRows);
+  ClockScan serial_scan(serial_cat->MustGetTable("t"));
+  ClockScanStats serial_stats;
+  const DQBatch expect = serial_scan.RunCycle(MakeScanQueries(), MakeScanUpdates(),
+                                              1, 2, &serial_stats);
+  ASSERT_GT(expect.size(), 0u);
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    auto cat = MakeScanCatalog(kRows);
+    ClockScan scan(cat->MustGetTable("t"));
+    ClockScanStats stats;
+    const DQBatch got = scan.RunCycle(MakeScanQueries(), MakeScanUpdates(), 1, 2,
+                                      &stats, &pc);
+    ExpectBatchesIdentical(expect, got,
+                           "clockscan w=" + std::to_string(workers));
+    EXPECT_EQ(stats.rows_scanned, serial_stats.rows_scanned);
+    EXPECT_EQ(stats.updates_applied, serial_stats.updates_applied);
+    EXPECT_EQ(stats.tuples_out, serial_stats.tuples_out);
+    EXPECT_EQ(stats.pred.hash_probes, serial_stats.pred.hash_probes);
+    EXPECT_EQ(stats.pred.candidates, serial_stats.pred.candidates);
+  }
+}
+
+TEST(ParallelEquivalence, ClockScanMatchesSerialAcrossCycles) {
+  // Several cycles: the clock hand rotates and the cached PredicateIndex is
+  // reused — outputs must track the serial scan cycle for cycle.
+  constexpr size_t kRows = 600;
+  auto serial_cat = MakeScanCatalog(kRows);
+  auto par_cat = MakeScanCatalog(kRows);
+  ClockScan serial_scan(serial_cat->MustGetTable("t"));
+  ClockScan par_scan(par_cat->MustGetTable("t"));
+  TaskPool pool(4);
+  const ParallelContext pc = MakeCtx(&pool);
+  const std::vector<ScanQuerySpec> queries = MakeScanQueries();
+  for (Version v = 1; v <= 5; ++v) {
+    const DQBatch expect = serial_scan.RunCycle(queries, {}, v, v + 1, nullptr);
+    const DQBatch got = par_scan.RunCycle(queries, {}, v, v + 1, nullptr, &pc);
+    ExpectBatchesIdentical(expect, got, "cycle " + std::to_string(v));
+  }
+  EXPECT_EQ(par_scan.index_builds(), 1u);  // one build, four reuses
+}
+
+// --- PartitionedTable --------------------------------------------------------
+
+std::unique_ptr<PartitionedTable> MakePartitioned(size_t rows, size_t parts) {
+  auto pt = std::make_unique<PartitionedTable>(
+      "pt",
+      Schema::Make({{"id", ValueType::kInt},
+                    {"val", ValueType::kInt},
+                    {"name", ValueType::kString}}),
+      /*key_column=*/0, parts);
+  Rng rng(13);
+  for (size_t i = 0; i < rows; ++i) {
+    pt->Insert({Value::Int(static_cast<int64_t>(i)), Value::Int(rng.Uniform(0, 99)),
+                Value::Str("p" + std::to_string(i % 23))},
+               1);
+  }
+  return pt;
+}
+
+TEST(ParallelEquivalence, PartitionedScanMatchesSerial) {
+  constexpr size_t kRows = 1200;
+  constexpr size_t kParts = 4;
+  auto serial_pt = MakePartitioned(kRows, kParts);
+  std::vector<ClockScanStats> serial_stats;
+  const DQBatch expect = serial_pt->RunScanCycle(MakeScanQueries(),
+                                                 MakeScanUpdates(), 1, 2,
+                                                 &serial_stats);
+  ASSERT_GT(expect.size(), 0u);
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    auto pt = MakePartitioned(kRows, kParts);
+    std::vector<ClockScanStats> stats;
+    const DQBatch got = pt->RunScanCycle(MakeScanQueries(), MakeScanUpdates(), 1,
+                                         2, &stats, &pc);
+    ExpectBatchesIdentical(expect, got,
+                           "partitioned w=" + std::to_string(workers));
+    ASSERT_EQ(stats.size(), serial_stats.size());
+    for (size_t p = 0; p < stats.size(); ++p) {
+      EXPECT_EQ(stats[p].rows_scanned, serial_stats[p].rows_scanned) << p;
+      EXPECT_EQ(stats[p].updates_applied, serial_stats[p].updates_applied) << p;
+      EXPECT_EQ(stats[p].tuples_out, serial_stats[p].tuples_out) << p;
+    }
+  }
+}
+
+// --- SortOp ------------------------------------------------------------------
+
+/// Batch of `rows` tuples with heavy key duplication (exercises stability)
+/// and randomized qid subsets.
+DQBatch MakeSortInput(const SchemaPtr& schema, size_t rows, int num_queries) {
+  DQBatch in(schema);
+  Rng rng(3);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<QueryId> ids;
+    for (int q = 0; q < num_queries; ++q) {
+      if (rng.Bernoulli(0.4)) ids.push_back(static_cast<QueryId>(q));
+    }
+    in.Push({Value::Int(static_cast<int64_t>(i)), Value::Int(rng.Uniform(0, 20)),
+             Value::Str("s" + std::to_string(i % 11))},
+            QueryIdSet::FromSorted(std::move(ids)));
+  }
+  return in;
+}
+
+TEST(ParallelEquivalence, SortMatchesSerial) {
+  const SchemaPtr schema = Schema::Make({{"id", ValueType::kInt},
+                                         {"val", ValueType::kInt},
+                                         {"name", ValueType::kString}});
+  constexpr size_t kRows = 3000;
+  constexpr int kQueries = 12;
+  // Sort on a low-cardinality key, then the string: many ties, so the
+  // stable order is thoroughly exercised.
+  SortOp op(schema, {{1, true}, {2, false}});
+  std::vector<OpQuery> queries(kQueries);
+  for (int q = 0; q < kQueries; ++q) queries[q].id = static_cast<QueryId>(q);
+
+  CycleContext serial_ctx;
+  serial_ctx.read_snapshot = 1;
+  serial_ctx.write_version = 2;
+  const DQBatch master = MakeSortInput(schema, kRows, kQueries);
+  WorkStats serial_stats;
+  std::vector<BatchRef> in0;
+  in0.emplace_back(master);  // copy
+  const DQBatch expect = op.RunCycle(std::move(in0), queries, serial_ctx,
+                                     &serial_stats);
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    CycleContext ctx = serial_ctx;
+    ctx.parallel = &pc;
+    std::vector<BatchRef> in;
+    in.emplace_back(master);  // copy
+    WorkStats stats;
+    const DQBatch got = op.RunCycle(std::move(in), queries, ctx, &stats);
+    ExpectBatchesIdentical(expect, got, "sort w=" + std::to_string(workers));
+    EXPECT_EQ(stats.tuples_in, serial_stats.tuples_in);
+    EXPECT_EQ(stats.tuples_out, serial_stats.tuples_out);
+  }
+}
+
+// --- HashJoinOp --------------------------------------------------------------
+
+TEST(ParallelEquivalence, HashJoinMatchesSerial) {
+  const SchemaPtr left = Schema::Make({{"uid", ValueType::kInt},
+                                       {"country", ValueType::kInt}});
+  const SchemaPtr right = Schema::Make({{"oid", ValueType::kInt},
+                                        {"uid", ValueType::kInt},
+                                        {"amount", ValueType::kInt}});
+  constexpr size_t kUsers = 400;
+  constexpr size_t kOrders = 2400;
+  constexpr int kQueries = 10;
+
+  DQBatch lbatch(left), rbatch(right);
+  Rng rng(29);
+  auto qids_for = [&](int bias) {
+    std::vector<QueryId> ids;
+    for (int q = 0; q < kQueries; ++q) {
+      if (rng.Bernoulli(q % 2 == bias ? 0.8 : 0.3)) {
+        ids.push_back(static_cast<QueryId>(q));
+      }
+    }
+    return QueryIdSet::FromSorted(std::move(ids));
+  };
+  for (size_t i = 0; i < kUsers; ++i) {
+    // A few NULL keys: they must never join.
+    const Value key =
+        i % 31 == 0 ? Value::Null() : Value::Int(static_cast<int64_t>(i));
+    lbatch.Push({key, Value::Int(rng.Uniform(0, 5))}, qids_for(0));
+  }
+  for (size_t i = 0; i < kOrders; ++i) {
+    const Value key =
+        i % 53 == 0 ? Value::Null() : Value::Int(rng.Uniform(0, kUsers - 1));
+    rbatch.Push({Value::Int(static_cast<int64_t>(i)), key,
+                 Value::Int(rng.Uniform(1, 500))},
+                qids_for(1));
+  }
+
+  HashJoinOp op(left, right, /*left_key=*/0, /*right_key=*/1,
+                /*build_left=*/true, "u", "o");
+  std::vector<OpQuery> queries(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    queries[q].id = static_cast<QueryId>(q);
+    if (q % 3 == 0) {
+      // Residual over the joined tuple: strips ids per query.
+      queries[q].predicate =
+          Expr::Ge(Expr::Column(4), Expr::Literal(Value::Int(100)));
+    }
+  }
+
+  CycleContext serial_ctx;
+  serial_ctx.read_snapshot = 1;
+  serial_ctx.write_version = 2;
+  std::vector<BatchRef> in0;
+  in0.emplace_back(lbatch);
+  in0.emplace_back(rbatch);
+  WorkStats serial_stats;
+  const DQBatch expect = op.RunCycle(std::move(in0), queries, serial_ctx,
+                                     &serial_stats);
+  ASSERT_GT(expect.size(), 0u);
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    CycleContext ctx = serial_ctx;
+    ctx.parallel = &pc;
+    std::vector<BatchRef> in;
+    in.emplace_back(lbatch);
+    in.emplace_back(rbatch);
+    WorkStats stats;
+    const DQBatch got = op.RunCycle(std::move(in), queries, ctx, &stats);
+    ExpectBatchesIdentical(expect, got, "join w=" + std::to_string(workers));
+    EXPECT_EQ(stats.hash_builds, serial_stats.hash_builds);
+    EXPECT_EQ(stats.hash_probes, serial_stats.hash_probes);
+    EXPECT_EQ(stats.tuples_out, serial_stats.tuples_out);
+    EXPECT_EQ(stats.predicate_evals, serial_stats.predicate_evals);
+  }
+}
+
+// --- End to end: a parallel engine matches a serial engine -------------------
+
+class ParallelEngineFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<Catalog> MakeCatalog() {
+    auto cat = std::make_unique<Catalog>();
+    Table* users = cat->CreateTable(
+        "users", Schema::Make({{"user_id", ValueType::kInt},
+                               {"country", ValueType::kInt},
+                               {"account", ValueType::kInt}}));
+    Table* orders = cat->CreateTable(
+        "orders", Schema::Make({{"order_id", ValueType::kInt},
+                                {"user_id", ValueType::kInt},
+                                {"amount", ValueType::kInt}}));
+    users->set_rows_per_segment(32);
+    orders->set_rows_per_segment(32);
+    for (int i = 0; i < 300; ++i) {
+      users->Insert({Value::Int(i), Value::Int(i % 5), Value::Int(i * 10)}, 1);
+    }
+    for (int i = 0; i < 900; ++i) {
+      orders->Insert({Value::Int(i), Value::Int(i % 300), Value::Int(i % 173)}, 1);
+    }
+    cat->snapshots().Reset(1);
+    return cat;
+  }
+
+  std::unique_ptr<GlobalPlan> BuildPlan(Catalog* cat) {
+    GlobalPlanBuilder b(cat);
+    const SchemaPtr us = cat->MustGetTable("users")->schema();
+    b.AddQuery("user_orders",
+               logical::HashJoin(
+                   logical::Scan("users", Expr::Eq(Expr::Column(*us, "user_id"),
+                                                   Expr::Param(0))),
+                   logical::Scan("orders"), "user_id", "user_id", nullptr, "u", "o"));
+    b.AddQuery("big_orders",
+               logical::Sort(logical::Scan("orders",
+                                           Expr::Ge(Expr::Column(2), Expr::Param(0))),
+                             {{"amount", false}, {"order_id", true}}));
+    b.AddUpdate("bump", "users",
+                {{"account", Expr::Add(Expr::Column(2), Expr::Param(1))}},
+                Expr::Eq(Expr::Column(0), Expr::Param(0)));
+    return b.Build();
+  }
+};
+
+TEST_F(ParallelEngineFixture, ParallelEngineMatchesSerialAcrossBatches) {
+  auto serial_cat = MakeCatalog();
+  auto par_cat = MakeCatalog();
+  auto serial_plan = BuildPlan(serial_cat.get());
+  auto par_plan = BuildPlan(par_cat.get());
+  GlobalPlan* par_raw = par_plan.get();
+
+  Engine serial_engine(std::move(serial_plan));
+  EngineOptions popts;
+  popts.parallel.num_workers = 4;
+  popts.parallel.min_rows_per_task = 16;  // small tables must still split
+  Engine par_engine(std::move(par_plan), std::move(popts),
+                    std::make_unique<ThreadedRuntime>(par_raw,
+                                                      /*pin_threads=*/false));
+  ASSERT_NE(par_engine.task_pool(), nullptr);
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::future<ResultSet>> fs, fp;
+    for (int uid = 0; uid < 6; ++uid) {
+      fs.push_back(serial_engine.SubmitNamed("user_orders", {Value::Int(uid)}));
+      fp.push_back(par_engine.SubmitNamed("user_orders", {Value::Int(uid)}));
+    }
+    fs.push_back(serial_engine.SubmitNamed("big_orders", {Value::Int(150)}));
+    fp.push_back(par_engine.SubmitNamed("big_orders", {Value::Int(150)}));
+    fs.push_back(serial_engine.SubmitNamed("bump",
+                                           {Value::Int(round), Value::Int(7)}));
+    fp.push_back(par_engine.SubmitNamed("bump",
+                                        {Value::Int(round), Value::Int(7)}));
+    serial_engine.RunOneBatch();
+    par_engine.RunOneBatch();
+
+    for (size_t i = 0; i < fs.size(); ++i) {
+      ResultSet a = fs[i].get();
+      ResultSet b = fp[i].get();
+      ASSERT_EQ(a.rows.size(), b.rows.size()) << "round " << round << " q " << i;
+      for (size_t r = 0; r < a.rows.size(); ++r) {
+        ASSERT_EQ(a.rows[r].size(), b.rows[r].size());
+        for (size_t c = 0; c < a.rows[r].size(); ++c) {
+          EXPECT_EQ(a.rows[r][c].Compare(b.rows[r][c]), 0)
+              << "round " << round << " q " << i << " row " << r;
+        }
+      }
+      EXPECT_EQ(a.update_count, b.update_count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shareddb
