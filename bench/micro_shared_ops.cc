@@ -190,6 +190,131 @@ void BM_ClockScanCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_ClockScanCycle)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
 
+// Rebind-heavy shared scan: the SAME statement mix every cycle, freshly
+// bound parameters each time — the prepared-statement steady state of §3.2
+// (thousands of query instances over a handful of templates). The cached
+// PredicateIndex recognizes the templates structurally and serves each cycle
+// through the constant-swap rebind path (index_builds() stays at 1).
+void RunRebindCycles(benchmark::State& state, bool fresh_scan_each_cycle) {
+  const size_t rows = 8192;
+  const int q = static_cast<int>(state.range(0));
+  auto catalog = MakeTable(rows);
+  Table* t = catalog->MustGetTable("t");
+
+  // Three templates: point, range, IN-list — all parameterized.
+  auto eq_tmpl = Expr::Eq(Expr::Column(1), Expr::Param(0));
+  auto range_tmpl = Expr::And({Expr::Ge(Expr::Column(1), Expr::Param(0)),
+                               Expr::Lt(Expr::Column(1), Expr::Param(1))});
+  auto in_tmpl = Expr::In(Expr::Column(1),
+                          {Expr::Param(0), Expr::Param(1), Expr::Param(2)});
+
+  ClockScan scan(t);
+  Rng rng(11);
+  std::vector<ScanQuerySpec> specs(static_cast<size_t>(q));
+  for (auto _ : state) {
+    for (int i = 0; i < q; ++i) {
+      const int64_t v = rng.Uniform(0, 949);
+      ExprPtr bound;
+      switch (i % 4) {
+        case 0:
+        case 1:
+          bound = eq_tmpl->Bind({Value::Int(v)});
+          break;
+        case 2:
+          bound = range_tmpl->Bind({Value::Int(v), Value::Int(v + 50)});
+          break;
+        default:
+          bound = in_tmpl->Bind(
+              {Value::Int(v), Value::Int(v + 1), Value::Int(v + 7)});
+      }
+      specs[static_cast<size_t>(i)] =
+          ScanQuerySpec{static_cast<QueryId>(i), std::move(bound)};
+    }
+    if (fresh_scan_each_cycle) {
+      // Cache defeated on purpose: every cycle pays the full analyze +
+      // anchor-build cost (what every cycle paid before the template cache).
+      ClockScan fresh(t);
+      DQBatch out = fresh.RunCycle(specs, {}, 1, 2, nullptr);
+      benchmark::DoNotOptimize(out);
+    } else {
+      DQBatch out = scan.RunCycle(specs, {}, 1, 2, nullptr);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+
+void BM_ClockScanCycleRebind(benchmark::State& state) {
+  RunRebindCycles(state, /*fresh_scan_each_cycle=*/false);
+}
+BENCHMARK(BM_ClockScanCycleRebind)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ClockScanCycleRebuild(benchmark::State& state) {
+  RunRebindCycles(state, /*fresh_scan_each_cycle=*/true);
+}
+BENCHMARK(BM_ClockScanCycleRebuild)->Arg(16)->Arg(128)->Arg(1024);
+
+// Index maintenance in isolation (no table scan): the same q-query template
+// mix with two alternating parameter bindings. Rebind = TryReuse's
+// constant-swap path on one cached index; Rebuild = a full analyze+build per
+// cycle. This is the pure cost the template cache removes from every
+// heartbeat; the ClockScanCycle* pair above shows it embedded in a real
+// (scan-dominated) cycle.
+void RunIndexMaintenance(benchmark::State& state, bool rebuild) {
+  const int q = static_cast<int>(state.range(0));
+  auto eq_tmpl = Expr::Eq(Expr::Column(1), Expr::Param(0));
+  auto range_tmpl = Expr::And({Expr::Ge(Expr::Column(1), Expr::Param(0)),
+                               Expr::Lt(Expr::Column(1), Expr::Param(1))});
+  auto in_tmpl = Expr::In(Expr::Column(1),
+                          {Expr::Param(0), Expr::Param(1), Expr::Param(2)});
+  Rng rng(23);
+  std::vector<std::vector<ScanQuerySpec>> sets(2);
+  for (auto& specs : sets) {
+    specs.resize(static_cast<size_t>(q));
+    for (int i = 0; i < q; ++i) {
+      const int64_t v = rng.Uniform(0, 949);
+      ExprPtr bound;
+      switch (i % 4) {
+        case 0:
+        case 1:
+          bound = eq_tmpl->Bind({Value::Int(v)});
+          break;
+        case 2:
+          bound = range_tmpl->Bind({Value::Int(v), Value::Int(v + 50)});
+          break;
+        default:
+          bound = in_tmpl->Bind(
+              {Value::Int(v), Value::Int(v + 1), Value::Int(v + 7)});
+      }
+      specs[static_cast<size_t>(i)] =
+          ScanQuerySpec{static_cast<QueryId>(i), std::move(bound)};
+    }
+  }
+  PredicateIndex idx(sets[0]);
+  size_t flip = 1;
+  for (auto _ : state) {
+    if (rebuild) {
+      PredicateIndex fresh(sets[flip]);
+      benchmark::DoNotOptimize(fresh);
+    } else {
+      const bool ok = idx.RebindConstants(sets[flip]);
+      benchmark::DoNotOptimize(ok);
+    }
+    flip ^= 1;
+  }
+  state.SetItemsProcessed(state.iterations() * q);
+}
+
+void BM_PredicateIndexRebind(benchmark::State& state) {
+  RunIndexMaintenance(state, /*rebuild=*/false);
+}
+BENCHMARK(BM_PredicateIndexRebind)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_PredicateIndexRebuild(benchmark::State& state) {
+  RunIndexMaintenance(state, /*rebuild=*/true);
+}
+BENCHMARK(BM_PredicateIndexRebuild)->Arg(16)->Arg(128)->Arg(1024);
+
 // --- Intra-operator parallelism (the fig8 core-scaling story at operator
 // --- level): worker count is the benchmark argument, 0 = serial path.
 

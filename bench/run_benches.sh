@@ -77,6 +77,12 @@ def load(path):
 
 entries = load(shared) + load(ablation)
 sweep = [e for e in entries if "Parallel" in e["name"]]
+# Rebind-heavy series: same statement mix, fresh params per cycle.
+# BM_ClockScanCycleRebind rides the template cache's constant-swap path;
+# BM_ClockScanCycleRebuild pays a full index build every cycle (the pre-cache
+# behavior) — the gap is the rebind win.
+rebind = [e for e in entries
+          if "Rebind" in e["name"] or "Rebuild" in e["name"]]
 for line in fig8_raw.strip().splitlines():
     w, secs = line.split()
     sweep.append({"name": f"fig8_wall_seconds/workers:{w}",
@@ -89,17 +95,35 @@ try:
 except (FileNotFoundError, json.JSONDecodeError):
     existing, has_history = None, False
 
+REBIND_NOTE = ("rebind-heavy cycles: same statement mix, fresh params each "
+               "cycle; Rebind = cached index constant-swap path, Rebuild = "
+               "full per-cycle index build")
+
+SWEEP_NOTE = "BM_*Parallel arg pairs end in the worker count; 0 = serial path"
+
+def kept_note(section, default):
+    # A committed section's note may carry hand-written caveats (e.g. the
+    # 1-core-container warning) — refreshing the numbers must not clobber it.
+    if existing and isinstance(existing.get(section), dict):
+        return existing[section].get("note") or default
+    return default
+
 if has_history and not overwrite:
-    # Committed history stays; refresh only the parallel sweep section.
+    # Committed history stays; refresh the parallel sweep + rebind sections.
     existing["parallel_sweep"] = {
         "date": datetime.date.today().isoformat(),
-        "note": "BM_*Parallel arg pairs end in the worker count; 0 = serial path",
+        "note": kept_note("parallel_sweep", SWEEP_NOTE),
         "benchmarks": sweep,
+    }
+    existing["rebind_series"] = {
+        "date": datetime.date.today().isoformat(),
+        "note": kept_note("rebind_series", REBIND_NOTE),
+        "benchmarks": rebind,
     }
     with open(out_path, "w") as f:
         json.dump(existing, f, indent=1)
-    print(f"{out_path}: committed history kept; parallel_sweep refreshed "
-          f"({len(sweep)} series). Full current run:")
+    print(f"{out_path}: committed history kept; parallel_sweep + rebind_series "
+          f"refreshed ({len(sweep)}+{len(rebind)} series). Full current run:")
     for e in entries:
         print(f'  {e["name"]:45s} {e["ns"]:>14} ns')
     sys.exit(0)
@@ -115,8 +139,14 @@ result = {
 if sweep:
     result["parallel_sweep"] = {
         "date": datetime.date.today().isoformat(),
-        "note": "BM_*Parallel arg pairs end in the worker count; 0 = serial path",
+        "note": kept_note("parallel_sweep", SWEEP_NOTE),
         "benchmarks": sweep,
+    }
+if rebind:
+    result["rebind_series"] = {
+        "date": datetime.date.today().isoformat(),
+        "note": kept_note("rebind_series", REBIND_NOTE),
+        "benchmarks": rebind,
     }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=1)

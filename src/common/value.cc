@@ -25,6 +25,33 @@ double Value::AsNumeric() const {
   return 0.0;
 }
 
+namespace {
+
+// 2^63 as a double; doubles at or above it (or below -2^63) are outside
+// int64 range and must not be cast (the cast is UB).
+constexpr double kTwo63 = 9223372036854775808.0;
+
+// Exact comparison of an int64 against a double. NaN orders after every
+// non-NaN numeric so the order stays total (a plain double comparison would
+// report NaN "equal" to everything, which breaks sort comparators and hash
+// keys). Avoids the precision loss of converting the int to double: both
+// sides are compared through the double's integral part.
+int CompareIntDouble(int64_t x, double y) {
+  if (std::isnan(y)) return -1;
+  if (y >= kTwo63) return -1;
+  if (y < -kTwo63) return 1;
+  const int64_t yi = static_cast<int64_t>(y);  // truncates toward zero
+  if (x != yi) return x < yi ? -1 : 1;
+  // Equal integral parts: the fraction decides (yi converts back exactly —
+  // any double with |y| >= 2^53 has no fractional part).
+  const double frac = y - static_cast<double>(yi);
+  if (frac > 0) return -1;
+  if (frac < 0) return 1;
+  return 0;
+}
+
+}  // namespace
+
 int Value::Compare(const Value& other) const {
   const ValueType a = type(), b = other.type();
   // NULL orders first.
@@ -38,7 +65,20 @@ int Value::Compare(const Value& other) const {
       const int64_t x = std::get<int64_t>(v_), y = std::get<int64_t>(other.v_);
       return (x < y) ? -1 : (x > y ? 1 : 0);
     }
-    const double x = AsNumeric(), y = other.AsNumeric();
+    if (a == ValueType::kInt) {
+      return CompareIntDouble(std::get<int64_t>(v_), std::get<double>(other.v_));
+    }
+    if (b == ValueType::kInt) {
+      return -CompareIntDouble(std::get<int64_t>(other.v_), std::get<double>(v_));
+    }
+    const double x = std::get<double>(v_), y = std::get<double>(other.v_);
+    // NaN compares equal to itself and greater than every other numeric,
+    // keeping the order total (required by sort comparators, B-trees, and
+    // the k-way merge; IEEE semantics would make NaN unordered).
+    if (std::isnan(x) || std::isnan(y)) {
+      if (std::isnan(x) && std::isnan(y)) return 0;
+      return std::isnan(x) ? 1 : -1;
+    }
     return (x < y) ? -1 : (x > y ? 1 : 0);
   }
   if (a_num != b_num) return a_num ? -1 : 1;  // numerics < strings
@@ -66,10 +106,15 @@ uint64_t Value::Hash() const {
       return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
     case ValueType::kDouble: {
       // Hash doubles holding integral values identically to the INT encoding
-      // so cross-type numeric joins behave.
+      // so cross-type numeric joins behave. All NaN bit patterns compare
+      // equal (see Compare) so they must share one hash; doubles outside
+      // int64 range must not be cast (UB).
       const double d = std::get<double>(v_);
-      const int64_t i = static_cast<int64_t>(d);
-      if (static_cast<double>(i) == d) return Mix64(static_cast<uint64_t>(i));
+      if (std::isnan(d)) return 0x6e616e6eULL;
+      if (d >= -kTwo63 && d < kTwo63) {
+        const int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) == d) return Mix64(static_cast<uint64_t>(i));
+      }
       uint64_t bits;
       static_assert(sizeof(bits) == sizeof(d));
       __builtin_memcpy(&bits, &d, sizeof(bits));

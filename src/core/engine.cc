@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/ops/router.h"
+#include "core/ops/scan_op.h"
 #include "runtime/inline_runtime.h"
 
 namespace shareddb {
@@ -105,6 +106,17 @@ std::future<ResultSet> Engine::SubmitNamed(const std::string& name,
 size_t Engine::PendingCount() const {
   std::lock_guard lock(mu_);
   return pending_.size();
+}
+
+Engine::PredicateCacheStats Engine::predicate_cache_stats() const {
+  PredicateCacheStats s;
+  for (size_t i = 0; i < plan_->num_nodes(); ++i) {
+    const auto* scan = dynamic_cast<const ScanOp*>(plan_->node(i).op.get());
+    if (scan == nullptr) continue;
+    s.index_builds += scan->clock_scan().index_builds();
+    s.index_rebinds += scan->clock_scan().index_rebinds();
+  }
+  return s;
 }
 
 BatchReport Engine::RunOneBatch() {

@@ -158,6 +158,17 @@ class Engine {
   /// The per-cycle parallelism view handed to operators (pool may be null).
   const ParallelContext& parallel_context() const { return parallel_ctx_; }
 
+  /// Engine-wide PredicateIndex cache counters, summed over every shared
+  /// scan in the global plan. A steady prepared-statement workload that only
+  /// rebinds parameters between batches accrues `index_rebinds` (cheap
+  /// constant swaps) while `index_builds` stays at one build per scan per
+  /// statement-mix change.
+  struct PredicateCacheStats {
+    uint64_t index_builds = 0;
+    uint64_t index_rebinds = 0;
+  };
+  PredicateCacheStats predicate_cache_stats() const;
+
  private:
   struct Pending {
     StatementId statement;

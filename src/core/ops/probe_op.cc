@@ -40,8 +40,9 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
   struct CompiledProbe {
     QueryId id;
     AnalyzedPredicate pred;
-    const EqConstraint* eq = nullptr;       // anchor on indexed column
+    const EqConstraint* eq = nullptr;        // anchor on indexed column
     const RangeConstraint* range = nullptr;  // else: range anchor
+    const InConstraint* in = nullptr;        // else: IN-list anchor
     bool has_extra = false;                  // any constraint beyond anchor?
   };
   std::vector<CompiledProbe> compiled;
@@ -64,9 +65,18 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
         }
       }
     }
-    const size_t anchored = (cp.eq != nullptr || cp.range != nullptr) ? 1 : 0;
+    if (cp.eq == nullptr && cp.range == nullptr) {
+      for (const InConstraint& ic : cp.pred.ins) {
+        if (ic.column == indexed_column_) {
+          cp.in = &ic;
+          break;
+        }
+      }
+    }
+    const size_t anchored =
+        (cp.eq != nullptr || cp.range != nullptr || cp.in != nullptr) ? 1 : 0;
     cp.has_extra = cp.pred.equalities.size() + cp.pred.ranges.size() +
-                       cp.pred.residual.size() >
+                       cp.pred.ins.size() + cp.pred.residual.size() >
                    anchored;
     compiled.push_back(std::move(cp));
   }
@@ -84,6 +94,10 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
     for (const RangeConstraint& r : cp.pred.ranges) {
       if (&r == cp.range) continue;
       if (!r.Matches(row[r.column])) return false;
+    }
+    for (const InConstraint& ic : cp.pred.ins) {
+      if (&ic == cp.in) continue;  // anchor satisfied by the index lookup
+      if (!ic.Matches(row[ic.column])) return false;
     }
     for (const ExprPtr& e : cp.pred.residual) {
       if (!e->EvalBool(row, kNoParams)) return false;
@@ -166,9 +180,24 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
     }
   }
 
-  // Range and degenerate probes, per query.
+  // IN-list, range, and degenerate probes, per query.
   for (const CompiledProbe& cp : compiled) {
     if (cp.eq != nullptr) continue;
+    if (cp.in != nullptr) {
+      // One exact lookup per element instead of a degenerate full scan.
+      for (const Value& key : cp.in->values) {
+        if (key.is_null()) continue;  // col = NULL never matches
+        if (stats != nullptr) ++stats->index_lookups;
+        rows.clear();
+        table_->IndexLookup(index_name_, key, ctx.read_snapshot, &rows);
+        for (const RowId id : rows) {
+          if (!cp.has_extra || verify(cp, table_->GetRow(id).data)) {
+            hits[id].Insert(cp.id);
+          }
+        }
+      }
+      continue;
+    }
     if (cp.range != nullptr) {
       if (stats != nullptr) ++stats->index_lookups;
       table_->IndexRange(index_name_, cp.range->lo, cp.range->lo_inclusive,

@@ -25,6 +25,9 @@ class ScanOp : public SharedOp {
 
   Table* table() const { return scan_.table(); }
 
+  /// The underlying shared scan (exposes the PredicateIndex cache counters).
+  const ClockScan& clock_scan() const { return scan_; }
+
  private:
   ClockScan scan_;
   SchemaPtr schema_;

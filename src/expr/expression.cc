@@ -5,20 +5,115 @@
 namespace shareddb {
 
 namespace {
+
 Value BoolValue(bool b) { return Value::Int(b ? 1 : 0); }
+
+// --- structural fingerprint hashing ------------------------------------------
+
+inline uint64_t FpMix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Order-dependent combine (children are positional).
+inline uint64_t FpCombine(uint64_t h, uint64_t v) {
+  return FpMix(h * 1099511628211ULL ^ v);
+}
+
+// Parameter slots hash by SLOT, shared by kParam nodes and the literals Bind
+// makes from them — this is what keeps a template's fingerprint stable
+// across rebinds.
+inline uint64_t FpParamSlot(size_t slot) {
+  return FpMix(0xa5a5f1f1d00dfeedULL + slot);
+}
+
 }  // namespace
 
-ExprPtr Expr::Literal(Value v) {
+void Expr::SealFingerprint() {
+  uint64_t h = FpMix(0x53444266706e6f64ULL ^ (static_cast<uint64_t>(kind_) << 56));
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      if (param_slot_ >= 0) {
+        fingerprint_ = FpParamSlot(static_cast<size_t>(param_slot_));
+        return;
+      }
+      h = FpCombine(h, literal_.Hash());
+      break;
+    case ExprKind::kParam:
+      fingerprint_ = FpParamSlot(index_);
+      return;
+    case ExprKind::kColumnRef:
+      h = FpCombine(h, index_);
+      break;
+    case ExprKind::kCompare:
+      h = FpCombine(h, static_cast<uint64_t>(op_));
+      break;
+    case ExprKind::kArith:
+      h = FpCombine(h, static_cast<uint64_t>(arith_op_));
+      break;
+    case ExprKind::kLike:
+      h = FpCombine(h, fold_case_ ? 1 : 2);
+      break;
+    default:
+      break;  // kAnd/kOr/kNot/kIsNull/kIn: kind + children only
+  }
+  for (const ExprPtr& c : children_) h = FpCombine(h, c->fingerprint_);
+  fingerprint_ = h;
+}
+
+bool Expr::StructurallyEquals(const Expr& other) const {
+  if (this == &other) return true;
+  // A kParam node and a literal bound from the same slot are the same
+  // template position, whatever the current binding holds.
+  const int sa = kind_ == ExprKind::kParam ? static_cast<int>(index_)
+                                           : bound_param_slot();
+  const int sb = other.kind_ == ExprKind::kParam ? static_cast<int>(other.index_)
+                                                 : other.bound_param_slot();
+  if (sa >= 0 || sb >= 0) return sa == sb;
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      if (literal_.Compare(other.literal_) != 0) return false;
+      break;
+    case ExprKind::kColumnRef:
+      if (index_ != other.index_) return false;
+      break;
+    case ExprKind::kCompare:
+      if (op_ != other.op_) return false;
+      break;
+    case ExprKind::kArith:
+      if (arith_op_ != other.arith_op_) return false;
+      break;
+    case ExprKind::kLike:
+      if (fold_case_ != other.fold_case_) return false;
+      break;
+    default:
+      break;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->StructurallyEquals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr Expr::MakeLiteral(Value v, int param_slot) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kLiteral;
   e->literal_ = std::move(v);
+  e->param_slot_ = param_slot;
+  e->SealFingerprint();
   return e;
 }
+
+ExprPtr Expr::Literal(Value v) { return MakeLiteral(std::move(v), -1); }
 
 ExprPtr Expr::Column(size_t index) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kColumnRef;
   e->index_ = index;
+  e->SealFingerprint();
   return e;
 }
 
@@ -30,6 +125,7 @@ ExprPtr Expr::Param(size_t index) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kParam;
   e->index_ = index;
+  e->SealFingerprint();
   return e;
 }
 
@@ -38,6 +134,7 @@ ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
   e->kind_ = ExprKind::kCompare;
   e->op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
+  e->SealFingerprint();
   return e;
 }
 
@@ -46,6 +143,7 @@ ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
   e->kind_ = ExprKind::kArith;
   e->arith_op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
+  e->SealFingerprint();
   return e;
 }
 
@@ -55,6 +153,7 @@ ExprPtr Expr::And(std::vector<ExprPtr> children) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kAnd;
   e->children_ = std::move(children);
+  e->SealFingerprint();
   return e;
 }
 
@@ -64,6 +163,7 @@ ExprPtr Expr::Or(std::vector<ExprPtr> children) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kOr;
   e->children_ = std::move(children);
+  e->SealFingerprint();
   return e;
 }
 
@@ -71,6 +171,7 @@ ExprPtr Expr::Not(ExprPtr child) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kNot;
   e->children_ = {std::move(child)};
+  e->SealFingerprint();
   return e;
 }
 
@@ -80,6 +181,7 @@ ExprPtr Expr::Like(ExprPtr input, std::string pattern, bool case_insensitive) {
   e->fold_case_ = case_insensitive;
   e->compiled_like_ = std::make_shared<LikeMatcher>(pattern, case_insensitive);
   e->children_ = {std::move(input), Literal(Value::Str(std::move(pattern)))};
+  e->SealFingerprint();
   return e;
 }
 
@@ -88,6 +190,7 @@ ExprPtr Expr::LikeParam(ExprPtr input, size_t param_index, bool case_insensitive
   e->kind_ = ExprKind::kLike;
   e->fold_case_ = case_insensitive;
   e->children_ = {std::move(input), Param(param_index)};
+  e->SealFingerprint();
   return e;
 }
 
@@ -95,6 +198,7 @@ ExprPtr Expr::IsNull(ExprPtr child) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kIsNull;
   e->children_ = {std::move(child)};
+  e->SealFingerprint();
   return e;
 }
 
@@ -103,6 +207,7 @@ ExprPtr Expr::In(ExprPtr needle, std::vector<ExprPtr> haystack) {
   e->kind_ = ExprKind::kIn;
   e->children_.push_back(std::move(needle));
   for (ExprPtr& h : haystack) e->children_.push_back(std::move(h));
+  e->SealFingerprint();
   return e;
 }
 
@@ -229,12 +334,14 @@ ExprPtr Expr::Bind(const std::vector<Value>& params) const {
   switch (kind_) {
     case ExprKind::kParam:
       SDB_CHECK(index_ < params.size());
-      return Literal(params[index_]);
+      // The bound literal remembers its slot: the template's fingerprint and
+      // structure are preserved across rebinds (see Fingerprint()).
+      return MakeLiteral(params[index_], static_cast<int>(index_));
     case ExprKind::kLiteral:
     case ExprKind::kColumnRef:
       // Immutable leaves can be shared; but we cannot return shared_from_this
       // (not enabled), so rebuild cheaply.
-      if (kind_ == ExprKind::kLiteral) return Literal(literal_);
+      if (kind_ == ExprKind::kLiteral) return MakeLiteral(literal_, param_slot_);
       return Column(index_);
     default: {
       auto e = std::shared_ptr<Expr>(new Expr());
@@ -243,6 +350,7 @@ ExprPtr Expr::Bind(const std::vector<Value>& params) const {
       e->arith_op_ = arith_op_;
       e->literal_ = literal_;
       e->index_ = index_;
+      e->param_slot_ = param_slot_;
       e->fold_case_ = fold_case_;
       e->compiled_like_ = compiled_like_;
       e->children_.reserve(children_.size());
@@ -255,6 +363,7 @@ ExprPtr Expr::Bind(const std::vector<Value>& params) const {
         e->compiled_like_ = std::make_shared<LikeMatcher>(
             e->children_[1]->literal().AsString(), e->fold_case_);
       }
+      e->SealFingerprint();
       return e;
     }
   }
@@ -267,7 +376,7 @@ ExprPtr Expr::RemapColumns(const std::vector<int>& mapping) const {
     return Column(static_cast<size_t>(mapping[index_]));
   }
   if (children_.empty()) {
-    if (kind_ == ExprKind::kLiteral) return Literal(literal_);
+    if (kind_ == ExprKind::kLiteral) return MakeLiteral(literal_, param_slot_);
     if (kind_ == ExprKind::kParam) return Param(index_);
   }
   auto e = std::shared_ptr<Expr>(new Expr());
@@ -276,17 +385,19 @@ ExprPtr Expr::RemapColumns(const std::vector<int>& mapping) const {
   e->arith_op_ = arith_op_;
   e->literal_ = literal_;
   e->index_ = index_;
+  e->param_slot_ = param_slot_;
   e->fold_case_ = fold_case_;
   e->compiled_like_ = compiled_like_;
   e->children_.reserve(children_.size());
   for (const ExprPtr& c : children_) e->children_.push_back(c->RemapColumns(mapping));
+  e->SealFingerprint();
   return e;
 }
 
 ExprPtr Expr::OffsetColumns(size_t delta) const {
   if (kind_ == ExprKind::kColumnRef) return Column(index_ + delta);
   if (children_.empty()) {
-    if (kind_ == ExprKind::kLiteral) return Literal(literal_);
+    if (kind_ == ExprKind::kLiteral) return MakeLiteral(literal_, param_slot_);
     if (kind_ == ExprKind::kParam) return Param(index_);
   }
   auto e = std::shared_ptr<Expr>(new Expr());
@@ -295,10 +406,12 @@ ExprPtr Expr::OffsetColumns(size_t delta) const {
   e->arith_op_ = arith_op_;
   e->literal_ = literal_;
   e->index_ = index_;
+  e->param_slot_ = param_slot_;
   e->fold_case_ = fold_case_;
   e->compiled_like_ = compiled_like_;
   e->children_.reserve(children_.size());
   for (const ExprPtr& c : children_) e->children_.push_back(c->OffsetColumns(delta));
+  e->SealFingerprint();
   return e;
 }
 

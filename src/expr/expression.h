@@ -94,6 +94,30 @@ class Expr {
   const std::vector<ExprPtr>& children() const { return children_; }
   bool case_insensitive_like() const { return fold_case_; }
 
+  /// --- structural identity ---------------------------------------------------
+  ///
+  /// Fingerprint(): cached 64-bit structural hash, computed bottom-up at
+  /// construction. A literal that was produced by Bind() from a kParam slot
+  /// hashes by its SLOT, not its value, so all bindings of one prepared
+  /// statement template share the template's fingerprint:
+  ///
+  ///     tmpl->Fingerprint() == tmpl->Bind(p1)->Fingerprint()
+  ///                         == tmpl->Bind(p2)->Fingerprint()
+  ///
+  /// StructurallyEquals() is the exact relation the fingerprint approximates
+  /// (equal structure => equal fingerprint; the converse holds modulo hash
+  /// collisions, which is why caches key on fingerprint AND verify with the
+  /// structural check). Plain literals compare by value; slot-carrying
+  /// literals and kParam nodes compare by slot alone.
+  uint64_t Fingerprint() const { return fingerprint_; }
+  bool StructurallyEquals(const Expr& other) const;
+
+  /// Parameter slot this bound literal came from, or -1. Non-literal nodes
+  /// always return -1 (kParam nodes report their slot via param_index()).
+  int bound_param_slot() const {
+    return kind_ == ExprKind::kLiteral ? param_slot_ : -1;
+  }
+
   /// Rewrites the tree substituting parameters with bound literals.
   /// The result contains no kParam nodes.
   ExprPtr Bind(const std::vector<Value>& params) const;
@@ -111,11 +135,22 @@ class Expr {
  private:
   Expr() = default;
 
+  /// Computes fingerprint_ from the node's shape and the (already final)
+  /// children. Every factory / rewrite path calls this exactly once, as the
+  /// last construction step.
+  void SealFingerprint();
+
+  /// Literal carrying its parameter slot (used by Bind and the tree-rewrite
+  /// copies, which must not lose the slot).
+  static ExprPtr MakeLiteral(Value v, int param_slot);
+
   ExprKind kind_ = ExprKind::kLiteral;
   CompareOp op_ = CompareOp::kEq;
   ArithOp arith_op_ = ArithOp::kAdd;
   Value literal_;
   size_t index_ = 0;           // column or param index
+  int param_slot_ = -1;        // kLiteral bound from this kParam slot (-1: none)
+  uint64_t fingerprint_ = 0;   // structural hash, sealed at construction
   std::vector<ExprPtr> children_;
   bool fold_case_ = false;                         // LIKE case folding
   std::shared_ptr<LikeMatcher> compiled_like_;     // for literal patterns

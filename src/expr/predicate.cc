@@ -15,6 +15,14 @@ bool RangeConstraint::Matches(const Value& v) const {
   return true;
 }
 
+bool InConstraint::Matches(const Value& v) const {
+  if (v.is_null()) return false;
+  for (const Value& e : values) {
+    if (!e.is_null() && v.Compare(e) == 0) return true;
+  }
+  return false;
+}
+
 ExprPtr AnalyzedPredicate::ResidualExpr() const {
   if (residual.empty()) return nullptr;
   return Expr::And(residual);
@@ -32,9 +40,10 @@ void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
 namespace {
 
 // Tries to view a comparison as (column <op> literal); flips the operator when
-// the literal is on the left.
+// the literal is on the left. `slot` receives the literal's parameter slot
+// (-1 when the literal is fixed).
 bool AsColumnLiteral(const ExprPtr& cmp, size_t* column, Value* literal,
-                     CompareOp* op) {
+                     CompareOp* op, int* slot) {
   if (cmp->kind() != ExprKind::kCompare) return false;
   const ExprPtr& l = cmp->children()[0];
   const ExprPtr& r = cmp->children()[1];
@@ -42,11 +51,13 @@ bool AsColumnLiteral(const ExprPtr& cmp, size_t* column, Value* literal,
     *column = l->column_index();
     *literal = r->literal();
     *op = cmp->compare_op();
+    *slot = r->bound_param_slot();
     return true;
   }
   if (l->kind() == ExprKind::kLiteral && r->kind() == ExprKind::kColumnRef) {
     *column = r->column_index();
     *literal = l->literal();
+    *slot = l->bound_param_slot();
     switch (cmp->compare_op()) {
       case CompareOp::kEq: *op = CompareOp::kEq; break;
       case CompareOp::kNe: *op = CompareOp::kNe; break;
@@ -90,7 +101,7 @@ std::optional<std::string> PrefixSuccessor(std::string p) {
 // LIKE itself stays as a residual check unless the pattern is exactly
 // 'prefix%', in which case the range is equivalent.
 bool AsAnchoredLike(const ExprPtr& c, size_t* column, RangeConstraint* range,
-                    bool* range_is_exact) {
+                    bool* range_is_exact, int* pattern_slot) {
   if (c->kind() != ExprKind::kLike || c->case_insensitive_like()) return false;
   const ExprPtr& input = c->children()[0];
   const ExprPtr& pat = c->children()[1];
@@ -98,6 +109,7 @@ bool AsAnchoredLike(const ExprPtr& c, size_t* column, RangeConstraint* range,
       pat->literal().type() != ValueType::kString) {
     return false;
   }
+  *pattern_slot = pat->bound_param_slot();
   const std::string& pattern = pat->literal().AsString();
   const size_t wild = pattern.find_first_of("%_");
   if (wild == 0 || wild == std::string::npos) return false;  // unanchored/exact
@@ -122,72 +134,136 @@ bool AsAnchoredLike(const ExprPtr& c, size_t* column, RangeConstraint* range,
 
 namespace {
 
+// Tries to view a conjunct as (column IN (literals...)). Parameterized
+// elements arrive as slot-carrying bound literals, so a prepared IN-list
+// still extracts.
+bool AsLiteralInList(const ExprPtr& c, InConstraint* in) {
+  if (c->kind() != ExprKind::kIn || c->children().size() < 2) return false;
+  const ExprPtr& needle = c->children()[0];
+  if (needle->kind() != ExprKind::kColumnRef) return false;
+  for (size_t i = 1; i < c->children().size(); ++i) {
+    if (c->children()[i]->kind() != ExprKind::kLiteral) return false;
+  }
+  in->column = needle->column_index();
+  in->values.reserve(c->children().size() - 1);
+  in->param_slots.reserve(c->children().size() - 1);
+  for (size_t i = 1; i < c->children().size(); ++i) {
+    in->values.push_back(c->children()[i]->literal());
+    in->param_slots.push_back(c->children()[i]->bound_param_slot());
+  }
+  return true;
+}
+
 /// Folds one conjunct into the decomposition (the body of AnalyzePredicate's
 /// per-conjunct loop, shared with the single-conjunct fast path).
-void AbsorbConjunct(AnalyzedPredicate* out, const ExprPtr& c) {
+/// `conj_idx` is the conjunct's position in the flattened conjunct list,
+/// recorded for residual entries so a rebind can swap them positionally.
+void AbsorbConjunct(AnalyzedPredicate* out, const ExprPtr& c, uint32_t conj_idx) {
+  auto residualize = [&] {
+    out->residual.push_back(c);
+    out->residual_src.push_back(conj_idx);
+  };
   size_t column = 0;
   Value literal;
   CompareOp op = CompareOp::kEq;
-  if (!AsColumnLiteral(c, &column, &literal, &op) || literal.is_null()) {
+  int slot = -1;
+  if (!AsColumnLiteral(c, &column, &literal, &op, &slot) || literal.is_null()) {
+    // A NULL-bound parameter residualizes the conjunct; another binding
+    // would turn it back into a constraint — the shape is value-dependent.
+    if (literal.is_null() && slot >= 0) out->rebind_safe = false;
+    InConstraint in;
+    if (AsLiteralInList(c, &in)) {
+      out->ins.push_back(std::move(in));
+      return;
+    }
     RangeConstraint like_range;
     bool exact = false;
-    if (AsAnchoredLike(c, &column, &like_range, &exact)) {
+    int pattern_slot = -1;
+    if (AsAnchoredLike(c, &column, &like_range, &exact, &pattern_slot)) {
+      // The derived prefix range depends on the pattern VALUE; when the
+      // pattern came from a parameter the shape cannot be rebind-patched.
+      if (pattern_slot >= 0) out->rebind_safe = false;
       RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      // The derived bounds merge against any earlier bounds on this column;
+      // if one of those is parameterized, the merge winner is value-dependent
+      // (mirror of the competing() rule below).
+      if ((r->lo.has_value() && r->lo_param_slot >= 0) ||
+          (r->hi.has_value() && r->hi_param_slot >= 0)) {
+        out->rebind_safe = false;
+      }
       if (!r->lo.has_value() || like_range.lo->Compare(*r->lo) > 0) {
         r->lo = like_range.lo;
         r->lo_inclusive = true;
+        r->lo_param_slot = -1;  // derived, not a direct slot copy
       }
       if (like_range.hi.has_value() &&
           (!r->hi.has_value() || like_range.hi->Compare(*r->hi) < 0)) {
         r->hi = like_range.hi;
         r->hi_inclusive = false;
+        r->hi_param_slot = -1;
       }
-      if (!exact) out->residual.push_back(c);
+      if (!exact) residualize();
       return;
     }
-    out->residual.push_back(c);
+    residualize();
     return;
   }
+  // Competing writers to one range side make the merged bound depend on the
+  // bound values; if any writer is parameterized the winner can change
+  // between bindings, so the decomposition is not rebind-patchable.
+  auto competing = [&](const std::optional<Value>& side, int side_slot) {
+    if (side.has_value() && (slot >= 0 || side_slot >= 0)) {
+      out->rebind_safe = false;
+    }
+  };
   switch (op) {
     case CompareOp::kEq:
-      out->equalities.push_back(EqConstraint{column, literal});
+      out->equalities.push_back(EqConstraint{column, literal, slot});
       break;
     case CompareOp::kLt: {
       RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      competing(r->hi, r->hi_param_slot);
       if (!r->hi.has_value() || literal.Compare(*r->hi) < 0 ||
           (literal.Compare(*r->hi) == 0 && r->hi_inclusive)) {
         r->hi = literal;
         r->hi_inclusive = false;
+        r->hi_param_slot = slot;
       }
       break;
     }
     case CompareOp::kLe: {
       RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      competing(r->hi, r->hi_param_slot);
       if (!r->hi.has_value() || literal.Compare(*r->hi) < 0) {
         r->hi = literal;
         r->hi_inclusive = true;
+        r->hi_param_slot = slot;
       }
       break;
     }
     case CompareOp::kGt: {
       RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      competing(r->lo, r->lo_param_slot);
       if (!r->lo.has_value() || literal.Compare(*r->lo) > 0 ||
           (literal.Compare(*r->lo) == 0 && r->lo_inclusive)) {
         r->lo = literal;
         r->lo_inclusive = false;
+        r->lo_param_slot = slot;
       }
       break;
     }
     case CompareOp::kGe: {
       RangeConstraint* r = FindOrAddRange(&out->ranges, column);
+      competing(r->lo, r->lo_param_slot);
       if (!r->lo.has_value() || literal.Compare(*r->lo) > 0) {
         r->lo = literal;
         r->lo_inclusive = true;
+        r->lo_param_slot = slot;
       }
       break;
     }
     case CompareOp::kNe:
-      out->residual.push_back(c);
+      residualize();
       break;
   }
 }
@@ -200,13 +276,64 @@ AnalyzedPredicate AnalyzePredicate(const ExprPtr& expr) {
   // Fast path: a predicate that is not a conjunction (single comparison —
   // the common shape of a shared point look-up) needs no conjunct list.
   if (expr->kind() != ExprKind::kAnd) {
-    AbsorbConjunct(&out, expr);
+    AbsorbConjunct(&out, expr, 0);
     return out;
   }
   std::vector<ExprPtr> conjuncts;
   CollectConjuncts(expr, &conjuncts);
-  for (const ExprPtr& c : conjuncts) AbsorbConjunct(&out, c);
+  for (uint32_t i = 0; i < conjuncts.size(); ++i) {
+    AbsorbConjunct(&out, conjuncts[i], i);
+  }
   return out;
+}
+
+bool StructuralMatchCollectBindings(const Expr& tmpl, const Expr& bound,
+                                    std::vector<std::pair<int, Value>>* out) {
+  const int sa = tmpl.kind() == ExprKind::kParam
+                     ? static_cast<int>(tmpl.param_index())
+                     : tmpl.bound_param_slot();
+  const int sb = bound.kind() == ExprKind::kParam
+                     ? static_cast<int>(bound.param_index())
+                     : bound.bound_param_slot();
+  if (sa >= 0 || sb >= 0) {
+    if (sa != sb) return false;
+    // Only a bound literal carries a value; an unbound kParam contributes no
+    // binding (the rebind will then miss the slot and fall back to rebuild).
+    if (bound.kind() == ExprKind::kLiteral) {
+      out->emplace_back(sb, bound.literal());
+    }
+    return true;
+  }
+  if (tmpl.kind() != bound.kind()) return false;
+  switch (tmpl.kind()) {
+    case ExprKind::kLiteral:
+      if (tmpl.literal().Compare(bound.literal()) != 0) return false;
+      break;
+    case ExprKind::kColumnRef:
+      if (tmpl.column_index() != bound.column_index()) return false;
+      break;
+    case ExprKind::kCompare:
+      if (tmpl.compare_op() != bound.compare_op()) return false;
+      break;
+    case ExprKind::kArith:
+      if (tmpl.arith_op() != bound.arith_op()) return false;
+      break;
+    case ExprKind::kLike:
+      if (tmpl.case_insensitive_like() != bound.case_insensitive_like()) {
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  if (tmpl.children().size() != bound.children().size()) return false;
+  for (size_t i = 0; i < tmpl.children().size(); ++i) {
+    if (!StructuralMatchCollectBindings(*tmpl.children()[i], *bound.children()[i],
+                                        out)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace shareddb

@@ -18,10 +18,13 @@
 
 namespace shareddb {
 
-/// column == value
+/// column == value. `param_slot` records the prepared-statement slot the
+/// value was bound from (-1: a fixed literal) so caches can swap the value
+/// on a parameter-only rebind without re-analyzing the predicate.
 struct EqConstraint {
   size_t column;
   Value value;
+  int param_slot = -1;
 };
 
 /// lo <(=) column <(=) hi; either bound may be absent.
@@ -31,8 +34,22 @@ struct RangeConstraint {
   bool lo_inclusive = true;
   std::optional<Value> hi;
   bool hi_inclusive = true;
+  int lo_param_slot = -1;  // slot the lo bound was bound from (-1: fixed)
+  int hi_param_slot = -1;
 
   /// True iff `v` satisfies the range.
+  bool Matches(const Value& v) const;
+};
+
+/// column IN (values...): every element is a literal. NULL elements are kept
+/// (they can only turn a non-match into NULL, which is falsy either way).
+struct InConstraint {
+  size_t column;
+  std::vector<Value> values;
+  std::vector<int> param_slots;  // parallel to values; -1 = fixed literal
+
+  /// True iff `v` is non-NULL and equals a non-NULL element (SQL IN: both
+  /// the no-match and NULL outcomes are falsy).
   bool Matches(const Value& v) const;
 };
 
@@ -40,11 +57,25 @@ struct RangeConstraint {
 struct AnalyzedPredicate {
   std::vector<EqConstraint> equalities;
   std::vector<RangeConstraint> ranges;
+  std::vector<InConstraint> ins;
   std::vector<ExprPtr> residual;  // conjuncts we could not index
+
+  /// Flattened-conjunct index each residual entry came from (parallel to
+  /// `residual`). A rebind of a structurally identical predicate swaps
+  /// residual subtrees by this position.
+  std::vector<uint32_t> residual_src;
+
+  /// True when a parameter-only rebind can patch this decomposition in place
+  /// by swapping slot-bound constants. False when the decomposition itself
+  /// depended on the bound VALUES (competing range bounds on one side, an
+  /// anchored LIKE whose prefix came from a parameter, a NULL-bound
+  /// parameter that residualized its conjunct): rebinding then requires
+  /// re-analysis.
+  bool rebind_safe = true;
 
   /// True when there is nothing to evaluate at all (match-all).
   bool IsTrivial() const {
-    return equalities.empty() && ranges.empty() && residual.empty();
+    return equalities.empty() && ranges.empty() && ins.empty() && residual.empty();
   }
 
   /// Re-assembled residual conjunction, or nullptr if none.
@@ -55,9 +86,18 @@ struct AnalyzedPredicate {
 void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
 
 /// Analyzes a *bound* predicate (no kParam nodes). Comparisons between a
-/// column and a literal (either order) become constraints; adjacent range
-/// constraints on the same column are merged.
+/// column and a literal (either order) become constraints; literal IN-lists
+/// become InConstraints; adjacent range constraints on the same column are
+/// merged.
 AnalyzedPredicate AnalyzePredicate(const ExprPtr& expr);
+
+/// Fused structural check + binding collection: one walk that decides
+/// whether `bound` is structurally equal to `tmpl` (Expr::StructurallyEquals
+/// semantics) while collecting `bound`'s (slot, value) bindings into `out`.
+/// On a false return `out` may hold a partial collection. This is the rebind
+/// hot path: the separate check-then-collect walks would double the cost.
+bool StructuralMatchCollectBindings(const Expr& tmpl, const Expr& bound,
+                                    std::vector<std::pair<int, Value>>* out);
 
 }  // namespace shareddb
 

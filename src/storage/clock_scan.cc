@@ -72,25 +72,19 @@ size_t ClockScan::ApplyUpdate(Table* table, const UpdateOp& op,
 }
 
 const PredicateIndex& ClockScan::GetIndex(const std::vector<ScanQuerySpec>& queries) {
-  bool hit = index_ != nullptr && index_key_.size() == queries.size();
-  if (hit) {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      if (index_key_[i].first != queries[i].id ||
-          index_key_[i].second.get() != queries[i].predicate.get()) {
-        hit = false;
+  if (index_ != nullptr) {
+    switch (index_->TryReuse(queries)) {
+      case PredicateIndex::Reuse::kExact:
+        return *index_;
+      case PredicateIndex::Reuse::kRebound:
+        ++index_rebinds_;
+        return *index_;
+      case PredicateIndex::Reuse::kMismatch:
         break;
-      }
     }
   }
-  if (!hit) {
-    index_ = std::make_unique<PredicateIndex>(queries);
-    ++index_builds_;
-    index_key_.clear();
-    index_key_.reserve(queries.size());
-    for (const ScanQuerySpec& q : queries) {
-      index_key_.emplace_back(q.id, q.predicate);
-    }
-  }
+  index_ = std::make_unique<PredicateIndex>(queries);
+  ++index_builds_;
   return *index_;
 }
 

@@ -78,24 +78,30 @@ class ClockScan {
   Table* table() const { return table_; }
   size_t clock_hand() const { return clock_hand_; }
 
-  /// Number of times RunCycle had to (re)build the PredicateIndex. The index
-  /// is cached across cycles and reused while the registered query batch is
-  /// unchanged (same ids, same bound predicate objects).
+  /// Number of times RunCycle had to (re)build the PredicateIndex from
+  /// scratch. The index is cached across cycles, keyed on each predicate's
+  /// structural fingerprint: a batch that registers the SAME statement mix
+  /// with fresh parameter bindings (new Expr objects, same structure) takes
+  /// the cheap RebindConstants path instead of rebuilding.
   uint64_t index_builds() const { return index_builds_; }
 
+  /// Number of cycles served by the cheap parameter-rebind path.
+  uint64_t index_rebinds() const { return index_rebinds_; }
+
  private:
-  /// Returns the cached index, rebuilding when the query batch changed.
+  /// Returns the cached index: reused as-is when the batch is unchanged,
+  /// constant-rebound when it is structurally unchanged (PredicateIndex::
+  /// TryReuse — the index pins the previous batch's predicates, making both
+  /// the pointer fast path ABA-safe and the structural compare possible),
+  /// rebuilt otherwise.
   const PredicateIndex& GetIndex(const std::vector<ScanQuerySpec>& queries);
 
   Table* table_;
   size_t clock_hand_ = 0;
 
-  // PredicateIndex cache. The key holds owning ExprPtr copies: predicates are
-  // immutable once bound, and pinning them makes raw-pointer identity sound
-  // (a freed-and-reallocated Expr can never alias a pinned one).
-  std::vector<std::pair<QueryId, ExprPtr>> index_key_;
   std::unique_ptr<PredicateIndex> index_;
   uint64_t index_builds_ = 0;
+  uint64_t index_rebinds_ = 0;
 };
 
 }  // namespace shareddb

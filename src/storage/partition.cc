@@ -59,6 +59,7 @@ DQBatch PartitionedTable::RunScanCycle(
   // Route queries and updates to partitions (cheap, serial).
   std::vector<std::vector<ScanQuerySpec>> local_queries(num_parts);
   std::vector<std::vector<UpdateOp>> local_updates(num_parts);
+  std::vector<std::vector<size_t>> local_update_src(num_parts);
   for (size_t p = 0; p < num_parts; ++p) {
     // Partition pruning: keep only queries that may match rows in p —
     // a query anchored on an equality over the key column goes to exactly
@@ -79,11 +80,28 @@ DQBatch PartitionedTable::RunScanCycle(
       if (!prunable) local.push_back(q);
     }
     // Updates: inserts route by key; update/delete predicates run everywhere.
-    for (const UpdateOp& u : updates) {
-      if (u.kind == UpdateKind::kInsert) {
-        if (PartitionFor(u.row[key_column_]) == p) local_updates[p].push_back(u);
-      } else {
-        local_updates[p].push_back(u);
+    for (size_t ui = 0; ui < updates.size(); ++ui) {
+      const UpdateOp& u = updates[ui];
+      if (u.kind == UpdateKind::kInsert &&
+          PartitionFor(u.row[key_column_]) != p) {
+        continue;
+      }
+      local_updates[p].push_back(u);
+      local_update_src[p].push_back(ui);
+    }
+  }
+  // An update/delete op fans out to EVERY partition, and partition cycles
+  // may run concurrently — the shared applied_out counter would be a data
+  // race. Each local copy counts into its own slot; the originals are summed
+  // after the barrier. (Skipped entirely on the query-only steady state to
+  // keep the hot cycle allocation-free.)
+  std::vector<std::vector<uint64_t>> local_counts;
+  if (!updates.empty()) {
+    local_counts.resize(num_parts);
+    for (size_t p = 0; p < num_parts; ++p) {
+      local_counts[p].assign(local_updates[p].size(), 0);
+      for (size_t k = 0; k < local_updates[p].size(); ++k) {
+        local_updates[p][k].applied_out = &local_counts[p][k];
       }
     }
   }
@@ -108,6 +126,15 @@ DQBatch PartitionedTable::RunScanCycle(
     });
   }
   group.Wait();
+
+  if (!updates.empty()) {
+    for (size_t p = 0; p < num_parts; ++p) {
+      for (size_t k = 0; k < local_updates[p].size(); ++k) {
+        uint64_t* sink = updates[local_update_src[p][k]].applied_out;
+        if (sink != nullptr) *sink += local_counts[p][k];
+      }
+    }
+  }
 
   DQBatch out(schema_);
   for (size_t p = 0; p < num_parts; ++p) out.Append(std::move(parts[p]));

@@ -16,58 +16,242 @@ bool SameRange(const RangeConstraint& a, const RangeConstraint& b) {
          same_bound(a.hi, b.hi);
 }
 
+uint64_t RangeHash(const RangeConstraint& r) {
+  uint64_t h = MixHash64(r.column * 4 + (r.lo_inclusive ? 2 : 0) +
+                         (r.hi_inclusive ? 1 : 0));
+  h = MixHash64(h ^ (r.lo.has_value() ? r.lo->Hash() : 0x10b0));
+  h = MixHash64(h ^ (r.hi.has_value() ? r.hi->Hash() : 0x41b0));
+  return h;
+}
+
+// Looks up a slot's value in one query's (slot, value) binding list.
+const Value* FindSlot(const std::vector<std::pair<int, Value>>& bindings, int slot) {
+  for (const auto& [s, v] : bindings) {
+    if (s == slot) return &v;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 PredicateIndex::PredicateIndex(const std::vector<ScanQuerySpec>& queries) {
   queries_.reserve(queries.size());
   for (const ScanQuerySpec& q : queries) {
-    queries_.push_back(CompiledQuery{q.id, AnalyzePredicate(q.predicate)});
+    queries_.push_back(CompiledQuery{q.id, q.predicate, AnalyzePredicate(q.predicate)});
   }
+  // Assign each query its anchor. These assignments are the compiled
+  // TEMPLATE: they depend only on predicate structure (plus, for
+  // value-dependent shapes, the current constants — such predicates are
+  // marked !rebind_safe by the analyzer and force a rebuild on rebind).
   for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
     const AnalyzedPredicate& p = queries_[qi].pred;
     if (p.IsTrivial()) {
       // Match-all: no test to run, only the NF² membership to record.
-      match_all_.push_back(queries_[qi].id);
-    } else if (!p.equalities.empty()) {
-      // Anchor on the first equality constraint.
-      const EqConstraint& eq = p.equalities.front();
+      match_all_queries_.push_back(qi);
+    } else if (!p.equalities.empty() || !p.ins.empty()) {
+      // Anchor on the first equality, else on the first IN-list (one bucket
+      // entry per element — an IN-heavy statement costs hash probes, not a
+      // per-row verify against every query).
+      const size_t column = !p.equalities.empty() ? p.equalities.front().column
+                                                  : p.ins.front().column;
       EqColumn* col = nullptr;
       for (EqColumn& c : eq_columns_) {
-        if (c.column == eq.column) {
+        if (c.column == column) {
           col = &c;
           break;
         }
       }
       if (col == nullptr) {
-        eq_columns_.push_back(EqColumn{eq.column, {}});
+        eq_columns_.emplace_back();
         col = &eq_columns_.back();
+        col->column = column;
       }
-      col->buckets[eq.value.Hash()].push_back(qi);
+      if (!p.equalities.empty()) {
+        col->entries.push_back(EqEntry{qi, 0});
+      } else {
+        for (uint32_t k = 0; k < p.ins.front().values.size(); ++k) {
+          col->entries.push_back(EqEntry{qi, k + 1});
+        }
+      }
     } else if (!p.ranges.empty()) {
       // A query whose WHOLE predicate is one range constraint joins a range
       // GROUP of identical constraints: one test per row serves them all.
       if (p.ranges.size() == 1 && p.residual.empty()) {
-        RangeGroup* grp = nullptr;
-        for (RangeGroup& g : range_groups_) {
-          if (SameRange(g.range, p.ranges.front())) {
-            grp = &g;
-            break;
-          }
-        }
-        if (grp == nullptr) {
-          range_groups_.push_back(RangeGroup{p.ranges.front(), {}});
-          grp = &range_groups_.back();
-        }
-        grp->ids.push_back(queries_[qi].id);
+        groupable_.push_back(qi);
       } else {
-        range_anchors_.push_back(RangeAnchor{qi, p.ranges.front()});
+        range_anchors_.push_back(qi);
       }
     } else {
       always_.push_back(qi);
     }
   }
+  RekeyValues();
+}
+
+const Value* PredicateIndex::EntryValue(const EqEntry& e) const {
+  const AnalyzedPredicate& p = queries_[e.query].pred;
+  if (e.source == 0) return &p.equalities.front().value;
+  return &p.ins.front().values[e.source - 1];
+}
+
+void PredicateIndex::RekeyValues() {
+  for (EqColumn& col : eq_columns_) {
+    col.head.Clear();  // values are plain indices: clearing frees nothing
+    col.next.assign(col.entries.size(), kNone);
+    for (uint32_t k = 0; k < col.entries.size(); ++k) {
+      const Value* v = EntryValue(col.entries[k]);
+      // NULL constants can never match a row (SQL: col = NULL is falsy);
+      // skipping the bucket entry is both correct and cheaper.
+      if (v->is_null()) continue;
+      auto [slot, inserted] = col.head.TryEmplace(v->Hash());
+      if (!inserted) col.next[k] = *slot;  // prepend to the bucket chain
+      *slot = k;
+    }
+  }
+
+  // Regroup the residual-free range queries: identical constraints share one
+  // group. Hash-bucketed (head+chain over group indices) so G groups cost
+  // O(G), and the per-group id lists live in one flat buffer.
+  range_groups_.clear();
+  group_head_.Clear();
+  group_next_.clear();
+  group_of_.resize(groupable_.size());
+  for (uint32_t gi = 0; gi < groupable_.size(); ++gi) {
+    const RangeConstraint& r = queries_[groupable_[gi]].pred.ranges.front();
+    const uint64_t h = RangeHash(r);
+    auto [slot, inserted] = group_head_.TryEmplace(h);
+    uint32_t g = kNone;
+    if (!inserted) {
+      for (uint32_t k = *slot; k != kNone; k = group_next_[k]) {
+        if (SameRange(*range_groups_[k].range, r)) {
+          g = k;
+          break;
+        }
+      }
+    }
+    if (g == kNone) {
+      g = static_cast<uint32_t>(range_groups_.size());
+      range_groups_.push_back(RangeGroup{&r, 0, 0});
+      group_next_.push_back(inserted ? kNone : *slot);
+      *slot = g;
+    }
+    ++range_groups_[g].len;
+    group_of_[gi] = g;
+  }
+  uint32_t offset = 0;
+  for (RangeGroup& g : range_groups_) {
+    g.begin = offset;
+    offset += g.len;
+    g.len = 0;  // reused as fill cursor below
+  }
+  group_ids_.resize(groupable_.size());
+  for (uint32_t gi = 0; gi < groupable_.size(); ++gi) {
+    RangeGroup& g = range_groups_[group_of_[gi]];
+    group_ids_[g.begin + g.len++] = queries_[groupable_[gi]].id;
+  }
+  for (const RangeGroup& g : range_groups_) {
+    std::sort(group_ids_.begin() + g.begin, group_ids_.begin() + g.begin + g.len);
+  }
+
+  match_all_.clear();
+  for (const uint32_t qi : match_all_queries_) match_all_.push_back(queries_[qi].id);
   std::sort(match_all_.begin(), match_all_.end());
-  for (RangeGroup& g : range_groups_) std::sort(g.ids.begin(), g.ids.end());
+  // Interned annotation sets reference ids and group indices of the previous
+  // binding — stale after a re-key.
+  default_ctx_.interned.Clear();
+}
+
+PredicateIndex::Reuse PredicateIndex::TryReuse(
+    const std::vector<ScanQuerySpec>& queries) {
+  if (queries.size() != queries_.size()) return Reuse::kMismatch;
+  bool exact = true;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries_[i].id != queries[i].id ||
+        queries_[i].bound.get() != queries[i].predicate.get()) {
+      exact = false;
+      break;
+    }
+  }
+  if (exact) return Reuse::kExact;
+
+  // Pass 1: validate every query and stage its new constants — the index is
+  // only mutated once the whole rebind is known to succeed. Identical
+  // predicate objects (common when only ids moved) skip the walk entirely.
+  bindings_scratch_.resize(queries.size());
+  conjuncts_scratch_.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    bindings_scratch_[i].clear();
+    conjuncts_scratch_[i].clear();
+    const AnalyzedPredicate& p = queries_[i].pred;
+    const ExprPtr& pin = queries_[i].bound;
+    const ExprPtr& fresh = queries[i].predicate;
+    if (pin.get() == fresh.get()) continue;
+    if ((pin == nullptr) != (fresh == nullptr)) return Reuse::kMismatch;
+    if (pin == nullptr) continue;  // both trivial
+    if (!p.rebind_safe) return Reuse::kMismatch;
+    // Fingerprint first (O(1), cached at construction), then one fused
+    // verify-and-collect walk.
+    if (pin->Fingerprint() != fresh->Fingerprint()) return Reuse::kMismatch;
+    if (!StructuralMatchCollectBindings(*pin, *fresh, &bindings_scratch_[i])) {
+      return Reuse::kMismatch;
+    }
+    // Constraint slots must resolve to non-NULL values: a NULL binding
+    // changes the decomposition (the conjunct residualizes), so rebuild.
+    for (const EqConstraint& eq : p.equalities) {
+      if (eq.param_slot < 0) continue;
+      const Value* v = FindSlot(bindings_scratch_[i], eq.param_slot);
+      if (v == nullptr || v->is_null()) return Reuse::kMismatch;
+    }
+    for (const RangeConstraint& r : p.ranges) {
+      for (const int slot : {r.lo_param_slot, r.hi_param_slot}) {
+        if (slot < 0) continue;
+        const Value* v = FindSlot(bindings_scratch_[i], slot);
+        if (v == nullptr || v->is_null()) return Reuse::kMismatch;
+      }
+    }
+    for (const InConstraint& in : p.ins) {
+      for (const int slot : in.param_slots) {
+        if (slot >= 0 && FindSlot(bindings_scratch_[i], slot) == nullptr) {
+          return Reuse::kMismatch;
+        }
+      }
+    }
+    if (!p.residual.empty()) {
+      CollectConjuncts(fresh, &conjuncts_scratch_[i]);
+      for (const uint32_t src : p.residual_src) {
+        if (src >= conjuncts_scratch_[i].size()) return Reuse::kMismatch;
+      }
+    }
+  }
+
+  // Pass 2: patch ids, slot-bound constants, and residual subtrees in place.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    CompiledQuery& cq = queries_[i];
+    cq.id = queries[i].id;
+    if (cq.bound.get() == queries[i].predicate.get()) continue;
+    cq.bound = queries[i].predicate;
+    AnalyzedPredicate& p = cq.pred;
+    const auto& bindings = bindings_scratch_[i];
+    for (EqConstraint& eq : p.equalities) {
+      if (eq.param_slot >= 0) eq.value = *FindSlot(bindings, eq.param_slot);
+    }
+    for (RangeConstraint& r : p.ranges) {
+      if (r.lo_param_slot >= 0) r.lo = *FindSlot(bindings, r.lo_param_slot);
+      if (r.hi_param_slot >= 0) r.hi = *FindSlot(bindings, r.hi_param_slot);
+    }
+    for (InConstraint& in : p.ins) {
+      for (size_t k = 0; k < in.values.size(); ++k) {
+        if (in.param_slots[k] >= 0) {
+          in.values[k] = *FindSlot(bindings, in.param_slots[k]);
+        }
+      }
+    }
+    for (size_t k = 0; k < p.residual.size(); ++k) {
+      p.residual[k] = conjuncts_scratch_[i][p.residual_src[k]];
+    }
+  }
+  RekeyValues();
+  return Reuse::kRebound;
 }
 
 bool PredicateIndex::Verify(const CompiledQuery& q, const Tuple& row) const {
@@ -78,6 +262,10 @@ bool PredicateIndex::Verify(const CompiledQuery& q, const Tuple& row) const {
   for (const RangeConstraint& r : q.pred.ranges) {
     SDB_DCHECK(r.column < row.size());
     if (!r.Matches(row[r.column])) return false;
+  }
+  for (const InConstraint& in : q.pred.ins) {
+    SDB_DCHECK(in.column < row.size());
+    if (!in.Matches(row[in.column])) return false;
   }
   static const std::vector<Value> kNoParams;
   for (const ExprPtr& e : q.pred.residual) {
@@ -99,20 +287,23 @@ void PredicateIndex::Match(const Tuple& row, QueryIdSet* out,
   for (const EqColumn& col : eq_columns_) {
     SDB_DCHECK(col.column < row.size());
     if (stats != nullptr) ++stats->hash_probes;
-    const std::vector<uint32_t>* bucket = col.buckets.Find(row[col.column].Hash());
-    if (bucket == nullptr) continue;
-    for (const uint32_t qi : *bucket) consider(qi);
+    const uint32_t* head = col.head.Find(row[col.column].Hash());
+    if (head == nullptr) continue;
+    for (uint32_t k = *head; k != kNone; k = col.next[k]) {
+      consider(col.entries[k].query);
+    }
   }
   for (uint32_t g = 0; g < range_groups_.size(); ++g) {
     const RangeGroup& rg = range_groups_[g];
-    SDB_DCHECK(rg.range.column < row.size());
+    SDB_DCHECK(rg.range->column < row.size());
     if (stats != nullptr) ++stats->candidates;  // one test serves the group
-    if (rg.range.Matches(row[rg.range.column])) groups.push_back(g);
+    if (rg.range->Matches(row[rg.range->column])) groups.push_back(g);
   }
-  for (const RangeAnchor& ra : range_anchors_) {
-    SDB_DCHECK(ra.range.column < row.size());
-    if (!ra.range.Matches(row[ra.range.column])) continue;
-    consider(ra.query);
+  for (const uint32_t qi : range_anchors_) {
+    const RangeConstraint& r = queries_[qi].pred.ranges.front();
+    SDB_DCHECK(r.column < row.size());
+    if (!r.Matches(row[r.column])) continue;
+    consider(qi);
   }
   for (const uint32_t qi : always_) consider(qi);
   std::sort(matched.begin(), matched.end());
@@ -138,7 +329,8 @@ void PredicateIndex::Match(const Tuple& row, QueryIdSet* out,
   // First occurrence: materialize individuals ∪ groups ∪ match-all.
   QueryIdSet set = QueryIdSet::FromSorted(matched);
   for (const uint32_t g : groups) {
-    set = set.Union(QueryIdSet::FromSorted(range_groups_[g].ids));
+    const RangeGroup& rg = range_groups_[g];
+    set = set.Union(QueryIdSet::FromSorted(&group_ids_[rg.begin], rg.len));
   }
   if (!match_all_.empty()) {
     set = set.Union(QueryIdSet::FromSorted(match_all_));

@@ -4,13 +4,24 @@
 // instead of the data".
 //
 // Each registered query contributes one *anchor* constraint:
-//   * an equality  (col = v)      -> hash table on that column: v -> queries
+//   * an equality  (col = v)       -> hash table on that column: v -> queries
+//   * an IN-list   (col IN v1..vn) -> same hash table, one entry per element
 //   * else a range (lo < col < hi) -> per-column interval list
 //   * else                         -> always-verify list
 // Matching a row probes one hash bucket per equality-anchored column and
 // scans the (short) interval/always lists; each candidate query's *full*
 // predicate is then verified. Per-row cost is thus proportional to the
 // number of candidate queries, not the number of active queries.
+//
+// The index is split into a compiled TEMPLATE (which query anchors where,
+// which constants came from which parameter slots) and the current BINDING
+// (the constant values). When the next batch registers a structurally
+// identical statement mix with fresh parameters — the prepared-statement
+// steady state of §3.2 — TryReuse() swaps the constants in place instead of
+// re-analyzing every predicate and rebuilding the anchor structures. The
+// value-keyed structures are designed to re-key without heap churn: the eq
+// hash table is head+chain (clearing it frees nothing), range groups live in
+// one flat id buffer, and the rebind scratch is pooled on the index.
 
 #ifndef SHAREDDB_STORAGE_PREDICATE_INDEX_H_
 #define SHAREDDB_STORAGE_PREDICATE_INDEX_H_
@@ -40,20 +51,17 @@ struct PredicateIndexStats {
                                  // repeated annotation set charges O(1))
 };
 
-/// Immutable index over one batch of scan queries.
-///
-/// Annotation sets are hash-consed per scan cycle: consecutive rows matched
-/// by the same combination of (individual queries, range groups, match-all
-/// subscribers) reuse one canonical QueryIdSet, so producing a repeated set
-/// costs a table lookup — this is what keeps the NF² representation's
-/// construction cost bounded when thousands of queries subscribe to a scan.
+/// Index over one batch of scan queries. Immutable between TryReuse()
+/// rebinds; Match is const and thread-safe (see MatchContext).
 class PredicateIndex {
  public:
   /// Per-thread matching state: the hash-cons intern pool plus row scratch.
-  /// The index itself is immutable after construction, so any number of
-  /// threads may Match concurrently as long as each brings its OWN context
+  /// The index itself is immutable during a cycle, so any number of threads
+  /// may Match concurrently as long as each brings its OWN context
   /// (morsel-parallel ClockScan gives every worker one). Contexts may be
-  /// reused across rows and cycles; interned sets accrete per context.
+  /// reused across rows and cycles of ONE binding; a rebind invalidates
+  /// interned sets (ids and group meanings change), so contexts must not
+  /// outlive the binding they were filled under.
   struct MatchContext {
     struct InternEntry {
       std::vector<QueryId> indiv;
@@ -65,7 +73,28 @@ class PredicateIndex {
     std::vector<uint32_t> groups_scratch;
   };
 
+  /// How TryReuse served a query batch.
+  enum class Reuse {
+    kExact,     // same ids + same predicate objects: untouched
+    kRebound,   // structurally identical templates: constants swapped
+    kMismatch,  // different batch: caller must rebuild
+  };
+
   explicit PredicateIndex(const std::vector<ScanQuerySpec>& queries);
+
+  /// Attempts to serve `queries` with this index. Pointer-identical batches
+  /// are exact hits; batches whose predicates are position-wise structurally
+  /// equal to the compiled templates (fingerprint pre-check + one fused
+  /// verify-and-collect walk) get their ids and slot-bound constants patched
+  /// in place. Returns kMismatch — leaving the index unchanged — when the
+  /// batch differs structurally, a compiled shape is value-dependent
+  /// (!rebind_safe), or a constraint parameter was rebound to NULL.
+  Reuse TryReuse(const std::vector<ScanQuerySpec>& queries);
+
+  /// Convenience wrapper: true when TryReuse did not mismatch.
+  bool RebindConstants(const std::vector<ScanQuerySpec>& queries) {
+    return TryReuse(queries) != Reuse::kMismatch;
+  }
 
   /// Appends (sorted) ids of queries whose predicate matches `row` to `out`.
   /// `out` is overwritten. Thread-safe: all mutable state lives in `mctx`.
@@ -83,44 +112,78 @@ class PredicateIndex {
   size_t num_eq_columns() const { return eq_columns_.size(); }
 
  private:
+  static constexpr uint32_t kNone = ~0u;
+
   struct CompiledQuery {
     QueryId id;
+    ExprPtr bound;  // pin: keeps the analyzed tree alive for rebind compares
     AnalyzedPredicate pred;
   };
 
+  /// One hash-bucket membership: query `query` is reachable under the value
+  /// of its anchor constraint. `source` selects which constant: 0 = the
+  /// first equality; k >= 1 = element k-1 of the first IN-list.
+  struct EqEntry {
+    uint32_t query;
+    uint32_t source;
+  };
+
+  /// Rebuilds the value-keyed structures (eq hash chains, range groups,
+  /// match-all id list) from the compiled queries. Used by the constructor
+  /// and after a rebind patches constants. Allocation-free after the first
+  /// call (head maps clear in place, chains and flat buffers reuse storage).
+  void RekeyValues();
+
+  const Value* EntryValue(const EqEntry& e) const;
   bool Verify(const CompiledQuery& q, const Tuple& row) const;
 
   std::vector<CompiledQuery> queries_;
 
-  // Equality anchors: per column, hash(value) -> query indices.
+  // Equality/IN anchors: per column, the member entries (stable across
+  // rebinds) and a head+chain hash index over their current values
+  // (re-keyed on rebind without freeing anything).
   struct EqColumn {
     size_t column = 0;
-    FlatHashMap<uint64_t, std::vector<uint32_t>> buckets;
+    std::vector<EqEntry> entries;
+    FlatHashMap<uint64_t, uint32_t> head;  // value hash -> first entry index
+    std::vector<uint32_t> next;            // entry index -> next in bucket
   };
   std::vector<EqColumn> eq_columns_;
 
-  // Range anchors for queries with extra constraints beyond the range:
-  // (query index, range constraint), verified per candidate.
-  struct RangeAnchor {
-    uint32_t query;
-    RangeConstraint range;
-  };
-  std::vector<RangeAnchor> range_anchors_;
+  // Range anchors for queries with extra constraints beyond the range; the
+  // constraint itself is read live from the compiled predicate so rebinds
+  // need no refresh.
+  std::vector<uint32_t> range_anchors_;
 
-  // Residual-free range queries grouped by IDENTICAL constraint: the range
-  // is tested once per row per group; a match subscribes the whole group.
+  // Residual-free single-range queries, grouped by IDENTICAL constraint:
+  // the range is tested once per row per group; a match subscribes the whole
+  // group. Group membership depends on the bound VALUES, so groupable_ (the
+  // stable member list) is regrouped on every rebind — into a flat id buffer
+  // (group_ids_) to avoid per-group allocations.
   struct RangeGroup {
-    RangeConstraint range;
-    std::vector<QueryId> ids;  // sorted
+    const RangeConstraint* range;  // points into queries_[...].pred
+    uint32_t begin = 0;            // offset into group_ids_
+    uint32_t len = 0;
   };
+  std::vector<uint32_t> groupable_;
   std::vector<RangeGroup> range_groups_;
+  std::vector<QueryId> group_ids_;
+  // Regroup scratch (hash range -> first group, chained):
+  FlatHashMap<uint64_t, uint32_t> group_head_;
+  std::vector<uint32_t> group_next_;
+  std::vector<uint32_t> group_of_;  // groupable_ position -> group index
 
   // Queries with no indexable anchor (verified on every row).
   std::vector<uint32_t> always_;
 
   // Queries with a trivial (match-all) predicate: annotated onto every row
   // without verification — a subscription, not a test.
-  std::vector<QueryId> match_all_;  // sorted ids
+  std::vector<uint32_t> match_all_queries_;  // stable positions
+  std::vector<QueryId> match_all_;           // current sorted ids
+
+  // Rebind scratch, pooled so steady-state rebinds reuse inner capacity.
+  std::vector<std::vector<std::pair<int, Value>>> bindings_scratch_;
+  std::vector<std::vector<ExprPtr>> conjuncts_scratch_;
 
   // Context for the single-threaded Match overload.
   mutable MatchContext default_ctx_;

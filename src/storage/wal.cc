@@ -110,6 +110,7 @@ Status Wal::Open(bool truncate) {
 }
 
 void Wal::Close() {
+  std::lock_guard lock(mu_);
   if (file_ != nullptr) {
     std::fflush(file_);
     std::fclose(file_);
@@ -118,6 +119,7 @@ void Wal::Close() {
 }
 
 void Wal::AppendRecord(const WalRecord& rec) {
+  std::lock_guard lock(mu_);
   SDB_CHECK(file_ != nullptr);
   PutU8(file_, static_cast<uint8_t>(rec.op));
   PutU32(file_, rec.table_id);
@@ -146,6 +148,7 @@ void Wal::LogCommit(Version v) {
 }
 
 Status Wal::Flush() {
+  std::lock_guard lock(mu_);
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
   if (std::fflush(file_) != 0) return Status::IoError("fflush failed");
   return Status::OK();

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,12 @@ struct WalRecord {
 };
 
 /// Append-only log writer/reader.
+///
+/// Appends are serialized by an internal mutex: table-write observers fire
+/// from whichever thread performs the mutation, and parallel partition
+/// cycles (PartitionedTable::RunScanCycle) mutate different tables
+/// concurrently — without the latch their records would interleave
+/// mid-record. Each Log* call appends one complete record atomically.
 class Wal {
  public:
   explicit Wal(std::string path);
@@ -73,6 +80,7 @@ class Wal {
   void AppendRecord(const WalRecord& rec);
 
   std::string path_;
+  std::mutex mu_;  // serializes appends/flush against concurrent observers
   std::FILE* file_ = nullptr;
   uint64_t records_written_ = 0;
 };

@@ -62,9 +62,15 @@ std::vector<StatementCall> BuildInteraction(WebInteraction wi,
           {"best_sellers", {Value::Int(RandSubject(scale, rng)), cutoff}});
       break;
 
-    case WebInteraction::kProductDetail:
+    case WebInteraction::kProductDetail: {
       calls.push_back({"product_detail", {Value::Int(RandItem(scale, rng))}});
+      // Related-item thumbnails: five fresh item ids per page view — a
+      // parameter-only rebind of the items_by_id_list template every time.
+      std::vector<Value> related;
+      for (int i = 0; i < 5; ++i) related.push_back(Value::Int(RandItem(scale, rng)));
+      calls.push_back({"items_by_id_list", std::move(related)});
       break;
+    }
 
     case WebInteraction::kSearchRequest:
       // The search form shows promotions.

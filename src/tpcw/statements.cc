@@ -61,6 +61,19 @@ std::vector<TpcwStatementDef> BuildTpcwStatements(const Catalog& catalog) {
             logical::Probe(kItem, "item_id", ColEq(item, "i_id", 0)), kAuthor,
             "author_id", "i_a_id", nullptr, "i", "a"));
 
+  // ProductDetail: the page's related-item thumbnails — a prepared literal
+  // IN-list over item ids. Deliberately a shared SCAN (not an index probe):
+  // the IN-list lands in the ClockScan PredicateIndex as equality hash
+  // anchors (one bucket entry per element), and the per-interaction rebinds
+  // of the five id parameters exercise the structural rebind fast path.
+  {
+    std::vector<ExprPtr> related_ids;
+    for (size_t p = 0; p < 5; ++p) related_ids.push_back(Expr::Param(p));
+    query("items_by_id_list",
+          logical::Scan(kItem, Expr::In(Expr::Column(item, "i_id"),
+                                        std::move(related_ids))));
+  }
+
   // The shared item ⋈ author analytical join (Fig 6: feeds the search and
   // new-products pipelines). Selective item access goes through SHARED INDEX
   // PROBES (§4.4: "index probe operators are used to implement regular scans

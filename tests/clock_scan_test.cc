@@ -185,7 +185,7 @@ TEST_F(ClockScanFixture, EmptyQueryListSkipsScan) {
 
 TEST_F(ClockScanFixture, PredicateIndexCachedAcrossCycles) {
   // An unchanged query batch (same ids, same bound predicate objects) reuses
-  // the PredicateIndex built on the first cycle.
+  // the PredicateIndex built on the first cycle without even a rebind.
   std::vector<ScanQuerySpec> queries{{0, CatEq(1)}, {1, PriceLt(8)}};
   EXPECT_EQ(scan_->index_builds(), 0u);
   scan_->RunCycle(queries, {}, 1, 2, nullptr);
@@ -193,29 +193,123 @@ TEST_F(ClockScanFixture, PredicateIndexCachedAcrossCycles) {
   scan_->RunCycle(queries, {}, 1, 2, nullptr);
   scan_->RunCycle(queries, {}, 2, 3, nullptr);  // snapshot change: still cached
   EXPECT_EQ(scan_->index_builds(), 1u);
+  EXPECT_EQ(scan_->index_rebinds(), 0u);
 
-  // Any change to the batch invalidates: a different id ...
+  // A structurally unchanged batch takes the cheap rebind path, not a
+  // rebuild: a renumbered id ...
   std::vector<ScanQuerySpec> renumbered{{7, queries[0].predicate},
                                         {1, queries[1].predicate}};
-  scan_->RunCycle(renumbered, {}, 1, 2, nullptr);
-  EXPECT_EQ(scan_->index_builds(), 2u);
-
-  // ... a different predicate object (even a structurally equal one) ...
-  std::vector<ScanQuerySpec> rebound{{7, CatEq(1)}, {1, queries[1].predicate}};
-  scan_->RunCycle(rebound, {}, 1, 2, nullptr);
-  EXPECT_EQ(scan_->index_builds(), 3u);
-
-  // ... or a different batch size.
-  std::vector<ScanQuerySpec> grown = rebound;
-  grown.push_back({9, nullptr});
-  scan_->RunCycle(grown, {}, 1, 2, nullptr);
-  EXPECT_EQ(scan_->index_builds(), 4u);
-
-  // The cached index still answers correctly after invalidations and reuse.
-  DQBatch out = scan_->RunCycle(rebound, {}, 1, 2, nullptr);
-  EXPECT_EQ(scan_->index_builds(), 5u);
+  DQBatch out = scan_->RunCycle(renumbered, {}, 1, 2, nullptr);
+  EXPECT_EQ(scan_->index_builds(), 1u);
+  EXPECT_EQ(scan_->index_rebinds(), 1u);
   EXPECT_EQ(out.RowsFor(7).size(), 16u);
   EXPECT_EQ(out.RowsFor(1).size(), 8u);
+
+  // ... or a freshly allocated, structurally equal predicate object.
+  std::vector<ScanQuerySpec> realloced{{7, CatEq(1)}, {1, PriceLt(8)}};
+  out = scan_->RunCycle(realloced, {}, 1, 2, nullptr);
+  EXPECT_EQ(scan_->index_builds(), 1u);
+  EXPECT_EQ(scan_->index_rebinds(), 2u);
+  EXPECT_EQ(out.RowsFor(7).size(), 16u);
+  EXPECT_EQ(out.RowsFor(1).size(), 8u);
+
+  // A different CONSTANT in a plain literal is a different structure (only
+  // parameter slots are value-blind) — rebuild.
+  std::vector<ScanQuerySpec> different{{7, CatEq(2)}, {1, PriceLt(8)}};
+  out = scan_->RunCycle(different, {}, 1, 2, nullptr);
+  EXPECT_EQ(scan_->index_builds(), 2u);
+  EXPECT_EQ(out.RowsFor(7).size(), 16u);  // category 2 is also 16 rows
+
+  // A different batch size rebuilds too.
+  std::vector<ScanQuerySpec> grown = different;
+  grown.push_back({9, nullptr});
+  scan_->RunCycle(grown, {}, 1, 2, nullptr);
+  EXPECT_EQ(scan_->index_builds(), 3u);
+}
+
+TEST_F(ClockScanFixture, ParameterRebindsHitTheFastPath) {
+  // The prepared-statement steady state: the same template rebound with
+  // fresh constants every batch. One build, then rebinds only — and each
+  // rebound cycle answers with the NEW constants.
+  auto tmpl = Expr::Eq(Expr::Column(1), Expr::Param(0));
+  auto range_tmpl = Expr::Lt(Expr::Column(2), Expr::Param(1));
+  for (int64_t round = 0; round < 4; ++round) {
+    std::vector<Value> params{Value::Int(round % 4),
+                              Value::Double(static_cast<double>(8 * round))};
+    std::vector<ScanQuerySpec> queries{{0, tmpl->Bind(params)},
+                                       {1, range_tmpl->Bind(params)}};
+    DQBatch out = scan_->RunCycle(queries, {}, 1, 2, nullptr);
+    EXPECT_EQ(out.RowsFor(0).size(), 16u) << round;  // every category has 16
+    EXPECT_EQ(out.RowsFor(1).size(), static_cast<size_t>(8 * round)) << round;
+  }
+  EXPECT_EQ(scan_->index_builds(), 1u);
+  EXPECT_EQ(scan_->index_rebinds(), 3u);
+}
+
+TEST(PredicateIndexTest, InListAnchorsAsEqualityBuckets) {
+  // col IN (v1..vn) anchors one hash entry per element instead of degrading
+  // to an always-verify; non-matching rows verify zero candidates.
+  auto in_pred = [](std::vector<int64_t> vals) {
+    std::vector<ExprPtr> elems;
+    for (int64_t v : vals) elems.push_back(Expr::Literal(Value::Int(v)));
+    return Expr::In(Expr::Column(1), std::move(elems));
+  };
+  std::vector<ScanQuerySpec> queries{{0, in_pred({1, 3})}, {1, in_pred({3, 5})}};
+  PredicateIndex idx(queries);
+  EXPECT_EQ(idx.num_eq_columns(), 1u);
+  QueryIdSet out;
+  PredicateIndexStats stats;
+  idx.Match(Item(1, 3, 0, "x"), &out, &stats);
+  EXPECT_EQ(out.ids(), (std::vector<QueryId>{0, 1}));
+  idx.Match(Item(2, 5, 0, "x"), &out, &stats);
+  EXPECT_EQ(out.ids(), (std::vector<QueryId>{1}));
+  idx.Match(Item(3, 9, 0, "x"), &out, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.candidates, 3u);  // rows outside every list verify nothing
+}
+
+TEST(PredicateIndexTest, InListRebindSwapsElements) {
+  auto tmpl = Expr::In(Expr::Column(1),
+                       {Expr::Param(0), Expr::Param(1), Expr::Param(2)});
+  std::vector<ScanQuerySpec> first{
+      {0, tmpl->Bind({Value::Int(1), Value::Int(2), Value::Int(3)})}};
+  PredicateIndex idx(first);
+  QueryIdSet out;
+  idx.Match(Item(1, 2, 0, "x"), &out, nullptr);
+  EXPECT_EQ(out.size(), 1u);
+
+  std::vector<ScanQuerySpec> second{
+      {0, tmpl->Bind({Value::Int(7), Value::Int(8), Value::Int(9)})}};
+  ASSERT_TRUE(idx.RebindConstants(second));
+  idx.Match(Item(1, 2, 0, "x"), &out, nullptr);
+  EXPECT_TRUE(out.empty());
+  idx.Match(Item(1, 8, 0, "x"), &out, nullptr);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(PredicateIndexTest, RebindRefusesValueDependentShapes) {
+  // A NULL-bound parameter residualizes its conjunct: the compiled shape is
+  // value-dependent, so the rebind path must refuse and force a rebuild.
+  auto tmpl = Expr::Eq(Expr::Column(1), Expr::Param(0));
+  std::vector<ScanQuerySpec> null_bound{{0, tmpl->Bind({Value::Null()})}};
+  PredicateIndex null_idx(null_bound);
+  EXPECT_FALSE(null_idx.RebindConstants(
+      std::vector<ScanQuerySpec>{{0, tmpl->Bind({Value::Int(1)})}}));
+
+  // An anchored LIKE whose prefix range derives from the parameter VALUE.
+  auto like_tmpl = Expr::LikeParam(Expr::Column(3), 0);
+  std::vector<ScanQuerySpec> like_q{{0, like_tmpl->Bind({Value::Str("tit%")})}};
+  PredicateIndex like_idx(like_q);
+  EXPECT_FALSE(like_idx.RebindConstants(
+      std::vector<ScanQuerySpec>{{0, like_tmpl->Bind({Value::Str("xy%")})}}));
+
+  // Rebinding an eq parameter TO NULL must refuse as well.
+  std::vector<ScanQuerySpec> ok{{0, tmpl->Bind({Value::Int(1)})}};
+  PredicateIndex idx(ok);
+  EXPECT_TRUE(idx.RebindConstants(
+      std::vector<ScanQuerySpec>{{0, tmpl->Bind({Value::Int(2)})}}));
+  EXPECT_FALSE(idx.RebindConstants(
+      std::vector<ScanQuerySpec>{{0, tmpl->Bind({Value::Null()})}}));
 }
 
 // Property: the shared scan equals per-query reference scans, and examines

@@ -246,6 +246,198 @@ TEST(PredicateTest, OrIsResidual) {
   EXPECT_EQ(ap.residual.size(), 1u);
 }
 
+// --- structural identity ------------------------------------------------------
+
+// Random expression template over columns 0..2 and params 0..3, covering
+// every ExprKind (including kLike via literal and parameterized patterns,
+// and kIn with mixed literal/param elements).
+ExprPtr RandomTemplate(Rng* rng, int depth) {
+  auto leaf_value = [&]() -> ExprPtr {
+    switch (rng->Uniform(0, 3)) {
+      case 0: return Expr::Column(rng->Uniform(0, 2));
+      case 1: return Expr::Param(rng->Uniform(0, 3));
+      case 2: return Expr::Literal(Value::Int(rng->Uniform(0, 9)));
+      default: return Expr::Literal(Value::Double(rng->Uniform(0, 9) * 0.5));
+    }
+  };
+  if (depth <= 0) {
+    return Expr::Compare(static_cast<CompareOp>(rng->Uniform(0, 5)), leaf_value(),
+                         leaf_value());
+  }
+  switch (rng->Uniform(0, 8)) {
+    case 0:
+      return Expr::Compare(static_cast<CompareOp>(rng->Uniform(0, 5)),
+                           leaf_value(), leaf_value());
+    case 1:
+      return Expr::Compare(
+          CompareOp::kEq,
+          Expr::Arith(static_cast<ArithOp>(rng->Uniform(0, 3)), leaf_value(),
+                      leaf_value()),
+          leaf_value());
+    case 2: {
+      std::vector<ExprPtr> cs;
+      const int n = static_cast<int>(rng->Uniform(2, 3));
+      for (int i = 0; i < n; ++i) cs.push_back(RandomTemplate(rng, depth - 1));
+      return rng->Bernoulli(0.5) ? Expr::And(std::move(cs))
+                                 : Expr::Or(std::move(cs));
+    }
+    case 3:
+      return Expr::Not(RandomTemplate(rng, depth - 1));
+    case 4:
+      return Expr::IsNull(leaf_value());
+    case 5: {
+      std::vector<ExprPtr> elems;
+      const int n = static_cast<int>(rng->Uniform(1, 4));
+      for (int i = 0; i < n; ++i) elems.push_back(leaf_value());
+      return Expr::In(Expr::Column(rng->Uniform(0, 2)), std::move(elems));
+    }
+    case 6:
+      return Expr::Like(Expr::Column(1),
+                        rng->Bernoulli(0.5) ? "pre%" : "%mid%",
+                        rng->Bernoulli(0.3));
+    default:
+      return Expr::LikeParam(Expr::Column(1), rng->Uniform(0, 3),
+                             rng->Bernoulli(0.3));
+  }
+}
+
+std::vector<Value> RandomParams(Rng* rng) {
+  std::vector<Value> params;
+  for (int i = 0; i < 4; ++i) {
+    switch (rng->Uniform(0, 3)) {
+      case 0: params.push_back(Value::Int(rng->Uniform(0, 99))); break;
+      case 1: params.push_back(Value::Double(rng->Uniform(0, 99) * 0.25)); break;
+      case 2: params.push_back(Value::Str("p%" + std::to_string(rng->Uniform(0, 9)))); break;
+      default: params.push_back(Value::Null()); break;
+    }
+  }
+  return params;
+}
+
+TEST(ExprIdentityProperty, StructuralEqualityMatchesFingerprint) {
+  Rng rng(4242);
+  for (int round = 0; round < 2000; ++round) {
+    Rng clone_rng = rng;  // same stream => structurally identical rebuild
+    ExprPtr a = RandomTemplate(&rng, 3);
+    ExprPtr a2 = RandomTemplate(&clone_rng, 3);
+    // A rebuilt tree (all-new nodes) is structurally equal with an equal
+    // fingerprint.
+    ASSERT_TRUE(a->StructurallyEquals(*a2)) << a->ToString();
+    ASSERT_EQ(a->Fingerprint(), a2->Fingerprint()) << a->ToString();
+
+    // An independently drawn tree: equal structure <=> equal fingerprint
+    // (modulo collisions, which the 64-bit hash makes vanishingly unlikely
+    // over this corpus — a mismatch here means the hash lost information).
+    ExprPtr b = RandomTemplate(&rng, 3);
+    if (a->StructurallyEquals(*b)) {
+      EXPECT_EQ(a->Fingerprint(), b->Fingerprint())
+          << a->ToString() << " vs " << b->ToString();
+    }
+    if (a->Fingerprint() != b->Fingerprint()) {
+      EXPECT_FALSE(a->StructurallyEquals(*b))
+          << a->ToString() << " vs " << b->ToString();
+    }
+  }
+}
+
+TEST(ExprIdentityProperty, BindPreservesTemplateFingerprint) {
+  Rng rng(777);
+  for (int round = 0; round < 2000; ++round) {
+    ExprPtr tmpl = RandomTemplate(&rng, 3);
+    const ExprPtr b1 = tmpl->Bind(RandomParams(&rng));
+    const ExprPtr b2 = tmpl->Bind(RandomParams(&rng));
+    // Every binding keeps the template's fingerprint and structure: the
+    // bound literals remember their slots.
+    EXPECT_EQ(b1->Fingerprint(), tmpl->Fingerprint()) << tmpl->ToString();
+    EXPECT_EQ(b2->Fingerprint(), tmpl->Fingerprint()) << tmpl->ToString();
+    EXPECT_TRUE(b1->StructurallyEquals(*tmpl)) << tmpl->ToString();
+    EXPECT_TRUE(b1->StructurallyEquals(*b2)) << tmpl->ToString();
+    // Column rewrites preserve slots, so a remapped binding still matches
+    // the identically remapped template.
+    const ExprPtr shifted_tmpl = tmpl->OffsetColumns(2);
+    const ExprPtr shifted_bound = b1->OffsetColumns(2);
+    EXPECT_EQ(shifted_bound->Fingerprint(), shifted_tmpl->Fingerprint());
+    EXPECT_TRUE(shifted_bound->StructurallyEquals(*shifted_tmpl));
+  }
+}
+
+TEST(ExprIdentity, PlainLiteralsCompareByValue) {
+  // Non-param literals are part of the structure: different constants are
+  // different templates.
+  auto a = Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(1)));
+  auto b = Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(2)));
+  EXPECT_FALSE(a->StructurallyEquals(*b));
+  EXPECT_NE(a->Fingerprint(), b->Fingerprint());
+  // Numerically equal INT/DOUBLE literals are the same structure (Compare
+  // and Hash agree on cross-type numeric equality).
+  auto c = Expr::Eq(Expr::Column(0), Expr::Literal(Value::Double(1.0)));
+  EXPECT_TRUE(a->StructurallyEquals(*c));
+  EXPECT_EQ(a->Fingerprint(), c->Fingerprint());
+  // A kParam node equals a literal bound from that slot.
+  auto tmpl = Expr::Eq(Expr::Column(0), Expr::Param(0));
+  auto bound = tmpl->Bind({Value::Int(42)});
+  EXPECT_TRUE(tmpl->StructurallyEquals(*bound));
+  EXPECT_EQ(bound->children()[1]->bound_param_slot(), 0);
+}
+
+TEST(PredicateTest, InListExtraction) {
+  auto tmpl = Expr::In(Expr::Column(2), {Expr::Literal(Value::Int(4)),
+                                         Expr::Param(0), Expr::Param(1)});
+  const AnalyzedPredicate ap = AnalyzePredicate(
+      tmpl->Bind({Value::Int(7), Value::Int(9)}));
+  ASSERT_EQ(ap.ins.size(), 1u);
+  EXPECT_TRUE(ap.equalities.empty());
+  EXPECT_TRUE(ap.residual.empty());
+  EXPECT_EQ(ap.ins[0].column, 2u);
+  ASSERT_EQ(ap.ins[0].values.size(), 3u);
+  EXPECT_EQ(ap.ins[0].values[1].AsInt(), 7);
+  EXPECT_EQ(ap.ins[0].param_slots, (std::vector<int>{-1, 0, 1}));
+  EXPECT_TRUE(ap.rebind_safe);
+  // A non-literal element keeps IN as a residual conjunct.
+  auto dynamic_in = Expr::In(Expr::Column(2), {Expr::Column(0)});
+  const AnalyzedPredicate ap2 = AnalyzePredicate(dynamic_in);
+  EXPECT_TRUE(ap2.ins.empty());
+  EXPECT_EQ(ap2.residual.size(), 1u);
+}
+
+TEST(PredicateTest, ValueDependentShapesAreNotRebindSafe) {
+  // Competing parameterized bounds on one range side.
+  auto competing = Expr::And({Expr::Gt(Expr::Column(0), Expr::Param(0)),
+                              Expr::Gt(Expr::Column(0), Expr::Param(1))});
+  EXPECT_FALSE(AnalyzePredicate(competing->Bind({Value::Int(1), Value::Int(5)}))
+                   .rebind_safe);
+  // Two fixed literals competing is fine — the winner can never change.
+  auto fixed = Expr::And(
+      {Expr::Gt(Expr::Column(0), Expr::Literal(Value::Int(1))),
+       Expr::Gt(Expr::Column(0), Expr::Literal(Value::Int(5)))});
+  EXPECT_TRUE(AnalyzePredicate(fixed).rebind_safe);
+  // Bounds on OPPOSITE sides never compete.
+  auto between = Expr::And({Expr::Ge(Expr::Column(0), Expr::Param(0)),
+                            Expr::Le(Expr::Column(0), Expr::Param(1))});
+  const AnalyzedPredicate ap =
+      AnalyzePredicate(between->Bind({Value::Int(1), Value::Int(5)}));
+  EXPECT_TRUE(ap.rebind_safe);
+  ASSERT_EQ(ap.ranges.size(), 1u);
+  EXPECT_EQ(ap.ranges[0].lo_param_slot, 0);
+  EXPECT_EQ(ap.ranges[0].hi_param_slot, 1);
+  // An anchored LIKE's derived bounds merging over a PARAMETERIZED bound on
+  // the same column: the merge winner depends on the bound value, so a
+  // rebind must not patch it in place. (Regression: col >= ?0 AND col LIKE
+  // 'm%' bound with "a" compiles lo="m"; rebinding ?0 to "z" must rebuild,
+  // not keep lo="m".)
+  auto like_vs_param =
+      Expr::And({Expr::Ge(Expr::Column(0), Expr::Param(0)),
+                 Expr::Like(Expr::Column(0), "m%")});
+  EXPECT_FALSE(
+      AnalyzePredicate(like_vs_param->Bind({Value::Str("a")})).rebind_safe);
+  // The same LIKE merging over FIXED bounds stays rebind-safe (nothing can
+  // change between bindings).
+  auto like_vs_fixed =
+      Expr::And({Expr::Ge(Expr::Column(0), Expr::Literal(Value::Str("a"))),
+                 Expr::Like(Expr::Column(0), "m%")});
+  EXPECT_TRUE(AnalyzePredicate(like_vs_fixed).rebind_safe);
+}
+
 TEST(PredicateTest, CollectConjunctsFlattensNesting) {
   auto pred = Expr::And(
       {Expr::And({Expr::Eq(Expr::Column(0), Expr::Literal(Value::Int(1))),

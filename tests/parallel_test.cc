@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -252,6 +253,66 @@ TEST(ParallelEquivalence, SortMatchesSerial) {
     ExpectBatchesIdentical(expect, got, "sort w=" + std::to_string(workers));
     EXPECT_EQ(stats.tuples_in, serial_stats.tuples_in);
     EXPECT_EQ(stats.tuples_out, serial_stats.tuples_out);
+  }
+}
+
+TEST(ParallelEquivalence, SortWithNaNAndMixedNumericsMatchesSerial) {
+  // Regression: Value::Compare must be a TOTAL order. NaN doubles used to
+  // compare "equal" to every number, and mixed INT/DOUBLE keys were compared
+  // through a lossy double conversion — either breaks strict-weak-ordering,
+  // and the parallel partition sort + k-way merge can then produce an order
+  // that diverges from the serial sort.
+  const SchemaPtr schema =
+      Schema::Make({{"id", ValueType::kInt}, {"key", ValueType::kDouble}});
+  constexpr size_t kRows = 1500;
+  DQBatch master(schema);
+  Rng rng(17);
+  const double nan = std::nan("");
+  for (size_t i = 0; i < kRows; ++i) {
+    Value key;
+    switch (rng.Uniform(0, 3)) {
+      case 0: key = Value::Double(nan); break;
+      case 1: key = Value::Double(rng.Uniform(0, 20) * 0.5); break;
+      case 2: key = Value::Int(rng.Uniform(0, 10)); break;
+      default: key = Value::Null(); break;
+    }
+    master.Push({Value::Int(static_cast<int64_t>(i)), key},
+                QueryIdSet::FromSorted({0}));
+  }
+
+  SortOp op(schema, {{1, true}, {0, true}});
+  std::vector<OpQuery> queries(1);
+  CycleContext serial_ctx;
+  serial_ctx.read_snapshot = 1;
+  serial_ctx.write_version = 2;
+  std::vector<BatchRef> in0;
+  in0.emplace_back(master);
+  const DQBatch expect = op.RunCycle(std::move(in0), queries, serial_ctx, nullptr);
+
+  // The serial order itself must be sane: NULL first, then numerics
+  // ascending, with every NaN after every non-NaN numeric.
+  bool seen_nan = false;
+  for (size_t i = 0; i < expect.size(); ++i) {
+    const Value& k = expect.tuples[i][1];
+    const bool is_nan = k.type() == ValueType::kDouble && std::isnan(k.AsDouble());
+    if (is_nan) seen_nan = true;
+    ASSERT_FALSE(seen_nan && !is_nan && !k.is_null()) << "row " << i;
+    if (i > 0) {
+      ASSERT_LE(expect.tuples[i - 1][1].Compare(expect.tuples[i][1]), 0)
+          << "row " << i;
+    }
+  }
+  ASSERT_TRUE(seen_nan);
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    CycleContext ctx = serial_ctx;
+    ctx.parallel = &pc;
+    std::vector<BatchRef> in;
+    in.emplace_back(master);
+    const DQBatch got = op.RunCycle(std::move(in), queries, ctx, nullptr);
+    ExpectBatchesIdentical(expect, got, "nan sort w=" + std::to_string(workers));
   }
 }
 

@@ -97,5 +97,35 @@ TEST(PartitionTest, InsertsRouteUpdatesOthersBroadcast) {
   EXPECT_EQ(nines, 21u);
 }
 
+TEST(PartitionTest, ParallelUpdateCountsAreExact) {
+  // Regression: an update op fans out to every partition, and partition
+  // cycles run concurrently under a pool — the op's applied_out counter used
+  // to be shared (a data race). Counts are now accumulated per partition and
+  // summed after the barrier.
+  PartitionedTable pt("t", S(), 0, 4);
+  for (int i = 0; i < 400; ++i) pt.Insert({Value::Int(i), Value::Int(0)}, 1);
+
+  UpdateOp upd;
+  upd.kind = UpdateKind::kUpdate;
+  upd.where = nullptr;  // all 400 rows, spread over all partitions
+  upd.sets = {{1, Expr::Literal(Value::Int(9))}};
+  uint64_t applied = 0;
+  upd.applied_out = &applied;
+  UpdateOp del;
+  del.kind = UpdateKind::kDelete;
+  del.where = Expr::Lt(Expr::Column(0), Expr::Literal(Value::Int(100)));
+  uint64_t deleted = 0;
+  del.applied_out = &deleted;
+
+  TaskPool pool(4);
+  ParallelContext pc;
+  pc.pool = &pool;
+  pc.min_rows_per_task = 16;
+  pt.RunScanCycle({}, {upd, del}, 1, 2, nullptr, &pc);
+  EXPECT_EQ(applied, 400u);
+  EXPECT_EQ(deleted, 100u);
+  EXPECT_EQ(pt.VisibleCount(2), 300u);
+}
+
 }  // namespace
 }  // namespace shareddb
