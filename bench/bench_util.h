@@ -178,7 +178,10 @@ inline double EstimateBaselineCapacity(const BenchArgs& args,
 }
 
 /// Estimated saturation throughput of SharedDB at `cores`: saturated-batch
-/// makespan via the cost model (real execution of the batches).
+/// makespan via the cost model (real execution of the batches). Like the
+/// sims in src/sim, this hand-cranks Engine::RunOneBatch — the low-level
+/// simulation API — because batch time is VIRTUAL (cost-model) here; real
+/// clients go through api::Server (see bench/client_latency.cc).
 inline double EstimateSharedDbCapacity(const BenchArgs& args, int cores,
                                        tpcw::Mix mix,
                                        std::optional<tpcw::WebInteraction> only,

@@ -1,0 +1,118 @@
+// Client-latency bench: end-to-end p50/p95 of blocking Session::Execute
+// under the server's heartbeat driver, at 1 / 8 / 64 concurrent sessions.
+//
+// This measures what a CLIENT sees — queueing for the next generation plus
+// shared batch execution — not per-operator microseconds (micro_shared_ops
+// covers those). More sessions per heartbeat should grow per-batch work
+// sublinearly (shared execution), so per-client latency should degrade far
+// more slowly than the session count.
+//
+// Output (tab-separated, parsed by run_benches.sh into BENCH_micro.json):
+//   client_latency/sessions:N  p50_ns  p95_ns  mean_batch_occupancy
+//
+//   ./build/client_latency [--quick] [--items=N] [--calls=N]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "api/server.h"
+#include "tpcw/global_plan.h"
+#include "tpcw/harness.h"
+
+using namespace shareddb;
+
+namespace {
+
+struct Args {
+  bool quick = false;
+  int items = 2000;
+  int calls_per_session = 200;
+};
+
+int64_t Percentile(std::vector<int64_t>* ns, double p) {
+  if (ns->empty()) return 0;
+  std::sort(ns->begin(), ns->end());
+  const size_t idx = std::min(
+      ns->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(ns->size() - 1) + 0.5));
+  return (*ns)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--quick") == 0) args.quick = true;
+    else if (std::strncmp(a, "--items=", 8) == 0) args.items = std::atoi(a + 8);
+    else if (std::strncmp(a, "--calls=", 8) == 0) {
+      args.calls_per_session = std::atoi(a + 8);
+    }
+  }
+  if (const char* env = std::getenv("SDB_BENCH_QUICK")) {
+    if (env[0] == '1') args.quick = true;
+  }
+  if (args.quick) args.calls_per_session = std::min(args.calls_per_session, 30);
+
+  tpcw::TpcwScale scale;
+  scale.num_items = args.items;
+  scale.num_ebs = 4;
+
+  std::printf("# client_latency — end-to-end Session::Execute under the "
+              "heartbeat driver\n");
+  std::printf("# series\tp50_ns\tp95_ns\tmean_batch_occupancy\n");
+
+  for (const int sessions : {1, 8, 64}) {
+    // Fresh database + server per point: points stay independent.
+    auto db = tpcw::MakeTpcwDatabase(scale, 42);
+    Engine engine(tpcw::BuildTpcwGlobalPlan(&db->catalog));
+    api::Server server(&engine);
+
+    // The light TPC-W point lookup every client issues in closed loop.
+    std::vector<std::vector<int64_t>> lat(static_cast<size_t>(sessions));
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int s = 0; s < sessions; ++s) {
+      threads.emplace_back([&, s] {
+        auto session = server.OpenSession();
+        Rng rng(1000 + static_cast<uint64_t>(s));
+        auto& my_lat = lat[static_cast<size_t>(s)];
+        my_lat.reserve(static_cast<size_t>(args.calls_per_session));
+        for (int c = 0; c < args.calls_per_session; ++c) {
+          const int64_t item = rng.Uniform(0, args.items - 1);
+          const auto t0 = std::chrono::steady_clock::now();
+          const ResultSet rs =
+              session->Execute("item_by_id", {Value::Int(item)});
+          const auto t1 = std::chrono::steady_clock::now();
+          if (!rs.status.ok()) ++failures;
+          my_lat.push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (failures.load() > 0) {
+      std::fprintf(stderr, "client_latency: %d failed calls\n", failures.load());
+      return 1;
+    }
+    server.Pause();  // quiesce so the last heartbeat is recorded
+
+    std::vector<int64_t> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    const int64_t p50 = Percentile(&all, 0.50);
+    const int64_t p95 = Percentile(&all, 0.95);
+    std::printf("client_latency/sessions:%d\t%lld\t%lld\t%.2f\n", sessions,
+                static_cast<long long>(p50), static_cast<long long>(p95),
+                server.stats().MeanBatchOccupancy());
+  }
+  return 0;
+}

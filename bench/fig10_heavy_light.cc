@@ -96,7 +96,9 @@ int main(int argc, char** argv) {
       const double mysql = baseline_ms(MySQLLikeProfile());
       const double sysx = baseline_ms(SystemXLikeProfile());
 
-      // --- SharedDB: one shared batch -------------------------------------
+      // --- SharedDB: one shared batch. Hand-cranked RunOneBatch (the
+      // low-level simulation API) because batch time is virtual here;
+      // real-time client latency lives in bench/client_latency.cc. --------
       SharedDbSut s = SharedDbSut::Make(args, kCores);
       Rng rng(args.seed);
       std::vector<std::future<ResultSet>> fs;

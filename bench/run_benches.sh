@@ -17,8 +17,10 @@
 #
 # The output records one entry per benchmark: {"name", "ns"}. When a previous
 # BENCH_micro.json with "before_ns"/"after_ns" entries exists at the output
-# path it is left as committed history unless you pass --overwrite; a
-# "parallel_sweep" section is appended/refreshed either way.
+# path it is left as committed history unless you pass --overwrite; the
+# "parallel_sweep" and "client_latency" sections are appended/refreshed
+# either way. client_latency runs the Server/Session end-to-end bench
+# (p50/p95 per blocking Execute at 1/8/64 concurrent sessions).
 
 set -euo pipefail
 
@@ -40,7 +42,7 @@ done
 BUILD_DIR="$REPO_ROOT/build-bench"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DSDB_BUILD_TESTS=OFF -DSDB_BUILD_EXAMPLES=OFF >/dev/null
-TARGETS=(micro_shared_ops micro_ablation)
+TARGETS=(micro_shared_ops micro_ablation client_latency)
 if [[ "$WITH_FIG8" == "1" ]]; then TARGETS+=(fig8_core_scaling); fi
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TARGETS[@]}" >/dev/null
 
@@ -50,6 +52,7 @@ trap 'rm -rf "$TMP"' EXIT
     --benchmark_format=json > "$TMP/shared.json" 2>/dev/null
 "$BUILD_DIR/micro_ablation" --benchmark_min_time="$MIN_TIME" \
     --benchmark_format=json > "$TMP/ablation.json" 2>/dev/null
+"$BUILD_DIR/client_latency" | grep -v '^#' > "$TMP/client_latency.tsv"
 
 FIG8_SERIES=""
 if [[ "$WITH_FIG8" == "1" ]]; then
@@ -62,12 +65,26 @@ if [[ "$WITH_FIG8" == "1" ]]; then
 fi
 
 python3 - "$TMP/shared.json" "$TMP/ablation.json" "$OUT" "$OVERWRITE" \
-    "$(printf "%b" "$FIG8_SERIES")" <<'EOF'
+    "$(printf "%b" "$FIG8_SERIES")" "$TMP/client_latency.tsv" <<'EOF'
 import json, sys, datetime
 
 shared, ablation, out_path, overwrite = (
     sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] == "1")
 fig8_raw = sys.argv[5] if len(sys.argv) > 5 else ""
+client_tsv = sys.argv[6] if len(sys.argv) > 6 else ""
+
+client_latency = []
+if client_tsv:
+    with open(client_tsv) as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) != 4:
+                continue
+            series, p50, p95, occ = parts
+            client_latency.append({"name": f"{series}/p50", "ns": float(p50)})
+            client_latency.append({"name": f"{series}/p95", "ns": float(p95)})
+            client_latency.append(
+                {"name": f"{series}/mean_batch_occupancy", "ns": float(occ)})
 
 def load(path):
     with open(path) as f:
@@ -101,6 +118,11 @@ REBIND_NOTE = ("rebind-heavy cycles: same statement mix, fresh params each "
 
 SWEEP_NOTE = "BM_*Parallel arg pairs end in the worker count; 0 = serial path"
 
+CLIENT_NOTE = ("end-to-end blocking Session::Execute (item_by_id) through the "
+               "server heartbeat driver at N closed-loop sessions; "
+               "mean_batch_occupancy is statements per non-empty batch (its "
+               "'ns' field is a plain count, not nanoseconds)")
+
 def kept_note(section, default):
     # A committed section's note may carry hand-written caveats (e.g. the
     # 1-core-container warning) — refreshing the numbers must not clobber it.
@@ -109,7 +131,7 @@ def kept_note(section, default):
     return default
 
 if has_history and not overwrite:
-    # Committed history stays; refresh the parallel sweep + rebind sections.
+    # Committed history stays; refresh the sweep/rebind/client sections.
     existing["parallel_sweep"] = {
         "date": datetime.date.today().isoformat(),
         "note": kept_note("parallel_sweep", SWEEP_NOTE),
@@ -120,10 +142,18 @@ if has_history and not overwrite:
         "note": kept_note("rebind_series", REBIND_NOTE),
         "benchmarks": rebind,
     }
+    if client_latency:
+        existing["client_latency"] = {
+            "date": datetime.date.today().isoformat(),
+            "note": kept_note("client_latency", CLIENT_NOTE),
+            "benchmarks": client_latency,
+        }
     with open(out_path, "w") as f:
         json.dump(existing, f, indent=1)
     print(f"{out_path}: committed history kept; parallel_sweep + rebind_series "
-          f"refreshed ({len(sweep)}+{len(rebind)} series). Full current run:")
+          f"+ client_latency refreshed "
+          f"({len(sweep)}+{len(rebind)}+{len(client_latency)} series). "
+          f"Full current run:")
     for e in entries:
         print(f'  {e["name"]:45s} {e["ns"]:>14} ns')
     sys.exit(0)
@@ -147,6 +177,12 @@ if rebind:
         "date": datetime.date.today().isoformat(),
         "note": kept_note("rebind_series", REBIND_NOTE),
         "benchmarks": rebind,
+    }
+if client_latency:
+    result["client_latency"] = {
+        "date": datetime.date.today().isoformat(),
+        "note": kept_note("client_latency", CLIENT_NOTE),
+        "benchmarks": client_latency,
     }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=1)

@@ -1,12 +1,13 @@
 // Quickstart: build a tiny database, compile a workload of prepared
-// statements into ONE global plan, and execute a batch of concurrent
-// queries with shared computation.
+// statements into ONE global plan, stand up a Server, and execute a batch of
+// concurrent queries with shared computation through client Sessions.
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 
 #include <cstdio>
 
+#include "api/server.h"
 #include "core/engine.h"
 #include "core/plan_builder.h"
 
@@ -62,16 +63,30 @@ int main() {
   Engine engine(builder.Build());
   std::printf("Global plan:\n%s\n", engine.plan().Explain().c_str());
 
-  // 3. Submit a batch of concurrent queries (they queue), then run ONE
-  //    heartbeat: every query is answered by the same shared operators.
-  std::vector<std::future<ResultSet>> results;
-  for (int uid = 0; uid < 20; ++uid) {
-    results.push_back(engine.SubmitNamed("orders_of_user", {Value::Int(uid)}));
-  }
-  results.push_back(engine.SubmitNamed("top_accounts", {Value::Int(3)}));
-  auto update = engine.SubmitNamed("credit", {Value::Int(7), Value::Int(1000)});
+  // 3. Stand up the client-facing Server. Its heartbeat driver thread forms
+  //    and executes batches whenever sessions have statements pending; here
+  //    we start it paused and step one heartbeat by hand so the demo's
+  //    batch composition is deterministic.
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server server(&engine, sopts);
+  std::unique_ptr<api::Session> session = server.OpenSession();
 
-  const BatchReport report = engine.RunOneBatch();
+  // Prepared statements are validated up front (Status, not abort).
+  api::PreparedStatement orders_q;
+  SDB_CHECK(session->Prepare("orders_of_user", &orders_q).ok());
+
+  // Submit a batch of concurrent queries (they queue), then run ONE
+  // heartbeat: every query is answered by the same shared operators.
+  std::vector<api::AsyncResult> results;
+  for (int uid = 0; uid < 20; ++uid) {
+    results.push_back(session->ExecuteAsync(orders_q, {Value::Int(uid)}));
+  }
+  results.push_back(session->ExecuteAsync("top_accounts", {Value::Int(3)}));
+  api::AsyncResult update =
+      session->ExecuteAsync("credit", {Value::Int(7), Value::Int(1000)});
+
+  const BatchReport report = server.StepBatch();
   std::printf("batch #%llu: %zu queries + %zu updates in one cycle\n",
               static_cast<unsigned long long>(report.batch_number),
               report.num_queries, report.num_updates);
@@ -82,19 +97,22 @@ int main() {
               static_cast<unsigned long long>(work.rows_scanned));
 
   for (int uid = 0; uid < 3; ++uid) {
-    const ResultSet rs = results[static_cast<size_t>(uid)].get();
+    const ResultSet rs = results[static_cast<size_t>(uid)].Get();
     std::printf("orders_of_user(%d): %zu rows\n", uid, rs.rows.size());
   }
-  const ResultSet top = results.back().get();
+  const ResultSet top = results.back().Get();
   std::printf("top_accounts(3): best account = %lld\n",
               static_cast<long long>(top.rows.at(0).at(3).AsInt()));
   std::printf("credit(7, +1000): %llu row(s) updated\n",
-              static_cast<unsigned long long>(update.get().update_count));
+              static_cast<unsigned long long>(update.Get().update_count));
 
-  // 4. The update committed with the batch; the next batch reads it.
-  const ResultSet after =
-      engine.ExecuteSyncNamed("orders_of_user", {Value::Int(7)});
-  std::printf("user 7 account after credit: %lld\n",
-              static_cast<long long>(after.rows.at(0).at(3).AsInt()));
+  // 4. The update committed with the batch; the next batch reads it. With
+  //    the driver resumed, a blocking Execute simply rides the next
+  //    heartbeat — this is how real clients run all the time.
+  server.Resume();
+  const ResultSet after = session->Execute("orders_of_user", {Value::Int(7)});
+  std::printf("user 7 account after credit: %lld (waited %llu heartbeat(s))\n",
+              static_cast<long long>(after.rows.at(0).at(3).AsInt()),
+              static_cast<unsigned long long>(after.batches_waited));
   return 0;
 }

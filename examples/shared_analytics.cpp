@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "api/server.h"
 #include "baseline/profiles.h"
 #include "tpcw/global_plan.h"
 #include "tpcw/harness.h"
@@ -22,18 +23,23 @@ int main() {
   std::printf("%-10s  %-22s  %-22s\n", "#queries",
               "SharedDB work (total)", "query-at-a-time work");
   for (const int n : {1, 10, 100, 1000}) {
-    // SharedDB: one batch of n best-sellers queries.
+    // SharedDB: one batch of n best-sellers queries, stepped through a
+    // paused server so all n land in the same generation.
     std::unique_ptr<TpcwDatabase> db = MakeTpcwDatabase(scale, 42);
     Engine engine(BuildTpcwGlobalPlan(&db->catalog));
+    api::ServerOptions sopts;
+    sopts.start_paused = true;
+    api::Server server(&engine, sopts);
+    std::unique_ptr<api::Session> session = server.OpenSession();
     Rng rng(7);
-    std::vector<std::future<ResultSet>> fs;
+    std::vector<api::AsyncResult> fs;
     for (int i = 0; i < n; ++i) {
-      fs.push_back(engine.SubmitNamed(
+      fs.push_back(session->ExecuteAsync(
           "best_sellers",
           {Value::Int(rng.Uniform(0, 23)), Value::Int(kTodayDay - 60)}));
     }
-    const BatchReport report = engine.RunOneBatch();
-    for (auto& f : fs) f.get();
+    const BatchReport report = server.StepBatch();
+    for (auto& f : fs) f.Get();
     const uint64_t shared_work = report.TotalWork().Total();
 
     // Query-at-a-time: the same n queries, one at a time.

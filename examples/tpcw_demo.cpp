@@ -26,7 +26,10 @@ int main(int argc, char** argv) {
   std::printf("global plan: %zu shared operators for %zu prepared statements\n\n",
               engine.plan().num_nodes(), engine.plan().num_statements());
 
-  SharedDbConnection conn(&engine);
+  // The server's heartbeat driver batches every statement this connection
+  // (and any concurrent one) submits.
+  api::Server server(&engine);
+  SharedDbConnection conn(&server);
   EbState eb;
   eb.customer_id = 7;
   Rng rng(123);
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(eb.last_order_id));
 
   // The heavy analytical query, answered from the same always-on plan.
-  const ResultSet best = engine.ExecuteSyncNamed(
+  const ResultSet best = conn.session()->Execute(
       "best_sellers", {Value::Int(3), Value::Int(kTodayDay - 60)});
   std::printf("best_sellers(subject=3, last 60 days): %zu items, top seller: %s\n",
               best.rows.size(),

@@ -1,0 +1,153 @@
+#include "api/server.h"
+
+namespace shareddb {
+namespace api {
+
+Server::Server(Engine* engine, ServerOptions options)
+    : engine_(engine), options_(options) {
+  SDB_CHECK(engine_ != nullptr);
+  paused_ = options_.start_paused;
+  driver_ = std::thread([this] { DriverLoop(); });
+}
+
+Server::Server(std::unique_ptr<Engine> engine, ServerOptions options)
+    : Server(engine.get(), options) {
+  owned_engine_ = std::move(engine);
+}
+
+Server::~Server() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (driver_.joinable()) driver_.join();
+}
+
+std::unique_ptr<Session> Server::OpenSession() {
+  return std::unique_ptr<Session>(new Session(this));
+}
+
+std::future<ResultSet> Server::Submit(StatementId statement,
+                                      std::vector<Value> params,
+                                      Engine::CancelFlag cancel) {
+  std::future<ResultSet> f =
+      engine_->Submit(statement, std::move(params), std::move(cancel));
+  NudgeDriver();
+  return f;
+}
+
+std::future<ResultSet> Server::SubmitNamed(const std::string& name,
+                                           std::vector<Value> params,
+                                           Engine::CancelFlag cancel) {
+  std::future<ResultSet> f =
+      engine_->SubmitNamed(name, std::move(params), std::move(cancel));
+  NudgeDriver();
+  return f;
+}
+
+void Server::NudgeDriver() {
+  {
+    std::lock_guard lock(mu_);
+    work_pending_ = true;
+  }
+  wake_cv_.notify_one();
+}
+
+void Server::DriverLoop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    idle_cv_.notify_all();  // parked (or between heartbeats)
+    // !running_ matters: a StepBatch may still be executing if Resume()
+    // raced it — the engine requires serialized RunOneBatch callers.
+    wake_cv_.wait(lock, [this] {
+      return stop_ || (!paused_ && work_pending_ && !running_);
+    });
+    if (stop_) return;
+    if (options_.min_batch_window.count() > 0) {
+      // Gather window: let concurrently arriving clients join this
+      // generation. Interrupted only by stop/pause; arrivals just queue.
+      const auto deadline =
+          std::chrono::steady_clock::now() + options_.min_batch_window;
+      wake_cv_.wait_until(lock, deadline, [this] { return stop_ || paused_; });
+      if (stop_) return;
+      // Park again on pause (work_pending_ stays set for Resume()) or if a
+      // StepBatch snuck in during the window.
+      if (paused_ || running_) continue;
+    }
+    work_pending_ = false;
+    running_ = true;
+    lock.unlock();
+    const BatchReport report =
+        engine_->RunOneBatch(options_.max_admissions_per_batch);
+    lock.lock();
+    running_ = false;
+    RecordLocked(report);
+    // Admission overflow seeds the next generation without a new arrival.
+    if (report.num_spilled > 0) work_pending_ = true;
+  }
+}
+
+void Server::Pause() {
+  std::unique_lock lock(mu_);
+  paused_ = true;
+  wake_cv_.notify_all();  // break out of a gather window
+  idle_cv_.wait(lock, [this] { return !running_; });
+}
+
+void Server::Resume() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = false;
+    if (engine_->PendingCount() > 0) work_pending_ = true;
+  }
+  wake_cv_.notify_all();
+}
+
+bool Server::paused() const {
+  std::lock_guard lock(mu_);
+  return paused_;
+}
+
+BatchReport Server::StepBatch() {
+  std::unique_lock lock(mu_);
+  SDB_CHECK(paused_);  // the driver must be parked; see Pause()
+  idle_cv_.wait(lock, [this] { return !running_; });
+  SDB_CHECK(paused_);  // a concurrent Resume() during StepBatch is misuse
+  running_ = true;
+  lock.unlock();
+  const BatchReport report =
+      engine_->RunOneBatch(options_.max_admissions_per_batch);
+  lock.lock();
+  running_ = false;
+  RecordLocked(report);
+  idle_cv_.notify_all();
+  // A Resume() issued mid-step parked the driver on !running_; re-wake it.
+  wake_cv_.notify_all();
+  return report;
+}
+
+void Server::RecordLocked(const BatchReport& report) {
+  last_report_ = report;
+  stats_.statements_cancelled += report.num_cancelled;
+  if (report.num_admitted > 0) {
+    ++stats_.batches;
+    stats_.statements_admitted += report.num_admitted;
+    stats_.statements_spilled += report.num_spilled;
+    stats_.max_batch_occupancy =
+        std::max<uint64_t>(stats_.max_batch_occupancy, report.num_admitted);
+  }
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+BatchReport Server::last_report() const {
+  std::lock_guard lock(mu_);
+  return last_report_;
+}
+
+}  // namespace api
+}  // namespace shareddb

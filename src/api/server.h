@@ -1,0 +1,137 @@
+// Server: the client-facing front-end of SharedDB.
+//
+// The paper's engine is a continuously beating heart (§3.2): "while one
+// batch of queries and updates is processed, newly arriving queries and
+// updates are queued". The Server owns that heartbeat: a background driver
+// thread forms and executes batches whenever statements are pending (parking
+// on a condvar when idle), so N concurrent Sessions sharing one generation
+// is the DEFAULT execution mode — not something callers hand-crank with
+// Engine::RunOneBatch().
+//
+// Batch-formation policy knobs (ServerOptions):
+//  - max_admissions_per_batch: overload protection; the overflow spills to
+//    the next generation in FIFO order and is counted per call.
+//  - min_batch_window: after work arrives, wait briefly so concurrent
+//    clients join the same generation (trades a little latency for more
+//    sharing; 0 = form immediately).
+//
+// Control plane: Pause()/StepBatch()/Resume() quiesce the driver and run
+// single deterministic heartbeats — the supported way for tests and admin
+// tooling to pin down exact batch composition.
+
+#ifndef SHAREDDB_API_SERVER_H_
+#define SHAREDDB_API_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "api/session.h"
+#include "core/engine.h"
+
+namespace shareddb {
+namespace api {
+
+/// Heartbeat / batch-formation policy.
+struct ServerOptions {
+  /// Max statements admitted per heartbeat; the overflow spills to the next
+  /// generation (0 = unlimited).
+  size_t max_admissions_per_batch = 0;
+  /// After the first pending arrival, wait this long before forming the
+  /// batch so concurrently submitting sessions share the generation
+  /// (0 = form immediately; run-when-pending).
+  std::chrono::microseconds min_batch_window{0};
+  /// Start with the driver parked (Resume() or StepBatch() drives it).
+  bool start_paused = false;
+};
+
+/// The server facade: owns the heartbeat driver over an Engine and hands
+/// out Sessions. All sessions of one server share every batch.
+class Server {
+ public:
+  /// Non-owning: `engine` must outlive the server (declare the server after
+  /// the engine). The server's driver thread becomes the only
+  /// RunOneBatch caller; do not crank the engine manually while it runs.
+  explicit Server(Engine* engine, ServerOptions options = {});
+  /// Owning convenience.
+  explicit Server(std::unique_ptr<Engine> engine, ServerOptions options = {});
+  ~Server();  // stops the driver (pending futures stay unfulfilled)
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Engine* engine() const { return engine_; }
+
+  /// Opens a client session. One per client thread; the handle must not
+  /// outlive the server.
+  std::unique_ptr<Session> OpenSession();
+
+  // --- driver control (quiesce / deterministic stepping) ---------------------
+  /// Parks the driver between heartbeats; returns once no batch is running.
+  /// Blocking Session::Execute calls deadlock while paused — use
+  /// ExecuteAsync + StepBatch for deterministic batch composition.
+  void Pause();
+  /// Restarts the driver (pending work is picked up immediately).
+  void Resume();
+  bool paused() const;
+  /// Runs exactly one heartbeat on the caller's thread. Requires Pause().
+  BatchReport StepBatch();
+
+  /// Aggregate admission telemetry over all heartbeats that admitted work.
+  struct Stats {
+    uint64_t batches = 0;  // heartbeats that admitted >= 1 statement
+    uint64_t statements_admitted = 0;
+    uint64_t statements_spilled = 0;    // spill events summed over formations
+    uint64_t statements_cancelled = 0;  // drained before admission
+    uint64_t max_batch_occupancy = 0;
+
+    /// Mean statements per non-empty batch: > 1 means clients actually
+    /// shared generations.
+    double MeanBatchOccupancy() const {
+      return batches > 0
+                 ? static_cast<double>(statements_admitted) /
+                       static_cast<double>(batches)
+                 : 0.0;
+    }
+  };
+  Stats stats() const;
+  /// Thread-safe copy of the most recent heartbeat's report.
+  BatchReport last_report() const;
+
+ private:
+  friend class Session;
+  friend class AsyncResult;
+
+  std::future<ResultSet> Submit(StatementId statement, std::vector<Value> params,
+                                Engine::CancelFlag cancel);
+  std::future<ResultSet> SubmitNamed(const std::string& name,
+                                     std::vector<Value> params,
+                                     Engine::CancelFlag cancel);
+  /// Wakes the driver for new work (submission or cancellation flush).
+  void NudgeDriver();
+  void DriverLoop();
+  void RecordLocked(const BatchReport& report);
+
+  Engine* engine_;
+  std::unique_ptr<Engine> owned_engine_;
+  const ServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_cv_;  // wakes the driver (work / stop / resume)
+  std::condition_variable idle_cv_;  // signals "no batch running"
+  bool stop_ = false;
+  bool paused_ = false;
+  bool work_pending_ = false;
+  bool running_ = false;  // a heartbeat is executing right now
+  Stats stats_;
+  BatchReport last_report_;
+
+  std::thread driver_;  // last member: starts after everything above exists
+};
+
+}  // namespace api
+}  // namespace shareddb
+
+#endif  // SHAREDDB_API_SERVER_H_

@@ -1,0 +1,101 @@
+#include "api/session.h"
+
+#include "api/server.h"
+#include "core/plan.h"
+
+namespace shareddb {
+namespace api {
+
+ResultSet AsyncResult::Get() {
+  SDB_CHECK(future_.valid());
+  return future_.get();
+}
+
+bool AsyncResult::WaitFor(std::chrono::milliseconds timeout) const {
+  SDB_CHECK(future_.valid());
+  return future_.wait_for(timeout) == std::future_status::ready;
+}
+
+ResultSet AsyncResult::GetWithDeadline(
+    std::chrono::steady_clock::time_point deadline) {
+  SDB_CHECK(future_.valid());
+  if (future_.wait_until(deadline) == std::future_status::ready) {
+    return future_.get();
+  }
+  Cancel();
+  return future_.get();
+}
+
+void AsyncResult::Cancel() {
+  if (cancel_ == nullptr) return;
+  cancel_->store(true, std::memory_order_release);
+  // Flush heartbeat: an otherwise-idle driver must still drain the entry so
+  // Get() observes the Aborted status promptly.
+  if (server_ != nullptr) server_->NudgeDriver();
+}
+
+Status Session::Prepare(const std::string& name, PreparedStatement* out) {
+  SDB_CHECK(out != nullptr);
+  const StatementDef* def = server_->engine()->plan().FindStatement(name);
+  if (def == nullptr) {
+    out->valid_ = false;
+    return Status::NotFound("unknown statement '" + name + "'");
+  }
+  out->id_ = def->id;
+  out->name_ = name;
+  out->valid_ = true;
+  return Status::OK();
+}
+
+ResultSet Session::Finish(std::future<ResultSet> f) {
+  ResultSet rs = f.get();
+  ++stats_.statements;
+  stats_.batches_waited += rs.batches_waited;
+  stats_.admission_spills += rs.admission_spills;
+  return rs;
+}
+
+ResultSet Session::Execute(const PreparedStatement& stmt,
+                           std::vector<Value> params) {
+  if (!stmt.valid()) {
+    ResultSet rs;
+    rs.status = Status::InvalidArgument("invalid prepared statement");
+    return rs;
+  }
+  return Finish(server_->Submit(stmt.id(), std::move(params), nullptr));
+}
+
+ResultSet Session::Execute(const std::string& name, std::vector<Value> params) {
+  return Finish(server_->SubmitNamed(name, std::move(params), nullptr));
+}
+
+AsyncResult Session::ExecuteAsync(const PreparedStatement& stmt,
+                                  std::vector<Value> params) {
+  AsyncResult r;
+  r.server_ = server_;
+  if (!stmt.valid()) {
+    std::promise<ResultSet> promise;
+    ResultSet rs;
+    rs.status = Status::InvalidArgument("invalid prepared statement");
+    promise.set_value(std::move(rs));
+    r.future_ = promise.get_future();
+    return r;
+  }
+  r.cancel_ = std::make_shared<std::atomic<bool>>(false);
+  r.future_ = server_->Submit(stmt.id(), std::move(params), r.cancel_);
+  ++stats_.statements;
+  return r;
+}
+
+AsyncResult Session::ExecuteAsync(const std::string& name,
+                                  std::vector<Value> params) {
+  AsyncResult r;
+  r.server_ = server_;
+  r.cancel_ = std::make_shared<std::atomic<bool>>(false);
+  r.future_ = server_->SubmitNamed(name, std::move(params), r.cancel_);
+  ++stats_.statements;
+  return r;
+}
+
+}  // namespace api
+}  // namespace shareddb

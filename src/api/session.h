@@ -1,0 +1,126 @@
+// Session: one client's handle onto a running SharedDB server.
+//
+// Sessions are cheap per-client objects; every statement they execute rides
+// the next shared batch formed by the server's heartbeat driver, together
+// with the statements of every OTHER session — that concurrency is the whole
+// point of shared execution ("pay one, get hundreds for free"). A session is
+// not itself thread-safe: each client thread opens its own.
+
+#ifndef SHAREDDB_API_SESSION_H_
+#define SHAREDDB_API_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+
+namespace shareddb {
+namespace api {
+
+class Server;
+
+/// A validated handle to a prepared statement of the global plan. Obtained
+/// from Session::Prepare; a default-constructed handle is invalid and every
+/// Execute on it returns an InvalidArgument ResultSet.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  bool valid() const { return valid_; }
+  StatementId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Session;
+  StatementId id_ = 0;
+  std::string name_;
+  bool valid_ = false;
+};
+
+/// Handle to one in-flight asynchronous execution. Move-only.
+class AsyncResult {
+ public:
+  AsyncResult() = default;
+  AsyncResult(AsyncResult&&) = default;
+  AsyncResult& operator=(AsyncResult&&) = default;
+
+  bool valid() const { return future_.valid(); }
+
+  /// Blocks until the statement's batch has committed (or the statement
+  /// erred / was cancelled — see ResultSet.status). Consumes the handle's
+  /// result: call at most once.
+  ResultSet Get();
+
+  /// Waits up to `timeout`; true if the result is ready.
+  bool WaitFor(std::chrono::milliseconds timeout) const;
+
+  /// Blocks until ready or `deadline`. On expiry requests best-effort
+  /// cancellation and then waits for the terminal result: an Aborted-status
+  /// ResultSet if the statement had not been admitted yet, or the real
+  /// result if cancellation raced admission. Requires a running driver to
+  /// flush the cancellation — on a paused server the terminal wait lasts
+  /// until the next StepBatch()/Resume() (pausing is a control-plane action
+  /// by the same caller; an implicit flush would steal the composition of
+  /// the batch the pause is protecting).
+  ResultSet GetWithDeadline(std::chrono::steady_clock::time_point deadline);
+
+  /// Best-effort cancel: a statement not yet admitted into a batch is
+  /// drained with an Aborted status when batch formation reaches it; once
+  /// admitted it runs to completion and Get() returns the real result.
+  void Cancel();
+
+ private:
+  friend class Session;
+  std::future<ResultSet> future_;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+  Server* server_ = nullptr;
+};
+
+/// A client connection. All statement execution is Status-first: errors
+/// (unknown statement, invalid handle, cancellation) arrive in
+/// ResultSet.status, never as an abort.
+class Session {
+ public:
+  /// Validates `name` against the global plan. NotFound for unknown names.
+  Status Prepare(const std::string& name, PreparedStatement* out);
+
+  /// Blocking execution: submits into the server's admission queue and
+  /// waits for the shared batch that carries it. Do not call while the
+  /// server is paused (use ExecuteAsync + Server::StepBatch there).
+  ResultSet Execute(const PreparedStatement& stmt, std::vector<Value> params);
+  /// Convenience: prepare-by-name + execute; unknown names surface NotFound.
+  ResultSet Execute(const std::string& name, std::vector<Value> params);
+
+  /// Non-blocking execution: returns a handle with deadline/cancel
+  /// semantics. The result is fulfilled by the heartbeat driver.
+  AsyncResult ExecuteAsync(const PreparedStatement& stmt,
+                           std::vector<Value> params);
+  AsyncResult ExecuteAsync(const std::string& name, std::vector<Value> params);
+
+  /// Per-session telemetry, accumulated from the ResultSets of blocking
+  /// Executes (async results carry their own telemetry).
+  struct Stats {
+    uint64_t statements = 0;        // statements submitted (sync + async)
+    uint64_t batches_waited = 0;    // summed over blocking Executes
+    uint64_t admission_spills = 0;  // summed over blocking Executes
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class Server;
+  explicit Session(Server* server) : server_(server) {}
+
+  ResultSet Finish(std::future<ResultSet> f);
+
+  Server* server_;
+  Stats stats_;
+};
+
+}  // namespace api
+}  // namespace shareddb
+
+#endif  // SHAREDDB_API_SESSION_H_

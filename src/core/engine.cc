@@ -78,13 +78,34 @@ void Engine::InstallWal() {
   }
 }
 
+namespace {
+
+/// A ready future carrying only an error status (invalid submissions never
+/// enter the queue; the error path is ResultSet.status, not an abort).
+std::future<ResultSet> ErrorFuture(Status status) {
+  std::promise<ResultSet> promise;
+  ResultSet rs;
+  rs.status = std::move(status);
+  promise.set_value(std::move(rs));
+  return promise.get_future();
+}
+
+}  // namespace
+
 std::future<ResultSet> Engine::Submit(StatementId statement,
-                                      std::vector<Value> params) {
-  SDB_CHECK(statement < plan_->num_statements());
+                                      std::vector<Value> params,
+                                      CancelFlag cancel) {
+  if (statement >= plan_->num_statements()) {
+    return ErrorFuture(Status::InvalidArgument(
+        "statement id " + std::to_string(statement) + " out of range"));
+  }
   Pending p;
   p.statement = statement;
   p.params = std::move(params);
   p.update_count = std::make_unique<uint64_t>(0);
+  p.cancel = std::move(cancel);
+  p.submit_time = std::chrono::steady_clock::now();
+  p.submit_batch = batch_number_.load(std::memory_order_acquire);
   std::future<ResultSet> f = p.promise.get_future();
   {
     std::lock_guard lock(mu_);
@@ -94,13 +115,13 @@ std::future<ResultSet> Engine::Submit(StatementId statement,
 }
 
 std::future<ResultSet> Engine::SubmitNamed(const std::string& name,
-                                           std::vector<Value> params) {
+                                           std::vector<Value> params,
+                                           CancelFlag cancel) {
   const StatementDef* def = plan_->FindStatement(name);
   if (def == nullptr) {
-    std::fprintf(stderr, "Engine: unknown statement '%s'\n", name.c_str());
-    std::abort();
+    return ErrorFuture(Status::NotFound("unknown statement '" + name + "'"));
   }
-  return Submit(def->id, std::move(params));
+  return Submit(def->id, std::move(params), std::move(cancel));
 }
 
 size_t Engine::PendingCount() const {
@@ -119,17 +140,52 @@ Engine::PredicateCacheStats Engine::predicate_cache_stats() const {
   return s;
 }
 
-BatchReport Engine::RunOneBatch() {
+BatchReport Engine::RunOneBatch(size_t max_admissions) {
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<Pending> batch;
+  std::vector<Pending> cancelled;
+  size_t queue_depth = 0;
+  size_t spilled = 0;
   {
+    // Formation touches only the admitted prefix (O(admitted + cancelled)),
+    // so a deep backlog under a small cap drains without quadratic rebuilds
+    // of the queue; the overflow simply stays where it is.
     std::lock_guard lock(mu_);
-    batch.swap(pending_);
+    queue_depth = pending_.size();
+    while (!pending_.empty() &&
+           (max_admissions == 0 || batch.size() < max_admissions)) {
+      Pending& p = pending_.front();
+      if (p.cancel != nullptr && p.cancel->load(std::memory_order_acquire)) {
+        cancelled.push_back(std::move(p));
+      } else {
+        batch.push_back(std::move(p));
+      }
+      pending_.pop_front();
+    }
+    spilled = pending_.size();
   }
 
   BatchReport report;
-  report.batch_number = ++batch_number_;
+  report.batch_number = batch_number_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  report.queue_depth_at_formation = queue_depth;
+  report.num_admitted = batch.size();
+  report.num_spilled = spilled;
+  report.num_cancelled = cancelled.size();
   report.node_stats.assign(plan_->num_nodes(), WorkStats{});
+
+  const auto queued_ms = [&t0](const Pending& p) {
+    return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+               t0 - p.submit_time)
+        .count();
+  };
+  for (Pending& p : cancelled) {
+    ResultSet rs;
+    rs.status = Status::Aborted("cancelled before admission");
+    rs.queue_ms = queued_ms(p);
+    rs.batches_waited = report.batch_number - p.submit_batch;
+    rs.admission_spills = rs.batches_waited - 1;
+    p.promise.set_value(std::move(rs));
+  }
 
   Catalog* cat = plan_->catalog();
   BatchInput in;
@@ -217,10 +273,18 @@ BatchReport Engine::RunOneBatch() {
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
           .count();
 
+  const auto fill_telemetry = [&](ResultSet* rs, const Pending& p) {
+    rs->exec_ms = report.exec_ms;
+    rs->queue_ms = queued_ms(p);
+    rs->batches_waited = report.batch_number - p.submit_batch;
+    // Every heartbeat between submission and fulfillment necessarily passed
+    // the entry over at formation, so no per-entry counter is needed.
+    rs->admission_spills = rs->batches_waited - 1;
+  };
   for (const QueryRouting& r : routings) {
     ResultSet rs;
     rs.schema = r.schema;
-    rs.exec_ms = report.exec_ms;
+    fill_telemetry(&rs, batch[r.pending_index]);
     const auto it = out.outputs.find(r.root);
     if (it != out.outputs.end()) {
       rs.rows = it->second.RowsFor(r.qid);
@@ -232,13 +296,13 @@ BatchReport Engine::RunOneBatch() {
     if (stmt.is_query) continue;
     ResultSet rs;
     rs.update_count = *batch[i].update_count;
-    rs.exec_ms = report.exec_ms;
+    fill_telemetry(&rs, batch[i]);
     batch[i].promise.set_value(std::move(rs));
   }
 
   // --- maintenance ------------------------------------------------------------
   if (options_.vacuum_interval > 0 &&
-      batch_number_ % static_cast<uint64_t>(options_.vacuum_interval) == 0) {
+      report.batch_number % static_cast<uint64_t>(options_.vacuum_interval) == 0) {
     const Version horizon = cat->snapshots().ReadSnapshot();
     for (size_t i = 0; i < cat->NumTables(); ++i) {
       cat->TableById(i)->Vacuum(horizon);

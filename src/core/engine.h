@@ -15,6 +15,9 @@
 #ifndef SHAREDDB_CORE_ENGINE_H_
 #define SHAREDDB_CORE_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -73,6 +76,11 @@ struct BatchReport {
   size_t num_queries = 0;
   size_t num_updates = 0;
   double exec_ms = 0;
+  // Admission control (batch formation):
+  size_t queue_depth_at_formation = 0;  // pending statements when formed
+  size_t num_admitted = 0;              // statements admitted (queries+updates)
+  size_t num_spilled = 0;               // left queued for the next generation
+  size_t num_cancelled = 0;  // drained by cancellation as formation reached them
   std::vector<WorkStats> node_stats;  // indexed by node id
   std::vector<WorkStats> unit_stats;  // per (node, replica); see BatchOutput
 
@@ -129,29 +137,50 @@ class Engine {
   const GlobalPlan& plan() const { return *plan_; }
   Catalog* catalog() const { return plan_->catalog(); }
 
-  /// Enqueues a statement instance for the next batch.
-  std::future<ResultSet> Submit(StatementId statement, std::vector<Value> params);
+  /// Best-effort cancellation token: set it before the statement is admitted
+  /// into a batch and the next formation drains the entry with an Aborted
+  /// status instead of executing it (once admitted, it runs to completion).
+  using CancelFlag = std::shared_ptr<std::atomic<bool>>;
 
-  /// Submit by statement name (aborts on unknown name).
+  /// Enqueues a statement instance for the next batch. Submitting is
+  /// thread-safe (clients submit while a batch executes; that is the
+  /// heartbeat model). An out-of-range id yields a ready future whose
+  /// ResultSet carries an InvalidArgument status.
+  std::future<ResultSet> Submit(StatementId statement, std::vector<Value> params,
+                                CancelFlag cancel = nullptr);
+
+  /// Submit by statement name. An unknown name yields a ready future whose
+  /// ResultSet carries a NotFound status (no abort).
   std::future<ResultSet> SubmitNamed(const std::string& name,
-                                     std::vector<Value> params);
+                                     std::vector<Value> params,
+                                     CancelFlag cancel = nullptr);
 
   /// Number of queued (unbatched) statement instances.
   size_t PendingCount() const;
 
-  /// Runs one heartbeat: drains the queue, executes the batch through the
-  /// global plan, commits, and fulfills the futures. Returns the report.
-  /// A batch with no pending statements is a no-op heartbeat.
-  BatchReport RunOneBatch();
+  /// Runs one heartbeat: drains the queue (up to `max_admissions`
+  /// statements; 0 = all — the overflow spills to the next generation in
+  /// FIFO order), executes the batch through the global plan, commits, and
+  /// fulfills the futures. Returns the report. A batch with no pending
+  /// statements is a no-op heartbeat.
+  ///
+  /// This is the low-level testing/simulation API: calls must be serialized
+  /// by the caller. Production clients go through api::Server, whose
+  /// heartbeat driver thread is the single caller.
+  BatchReport RunOneBatch(size_t max_admissions = 0);
 
   /// Convenience for tests/examples: Submit + RunOneBatch + get.
   ResultSet ExecuteSync(StatementId statement, std::vector<Value> params);
   ResultSet ExecuteSyncNamed(const std::string& name, std::vector<Value> params);
 
-  /// Report of the most recent batch.
+  /// Report of the most recent batch. Only meaningful when RunOneBatch
+  /// callers and readers are externally synchronized (api::Server keeps its
+  /// own mutex-guarded copy for concurrent readers).
   const BatchReport& last_report() const { return last_report_; }
 
-  uint64_t batches_run() const { return batch_number_; }
+  uint64_t batches_run() const {
+    return batch_number_.load(std::memory_order_acquire);
+  }
 
   /// The engine's shared worker pool (null when running serial).
   TaskPool* task_pool() const { return task_pool_.get(); }
@@ -175,6 +204,9 @@ class Engine {
     std::vector<Value> params;
     std::promise<ResultSet> promise;
     std::unique_ptr<uint64_t> update_count;  // stable address for applied_out
+    CancelFlag cancel;                       // may be null
+    std::chrono::steady_clock::time_point submit_time;
+    uint64_t submit_batch = 0;  // batches_run() at submission
   };
 
   void InstallWal();
@@ -188,9 +220,9 @@ class Engine {
   std::unique_ptr<class WalTableLogger> wal_logger_;
 
   mutable std::mutex mu_;
-  std::vector<Pending> pending_;
+  std::deque<Pending> pending_;  // FIFO; formation pops admitted from the front
 
-  uint64_t batch_number_ = 0;
+  std::atomic<uint64_t> batch_number_{0};
   BatchReport last_report_;
 };
 

@@ -34,6 +34,10 @@ struct OpQuery {
 };
 
 /// Result of one query or update statement.
+///
+/// `status` is the error path of the whole front-end: unknown statement
+/// names, invalid prepared statements and pre-admission cancellations all
+/// surface here (rows/update_count are then empty). Callers must check it.
 struct ResultSet {
   Status status;
   SchemaPtr schema;
@@ -41,6 +45,9 @@ struct ResultSet {
   uint64_t update_count = 0;  // for DML
   double queue_ms = 0;        // time spent queued before the batch started
   double exec_ms = 0;         // batch execution time
+  // Per-call admission telemetry (filled by the engine at fulfillment):
+  uint64_t batches_waited = 0;    // heartbeats between submission and result
+  uint64_t admission_spills = 0;  // times spilled to a later generation
 };
 
 /// The union of all active query ids at one node (used to mask annotations).

@@ -45,7 +45,12 @@ LoadResult SharedDbLoadSim::Run(const ClientConfig& config) {
                 i});
   }
 
-  std::vector<int> pending;  // EBs whose next statement joins the next batch
+  std::vector<int> ready;  // EBs whose next statement joins the next batch
+  struct InFlight {
+    int eb;
+    std::future<ResultSet> done;
+  };
+  std::vector<InFlight> in_flight;  // submitted, not yet admitted+executed
   double now = 0;
   const double end = config.duration_seconds;
 
@@ -56,40 +61,51 @@ LoadResult SharedDbLoadSim::Run(const ClientConfig& config) {
       wakes.pop();
       BeginInteraction(&ebs[eb], config, db_->scale, &db_->ids, now,
                        config.warmup_seconds);
-      pending.push_back(eb);
+      ready.push_back(eb);
     }
-    if (pending.empty()) {
+    if (ready.empty() && in_flight.empty()) {
       if (wakes.empty()) break;
       now = wakes.top().first;  // idle until the next client arrives
       continue;
     }
 
-    // Form and execute one batch: the next statement of every pending EB.
-    for (const int eb : pending) {
+    // Submit the next statement of every EB without one in flight; a
+    // statement spilled by the admission cap stays queued and must NOT be
+    // resubmitted — its future completes in a later generation.
+    for (const int eb : ready) {
       EbRuntimeState& st = ebs[eb];
       SDB_CHECK(st.next_call < st.calls.size());
       const tpcw::StatementCall& call = st.calls[st.next_call];
-      engine_->SubmitNamed(call.statement, call.params);
+      in_flight.push_back({eb, engine_->SubmitNamed(call.statement, call.params)});
     }
-    const BatchReport report = engine_->RunOneBatch();
+    ready.clear();
+    const BatchReport report =
+        engine_->RunOneBatch(options_.max_admissions_per_batch);
     ++batches_;
     now += BatchSeconds(report);
 
-    // Statements complete at batch end; EBs advance.
-    std::vector<int> still_pending;
-    for (const int eb : pending) {
-      EbRuntimeState& st = ebs[eb];
+    // Admitted statements complete at batch end; their EBs advance. Spilled
+    // ones ride the next generation.
+    std::vector<InFlight> still_queued;
+    for (InFlight& f : in_flight) {
+      if (f.done.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        still_queued.push_back(std::move(f));
+        continue;
+      }
+      f.done.get();
+      EbRuntimeState& st = ebs[f.eb];
       ++st.next_call;
       if (st.next_call < st.calls.size()) {
-        still_pending.push_back(eb);  // next statement joins the next batch
+        ready.push_back(f.eb);  // next statement joins the next batch
       } else {
         RecordInteraction(&result, st, now);
         const double think = tpcw::SampleThinkTimeSeconds(&st.rng) *
                              config.think_time_scale;
-        wakes.push({now + think, eb});
+        wakes.push({now + think, f.eb});
       }
     }
-    pending.swap(still_pending);
+    in_flight.swap(still_queued);
   }
 
   result.duration_seconds = end - config.warmup_seconds;
@@ -121,6 +137,7 @@ OpenLoopResult SharedDbLoadSim::RunOpenLoop(
   struct PendingCall {
     size_t stream;
     double submit_time;
+    std::future<ResultSet> done;
   };
   std::vector<PendingCall> pending;
   double now = 0;
@@ -133,8 +150,8 @@ OpenLoopResult SharedDbLoadSim::RunOpenLoop(
       if (a.time < duration_seconds) {
         const tpcw::StatementCall call =
             streams[a.stream].make_call(&stream_rngs[a.stream]);
-        engine_->SubmitNamed(call.statement, call.params);
-        pending.push_back({a.stream, a.time});
+        pending.push_back(
+            {a.stream, a.time, engine_->SubmitNamed(call.statement, call.params)});
         ++result.streams[a.stream].issued;
         arrivals.push({a.time + rng.Exponential(1.0 / streams[a.stream].rate_per_second),
                        a.stream});
@@ -145,17 +162,27 @@ OpenLoopResult SharedDbLoadSim::RunOpenLoop(
       now = arrivals.top().time;
       continue;
     }
-    const BatchReport report = engine_->RunOneBatch();
+    const BatchReport report =
+        engine_->RunOneBatch(options_.max_admissions_per_batch);
     ++batches_;
     now += BatchSeconds(report);
-    for (const PendingCall& pc : pending) {
+    // Statements the admission cap spilled stay pending into the next
+    // generation; only admitted ones complete at this batch end.
+    std::vector<PendingCall> still_queued;
+    for (PendingCall& pc : pending) {
+      if (pc.done.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        still_queued.push_back(std::move(pc));
+        continue;
+      }
+      pc.done.get();
       const double latency = now - pc.submit_time;
       OpenLoopResult::PerStream& s = result.streams[pc.stream];
       s.sum_latency += latency;
       if (latency <= streams[pc.stream].timeout_seconds) ++s.completed_in_time;
     }
-    pending.clear();
-    if (now >= duration_seconds) break;
+    pending.swap(still_queued);
+    if (now >= duration_seconds && pending.empty()) break;
   }
   return result;
 }

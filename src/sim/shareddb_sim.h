@@ -30,6 +30,11 @@ struct SharedDbSimOptions {
   /// queue turnover). Adds the paper's batching latency (§3.5: worst case
   /// one cycle of queueing + one cycle of processing).
   double min_heartbeat_seconds = 0.02;
+  /// Admission cap per heartbeat, mirroring
+  /// api::ServerOptions::max_admissions_per_batch (0 = unlimited). Spilled
+  /// statements stay queued in the engine and complete in a later
+  /// generation; the sim tracks completion through the statement futures.
+  size_t max_admissions_per_batch = 0;
 };
 
 /// One fixed-rate statement stream (open-loop mode).
@@ -59,6 +64,13 @@ struct OpenLoopResult {
 };
 
 /// Batch-driven co-simulation of SharedDB under client load.
+///
+/// The sim deliberately drives Engine::SubmitNamed + RunOneBatch — the
+/// documented low-level simulation API — because its clock is VIRTUAL:
+/// api::Server's wall-clock heartbeat driver cannot express
+/// "now += BatchSeconds(report)". The batch-formation policy it simulates
+/// (admission cap, spill-to-next-generation) is the same one the server's
+/// driver applies in real time.
 class SharedDbLoadSim {
  public:
   SharedDbLoadSim(Engine* engine, tpcw::TpcwDatabase* db, SharedDbSimOptions options)

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "api/server.h"
 #include "baseline/engine.h"
 #include "core/engine.h"
 #include "tpcw/global_plan.h"
@@ -34,16 +35,20 @@ class SyncConnection {
   virtual ResultSet Run(const std::string& statement, std::vector<Value> params) = 0;
 };
 
-/// Runs statements through the SharedDB engine, one heartbeat per call.
+/// Runs statements through a SharedDB server session: each call blocks until
+/// the shared batch carrying it commits. Open one connection per client
+/// thread; all connections of one server share every heartbeat.
 class SharedDbConnection : public SyncConnection {
  public:
-  explicit SharedDbConnection(Engine* engine) : engine_(engine) {}
+  explicit SharedDbConnection(api::Server* server)
+      : session_(server->OpenSession()) {}
   ResultSet Run(const std::string& statement, std::vector<Value> params) override {
-    return engine_->ExecuteSyncNamed(statement, std::move(params));
+    return session_->Execute(statement, std::move(params));
   }
+  api::Session* session() const { return session_.get(); }
 
  private:
-  Engine* engine_;
+  std::unique_ptr<api::Session> session_;
 };
 
 /// Runs statements through the query-at-a-time engine; accumulates work.

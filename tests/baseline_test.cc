@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "api/server.h"
 #include "baseline/engine.h"
 #include "common/rng.h"
 #include "core/engine.h"
@@ -183,11 +184,13 @@ TEST_F(BaselineFixture, DifferentialAgainstSharedDB) {
     builder.AddQuery(c.name, c.plan);
   }
   Engine shared(builder.Build());
+  api::Server server(&shared);
+  auto session = server.OpenSession();
 
   for (const Case& c : cases) {
     for (const auto& params : c.param_sets) {
       BaselineResult b = base.ExecuteNamed(c.name, params);
-      ResultSet s = shared.ExecuteSyncNamed(c.name, params);
+      ResultSet s = session->Execute(c.name, params);
       EXPECT_EQ(Sorted(b.result.rows), Sorted(s.rows))
           << "statement " << c.name;
       // Ordered operators must match exactly, not just as sets.
@@ -212,15 +215,19 @@ TEST_F(BaselineFixture, DifferentialBatchedManyQueries) {
   GlobalPlanBuilder builder(&catalog_);
   builder.AddQuery("j", plan);
   Engine shared(builder.Build());
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server server(&shared, sopts);
+  auto session = server.OpenSession();
 
-  std::vector<std::future<ResultSet>> futures;
+  std::vector<api::AsyncResult> futures;
   for (int s = 0; s < 7; ++s) {
-    futures.push_back(shared.SubmitNamed("j", {Value::Int(s)}));
+    futures.push_back(session->ExecuteAsync("j", {Value::Int(s)}));
   }
-  shared.RunOneBatch();
+  server.StepBatch();
   for (int s = 0; s < 7; ++s) {
     BaselineResult b = base.ExecuteNamed("j", {Value::Int(s)});
-    ResultSet rs = futures[s].get();
+    ResultSet rs = futures[s].Get();
     EXPECT_EQ(Sorted(b.result.rows), Sorted(rs.rows)) << "subject " << s;
   }
 }

@@ -189,6 +189,82 @@ TEST_F(EngineFixture, UpdateAndDeleteCountsReported) {
   EXPECT_EQ(del2.update_count, 0u);  // already gone
 }
 
+// Unknown statement names are a Status error on the ResultSet, not an abort
+// (the old behavior killed the process; the error-path replaces that death).
+TEST_F(EngineFixture, UnknownStatementNameIsStatusError) {
+  Engine engine(BuildPlan());
+  std::future<ResultSet> f = engine.SubmitNamed("no_such_statement", {});
+  // The future is ready immediately: the statement never enters the queue.
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const ResultSet rs = f.get();
+  EXPECT_EQ(rs.status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(rs.rows.empty());
+
+  const ResultSet sync = engine.ExecuteSyncNamed("also_missing", {});
+  EXPECT_EQ(sync.status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineFixture, OutOfRangeStatementIdIsStatusError) {
+  Engine engine(BuildPlan());
+  std::future<ResultSet> f = engine.Submit(9999, {});
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get().status.code(), StatusCode::kInvalidArgument);
+}
+
+// Admission control: a capped formation admits FIFO, spills the overflow to
+// the next generation, and reports the counters.
+TEST_F(EngineFixture, AdmissionCapSpillsOverflowToNextGeneration) {
+  Engine engine(BuildPlan());
+  std::vector<std::future<ResultSet>> fs;
+  for (int i = 0; i < 5; ++i) {
+    fs.push_back(engine.SubmitNamed("user_by_name",
+                                    {Value::Str("user" + std::to_string(i))}));
+  }
+
+  const BatchReport r1 = engine.RunOneBatch(/*max_admissions=*/2);
+  EXPECT_EQ(r1.queue_depth_at_formation, 5u);
+  EXPECT_EQ(r1.num_admitted, 2u);
+  EXPECT_EQ(r1.num_spilled, 3u);
+  EXPECT_EQ(r1.num_queries, 2u);
+  EXPECT_EQ(engine.PendingCount(), 3u);
+
+  const BatchReport r2 = engine.RunOneBatch(/*max_admissions=*/2);
+  EXPECT_EQ(r2.queue_depth_at_formation, 3u);
+  EXPECT_EQ(r2.num_admitted, 2u);
+  EXPECT_EQ(r2.num_spilled, 1u);
+
+  const BatchReport r3 = engine.RunOneBatch(/*max_admissions=*/2);
+  EXPECT_EQ(r3.num_admitted, 1u);
+  EXPECT_EQ(r3.num_spilled, 0u);
+
+  // FIFO admission: results arrive in submission order with per-call
+  // telemetry recording the batches waited and the spill count.
+  for (int i = 0; i < 5; ++i) {
+    const ResultSet rs = fs[static_cast<size_t>(i)].get();
+    ASSERT_EQ(rs.rows.size(), 1u) << i;
+    EXPECT_EQ(rs.rows[0][0].AsInt(), i);
+    const uint64_t expected_spills = static_cast<uint64_t>(i / 2);
+    EXPECT_EQ(rs.admission_spills, expected_spills) << i;
+    EXPECT_EQ(rs.batches_waited, expected_spills + 1) << i;
+  }
+}
+
+// A cancel flag set before admission drains the entry with an Aborted
+// status; it never executes.
+TEST_F(EngineFixture, CancelledBeforeAdmissionIsAborted) {
+  Engine engine(BuildPlan());
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  std::future<ResultSet> f =
+      engine.SubmitNamed("user_by_name", {Value::Str("user1")}, cancel);
+  auto f2 = engine.SubmitNamed("user_by_name", {Value::Str("user2")});
+  cancel->store(true);
+  const BatchReport r = engine.RunOneBatch();
+  EXPECT_EQ(r.num_cancelled, 1u);
+  EXPECT_EQ(r.num_admitted, 1u);
+  EXPECT_EQ(f.get().status.code(), StatusCode::kAborted);
+  EXPECT_TRUE(f2.get().status.ok());
+}
+
 TEST_F(EngineFixture, EmptyBatchIsNoop) {
   Engine engine(BuildPlan());
   const Version before = catalog_.snapshots().ReadSnapshot();

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <set>
 
+#include "api/server.h"
 #include "runtime/threaded_runtime.h"
 #include "tpcw/global_plan.h"
 #include "tpcw/harness.h"
@@ -44,6 +45,13 @@ TEST(ThreadedTpcw, MatchesInlineAcrossInteractions) {
       std::move(plan_t), EngineOptions{},
       std::make_unique<ThreadedRuntime>(plan_ptr, /*pin_threads=*/false));
 
+  // Live drivers on both servers: each blocking Execute rides the next
+  // heartbeat, preserving the statement-at-a-time snapshot semantics.
+  api::Server inline_server(&inline_engine);
+  api::Server threaded_server(&threaded_engine);
+  auto session_i = inline_server.OpenSession();
+  auto session_t = threaded_server.OpenSession();
+
   tpcw::EbState eb_i, eb_t;
   eb_i.customer_id = eb_t.customer_id = 3;
   Rng rng_i(55), rng_t(55);
@@ -55,10 +63,8 @@ TEST(ThreadedTpcw, MatchesInlineAcrossInteractions) {
         tpcw::BuildInteraction(wi, scale, &eb_t, &db_t->ids, &rng_t);
     ASSERT_EQ(calls_i.size(), calls_t.size());
     for (size_t c = 0; c < calls_i.size(); ++c) {
-      ResultSet a =
-          inline_engine.ExecuteSyncNamed(calls_i[c].statement, calls_i[c].params);
-      ResultSet b =
-          threaded_engine.ExecuteSyncNamed(calls_t[c].statement, calls_t[c].params);
+      ResultSet a = session_i->Execute(calls_i[c].statement, calls_i[c].params);
+      ResultSet b = session_t->Execute(calls_t[c].statement, calls_t[c].params);
       EXPECT_EQ(a.update_count, b.update_count) << calls_i[c].statement;
       EXPECT_EQ(Canonical(a), Canonical(b)) << calls_i[c].statement;
     }
@@ -74,25 +80,32 @@ TEST(ThreadedTpcw, MixedBatchesAreConsistent) {
   GlobalPlan* plan_ptr = plan.get();
   Engine engine(std::move(plan), EngineOptions{},
                 std::make_unique<ThreadedRuntime>(plan_ptr, false));
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server server(&engine, sopts);
+  auto session = server.OpenSession();
 
   for (int round = 0; round < 5; ++round) {
-    std::vector<std::future<ResultSet>> fs;
+    std::vector<api::AsyncResult> fs;
     for (int i = 0; i < 20; ++i) {
-      fs.push_back(engine.SubmitNamed(
+      fs.push_back(session->ExecuteAsync(
           "search_by_subject", {Value::Int((round * 20 + i) % 24)}));
     }
     const int64_t item = round;
-    auto fu = engine.SubmitNamed("decrement_stock",
-                                 {Value::Int(item), Value::Int(1)});
-    engine.RunOneBatch();
+    api::AsyncResult fu = session->ExecuteAsync(
+        "decrement_stock", {Value::Int(item), Value::Int(1)});
+    const BatchReport r = server.StepBatch();
+    EXPECT_EQ(r.num_admitted, 21u);
     for (auto& f : fs) {
-      const ResultSet rs = f.get();
+      const ResultSet rs = f.Get();
       EXPECT_TRUE(rs.status.ok());
     }
-    EXPECT_EQ(fu.get().update_count, 1u);
+    EXPECT_EQ(fu.Get().update_count, 1u);
   }
   // All five decrements landed (one per batch, each visible to the next).
-  const ResultSet item0 = engine.ExecuteSyncNamed("item_by_id", {Value::Int(0)});
+  api::AsyncResult f0 = session->ExecuteAsync("item_by_id", {Value::Int(0)});
+  server.StepBatch();
+  const ResultSet item0 = f0.Get();
   ASSERT_EQ(item0.rows.size(), 1u);
 }
 
@@ -111,7 +124,8 @@ TEST(TpcwRecovery, WalReplayRestoresOrders) {
     opts.enable_wal = true;
     opts.wal_path = wal_path;
     Engine engine(tpcw::BuildTpcwGlobalPlan(&db->catalog), std::move(opts));
-    tpcw::SharedDbConnection conn(&engine);
+    api::Server server(&engine);
+    tpcw::SharedDbConnection conn(&server);
     tpcw::EbState eb;
     eb.customer_id = 2;
     Rng rng(9);
@@ -129,8 +143,9 @@ TEST(TpcwRecovery, WalReplayRestoresOrders) {
   auto recovered = tpcw::MakeTpcwDatabase(scale, 21);
   ASSERT_TRUE(Recover(&recovered->catalog, "", wal_path).ok());
   Engine engine(tpcw::BuildTpcwGlobalPlan(&recovered->catalog));
-  const ResultSet lines =
-      engine.ExecuteSyncNamed("order_lines", {Value::Int(order_id)});
+  api::Server server(&engine);
+  auto session = server.OpenSession();
+  const ResultSet lines = session->Execute("order_lines", {Value::Int(order_id)});
   EXPECT_GE(lines.rows.size(), 1u) << "order " << order_id;
   fs::remove(wal_path);
 }
@@ -141,22 +156,32 @@ TEST(TpcwIsolation, BatchReadsOneSnapshot) {
   const tpcw::TpcwScale scale = TinyScale();
   auto db = tpcw::MakeTpcwDatabase(scale, 5);
   Engine engine(tpcw::BuildTpcwGlobalPlan(&db->catalog));
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server server(&engine, sopts);
+  auto session = server.OpenSession();
+  const auto step_one = [&](const std::string& name, std::vector<Value> params) {
+    api::AsyncResult r = session->ExecuteAsync(name, std::move(params));
+    server.StepBatch();
+    return r.Get();
+  };
 
-  const ResultSet before = engine.ExecuteSyncNamed("item_by_id", {Value::Int(7)});
+  const ResultSet before = step_one("item_by_id", {Value::Int(7)});
   ASSERT_EQ(before.rows.size(), 1u);
   const int64_t stock_before = before.rows[0][6].AsInt();
 
-  auto fq = engine.SubmitNamed("item_by_id", {Value::Int(7)});
-  auto fu = engine.SubmitNamed("decrement_stock", {Value::Int(7), Value::Int(3)});
-  auto fq2 = engine.SubmitNamed("item_by_id", {Value::Int(7)});
-  engine.RunOneBatch();
-  EXPECT_EQ(fu.get().update_count, 1u);
+  auto fq = session->ExecuteAsync("item_by_id", {Value::Int(7)});
+  auto fu = session->ExecuteAsync("decrement_stock",
+                                  {Value::Int(7), Value::Int(3)});
+  auto fq2 = session->ExecuteAsync("item_by_id", {Value::Int(7)});
+  server.StepBatch();
+  EXPECT_EQ(fu.Get().update_count, 1u);
   // Both queries of the batch saw the pre-batch stock, regardless of their
   // submission order relative to the update.
-  EXPECT_EQ(fq.get().rows[0][6].AsInt(), stock_before);
-  EXPECT_EQ(fq2.get().rows[0][6].AsInt(), stock_before);
+  EXPECT_EQ(fq.Get().rows[0][6].AsInt(), stock_before);
+  EXPECT_EQ(fq2.Get().rows[0][6].AsInt(), stock_before);
   // The next batch sees the decrement.
-  const ResultSet after = engine.ExecuteSyncNamed("item_by_id", {Value::Int(7)});
+  const ResultSet after = step_one("item_by_id", {Value::Int(7)});
   EXPECT_EQ(after.rows[0][6].AsInt(), stock_before - 3);
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/server.h"
 #include "common/rng.h"
 #include "core/engine.h"
 #include "core/ops/hash_join_op.h"
@@ -454,25 +455,29 @@ TEST_F(ParallelEngineFixture, ParallelEngineMatchesSerialAcrossBatches) {
                     std::make_unique<ThreadedRuntime>(par_raw,
                                                       /*pin_threads=*/false));
   ASSERT_NE(par_engine.task_pool(), nullptr);
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server serial_server(&serial_engine, sopts);
+  api::Server par_server(&par_engine, sopts);
+  auto ss = serial_server.OpenSession();
+  auto sp = par_server.OpenSession();
 
   for (int round = 0; round < 4; ++round) {
-    std::vector<std::future<ResultSet>> fs, fp;
+    std::vector<api::AsyncResult> fs, fp;
     for (int uid = 0; uid < 6; ++uid) {
-      fs.push_back(serial_engine.SubmitNamed("user_orders", {Value::Int(uid)}));
-      fp.push_back(par_engine.SubmitNamed("user_orders", {Value::Int(uid)}));
+      fs.push_back(ss->ExecuteAsync("user_orders", {Value::Int(uid)}));
+      fp.push_back(sp->ExecuteAsync("user_orders", {Value::Int(uid)}));
     }
-    fs.push_back(serial_engine.SubmitNamed("big_orders", {Value::Int(150)}));
-    fp.push_back(par_engine.SubmitNamed("big_orders", {Value::Int(150)}));
-    fs.push_back(serial_engine.SubmitNamed("bump",
-                                           {Value::Int(round), Value::Int(7)}));
-    fp.push_back(par_engine.SubmitNamed("bump",
-                                        {Value::Int(round), Value::Int(7)}));
-    serial_engine.RunOneBatch();
-    par_engine.RunOneBatch();
+    fs.push_back(ss->ExecuteAsync("big_orders", {Value::Int(150)}));
+    fp.push_back(sp->ExecuteAsync("big_orders", {Value::Int(150)}));
+    fs.push_back(ss->ExecuteAsync("bump", {Value::Int(round), Value::Int(7)}));
+    fp.push_back(sp->ExecuteAsync("bump", {Value::Int(round), Value::Int(7)}));
+    serial_server.StepBatch();
+    par_server.StepBatch();
 
     for (size_t i = 0; i < fs.size(); ++i) {
-      ResultSet a = fs[i].get();
-      ResultSet b = fp[i].get();
+      ResultSet a = fs[i].Get();
+      ResultSet b = fp[i].Get();
       ASSERT_EQ(a.rows.size(), b.rows.size()) << "round " << round << " q " << i;
       for (size_t r = 0; r < a.rows.size(); ++r) {
         ASSERT_EQ(a.rows[r].size(), b.rows[r].size());

@@ -6,12 +6,26 @@
 
 #include <gtest/gtest.h>
 
+#include "api/server.h"
 #include "core/engine.h"
 #include "core/plan_builder.h"
 #include "sim/cost_model.h"
 
 namespace shareddb {
 namespace {
+
+/// Paused server wrapper: deterministic single-heartbeat stepping.
+struct SteppedServer {
+  explicit SteppedServer(Engine* engine)
+      : server(engine, [] {
+          api::ServerOptions o;
+          o.start_paused = true;
+          return o;
+        }()),
+        session(server.OpenSession()) {}
+  api::Server server;
+  std::unique_ptr<api::Session> session;
+};
 
 class ReplicationFixture : public ::testing::Test {
  protected:
@@ -51,16 +65,17 @@ TEST_F(ReplicationFixture, ReplicatedResultsMatchUnreplicated) {
     auto plan = BuildPlan();
     plan->SetReplicas(kScanNode, replicas);
     Engine engine(std::move(plan));
-    std::vector<std::future<ResultSet>> fs;
+    SteppedServer s(&engine);
+    std::vector<api::AsyncResult> fs;
     for (int i = 0; i < 40; ++i) {
-      fs.push_back(engine.SubmitNamed("by_cat", {Value::Int(i % 8)}));
+      fs.push_back(s.session->ExecuteAsync("by_cat", {Value::Int(i % 8)}));
     }
-    fs.push_back(engine.SubmitNamed("top_price", {Value::Int(5)}));
-    engine.RunOneBatch();
+    fs.push_back(s.session->ExecuteAsync("top_price", {Value::Int(5)}));
+    s.server.StepBatch();
     std::vector<std::vector<std::string>> out;
     for (auto& f : fs) {
       std::vector<std::string> rows;
-      for (const Tuple& t : f.get().rows) rows.push_back(TupleToString(t));
+      for (const Tuple& t : f.Get().rows) rows.push_back(TupleToString(t));
       std::sort(rows.begin(), rows.end());
       out.push_back(std::move(rows));
     }
@@ -77,12 +92,13 @@ TEST_F(ReplicationFixture, UnitStatsSplitAcrossReplicas) {
   auto plan = BuildPlan();
   plan->SetReplicas(kScanNode, 3);
   Engine engine(std::move(plan));
-  std::vector<std::future<ResultSet>> fs;
+  SteppedServer s(&engine);
+  std::vector<api::AsyncResult> fs;
   for (int i = 0; i < 30; ++i) {
-    fs.push_back(engine.SubmitNamed("by_cat", {Value::Int(i % 8)}));
+    fs.push_back(s.session->ExecuteAsync("by_cat", {Value::Int(i % 8)}));
   }
-  const BatchReport report = engine.RunOneBatch();
-  for (auto& f : fs) f.get();
+  const BatchReport report = s.server.StepBatch();
+  for (auto& f : fs) f.Get();
   // One unit per replica of the scan + one per other participating node.
   EXPECT_GT(report.unit_stats.size(), report.node_stats.size() - 1);
   // Each scan replica scanned the whole table (the replication tradeoff:
@@ -104,15 +120,18 @@ TEST_F(ReplicationFixture, UpdatesApplyExactlyOnceUnderReplication) {
   auto plan = BuildPlan();
   plan->SetReplicas(kScanNode, 4);
   Engine engine(std::move(plan));
-  auto fu = engine.SubmitNamed("add_item",
-                               {Value::Int(1000), Value::Int(1), Value::Int(5)});
+  SteppedServer s(&engine);
+  auto fu = s.session->ExecuteAsync(
+      "add_item", {Value::Int(1000), Value::Int(1), Value::Int(5)});
   for (int i = 0; i < 8; ++i) {
-    engine.SubmitNamed("by_cat", {Value::Int(i)});
+    s.session->ExecuteAsync("by_cat", {Value::Int(i)});
   }
-  engine.RunOneBatch();
-  EXPECT_EQ(fu.get().update_count, 1u);
+  s.server.StepBatch();
+  EXPECT_EQ(fu.Get().update_count, 1u);
   // Exactly one copy of the row exists.
-  const ResultSet rs = engine.ExecuteSyncNamed("by_cat", {Value::Int(1)});
+  auto fq = s.session->ExecuteAsync("by_cat", {Value::Int(1)});
+  s.server.StepBatch();
+  const ResultSet rs = fq.Get();
   int found = 0;
   for (const Tuple& t : rs.rows) {
     if (t[0].AsInt() == 1000) ++found;
@@ -128,12 +147,13 @@ TEST_F(ReplicationFixture, ReplicationReducesSimulatedMakespan) {
     auto plan = BuildPlan();
     plan->SetReplicas(kScanNode, replicas);
     Engine engine(std::move(plan));
-    std::vector<std::future<ResultSet>> fs;
+    SteppedServer s(&engine);
+    std::vector<api::AsyncResult> fs;
     for (int i = 0; i < 512; ++i) {
-      fs.push_back(engine.SubmitNamed("by_cat", {Value::Int(i % 8)}));
+      fs.push_back(s.session->ExecuteAsync("by_cat", {Value::Int(i % 8)}));
     }
-    const BatchReport r = engine.RunOneBatch();
-    for (auto& f : fs) f.get();
+    const BatchReport r = s.server.StepBatch();
+    for (auto& f : fs) f.Get();
     std::vector<double> units;
     for (const WorkStats& u : r.unit_stats) {
       const double s = cost.Seconds(u);

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "api/server.h"
 #include "core/engine.h"
 #include "core/plan_builder.h"
 #include "runtime/affinity.h"
@@ -108,31 +109,38 @@ TEST_F(RuntimeFixture, ThreadedMatchesInlineAcrossBatches) {
   // Two identical engines over two identical catalogs would be cleaner, but
   // results are deterministic: run inline first, record, reset is not
   // possible — so run the same read-only batches on one catalog with two
-  // engines sharing it (reads don't mutate).
+  // engines sharing it (reads don't mutate). Paused servers + StepBatch pin
+  // the exact batch composition on both sides.
   auto plan_inline = BuildPlan();
   auto plan_threaded = BuildPlan();
   GlobalPlan* raw_threaded = plan_threaded.get();
   Engine inline_engine(std::move(plan_inline));
   Engine threaded_engine(std::move(plan_threaded), {},
                          std::make_unique<ThreadedRuntime>(raw_threaded));
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server inline_server(&inline_engine, sopts);
+  api::Server threaded_server(&threaded_engine, sopts);
+  auto si = inline_server.OpenSession();
+  auto st = threaded_server.OpenSession();
 
   for (int round = 0; round < 5; ++round) {
-    std::vector<std::future<ResultSet>> fi, ft;
+    std::vector<api::AsyncResult> fi, ft;
     for (int uid = 0; uid < 8; ++uid) {
-      fi.push_back(inline_engine.SubmitNamed("user_orders", {Value::Int(uid)}));
-      ft.push_back(threaded_engine.SubmitNamed("user_orders", {Value::Int(uid)}));
+      fi.push_back(si->ExecuteAsync("user_orders", {Value::Int(uid)}));
+      ft.push_back(st->ExecuteAsync("user_orders", {Value::Int(uid)}));
     }
-    fi.push_back(inline_engine.SubmitNamed("by_country", {}));
-    ft.push_back(threaded_engine.SubmitNamed("by_country", {}));
-    fi.push_back(inline_engine.SubmitNamed("top_orders", {Value::Int(7)}));
-    ft.push_back(threaded_engine.SubmitNamed("top_orders", {Value::Int(7)}));
+    fi.push_back(si->ExecuteAsync("by_country", {}));
+    ft.push_back(st->ExecuteAsync("by_country", {}));
+    fi.push_back(si->ExecuteAsync("top_orders", {Value::Int(7)}));
+    ft.push_back(st->ExecuteAsync("top_orders", {Value::Int(7)}));
 
-    inline_engine.RunOneBatch();
-    threaded_engine.RunOneBatch();
+    inline_server.StepBatch();
+    threaded_server.StepBatch();
 
     for (size_t i = 0; i < fi.size(); ++i) {
-      ResultSet a = fi[i].get();
-      ResultSet b = ft[i].get();
+      ResultSet a = fi[i].Get();
+      ResultSet b = ft[i].Get();
       ASSERT_EQ(a.rows.size(), b.rows.size()) << "round " << round << " q " << i;
       auto sorted = [](std::vector<Tuple> v) {
         std::sort(v.begin(), v.end(), TupleLess);
@@ -151,9 +159,11 @@ TEST_F(RuntimeFixture, ThreadedAppliesUpdates) {
   auto plan = BuildPlan();
   GlobalPlan* raw = plan.get();
   Engine engine(std::move(plan), {}, std::make_unique<ThreadedRuntime>(raw));
-  ResultSet up = engine.ExecuteSyncNamed("bump", {Value::Int(5), Value::Int(1000)});
+  api::Server server(&engine);
+  auto session = server.OpenSession();
+  ResultSet up = session->Execute("bump", {Value::Int(5), Value::Int(1000)});
   EXPECT_EQ(up.update_count, 1u);
-  ResultSet rs = engine.ExecuteSyncNamed("user_orders", {Value::Int(5)});
+  ResultSet rs = session->Execute("user_orders", {Value::Int(5)});
   ASSERT_FALSE(rs.rows.empty());
   EXPECT_EQ(rs.rows[0][2].AsInt(), 50 + 1000);
 }
@@ -162,16 +172,21 @@ TEST_F(RuntimeFixture, ThreadedManyBatchesStressNoDeadlock) {
   auto plan = BuildPlan();
   GlobalPlan* raw = plan.get();
   Engine engine(std::move(plan), {}, std::make_unique<ThreadedRuntime>(raw));
+  // Live heartbeat driver: async submissions race batch formation here,
+  // which is exactly the production shape this stress guards.
+  api::Server server(&engine);
+  auto session = server.OpenSession();
   for (int round = 0; round < 50; ++round) {
-    std::vector<std::future<ResultSet>> fs;
+    std::vector<api::AsyncResult> fs;
     for (int i = 0; i < 5; ++i) {
-      fs.push_back(engine.SubmitNamed("user_orders", {Value::Int(i)}));
+      fs.push_back(session->ExecuteAsync("user_orders", {Value::Int(i)}));
     }
-    fs.push_back(engine.SubmitNamed("by_country", {}));
-    engine.RunOneBatch();
-    for (auto& f : fs) f.get();
+    fs.push_back(session->ExecuteAsync("by_country", {}));
+    for (auto& f : fs) f.Get();
   }
-  EXPECT_EQ(engine.batches_run(), 50u);
+  server.Pause();  // quiesce so the final heartbeat's report is recorded
+  EXPECT_GE(engine.batches_run(), 1u);
+  EXPECT_EQ(server.stats().statements_admitted, 50u * 6u);
 }
 
 TEST_F(RuntimeFixture, ThreadedRuntimeThreadCountMatchesPlan) {

@@ -1,0 +1,155 @@
+// Multi-client equivalence stress: N session threads concurrently driving
+// TPC-W statement streams through the server's heartbeat driver must
+// produce, per client, exactly the results of the serial
+// one-heartbeat-per-call path — while actually sharing batches (mean batch
+// occupancy > 1). This is the acceptance test for the client-facing
+// front-end: concurrent shared execution is the default, not a special mode.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "api/server.h"
+#include "tpcw/global_plan.h"
+#include "tpcw/harness.h"
+
+namespace shareddb {
+namespace tpcw {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kCallsPerClient = 25;
+
+TpcwScale TinyScale() {
+  TpcwScale s;
+  s.num_items = 300;
+  s.num_ebs = 1;
+  return s;
+}
+
+/// Deterministic read-only statement stream per (client, step). Read-only
+/// keeps per-client results independent of how the driver interleaves
+/// clients into generations, so concurrent == serial row-for-row.
+StatementCall CallFor(int client, int step) {
+  switch ((client * 7 + step) % 4) {
+    case 0:
+      return {"item_by_id", {Value::Int((client * 13 + step * 5) % 300)}};
+    case 1:
+      return {"search_by_subject", {Value::Int((client + step) % 24)}};
+    case 2:
+      return {"best_sellers",
+              {Value::Int((client * 3 + step) % 24), Value::Int(kTodayDay - 60)}};
+    default: {
+      std::vector<Value> ids;
+      for (int k = 0; k < 5; ++k) {
+        ids.push_back(Value::Int((client * 17 + step * 3 + k * 41) % 300));
+      }
+      return {"items_by_id_list", std::move(ids)};
+    }
+  }
+}
+
+std::multiset<std::string> Canonical(const ResultSet& rs) {
+  std::multiset<std::string> rows;
+  for (const Tuple& t : rs.rows) rows.insert(TupleToString(t));
+  return rows;
+}
+
+using PerClientResults = std::vector<std::vector<std::multiset<std::string>>>;
+
+TEST(SessionStress, ConcurrentClientsMatchSerialAndShareBatches) {
+  // --- concurrent run: 8 session threads through one live driver ----------
+  auto db_c = MakeTpcwDatabase(TinyScale(), 23);
+  Engine engine_c(BuildTpcwGlobalPlan(&db_c->catalog));
+  api::ServerOptions opts;
+  // Small gather window: concurrent clients join the same generation.
+  opts.min_batch_window = std::chrono::milliseconds(1);
+  api::Server server_c(&engine_c, opts);
+
+  PerClientResults concurrent(kClients);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    concurrent[static_cast<size_t>(c)].resize(kCallsPerClient);
+    threads.emplace_back([&, c] {
+      auto session = server_c.OpenSession();
+      for (int i = 0; i < kCallsPerClient; ++i) {
+        const StatementCall call = CallFor(c, i);
+        const ResultSet rs = session->Execute(call.statement, call.params);
+        if (!rs.status.ok()) ++errors;
+        concurrent[static_cast<size_t>(c)][static_cast<size_t>(i)] =
+            Canonical(rs);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  server_c.Pause();  // quiesce so the final heartbeat's report is recorded
+  const api::Server::Stats stats = server_c.stats();
+  EXPECT_EQ(stats.statements_admitted,
+            static_cast<uint64_t>(kClients * kCallsPerClient));
+  // Shared execution actually happened: generations carried multiple
+  // clients' statements on average.
+  EXPECT_GT(stats.MeanBatchOccupancy(), 1.0)
+      << "admitted=" << stats.statements_admitted
+      << " batches=" << stats.batches;
+
+  // --- serial reference: same streams, one call per heartbeat -------------
+  auto db_s = MakeTpcwDatabase(TinyScale(), 23);
+  Engine engine_s(BuildTpcwGlobalPlan(&db_s->catalog));
+  api::Server server_s(&engine_s);
+  auto session_s = server_s.OpenSession();
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kCallsPerClient; ++i) {
+      const StatementCall call = CallFor(c, i);
+      const ResultSet rs = session_s->Execute(call.statement, call.params);
+      ASSERT_TRUE(rs.status.ok()) << call.statement;
+      EXPECT_EQ(concurrent[static_cast<size_t>(c)][static_cast<size_t>(i)],
+                Canonical(rs))
+          << "client " << c << " call " << i << " (" << call.statement << ")";
+    }
+  }
+}
+
+// The same concurrency shape through the TPC-W SyncConnection interface:
+// every connection is one client thread; interactions interleave freely.
+TEST(SessionStress, ConcurrentConnectionsRunInteractions) {
+  auto db = MakeTpcwDatabase(TinyScale(), 31);
+  Engine engine(BuildTpcwGlobalPlan(&db->catalog));
+  api::ServerOptions opts;
+  opts.min_batch_window = std::chrono::milliseconds(1);
+  api::Server server(&engine, opts);
+
+  // Read-only browsing interactions so concurrent interleaving cannot
+  // change any client's view.
+  const WebInteraction kBrowse[] = {
+      WebInteraction::kHome, WebInteraction::kSearchRequest,
+      WebInteraction::kSearchResults, WebInteraction::kProductDetail,
+      WebInteraction::kBestSellers};
+  std::atomic<size_t> statements_run{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      SharedDbConnection conn(&server);
+      EbState eb;
+      eb.customer_id = 2 + c;
+      Rng rng(100 + static_cast<uint64_t>(c));
+      const TpcwScale scale = TinyScale();
+      for (const WebInteraction wi : kBrowse) {
+        statements_run +=
+            RunInteraction(wi, &conn, scale, &eb, &db->ids, &rng);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.Pause();  // quiesce so the final heartbeat's report is recorded
+  EXPECT_EQ(server.stats().statements_admitted, statements_run.load());
+  EXPECT_GT(server.stats().MeanBatchOccupancy(), 1.0);
+}
+
+}  // namespace
+}  // namespace tpcw
+}  // namespace shareddb

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/server.h"
 #include "sim/baseline_sim.h"
 #include "sim/shareddb_sim.h"
 #include "tpcw/global_plan.h"
@@ -109,9 +110,13 @@ TEST_F(SimFixture, BatchSecondsRespectsHeartbeatFloor) {
 }
 
 TEST_F(SimFixture, MoreCoresNeverSlower) {
-  engine_->SubmitNamed("best_sellers",
-                       {Value::Int(1), Value::Int(tpcw::kTodayDay - 60)});
-  const BatchReport report = engine_->RunOneBatch();
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server server(engine_.get(), sopts);
+  auto session = server.OpenSession();
+  session->ExecuteAsync("best_sellers",
+                        {Value::Int(1), Value::Int(tpcw::kTodayDay - 60)});
+  const BatchReport report = server.StepBatch();
   double prev = 1e100;
   for (const int cores : {1, 2, 8, 32}) {
     SharedDbSimOptions opt;

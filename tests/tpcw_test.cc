@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <map>
 
+#include "api/server.h"
 #include "baseline/profiles.h"
 #include "tpcw/global_plan.h"
 #include "tpcw/harness.h"
@@ -151,6 +152,8 @@ TEST_P(TpcwDifferential, InteractionMatchesBaseline) {
 
   auto db_s = MakeTpcwDatabase(scale, 11);
   Engine engine(BuildTpcwGlobalPlan(&db_s->catalog));
+  api::Server server(&engine);
+  auto session = server.OpenSession();
   auto db_b = MakeTpcwDatabase(scale, 11);
   baseline::BaselineEngine base(&db_b->catalog, SystemXLikeProfile());
   RegisterTpcwBaseline(&base);
@@ -167,7 +170,7 @@ TEST_P(TpcwDifferential, InteractionMatchesBaseline) {
     ASSERT_EQ(calls_s.size(), calls_b.size());
     for (size_t c = 0; c < calls_s.size(); ++c) {
       ASSERT_EQ(calls_s[c].statement, calls_b[c].statement);
-      ResultSet rs = engine.ExecuteSyncNamed(calls_s[c].statement, calls_s[c].params);
+      ResultSet rs = session->Execute(calls_s[c].statement, calls_s[c].params);
       baseline::BaselineResult rb =
           base.ExecuteNamed(calls_b[c].statement, calls_b[c].params);
       EXPECT_EQ(rs.update_count, rb.result.update_count)
@@ -191,6 +194,10 @@ TEST(TpcwDifferential2, BatchedBestSellersMatchesSequentialBaseline) {
   const TpcwScale scale = SmallScale();
   auto db_s = MakeTpcwDatabase(scale, 3);
   Engine engine(BuildTpcwGlobalPlan(&db_s->catalog));
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server server(&engine, sopts);
+  auto session = server.OpenSession();
   auto db_b = MakeTpcwDatabase(scale, 3);
   baseline::BaselineEngine base(&db_b->catalog, SystemXLikeProfile());
   RegisterTpcwBaseline(&base);
@@ -199,11 +206,11 @@ TEST(TpcwDifferential2, BatchedBestSellersMatchesSequentialBaseline) {
   for (int i = 0; i < 40; ++i) {
     params.push_back({Value::Int(i % 24), Value::Int(kTodayDay - 60)});
   }
-  std::vector<std::future<ResultSet>> fs;
-  for (const auto& p : params) fs.push_back(engine.SubmitNamed("best_sellers", p));
-  engine.RunOneBatch();
+  std::vector<api::AsyncResult> fs;
+  for (const auto& p : params) fs.push_back(session->ExecuteAsync("best_sellers", p));
+  server.StepBatch();
   for (size_t i = 0; i < params.size(); ++i) {
-    ResultSet shared = fs[i].get();
+    ResultSet shared = fs[i].Get();
     baseline::BaselineResult b = base.ExecuteNamed("best_sellers", params[i]);
     EXPECT_EQ(Canonical(shared), Canonical(b.result)) << "query " << i;
   }
@@ -213,6 +220,10 @@ TEST(TpcwDifferential2, BatchedSearchesMatchBaseline) {
   const TpcwScale scale = SmallScale();
   auto db_s = MakeTpcwDatabase(scale, 3);
   Engine engine(BuildTpcwGlobalPlan(&db_s->catalog));
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server server(&engine, sopts);
+  auto session = server.OpenSession();
   auto db_b = MakeTpcwDatabase(scale, 3);
   baseline::BaselineEngine base(&db_b->catalog, SystemXLikeProfile());
   RegisterTpcwBaseline(&base);
@@ -221,11 +232,13 @@ TEST(TpcwDifferential2, BatchedSearchesMatchBaseline) {
   for (int i = 0; i < 30; ++i) {
     params.push_back({Value::Str("title " + std::to_string(i * 7 % 500) + " %")});
   }
-  std::vector<std::future<ResultSet>> fs;
-  for (const auto& p : params) fs.push_back(engine.SubmitNamed("search_by_title", p));
-  engine.RunOneBatch();
+  std::vector<api::AsyncResult> fs;
+  for (const auto& p : params) {
+    fs.push_back(session->ExecuteAsync("search_by_title", p));
+  }
+  server.StepBatch();
   for (size_t i = 0; i < params.size(); ++i) {
-    ResultSet shared = fs[i].get();
+    ResultSet shared = fs[i].Get();
     baseline::BaselineResult b = base.ExecuteNamed("search_by_title", params[i]);
     EXPECT_EQ(Canonical(shared), Canonical(b.result)) << "query " << i;
     EXPECT_GE(shared.rows.size(), 1u) << "query " << i;  // its own item
@@ -241,6 +254,10 @@ TEST(TpcwRebind, IndexBuildsStableAcrossParamRebinds) {
   const TpcwScale scale = SmallScale();
   auto db = MakeTpcwDatabase(scale, 3);
   Engine engine(BuildTpcwGlobalPlan(&db->catalog));
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server server(&engine, sopts);
+  auto session = server.OpenSession();
   Rng rng(5);
 
   auto submit_mix = [&] {
@@ -248,27 +265,27 @@ TEST(TpcwRebind, IndexBuildsStableAcrossParamRebinds) {
     // best_sellers parameterizes the orders scan (o_date > ?), and
     // items_by_id_list parameterizes the item scan with an IN-list.
     for (int i = 0; i < 4; ++i) {
-      engine.SubmitNamed("best_sellers",
-                         {Value::Int(rng.Uniform(0, 23)),
-                          Value::Int(kTodayDay - rng.Uniform(10, 90))});
+      session->ExecuteAsync("best_sellers",
+                            {Value::Int(rng.Uniform(0, 23)),
+                             Value::Int(kTodayDay - rng.Uniform(10, 90))});
     }
     for (int i = 0; i < 3; ++i) {
       std::vector<Value> ids;
       for (int k = 0; k < 5; ++k) ids.push_back(Value::Int(rng.Uniform(0, 499)));
-      engine.SubmitNamed("items_by_id_list", std::move(ids));
+      session->ExecuteAsync("items_by_id_list", std::move(ids));
     }
-    engine.SubmitNamed("search_by_subject", {Value::Int(rng.Uniform(0, 23))});
+    session->ExecuteAsync("search_by_subject", {Value::Int(rng.Uniform(0, 23))});
   };
 
   submit_mix();
-  engine.RunOneBatch();
+  server.StepBatch();
   const Engine::PredicateCacheStats first = engine.predicate_cache_stats();
   EXPECT_GT(first.index_builds, 0u);
 
   constexpr int kRebindCycles = 6;
   for (int round = 0; round < kRebindCycles; ++round) {
     submit_mix();
-    engine.RunOneBatch();
+    server.StepBatch();
   }
   const Engine::PredicateCacheStats after = engine.predicate_cache_stats();
   // Zero rebuilds across parameter-only rebind batches...
@@ -280,8 +297,9 @@ TEST(TpcwRebind, IndexBuildsStableAcrossParamRebinds) {
 
   // Changing the statement MIX rebuilds (once), then fresh params again
   // rebind against the new mix.
-  engine.SubmitNamed("best_sellers", {Value::Int(0), Value::Int(kTodayDay - 30)});
-  engine.RunOneBatch();
+  session->ExecuteAsync("best_sellers",
+                        {Value::Int(0), Value::Int(kTodayDay - 30)});
+  server.StepBatch();
   const Engine::PredicateCacheStats changed = engine.predicate_cache_stats();
   EXPECT_GT(changed.index_builds, after.index_builds);
 }
@@ -293,13 +311,17 @@ TEST(TpcwSharing, BestSellersWorkIsSublinear) {
   auto run = [&](int n) {
     auto db = MakeTpcwDatabase(scale, 3);
     Engine engine(BuildTpcwGlobalPlan(&db->catalog));
-    std::vector<std::future<ResultSet>> fs;
+    api::ServerOptions sopts;
+    sopts.start_paused = true;
+    api::Server server(&engine, sopts);
+    auto session = server.OpenSession();
+    std::vector<api::AsyncResult> fs;
     for (int i = 0; i < n; ++i) {
-      fs.push_back(engine.SubmitNamed(
+      fs.push_back(session->ExecuteAsync(
           "best_sellers", {Value::Int(i % 24), Value::Int(kTodayDay - 60)}));
     }
-    const BatchReport r = engine.RunOneBatch();
-    for (auto& f : fs) f.get();
+    const BatchReport r = server.StepBatch();
+    for (auto& f : fs) f.Get();
     return r.TotalWork().Total();
   };
   const uint64_t w1 = run(1);
