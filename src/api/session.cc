@@ -43,6 +43,7 @@ Status Session::Prepare(const std::string& name, PreparedStatement* out) {
   }
   out->id_ = def->id;
   out->name_ = name;
+  out->num_params_ = def->num_params;
   out->valid_ = true;
   return Status::OK();
 }

@@ -33,11 +33,16 @@ class PreparedStatement {
   bool valid() const { return valid_; }
   StatementId id() const { return id_; }
   const std::string& name() const { return name_; }
+  /// Parameter slots the statement's templates reference; Execute must
+  /// supply at least this many values (shorter vectors yield an
+  /// InvalidArgument ResultSet, never an abort).
+  size_t num_params() const { return num_params_; }
 
  private:
   friend class Session;
   StatementId id_ = 0;
   std::string name_;
+  size_t num_params_ = 0;
   bool valid_ = false;
 };
 

@@ -17,7 +17,9 @@
 namespace shareddb {
 namespace baseline {
 
-/// Result of one baseline statement, with its work profile.
+/// Result of one baseline statement, with its work profile. Like the shared
+/// engine, errors (unknown statement, wrong arity) surface in
+/// result.status — differential harnesses can compare error paths too.
 struct BaselineResult {
   ResultSet result;
   WorkStats work;
@@ -43,7 +45,16 @@ class BaselineEngine {
 
   StatementId FindStatement(const std::string& name) const;
 
-  /// Executes one statement instance to completion (auto-commit).
+  /// Statement id by name, or -1 when unknown (no abort) — the oracle-side
+  /// mirror of GlobalPlan::FindStatement for differential harnesses.
+  int TryFindStatement(const std::string& name) const;
+
+  /// Parameter slots statement `id` requires (one past the highest kParam).
+  size_t NumParams(StatementId id) const;
+
+  /// Executes one statement instance to completion (auto-commit). An
+  /// out-of-range id or a short parameter vector yields an InvalidArgument
+  /// result.status instead of executing.
   BaselineResult Execute(StatementId id, const std::vector<Value>& params);
   BaselineResult ExecuteNamed(const std::string& name,
                               const std::vector<Value>& params);
@@ -54,6 +65,7 @@ class BaselineEngine {
   struct Statement {
     std::string name;
     bool is_query = true;
+    size_t num_params = 0;
     logical::LogicalPtr root;       // queries
     UpdateKind kind = UpdateKind::kInsert;
     std::string table;

@@ -99,6 +99,14 @@ std::future<ResultSet> Engine::Submit(StatementId statement,
     return ErrorFuture(Status::InvalidArgument(
         "statement id " + std::to_string(statement) + " out of range"));
   }
+  // Arity check up front: binding a missing slot at batch formation would
+  // abort the whole heartbeat; a short parameter vector is a client error.
+  const StatementDef& def = plan_->statement(statement);
+  if (params.size() < def.num_params) {
+    return ErrorFuture(Status::InvalidArgument(
+        "statement '" + def.name + "' needs " + std::to_string(def.num_params) +
+        " parameter(s), got " + std::to_string(params.size())));
+  }
   Pending p;
   p.statement = statement;
   p.params = std::move(params);

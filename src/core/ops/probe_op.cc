@@ -203,6 +203,10 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
       table_->IndexRange(index_name_, cp.range->lo, cp.range->lo_inclusive,
                          cp.range->hi, cp.range->hi_inclusive, ctx.read_snapshot,
                          [&](RowId id, const Tuple& t) {
+                           // The B-tree total order places NULL before every
+                           // value, so a range with no lower bound walks over
+                           // NULL keys — which fail every SQL range predicate.
+                           if (t[indexed_column_].is_null()) return true;
                            if (!cp.has_extra || verify(cp, t)) {
                              hits[id].Insert(cp.id);
                            }

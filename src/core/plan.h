@@ -57,6 +57,11 @@ struct StatementDef {
   std::string name;
   bool is_query = true;
 
+  /// Parameter slots this statement's templates reference (one past the
+  /// highest kParam slot). Execute calls must supply at least this many
+  /// values; the engine rejects shorter vectors with InvalidArgument.
+  size_t num_params = 0;
+
   // Queries:
   int root = -1;                                              // result node
   std::vector<std::pair<int, NodeConfigTemplate>> node_configs;  // whole path

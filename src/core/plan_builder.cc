@@ -1,5 +1,7 @@
 #include "core/plan_builder.h"
 
+#include <algorithm>
+
 #include "core/ops/distinct_op.h"
 #include "core/ops/filter_op.h"
 #include "core/ops/group_by_op.h"
@@ -31,6 +33,10 @@ std::vector<SortKey> ResolveSortKeys(
     out.push_back(SortKey{schema.ColumnIndex(name), asc});
   }
   return out;
+}
+
+size_t MaxParams(size_t acc, const ExprPtr& e) {
+  return std::max(acc, NumParamsOf(e));
 }
 
 }  // namespace
@@ -179,6 +185,12 @@ StatementId GlobalPlanBuilder::AddQuery(const std::string& name,
   def.is_query = true;
   def.root = Materialize(root, &def.node_configs);
   def.result_schema = plan_->node(def.root).op->output_schema();
+  for (const auto& [node, tmpl] : def.node_configs) {
+    (void)node;
+    def.num_params = MaxParams(def.num_params, tmpl.predicate);
+    def.num_params = MaxParams(def.num_params, tmpl.having);
+    def.num_params = MaxParams(def.num_params, tmpl.limit);
+  }
   return plan_->AddStatement(std::move(def));
 }
 
@@ -211,6 +223,9 @@ StatementId GlobalPlanBuilder::AddInsert(const std::string& name,
   def.update.kind = UpdateKind::kInsert;
   def.update.table = table;
   def.update.row_values = std::move(row_values);
+  for (const ExprPtr& e : def.update.row_values) {
+    def.num_params = MaxParams(def.num_params, e);
+  }
   return plan_->AddStatement(std::move(def));
 }
 
@@ -228,6 +243,11 @@ StatementId GlobalPlanBuilder::AddUpdate(
   for (auto& [col, expr] : sets) {
     def.update.sets.emplace_back(t->schema()->ColumnIndex(col), std::move(expr));
   }
+  def.num_params = MaxParams(def.num_params, def.update.where);
+  for (const auto& [col, expr] : def.update.sets) {
+    (void)col;
+    def.num_params = MaxParams(def.num_params, expr);
+  }
   return plan_->AddStatement(std::move(def));
 }
 
@@ -241,6 +261,7 @@ StatementId GlobalPlanBuilder::AddDelete(const std::string& name,
   def.update.kind = UpdateKind::kDelete;
   def.update.table = table;
   def.update.where = std::move(where);
+  def.num_params = MaxParams(def.num_params, def.update.where);
   return plan_->AddStatement(std::move(def));
 }
 

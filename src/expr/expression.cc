@@ -330,6 +330,20 @@ bool Expr::EvalBool(const Tuple& tuple, const std::vector<Value>& params) const 
   return !v.is_null() && v.AsNumeric() != 0;
 }
 
+size_t Expr::NumParams() const {
+  size_t n = 0;
+  if (kind_ == ExprKind::kParam) {
+    n = index_ + 1;
+  } else if (kind_ == ExprKind::kLiteral && param_slot_ >= 0) {
+    n = static_cast<size_t>(param_slot_) + 1;
+  }
+  for (const ExprPtr& c : children_) {
+    const size_t cn = c->NumParams();
+    if (cn > n) n = cn;
+  }
+  return n;
+}
+
 ExprPtr Expr::Bind(const std::vector<Value>& params) const {
   switch (kind_) {
     case ExprKind::kParam:

@@ -118,6 +118,11 @@ class Expr {
     return kind_ == ExprKind::kLiteral ? param_slot_ : -1;
   }
 
+  /// Number of parameter slots this tree requires: one past the highest
+  /// kParam slot referenced anywhere (slot-carrying bound literals count
+  /// too, so a rebindable template and its bindings agree). 0 = no params.
+  size_t NumParams() const;
+
   /// Rewrites the tree substituting parameters with bound literals.
   /// The result contains no kParam nodes.
   ExprPtr Bind(const std::vector<Value>& params) const;
@@ -155,6 +160,12 @@ class Expr {
   bool fold_case_ = false;                         // LIKE case folding
   std::shared_ptr<LikeMatcher> compiled_like_;     // for literal patterns
 };
+
+/// NumParams of a possibly-null expression (statement-arity accumulation:
+/// `n = std::max(n, NumParamsOf(e))` over every template expression).
+inline size_t NumParamsOf(const ExprPtr& e) {
+  return e == nullptr ? 0 : e->NumParams();
+}
 
 }  // namespace shareddb
 

@@ -1,0 +1,65 @@
+#include "testing/canonical.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace shareddb {
+namespace testing {
+
+std::string CanonicalValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "I:" + std::to_string(v.AsInt());
+    case ValueType::kDouble: {
+      const double d = v.AsDouble();
+      if (std::isnan(d)) return "D:NaN";
+      if (d == 0.0) return "D:0";  // folds -0.0 (Compare()-equal to +0.0)
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "D:%.17g", d);
+      return buf;
+    }
+    case ValueType::kString:
+      return "S:'" + v.AsString() + "'";
+  }
+  return "?";
+}
+
+std::string CanonicalRow(const Tuple& t) {
+  std::string s = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i) s += ", ";
+    s += CanonicalValue(t[i]);
+  }
+  s += ")";
+  return s;
+}
+
+std::multiset<std::string> CanonicalRows(const std::vector<Tuple>& rows) {
+  std::multiset<std::string> out;
+  for (const Tuple& t : rows) out.insert(CanonicalRow(t));
+  return out;
+}
+
+std::multiset<std::string> CanonicalRows(const ResultSet& rs) {
+  return CanonicalRows(rs.rows);
+}
+
+std::string CanonicalToString(const std::multiset<std::string>& rows,
+                              size_t max_rows) {
+  std::string s = "[" + std::to_string(rows.size()) + " rows]";
+  size_t n = 0;
+  for (const std::string& r : rows) {
+    if (n++ == max_rows) {
+      s += " ... (+" + std::to_string(rows.size() - max_rows) + ")";
+      break;
+    }
+    s += " ";
+    s += r;
+  }
+  return s;
+}
+
+}  // namespace testing
+}  // namespace shareddb

@@ -1,0 +1,44 @@
+// Canonical result-set forms for differential comparison.
+//
+// Two engines "return the same answer" iff their result multisets are equal
+// under the Value TOTAL order (value.h): the canonical string of a value must
+// therefore be injective exactly up to Compare()-equality. That rules out
+// Value::ToString ("%.6g" collapses distinct doubles; `3` renders like
+// `3.0`): the canonical form is type-tagged, renders doubles with full
+// round-trip precision, folds every NaN to one token (all NaNs compare
+// equal) and -0.0 to 0 (Compare()-equal to +0.0, and MIN/MAX may surface
+// either depending on accumulation order).
+
+#ifndef SHAREDDB_TESTING_CANONICAL_H_
+#define SHAREDDB_TESTING_CANONICAL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "core/query.h"
+
+namespace shareddb {
+namespace testing {
+
+/// Type-tagged, total-order-injective form: "NULL", "I:42", "D:2.5",
+/// "D:NaN", "S:'abc'".
+std::string CanonicalValue(const Value& v);
+
+/// "(v1, v2, ...)" over CanonicalValue.
+std::string CanonicalRow(const Tuple& t);
+
+/// Order-insensitive canonical form of a result set's rows.
+std::multiset<std::string> CanonicalRows(const std::vector<Tuple>& rows);
+std::multiset<std::string> CanonicalRows(const ResultSet& rs);
+
+/// One-line rendering of a canonical multiset (mismatch artifacts / gtest
+/// failure messages). Caps at `max_rows` rows, appending "... (+N)".
+std::string CanonicalToString(const std::multiset<std::string>& rows,
+                              size_t max_rows = 24);
+
+}  // namespace testing
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TESTING_CANONICAL_H_

@@ -1,0 +1,190 @@
+// RandomWorkloadGenerator: seed-driven random schemas, data and prepared
+// statements for differential testing (shared engine vs the query-at-a-time
+// baseline oracle).
+//
+// Everything derives deterministically from GeneratorOptions.seed:
+//  * schemas — 2..4 tables, int/double/string columns, a unique `id` key, a
+//    foreign-key column, B-tree indexes (always on `id`, sometimes on a
+//    second column);
+//  * data — NULLs, NaNs, heavy duplication, skewed int domains, shared
+//    string prefixes, randomized segment sizes (many / few ClockScan
+//    morsels), including empty tables;
+//  * query templates — the whole operator surface both engines implement:
+//    scans and index probes with random predicates (equalities, ranges,
+//    IN-lists, LIKE / parameterized LIKE, IS NULL, OR / NOT residuals),
+//    hash / index-nested-loop / qid joins (incl. self-joins via share_slot),
+//    unions, filters, group-by with HAVING, distinct, sort, top-n with
+//    parameterized limits, projections — all with kParam placeholders bound
+//    per call;
+//  * update templates — parameterized inserts, updates (incl. read-modify-
+//    write sets) and deletes.
+//
+// BuildCatalog() is repeatable: call it twice and both engines start from
+// bit-identical data. Result-identity caveat baked into the generated
+// shapes: TopN sort keys always extend to a total order (row-identity
+// columns are appended as tiebreakers) so the *selection* at the limit
+// boundary is deterministic — only then is the shared-vs-oracle multiset
+// comparison free of false positives.
+
+#ifndef SHAREDDB_TESTING_WORKLOAD_GENERATOR_H_
+#define SHAREDDB_TESTING_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/engine.h"
+#include "common/rng.h"
+#include "core/plan_builder.h"
+
+namespace shareddb {
+namespace testing {
+
+/// Independent deterministic sub-stream of one seed (splitmix64 mix). All
+/// seed-derived randomness in this subsystem — table data, template
+/// streams, per-session call streams, the environment draw — goes through
+/// this one derivation so reproducibility cannot split between components.
+uint64_t SubSeed(uint64_t seed, uint64_t salt);
+
+struct GeneratorOptions {
+  uint64_t seed = 1;
+  size_t min_tables = 2;
+  size_t max_tables = 4;
+  size_t min_rows = 0;    // per table; 0 keeps empty-table edges in play
+  size_t max_rows = 220;
+  size_t min_query_templates = 6;
+  size_t max_query_templates = 12;
+  size_t max_update_templates = 5;
+};
+
+/// How to draw one parameter of a template.
+struct ParamSpec {
+  enum class Domain {
+    kInt,      // generic int (key/value ranges, occasional NULL)
+    kDouble,   // quarters, NaN, NULL
+    kString,   // pooled strings sharing prefixes, occasional NULL
+    kPattern,  // LIKE pattern (for LikeParam slots)
+    kLimit,    // small non-negative TopN limit
+    kDelta,    // small signed int (read-modify-write updates)
+    kInsertId, // fresh unique id from the caller's counter
+    kRowValue, // typed by (table, column)
+  };
+  Domain domain = Domain::kInt;
+  size_t table = 0;   // kRowValue context
+  size_t column = 0;  // kRowValue context
+};
+
+/// One drawable statement instance.
+struct StatementCall {
+  std::string statement;
+  std::vector<Value> params;
+  bool is_update = false;
+};
+
+struct QueryTemplateInfo {
+  std::string name;
+  logical::LogicalPtr root;
+  std::vector<ParamSpec> params;
+  SchemaPtr result_schema;
+  /// Non-empty iff the template's outermost operator orders its output
+  /// (Sort/TopN): the shared result must be sorted by these (name, asc)
+  /// keys under the Value total order — an invariant checked without
+  /// consulting the oracle (tie order is engine-specific).
+  std::vector<std::pair<std::string, bool>> order_keys;
+  bool uses_table_scan = false;  // drives the predicate-cache invariant
+};
+
+struct UpdateTemplateInfo {
+  std::string name;
+  UpdateKind kind = UpdateKind::kInsert;
+  std::string table;
+  std::vector<ParamSpec> params;
+  std::vector<ExprPtr> row_values;                       // kInsert
+  ExprPtr where;                                         // kUpdate/kDelete
+  std::vector<std::pair<std::string, ExprPtr>> sets;     // kUpdate
+};
+
+class RandomWorkloadGenerator {
+ public:
+  explicit RandomWorkloadGenerator(const GeneratorOptions& opts);
+
+  /// Fresh catalog with the generated schema + data; every call returns
+  /// identical contents (one per engine under test).
+  std::unique_ptr<Catalog> BuildCatalog() const;
+
+  /// Registers every template with the shared plan builder / the oracle.
+  void RegisterShared(GlobalPlanBuilder* b) const;
+  void RegisterBaseline(baseline::BaselineEngine* e) const;
+
+  size_t num_query_templates() const { return queries_.size(); }
+  size_t num_update_templates() const { return updates_.size(); }
+  const QueryTemplateInfo& query_template(size_t i) const { return queries_[i]; }
+  const UpdateTemplateInfo& update_template(size_t i) const { return updates_[i]; }
+  const QueryTemplateInfo* FindQueryTemplate(const std::string& name) const;
+
+  /// Draws parameters for `specs`. `insert_id_counter` feeds kInsertId so
+  /// generated inserts never duplicate an existing row id.
+  std::vector<Value> DrawParams(const std::vector<ParamSpec>& specs, Rng* rng,
+                                uint64_t* insert_id_counter) const;
+
+  StatementCall MakeQueryCall(Rng* rng) const;
+  StatementCall MakeUpdateCall(Rng* rng, uint64_t* insert_id_counter) const;
+
+  /// Repro-artifact serialization of a parameter vector: canonical values
+  /// joined by " | " ("I:3 | D:NaN | S:'al7' | NULL"); ParseParams inverts
+  /// it exactly (doubles round-trip through %.17g).
+  static std::string ParamsToString(const std::vector<Value>& params);
+  static bool ParseParams(const std::string& s, std::vector<Value>* out);
+
+  /// Human-readable dump of the generated schema + templates (debugging
+  /// repro artifacts).
+  std::string Dump() const;
+
+ private:
+  struct ColumnSpec {
+    std::string name;
+    ValueType type = ValueType::kInt;
+    int64_t int_hi = 0;       // int domain [0, int_hi]
+    double null_p = 0.0;
+    double nan_p = 0.0;       // doubles only
+    bool is_id = false;
+  };
+  struct TableSpec {
+    std::string name;
+    std::vector<ColumnSpec> cols;
+    size_t rows = 0;
+    size_t rows_per_segment = 64;
+    std::vector<std::pair<std::string, size_t>> indexes;  // (name, column)
+  };
+
+  void GenerateTables(Rng* rng);
+  void GenerateQueryTemplates(Rng* rng);
+  void GenerateUpdateTemplates(Rng* rng);
+
+  Value DrawColumnValue(const ColumnSpec& col, Rng* rng) const;
+  std::string PoolString(Rng* rng) const;
+  std::string PoolPattern(Rng* rng) const;
+
+  /// Random predicate over `schema` appending ParamSpecs for emitted slots.
+  ExprPtr RandomPredicate(const Schema& schema, Rng* rng,
+                          std::vector<ParamSpec>* params) const;
+  ExprPtr RandomAtom(const Schema& schema, size_t col, Rng* rng,
+                     std::vector<ParamSpec>* params) const;
+  /// Comparison operand for a column of `type`: parameter or literal.
+  ExprPtr RandomOperand(ValueType type, Rng* rng,
+                        std::vector<ParamSpec>* params) const;
+  /// Atom constraining `col` specifically (probe anchors).
+  ExprPtr AnchorAtom(const Schema& schema, size_t col, Rng* rng,
+                     std::vector<ParamSpec>* params) const;
+
+  GeneratorOptions opts_;
+  std::vector<TableSpec> tables_;
+  std::vector<QueryTemplateInfo> queries_;
+  std::vector<UpdateTemplateInfo> updates_;
+  std::unique_ptr<Catalog> scratch_catalog_;  // schema resolution during gen
+};
+
+}  // namespace testing
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TESTING_WORKLOAD_GENERATOR_H_

@@ -6,10 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
-#include <set>
 
 #include "api/server.h"
 #include "runtime/threaded_runtime.h"
+#include "testing_util.h"
 #include "tpcw/global_plan.h"
 #include "tpcw/harness.h"
 #include "tpcw/schema.h"
@@ -22,12 +22,6 @@ tpcw::TpcwScale TinyScale() {
   s.num_items = 300;
   s.num_ebs = 1;
   return s;
-}
-
-std::multiset<std::string> Canonical(const ResultSet& rs) {
-  std::multiset<std::string> rows;
-  for (const Tuple& t : rs.rows) rows.insert(TupleToString(t));
-  return rows;
 }
 
 // The threaded (thread-per-operator, Algorithm 1) runtime must produce
@@ -65,8 +59,7 @@ TEST(ThreadedTpcw, MatchesInlineAcrossInteractions) {
     for (size_t c = 0; c < calls_i.size(); ++c) {
       ResultSet a = session_i->Execute(calls_i[c].statement, calls_i[c].params);
       ResultSet b = session_t->Execute(calls_t[c].statement, calls_t[c].params);
-      EXPECT_EQ(a.update_count, b.update_count) << calls_i[c].statement;
-      EXPECT_EQ(Canonical(a), Canonical(b)) << calls_i[c].statement;
+      ExpectResultsEqual(a, b, calls_i[c].statement);
     }
   }
 }

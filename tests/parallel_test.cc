@@ -23,25 +23,12 @@
 #include "storage/catalog.h"
 #include "storage/clock_scan.h"
 #include "storage/partition.h"
+#include "testing_util.h"
 
 namespace shareddb {
 namespace {
 
 const std::vector<size_t> kWorkerCounts = {1, 2, 4, 8};
-
-/// Asserts batches are identical: same size, row order, values, annotations.
-void ExpectBatchesIdentical(const DQBatch& a, const DQBatch& b,
-                            const std::string& label) {
-  ASSERT_EQ(a.size(), b.size()) << label;
-  for (size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a.tuples[i].size(), b.tuples[i].size()) << label << " row " << i;
-    for (size_t c = 0; c < a.tuples[i].size(); ++c) {
-      EXPECT_EQ(a.tuples[i][c].Compare(b.tuples[i][c]), 0)
-          << label << " row " << i << " col " << c;
-    }
-    EXPECT_TRUE(a.qids[i] == b.qids[i]) << label << " qids of row " << i;
-  }
-}
 
 /// A ParallelContext with a low split threshold so small test tables
 /// exercise the parallel paths.
@@ -478,15 +465,8 @@ TEST_F(ParallelEngineFixture, ParallelEngineMatchesSerialAcrossBatches) {
     for (size_t i = 0; i < fs.size(); ++i) {
       ResultSet a = fs[i].Get();
       ResultSet b = fp[i].Get();
-      ASSERT_EQ(a.rows.size(), b.rows.size()) << "round " << round << " q " << i;
-      for (size_t r = 0; r < a.rows.size(); ++r) {
-        ASSERT_EQ(a.rows[r].size(), b.rows[r].size());
-        for (size_t c = 0; c < a.rows[r].size(); ++c) {
-          EXPECT_EQ(a.rows[r][c].Compare(b.rows[r][c]), 0)
-              << "round " << round << " q " << i << " row " << r;
-        }
-      }
-      EXPECT_EQ(a.update_count, b.update_count);
+      ExpectResultsEqual(a, b,
+                         "round " + std::to_string(round) + " q " + std::to_string(i));
     }
   }
 }

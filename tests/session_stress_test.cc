@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "api/server.h"
+#include "testing_util.h"
 #include "tpcw/global_plan.h"
 #include "tpcw/harness.h"
 
@@ -49,12 +50,6 @@ StatementCall CallFor(int client, int step) {
       return {"items_by_id_list", std::move(ids)};
     }
   }
-}
-
-std::multiset<std::string> Canonical(const ResultSet& rs) {
-  std::multiset<std::string> rows;
-  for (const Tuple& t : rs.rows) rows.insert(TupleToString(t));
-  return rows;
 }
 
 using PerClientResults = std::vector<std::vector<std::multiset<std::string>>>;

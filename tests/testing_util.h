@@ -1,0 +1,61 @@
+// Shared result-comparison helpers for the test suites.
+//
+// Before this header existed, parallel_test, session_stress_test and
+// integration_test each carried a private `Canonical()` built on
+// Value::ToString — whose "%.6g" collapses distinct doubles and renders
+// Int(3) like Double(3.0). The canonical forms here come from
+// src/testing/canonical.h and are injective exactly up to the Value total
+// order (type-tagged, %.17g doubles, one NaN token, -0 folded), so
+// comparisons stay sound for NaN keys and int64-vs-double columns.
+
+#ifndef SHAREDDB_TESTS_TESTING_UTIL_H_
+#define SHAREDDB_TESTS_TESTING_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/batch.h"
+#include "core/query.h"
+#include "testing/canonical.h"
+
+namespace shareddb {
+
+/// Order-insensitive canonical form of a result set (or raw rows).
+inline std::multiset<std::string> Canonical(const ResultSet& rs) {
+  return testing::CanonicalRows(rs);
+}
+inline std::multiset<std::string> Canonical(const std::vector<Tuple>& rows) {
+  return testing::CanonicalRows(rows);
+}
+
+/// Asserts two result sets carry the same rows (any order), the same status
+/// class and the same update count.
+inline void ExpectResultsEqual(const ResultSet& a, const ResultSet& b,
+                               const std::string& label) {
+  EXPECT_EQ(a.status.ok(), b.status.ok())
+      << label << ": " << a.status.ToString() << " vs " << b.status.ToString();
+  EXPECT_EQ(a.update_count, b.update_count) << label;
+  EXPECT_EQ(Canonical(a), Canonical(b)) << label;
+}
+
+/// Asserts batches are identical: same size, row order, values, annotations.
+inline void ExpectBatchesIdentical(const DQBatch& a, const DQBatch& b,
+                                   const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.tuples[i].size(), b.tuples[i].size()) << label << " row " << i;
+    for (size_t c = 0; c < a.tuples[i].size(); ++c) {
+      EXPECT_EQ(a.tuples[i][c].Compare(b.tuples[i][c]), 0)
+          << label << " row " << i << " col " << c << ": "
+          << testing::CanonicalValue(a.tuples[i][c]) << " vs "
+          << testing::CanonicalValue(b.tuples[i][c]);
+    }
+    EXPECT_TRUE(a.qids[i] == b.qids[i]) << label << " qids of row " << i;
+  }
+}
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TESTS_TESTING_UTIL_H_

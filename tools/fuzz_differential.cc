@@ -1,0 +1,123 @@
+// fuzz_differential: differential workload fuzzer CLI.
+//
+//   fuzz_differential --seed=1 --iters=500 --sessions=4   # fuzz 500 seeds
+//   fuzz_differential --replay=fuzz_repro_seed42.txt      # replay a repro
+//
+// Each iteration runs one seed through testing::RunSeed — a random workload
+// executed by N concurrent api::Session threads over the live Server
+// heartbeat AND by the query-at-a-time baseline oracle, with results
+// compared call for call. Exit code 0 = no mismatch; 1 = mismatch (a repro
+// artifact is written into --artifact-dir); 2 = usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "testing/differential.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fuzz_differential [--seed=N] [--iters=K] [--sessions=S]\n"
+      "                         [--calls=C] [--rounds=R] [--artifact-dir=DIR]\n"
+      "                         [--inject-fault] [--verbose]\n"
+      "       fuzz_differential --replay=ARTIFACT\n"
+      "       fuzz_differential --seed=N --dump   # print seed N's workload\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using shareddb::testing::RunOptions;
+  using shareddb::testing::SeedReport;
+
+  uint64_t seed = 1;
+  uint64_t iters = 32;
+  RunOptions opts;
+  opts.artifact_dir = ".";
+  std::string replay_path;
+  bool dump = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--seed", &v)) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--iters", &v)) {
+      iters = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--sessions", &v)) {
+      opts.sessions = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--calls", &v)) {
+      opts.calls_per_session = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--rounds", &v)) {
+      opts.mixed_rounds = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--artifact-dir", &v)) {
+      opts.artifact_dir = v;
+    } else if (ParseFlag(argv[i], "--replay", &v)) {
+      replay_path = v;
+    } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
+      opts.inject_fault = true;
+    } else if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opts.verbose = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  if (dump) {
+    opts.gen.seed = seed;
+    shareddb::testing::RandomWorkloadGenerator gen(opts.gen);
+    std::printf("%s", gen.Dump().c_str());
+    return 0;
+  }
+
+  if (!replay_path.empty()) {
+    std::string log;
+    const bool reproduced = shareddb::testing::ReplayArtifact(replay_path, &log);
+    std::printf("%s", log.c_str());
+    std::printf("replay %s: mismatch %s\n", replay_path.c_str(),
+                reproduced ? "REPRODUCED" : "did not reproduce");
+    return reproduced ? 1 : 0;
+  }
+
+  size_t failures = 0;
+  size_t compared = 0;
+  size_t aborted = 0;
+  for (uint64_t s = seed; s < seed + iters; ++s) {
+    opts.gen.seed = s;
+    const SeedReport r = shareddb::testing::RunSeed(opts);
+    compared += r.calls_compared;
+    aborted += r.calls_aborted;
+    if (!r.ok) {
+      ++failures;
+      std::fprintf(stderr, "seed %llu FAILED: %s\n  config: %s\n",
+                   static_cast<unsigned long long>(s), r.first_mismatch.c_str(),
+                   r.config.c_str());
+      if (!r.artifact_path.empty()) {
+        std::fprintf(stderr, "  repro artifact: %s\n", r.artifact_path.c_str());
+      }
+    } else if (opts.verbose) {
+      std::fprintf(stderr, "seed %llu ok (%s)\n",
+                   static_cast<unsigned long long>(s), r.config.c_str());
+    }
+  }
+  std::printf(
+      "fuzz_differential: %llu seed(s), %zu failed, %zu calls compared, "
+      "%zu aborted-by-design\n",
+      static_cast<unsigned long long>(iters), failures, compared, aborted);
+  return failures == 0 ? 0 : 1;
+}
