@@ -42,7 +42,7 @@ done
 BUILD_DIR="$REPO_ROOT/build-bench"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DSDB_BUILD_TESTS=OFF -DSDB_BUILD_EXAMPLES=OFF >/dev/null
-TARGETS=(micro_shared_ops micro_ablation client_latency)
+TARGETS=(micro_shared_ops micro_ablation client_latency micro_wal)
 if [[ "$WITH_FIG8" == "1" ]]; then TARGETS+=(fig8_core_scaling); fi
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TARGETS[@]}" >/dev/null
 
@@ -53,6 +53,7 @@ trap 'rm -rf "$TMP"' EXIT
 "$BUILD_DIR/micro_ablation" --benchmark_min_time="$MIN_TIME" \
     --benchmark_format=json > "$TMP/ablation.json" 2>/dev/null
 "$BUILD_DIR/client_latency" | grep -v '^#' > "$TMP/client_latency.tsv"
+"$BUILD_DIR/micro_wal" | grep -v '^#' > "$TMP/micro_wal.tsv"
 
 FIG8_SERIES=""
 if [[ "$WITH_FIG8" == "1" ]]; then
@@ -65,13 +66,15 @@ if [[ "$WITH_FIG8" == "1" ]]; then
 fi
 
 python3 - "$TMP/shared.json" "$TMP/ablation.json" "$OUT" "$OVERWRITE" \
-    "$(printf "%b" "$FIG8_SERIES")" "$TMP/client_latency.tsv" <<'EOF'
+    "$(printf "%b" "$FIG8_SERIES")" "$TMP/client_latency.tsv" \
+    "$TMP/micro_wal.tsv" <<'EOF'
 import json, sys, datetime
 
 shared, ablation, out_path, overwrite = (
     sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] == "1")
 fig8_raw = sys.argv[5] if len(sys.argv) > 5 else ""
 client_tsv = sys.argv[6] if len(sys.argv) > 6 else ""
+wal_tsv = sys.argv[7] if len(sys.argv) > 7 else ""
 
 client_latency = []
 if client_tsv:
@@ -85,6 +88,19 @@ if client_tsv:
             client_latency.append({"name": f"{series}/p95", "ns": float(p95)})
             client_latency.append(
                 {"name": f"{series}/mean_batch_occupancy", "ns": float(occ)})
+
+wal_durability = []
+if wal_tsv:
+    with open(wal_tsv) as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) != 4:
+                continue
+            series, per_batch, ops, wal_bytes = parts
+            wal_durability.append({"name": f"{series}/ns_per_batch",
+                                   "ns": float(per_batch)})
+            wal_durability.append({"name": f"{series}/ops_per_sec",
+                                   "ns": float(ops)})
 
 def load(path):
     with open(path) as f:
@@ -123,6 +139,11 @@ CLIENT_NOTE = ("end-to-end blocking Session::Execute (item_by_id) through the "
                "mean_batch_occupancy is statements per non-empty batch (its "
                "'ns' field is a plain count, not nanoseconds)")
 
+WAL_NOTE = ("wal_raw = 100-record batch appended to the log then flushed "
+            "(page cache) or synced (fsync); wal_durability = 16-update "
+            "engine heartbeat per DurabilityMode; ops_per_sec entries are "
+            "records-or-updates/sec (plain rates, not nanoseconds)")
+
 def kept_note(section, default):
     # A committed section's note may carry hand-written caveats (e.g. the
     # 1-core-container warning) — refreshing the numbers must not clobber it.
@@ -148,11 +169,18 @@ if has_history and not overwrite:
             "note": kept_note("client_latency", CLIENT_NOTE),
             "benchmarks": client_latency,
         }
+    if wal_durability:
+        existing["wal_durability"] = {
+            "date": datetime.date.today().isoformat(),
+            "note": kept_note("wal_durability", WAL_NOTE),
+            "benchmarks": wal_durability,
+        }
     with open(out_path, "w") as f:
         json.dump(existing, f, indent=1)
     print(f"{out_path}: committed history kept; parallel_sweep + rebind_series "
-          f"+ client_latency refreshed "
-          f"({len(sweep)}+{len(rebind)}+{len(client_latency)} series). "
+          f"+ client_latency + wal_durability refreshed "
+          f"({len(sweep)}+{len(rebind)}+{len(client_latency)}"
+          f"+{len(wal_durability)} series). "
           f"Full current run:")
     for e in entries:
         print(f'  {e["name"]:45s} {e["ns"]:>14} ns')
@@ -183,6 +211,12 @@ if client_latency:
         "date": datetime.date.today().isoformat(),
         "note": kept_note("client_latency", CLIENT_NOTE),
         "benchmarks": client_latency,
+    }
+if wal_durability:
+    result["wal_durability"] = {
+        "date": datetime.date.today().isoformat(),
+        "note": kept_note("wal_durability", WAL_NOTE),
+        "benchmarks": wal_durability,
     }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=1)

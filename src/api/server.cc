@@ -127,6 +127,19 @@ BatchReport Server::StepBatch() {
   return report;
 }
 
+Status Server::Checkpoint(const std::string& path) {
+  bool was_paused;
+  {
+    std::lock_guard lock(mu_);
+    was_paused = paused_;
+  }
+  // Quiesce: no batch may mutate tables while rows are being serialized.
+  if (!was_paused) Pause();
+  const Status s = engine_->Checkpoint(path);
+  if (!was_paused) Resume();
+  return s;
+}
+
 void Server::RecordLocked(const BatchReport& report) {
   last_report_ = report;
   stats_.statements_cancelled += report.num_cancelled;

@@ -79,6 +79,13 @@ class Server {
   /// Runs exactly one heartbeat on the caller's thread. Requires Pause().
   BatchReport StepBatch();
 
+  /// Admin API: quiesces the heartbeat, writes an atomic checkpoint of the
+  /// whole catalog to `path` (tmp + fsync + rename — a crash mid-checkpoint
+  /// leaves the previous one intact), then resumes. Because all updates
+  /// commit at batch boundaries, the checkpoint is a consistent snapshot of
+  /// the last committed generation. Restores the prior paused/running state.
+  Status Checkpoint(const std::string& path);
+
   /// Aggregate admission telemetry over all heartbeats that admitted work.
   struct Stats {
     uint64_t batches = 0;  // heartbeats that admitted >= 1 statement

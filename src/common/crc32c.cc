@@ -1,0 +1,35 @@
+#include "common/crc32c.h"
+
+namespace shareddb {
+
+namespace {
+
+// Table for the reflected Castagnoli polynomial, built once at startup.
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32cTable kTable;
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace shareddb

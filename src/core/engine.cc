@@ -53,7 +53,7 @@ Engine::Engine(std::unique_ptr<GlobalPlan> plan, EngineOptions options,
     parallel_ctx_.min_rows_per_task = po.min_rows_per_task;
     parallel_ctx_.morsels_per_worker = po.morsels_per_worker;
   }
-  if (options_.enable_wal) InstallWal();
+  if (options_.durability.mode != DurabilityMode::kNone) InstallWal();
 }
 
 Engine::~Engine() {
@@ -67,15 +67,24 @@ Engine::~Engine() {
 }
 
 void Engine::InstallWal() {
-  SDB_CHECK(!options_.wal_path.empty());
-  wal_ = std::make_unique<Wal>(options_.wal_path);
-  const Status s = wal_->Open(/*truncate=*/true);
+  const DurabilityOptions& d = options_.durability;
+  SDB_CHECK(!d.wal_path.empty());
+  storage::Env* env = d.env != nullptr ? d.env : storage::Env::Posix();
+  wal_ = std::make_unique<Wal>(d.wal_path, env);
+  const Status s = wal_->Open(d.truncate_wal);
   SDB_CHECK(s.ok());
   wal_logger_ = std::make_unique<WalTableLogger>(wal_.get(), plan_->catalog());
   Catalog* cat = plan_->catalog();
   for (size_t i = 0; i < cat->NumTables(); ++i) {
     cat->TableById(i)->set_write_observer(wal_logger_.get());
   }
+}
+
+Status Engine::Checkpoint(const std::string& path) const {
+  storage::Env* env = options_.durability.env != nullptr
+                          ? options_.durability.env
+                          : storage::Env::Posix();
+  return WriteCheckpoint(*plan_->catalog(), path, env);
 }
 
 namespace {
@@ -271,7 +280,17 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
     const Version committed = cat->snapshots().Commit();
     if (wal_ != nullptr) {
       wal_->LogCommit(committed);
-      wal_->Flush();
+      // Group commit: the whole batch — every update record plus the commit
+      // record sealing it — goes out in one write, and under kGroupCommit
+      // one fsync. A crash before the sync loses the entire batch cleanly
+      // (recovery finds no commit record); never a partial batch.
+      const Status s = options_.durability.mode == DurabilityMode::kGroupCommit
+                           ? wal_->Sync()
+                           : wal_->Flush();
+      if (!s.ok()) {
+        std::lock_guard lock(mu_);
+        if (wal_status_.ok()) wal_status_ = s;  // latch the first failure
+      }
     }
   }
 

@@ -113,10 +113,24 @@ struct ParallelOptions {
   size_t morsels_per_worker = 4;
 };
 
+/// Durability knobs: which WAL discipline commits get, and where the bytes
+/// go. The group-commit mode is the paper-faithful one — a heartbeat batch
+/// commits atomically, so one fsync at the batch boundary covers every
+/// update in it.
+struct DurabilityOptions {
+  DurabilityMode mode = DurabilityMode::kNone;
+  std::string wal_path;  // required unless mode == kNone
+  /// Storage backend; null = the real POSIX filesystem. Tests pass a
+  /// storage::FaultyEnv to inject crashes, torn writes, and lying fsyncs.
+  storage::Env* env = nullptr;
+  /// Start a fresh log. Pass false to append to a recovered log (Recover()
+  /// truncates damaged tails, so appending after recovery is safe).
+  bool truncate_wal = true;
+};
+
 /// Engine options.
 struct EngineOptions {
-  bool enable_wal = false;
-  std::string wal_path;
+  DurabilityOptions durability;
   /// Vacuum dead row versions every N batches (0 = never).
   int vacuum_interval = 0;
   /// Shared worker pool for intra-operator parallelism.
@@ -198,6 +212,27 @@ class Engine {
   };
   PredicateCacheStats predicate_cache_stats() const;
 
+  /// First WAL I/O error, latched. The engine keeps serving after a WAL
+  /// failure (availability over durability — the heartbeat never stops),
+  /// but callers that promised durability must check this before acking.
+  Status wal_status() const {
+    std::lock_guard lock(mu_);
+    return wal_status_;
+  }
+
+  /// Logical WAL length in bytes (0 when durability is off). After a
+  /// group-commit batch this is the durable size — the crash fuzzer records
+  /// it per batch to aim crash points at batch boundaries.
+  uint64_t wal_bytes_logged() const {
+    return wal_ != nullptr ? wal_->bytes_logged() : 0;
+  }
+
+  /// Writes an atomic checkpoint of the catalog to `path` using the
+  /// durability backend (POSIX when none was configured). Caller must
+  /// ensure no batch is executing (api::Server::Checkpoint pauses the
+  /// heartbeat around this).
+  Status Checkpoint(const std::string& path) const;
+
  private:
   struct Pending {
     StatementId statement;
@@ -224,6 +259,7 @@ class Engine {
 
   std::atomic<uint64_t> batch_number_{0};
   BatchReport last_report_;
+  Status wal_status_;  // first WAL error, latched; guarded by mu_
 };
 
 /// Logs every table mutation into the WAL (installed by the engine).

@@ -1,0 +1,346 @@
+#include "storage/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace shareddb {
+namespace storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+// --- POSIX backend -----------------------------------------------------------
+
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+
+  ~PosixFile() override { Close(); }
+
+  Status Append(const void* data, size_t n) override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+    const char* p = static_cast<const char*>(data);
+    size_t left = n;
+    while (left > 0) {
+      const ssize_t w = ::write(fd_, p, left);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_);
+      }
+      p += w;
+      left -= static_cast<size_t>(w);
+      size_ += static_cast<uint64_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }  // writes are unbuffered
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+#if defined(__linux__)
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_);
+#else
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+#endif
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return ErrnoStatus("close", path_);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewAppendableFile(const std::string& path, bool truncate,
+                           std::unique_ptr<File>* out) override {
+    const int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path);
+    struct stat st;
+    uint64_t size = 0;
+    if (::fstat(fd, &st) == 0) size = static_cast<uint64_t>(st.st_size);
+    *out = std::make_unique<PosixFile>(fd, path, size);
+    return Status::OK();
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("no file at " + path);
+    out->clear();
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+    const bool err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (err) return Status::IoError("read failed for " + path);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) const override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to);
+    }
+    // The rename itself must survive power loss: sync the directory entry.
+    std::string dir = to;
+    const size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);  // best effort: some filesystems refuse directory fsync
+      ::close(dfd);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) return ErrnoStatus("remove", path);
+    return Status::OK();
+  }
+
+  uint64_t FileSize(const std::string& path) const override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return 0;
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// --- fault-injecting in-memory backend ---------------------------------------
+
+/// Handle into a FaultyEnv file. The env must outlive every handle.
+class FaultyFile : public File {
+ public:
+  FaultyFile(FaultyEnv* env, std::shared_ptr<FaultyEnv::FileState> state,
+             std::string path)
+      : env_(env), state_(std::move(state)), path_(std::move(path)) {}
+
+  ~FaultyFile() override { Close(); }
+
+  Status Append(const void* data, size_t n) override {
+    std::lock_guard lock(env_->mu_);
+    FaultyEnv::FileState* s = state_.get();
+    if (s->powered_off) return Status::IoError("stale handle (power loss): " + path_);
+    if (s->crashed) return Status::IoError("injected crash: " + path_);
+    const FaultInjection& f = s->faults;
+    size_t allowed = n;
+    bool crash = false;
+    if (f.crash_after_bytes != FaultInjection::kNoCrash) {
+      const uint64_t budget = f.crash_after_bytes > s->append_budget_used
+                                  ? f.crash_after_bytes - s->append_budget_used
+                                  : 0;
+      if (n > budget) {
+        allowed = static_cast<size_t>(budget);  // torn write
+        crash = true;
+      }
+    }
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < allowed; ++i) {
+      uint8_t byte = p[i];
+      const uint64_t off = s->data.size();
+      for (const auto& [flip_off, mask] : f.bit_flips) {
+        if (flip_off == off) byte ^= mask;
+      }
+      s->data.push_back(static_cast<char>(byte));
+    }
+    s->append_budget_used += allowed;
+    if (crash) {
+      s->crashed = true;
+      return Status::IoError("injected crash (torn write): " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    std::lock_guard lock(env_->mu_);
+    FaultyEnv::FileState* s = state_.get();
+    if (s->powered_off) return Status::IoError("stale handle (power loss): " + path_);
+    if (s->crashed) return Status::IoError("injected crash: " + path_);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard lock(env_->mu_);
+    FaultyEnv::FileState* s = state_.get();
+    if (s->powered_off) return Status::IoError("stale handle (power loss): " + path_);
+    if (s->crashed) return Status::IoError("injected crash: " + path_);
+    if (s->faults.fail_syncs) return Status::IoError("injected fsync failure: " + path_);
+    if (!s->faults.drop_syncs) s->synced = s->data.size();  // a lying disk acks anyway
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+  uint64_t Size() const override {
+    std::lock_guard lock(env_->mu_);
+    return state_->data.size();
+  }
+
+ private:
+  FaultyEnv* env_;
+  std::shared_ptr<FaultyEnv::FileState> state_;
+  std::string path_;
+};
+
+std::shared_ptr<FaultyEnv::FileState> FaultyEnv::StateLocked(
+    const std::string& path) {
+  auto it = files_.find(path);
+  if (it != files_.end()) return it->second;
+  auto state = std::make_shared<FileState>();
+  files_[path] = state;
+  return state;
+}
+
+Status FaultyEnv::NewAppendableFile(const std::string& path, bool truncate,
+                                    std::unique_ptr<File>* out) {
+  std::lock_guard lock(mu_);
+  std::shared_ptr<FileState> state = StateLocked(path);
+  if (truncate) {
+    state->data.clear();
+    state->synced = 0;
+  }
+  *out = std::make_unique<FaultyFile>(this, std::move(state), path);
+  return Status::OK();
+}
+
+Status FaultyEnv::ReadFileToString(const std::string& path, std::string* out) {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no file at " + path);
+  *out = it->second->data;
+  return Status::OK();
+}
+
+bool FaultyEnv::FileExists(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  return files_.find(path) != files_.end();
+}
+
+Status FaultyEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no file at " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status FaultyEnv::TruncateFile(const std::string& path, uint64_t size) {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no file at " + path);
+  FileState* s = it->second.get();
+  if (size < s->data.size()) s->data.resize(size);
+  if (s->synced > s->data.size()) s->synced = s->data.size();
+  return Status::OK();
+}
+
+Status FaultyEnv::RemoveFile(const std::string& path) {
+  std::lock_guard lock(mu_);
+  if (files_.erase(path) == 0) return Status::NotFound("no file at " + path);
+  return Status::OK();
+}
+
+uint64_t FaultyEnv::FileSize(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second->data.size();
+}
+
+void FaultyEnv::SetFaults(const std::string& path, FaultInjection faults) {
+  std::lock_guard lock(mu_);
+  std::shared_ptr<FileState> s = StateLocked(path);
+  s->faults = std::move(faults);
+  s->append_budget_used = 0;
+  s->crashed = false;
+}
+
+void FaultyEnv::ClearFaults(const std::string& path) {
+  SetFaults(path, FaultInjection{});
+}
+
+void FaultyEnv::PowerLoss(uint64_t torn_tail_bytes) {
+  std::lock_guard lock(mu_);
+  for (auto& [path, state] : files_) {
+    // Survivors: the synced prefix plus a bounded torn tail of unsynced
+    // bytes. Old handles stay wedged on the retired state.
+    auto fresh = std::make_shared<FileState>();
+    const uint64_t keep =
+        std::min<uint64_t>(state->data.size(), state->synced + torn_tail_bytes);
+    fresh->data = state->data.substr(0, keep);
+    fresh->synced = keep;  // after power-up, on-disk bytes are all durable
+    state->powered_off = true;
+    state = std::move(fresh);
+  }
+}
+
+uint64_t FaultyEnv::SyncedSize(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second->synced;
+}
+
+std::string FaultyEnv::Contents(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? std::string() : it->second->data;
+}
+
+void FaultyEnv::SetContents(const std::string& path, std::string bytes) {
+  std::lock_guard lock(mu_);
+  auto state = std::make_shared<FileState>();
+  state->synced = bytes.size();
+  state->data = std::move(bytes);
+  files_[path] = std::move(state);
+}
+
+void FaultyEnv::FlipBit(const std::string& path, uint64_t offset, uint8_t mask) {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(path);
+  SDB_CHECK(it != files_.end() && offset < it->second->data.size());
+  it->second->data[offset] =
+      static_cast<char>(static_cast<uint8_t>(it->second->data[offset]) ^ mask);
+}
+
+}  // namespace storage
+}  // namespace shareddb

@@ -1,0 +1,171 @@
+// storage::File / storage::Env — the I/O boundary of the durability layer.
+//
+// Everything the WAL and checkpointer do to stable storage goes through
+// these two interfaces, so the same code runs against two backends:
+//
+//  * PosixEnv — the production backend: unbuffered fd writes, real fsync()
+//    (fdatasync where available), atomic rename with a directory sync so a
+//    renamed checkpoint survives power loss.
+//  * FaultyEnv — an in-memory filesystem for crash-fault injection: files
+//    carry a synced-prefix watermark, and a FaultInjection plan can tear an
+//    append mid-record after a byte budget, ack fsyncs without making the
+//    data durable (a disk that lies), fail syncs outright, or flip bits as
+//    bytes land. PowerLoss() reverts every file to its durable prefix plus
+//    a bounded torn tail — exactly what recovery code must survive.
+//
+// The split of responsibilities: File models the OS/disk boundary only.
+// Append() hands bytes to the "OS" (page cache), Sync() makes them durable.
+// User-space batching (group commit) lives in the Wal, which buffers records
+// and pushes them here once per heartbeat.
+
+#ifndef SHAREDDB_STORAGE_IO_H_
+#define SHAREDDB_STORAGE_IO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace shareddb {
+namespace storage {
+
+/// An append-only file handle. Append() reaches the OS; only Sync() makes
+/// bytes durable across power loss.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends `n` bytes. On error some prefix may have landed (torn write).
+  virtual Status Append(const void* data, size_t n) = 0;
+
+  /// Pushes user-space buffers to the OS. PosixFile writes unbuffered, so
+  /// this is a no-op there; it exists so buffered backends compose.
+  virtual Status Flush() = 0;
+
+  /// Makes every appended byte durable (fsync). A backend may be configured
+  /// to lie (FaultInjection::drop_syncs) — recovery must cope.
+  virtual Status Sync() = 0;
+
+  /// Closes the handle. Does NOT sync; callers that need durability sync
+  /// first (Wal::Close does).
+  virtual Status Close() = 0;
+
+  /// Bytes in the file (pre-existing + appended through this handle).
+  virtual uint64_t Size() const = 0;
+};
+
+/// Filesystem factory + metadata operations.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it if absent; `truncate` starts
+  /// the file empty.
+  virtual Status NewAppendableFile(const std::string& path, bool truncate,
+                                   std::unique_ptr<File>* out) = 0;
+
+  /// Reads the whole file. NotFound if it does not exist.
+  virtual Status ReadFileToString(const std::string& path, std::string* out) = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+
+  /// Atomically replaces `to` with `from` and makes the rename durable.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Truncates `path` to `size` bytes (recovery tail chopping).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Size in bytes; 0 if the file does not exist.
+  virtual uint64_t FileSize(const std::string& path) const = 0;
+
+  /// The process-wide POSIX backend.
+  static Env* Posix();
+};
+
+/// Fault plan for one FaultyEnv file. All faults are deterministic so a
+/// fuzz seed replays bit-for-bit.
+struct FaultInjection {
+  static constexpr uint64_t kNoCrash = ~0ULL;
+
+  /// Total append-byte budget: the append that crosses it is applied only
+  /// up to the boundary (torn write) and fails with IoError; every later
+  /// Append/Sync fails too, until faults are cleared or PowerLoss() runs.
+  uint64_t crash_after_bytes = kNoCrash;
+
+  /// Sync() acks success without advancing the durable watermark — the
+  /// "disk that lied about fsync". PowerLoss() then drops the acked bytes.
+  bool drop_syncs = false;
+
+  /// Sync() fails honestly with IoError (durable watermark unchanged).
+  bool fail_syncs = false;
+
+  /// (absolute byte offset, xor mask) applied as the byte lands on "disk" —
+  /// silent media corruption the checksums must catch.
+  std::vector<std::pair<uint64_t, uint8_t>> bit_flips;
+};
+
+/// In-memory filesystem with fault injection. Thread-safe.
+class FaultyEnv : public Env {
+ public:
+  FaultyEnv() = default;
+
+  Status NewAppendableFile(const std::string& path, bool truncate,
+                           std::unique_ptr<File>* out) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  bool FileExists(const std::string& path) const override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status RemoveFile(const std::string& path) override;
+  uint64_t FileSize(const std::string& path) const override;
+
+  /// Installs the fault plan for `path` (applies to the current and any
+  /// future handle; byte budgets count from now).
+  void SetFaults(const std::string& path, FaultInjection faults);
+  /// Clears faults and un-wedges a crashed file (the "process restarted").
+  void ClearFaults(const std::string& path);
+
+  /// Simulates power loss: every file reverts to its synced prefix plus at
+  /// most `torn_tail_bytes` of whatever unsynced bytes followed. Open
+  /// handles are wedged (every call fails); faults are cleared.
+  void PowerLoss(uint64_t torn_tail_bytes);
+
+  /// Durable watermark of `path` (bytes guaranteed to survive PowerLoss).
+  uint64_t SyncedSize(const std::string& path) const;
+
+  /// Raw file bytes (what a post-crash reader would see).
+  std::string Contents(const std::string& path) const;
+  /// Replaces the file wholesale (building crash images by hand). The
+  /// contents count as durable.
+  void SetContents(const std::string& path, std::string bytes);
+  /// XORs `mask` into the byte at `offset` (post-hoc media corruption).
+  void FlipBit(const std::string& path, uint64_t offset, uint8_t mask = 0x10);
+
+ private:
+  friend class FaultyFile;
+
+  struct FileState {
+    std::string data;          // bytes the OS has (survive process crash)
+    uint64_t synced = 0;       // bytes the disk has (survive power loss)
+    uint64_t append_budget_used = 0;  // counts toward crash_after_bytes
+    bool crashed = false;      // wedged by an injected crash
+    bool powered_off = false;  // wedged by PowerLoss (stale handle)
+    FaultInjection faults;
+  };
+
+  std::shared_ptr<FileState> StateLocked(const std::string& path);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+};
+
+}  // namespace storage
+}  // namespace shareddb
+
+#endif  // SHAREDDB_STORAGE_IO_H_

@@ -10,6 +10,8 @@
 #include "api/server.h"
 #include "common/string_util.h"
 #include "runtime/threaded_runtime.h"
+#include "storage/io.h"
+#include "storage/wal.h"
 #include "testing/canonical.h"
 
 namespace shareddb {
@@ -60,7 +62,8 @@ struct SharedStack {
 };
 
 SharedStack BuildShared(const RandomWorkloadGenerator& gen, const EnvConfig& env,
-                        bool start_paused) {
+                        bool start_paused,
+                        const DurabilityOptions& durability = {}) {
   SharedStack s;
   s.catalog = gen.BuildCatalog();
   GlobalPlanBuilder builder(s.catalog.get());
@@ -68,6 +71,7 @@ SharedStack BuildShared(const RandomWorkloadGenerator& gen, const EnvConfig& env
   std::unique_ptr<GlobalPlan> plan = builder.Build();
   GlobalPlan* raw = plan.get();
   EngineOptions opts;
+  opts.durability = durability;
   opts.vacuum_interval = env.vacuum;
   opts.parallel.num_workers = env.workers;
   opts.parallel.min_rows_per_task = 16;  // small tables must still split
@@ -98,6 +102,30 @@ OracleStack BuildOracle(const RandomWorkloadGenerator& gen, bool mysql_profile) 
       mysql_profile ? MySQLLikeProfile() : SystemXLikeProfile());
   gen.RegisterBaseline(o.engine.get());
   return o;
+}
+
+/// Canonical whole-database state at the catalog's own read snapshot: per
+/// table (catalog order is deterministic), the multiset of visible rows.
+/// Side-independent — the shared engine, the oracle, and a recovered
+/// catalog all reduce to the same string iff they hold the same data.
+std::string DumpCatalogState(const Catalog& cat) {
+  const Version snap = cat.snapshots().ReadSnapshot();
+  std::string out;
+  for (size_t ti = 0; ti < cat.NumTables(); ++ti) {
+    const Table* t = cat.TableById(ti);
+    std::multiset<std::string> rows;
+    t->ScanVisible(snap, [&rows](RowId, const Tuple& row) {
+      rows.insert(CanonicalRow(row));
+      return true;
+    });
+    out += t->name();
+    out += ":\n";
+    for (const std::string& r : rows) {
+      out += r;
+      out += "\n";
+    }
+  }
+  return out;
 }
 
 /// Fault injection (see RunOptions::inject_fault): corrupts the SHARED
@@ -623,6 +651,210 @@ SeedReport RunSeed(const RunOptions& opts) {
     if (scan_template_compared &&
         shared.engine->predicate_cache_stats().index_builds < 1) {
       invariant_failure("shared scans executed but predicate index never built");
+    }
+  }
+
+  // --- crash-recovery phase: WAL crash-point equivalence ---------------------
+  // A fresh serial group-commit stack runs an update-heavy workload over a
+  // fault-injecting in-memory filesystem, with the oracle mirroring every
+  // batch. The per-batch WAL offsets make the durability contract exact:
+  // a crash image cut (or corrupted) at byte X must recover to PRECISELY
+  // the batches whose commit record lies at or before X — state included.
+  if (opts.crash_points > 0 && gen.num_update_templates() > 0 &&
+      mismatches.empty()) {
+    const std::string kWalPath = "crash.wal";
+
+    struct CrashRun {
+      std::vector<uint64_t> offsets;   // WAL size after each batch's sync
+      std::vector<std::string> dumps;  // oracle state after 0..B batches
+      uint64_t final_size = 0;
+      bool ok = true;
+    };
+
+    // Runs `batches` update-only heartbeats, mirroring each call into a
+    // fresh oracle. Serial environment, vacuum off: WAL replay targets
+    // physical row ids of the full no-vacuum history (compaction-aware
+    // replay is the MVCC follow-up).
+    const auto run_crash_workload = [&](storage::FaultyEnv* fault_env,
+                                        size_t batches, uint64_t salt) {
+      CrashRun run;
+      EnvConfig serial;  // inline runtime, no caps, no vacuum: deterministic
+      DurabilityOptions dur;
+      dur.mode = DurabilityMode::kGroupCommit;
+      dur.wal_path = kWalPath;
+      dur.env = fault_env;
+      SharedStack crash_shared =
+          BuildShared(gen, serial, /*start_paused=*/true, dur);
+      OracleStack crash_oracle = BuildOracle(gen, /*mysql_profile=*/false);
+      run.dumps.push_back(DumpCatalogState(*crash_oracle.catalog));
+      if (DumpCatalogState(*crash_shared.catalog) != run.dumps[0]) {
+        invariant_failure("crash phase: initial states diverge");
+        run.ok = false;
+        return run;
+      }
+      Rng rng(SubSeed(opts.gen.seed, salt));
+      uint64_t insert_ids = 0;
+      auto session = crash_shared.server->OpenSession();
+      for (size_t b = 0; b < batches && run.ok; ++b) {
+        const size_t n = static_cast<size_t>(rng.Uniform(1, 3));
+        std::vector<StatementCall> calls;
+        std::vector<api::AsyncResult> res;
+        for (size_t i = 0; i < n; ++i) {
+          calls.push_back(gen.MakeUpdateCall(&rng, &insert_ids));
+          res.push_back(
+              session->ExecuteAsync(calls[i].statement, calls[i].params));
+        }
+        crash_shared.server->StepBatch();
+        for (size_t i = 0; i < n && run.ok; ++i) {
+          const ResultSet rs = res[i].Get();
+          const baseline::BaselineResult br = crash_oracle.engine->ExecuteNamed(
+              calls[i].statement, calls[i].params);
+          if (!rs.status.ok() || rs.update_count != br.result.update_count) {
+            invariant_failure(StringPrintf(
+                "crash phase batch %zu: update '%s' diverged before any crash",
+                b, calls[i].statement.c_str()));
+            run.ok = false;
+          }
+        }
+        if (!crash_shared.engine->wal_status().ok()) {
+          invariant_failure("crash phase: WAL error with no fault injected: " +
+                            crash_shared.engine->wal_status().ToString());
+          run.ok = false;
+        }
+        run.offsets.push_back(crash_shared.engine->wal_bytes_logged());
+        run.dumps.push_back(DumpCatalogState(*crash_oracle.catalog));
+      }
+      if (run.ok &&
+          DumpCatalogState(*crash_shared.catalog) != run.dumps.back()) {
+        invariant_failure(
+            "crash phase: shared state diverged from oracle before any crash");
+        run.ok = false;
+      }
+      run.final_size = fault_env->FileSize(kWalPath);
+      return run;
+    };
+
+    // Batches whose commit record is entirely within the first `keep` bytes.
+    const auto batches_within = [](const CrashRun& run, uint64_t keep) {
+      size_t n = 0;
+      for (const uint64_t off : run.offsets) {
+        if (off <= keep) ++n;
+      }
+      return n;
+    };
+
+    const auto check_crash_image = [&](const std::string& label,
+                                       storage::FaultyEnv* img_env,
+                                       size_t expected_batches,
+                                       const CrashRun& run) {
+      ++report.crash_points_checked;
+      std::unique_ptr<Catalog> cat = gen.BuildCatalog();
+      RecoverOptions ropts;
+      ropts.wal_path = kWalPath;
+      ropts.env = img_env;
+      RecoveryReport rr;
+      const Status s = Recover(cat.get(), ropts, &rr);
+      Mismatch mm;
+      mm.phase = "crash-recovery";
+      mm.statement = "-";
+      if (!s.ok()) {
+        mm.detail = label + ": recovery failed: " + s.ToString();
+        mismatches.push_back(std::move(mm));
+        return;
+      }
+      if (rr.batches_committed != expected_batches) {
+        mm.detail = StringPrintf(
+            "%s: recovered %llu batches, expected exactly %zu (stop=%s, "
+            "discarded=%llu)",
+            label.c_str(),
+            static_cast<unsigned long long>(rr.batches_committed),
+            expected_batches, rr.stop_reason.c_str(),
+            static_cast<unsigned long long>(rr.bytes_discarded));
+        mismatches.push_back(std::move(mm));
+        return;
+      }
+      if (cat->snapshots().ReadSnapshot() !=
+          static_cast<Version>(1 + expected_batches)) {
+        mm.detail = label + StringPrintf(
+            ": recovered snapshot %llu, expected %zu",
+            static_cast<unsigned long long>(cat->snapshots().ReadSnapshot()),
+            1 + expected_batches);
+        mismatches.push_back(std::move(mm));
+        return;
+      }
+      if (DumpCatalogState(*cat) != run.dumps[expected_batches]) {
+        mm.detail = label + StringPrintf(
+            ": recovered state differs from the oracle at batch %zu "
+            "(never-wrong-data invariant violated)", expected_batches);
+        mismatches.push_back(std::move(mm));
+      }
+    };
+
+    Rng crash_rng(SubSeed(opts.gen.seed, 4000));
+    storage::FaultyEnv base_env;
+    const CrashRun run = run_crash_workload(&base_env, opts.crash_batches, 4100);
+    if (run.ok) {
+      // Group commit's own contract: after the last heartbeat every logged
+      // byte is durable (one fsync per batch, none dropped).
+      if (base_env.SyncedSize(kWalPath) != run.final_size) {
+        invariant_failure("group commit left unsynced WAL bytes");
+      }
+      const std::string full = base_env.Contents(kWalPath);
+      for (size_t k = 0; k < opts.crash_points && mismatches.empty(); ++k) {
+        storage::FaultyEnv img_env;
+        if (k % 2 == 0) {
+          // Torn write: the log ends mid-stream at an arbitrary byte
+          // (offsets below 8 tear the header itself).
+          const uint64_t cut = static_cast<uint64_t>(
+              crash_rng.Uniform(0, static_cast<int64_t>(run.final_size)));
+          img_env.SetContents(kWalPath, full.substr(0, cut));
+          check_crash_image(
+              StringPrintf("torn@%llu/%llu",
+                           static_cast<unsigned long long>(cut),
+                           static_cast<unsigned long long>(run.final_size)),
+              &img_env, batches_within(run, cut), run);
+        } else if (run.final_size >= 9) {
+          // Silent media corruption: one flipped bit past the header. The
+          // record holding the flipped byte must fail its checksum, so
+          // recovery stops at the last commit before it — exactly.
+          const uint64_t flip = static_cast<uint64_t>(
+              crash_rng.Uniform(8, static_cast<int64_t>(run.final_size) - 1));
+          img_env.SetContents(kWalPath, full);
+          img_env.FlipBit(kWalPath, flip);
+          check_crash_image(
+              StringPrintf("flip@%llu/%llu",
+                           static_cast<unsigned long long>(flip),
+                           static_cast<unsigned long long>(run.final_size)),
+              &img_env, batches_within(run, flip), run);
+        }
+      }
+
+      // A disk that acks fsync but lies, then power fails: every batch the
+      // engine believed durable is gone but for a bounded torn tail, and
+      // recovery must land on whatever prefix physically survived — never
+      // resurrect the acked-but-dropped batches partially.
+      if (mismatches.empty()) {
+        storage::FaultyEnv liar_env;
+        storage::FaultInjection faults;
+        faults.drop_syncs = true;
+        liar_env.SetFaults(kWalPath, faults);
+        const CrashRun liar = run_crash_workload(&liar_env, 3, 4200);
+        if (liar.ok) {
+          const uint64_t torn =
+              static_cast<uint64_t>(crash_rng.Uniform(0, 64));
+          liar_env.PowerLoss(torn);
+          const uint64_t kept = liar_env.FileSize(kWalPath);
+          if (liar.final_size > torn && kept >= liar.final_size) {
+            invariant_failure("dropped syncs: power loss lost nothing");
+          } else {
+            check_crash_image(
+                StringPrintf("dropped-sync-powerloss kept=%llu/%llu",
+                             static_cast<unsigned long long>(kept),
+                             static_cast<unsigned long long>(liar.final_size)),
+                &liar_env, batches_within(liar, kept), liar);
+          }
+        }
+      }
     }
   }
 

@@ -23,6 +23,16 @@
 //     against the oracle, which is interleaving-independent because the
 //     data is frozen after phase 1.
 //
+// Optional crash-recovery phase (crash_points > 0): an update-heavy
+// workload runs on a fresh group-commit stack over a fault-injecting
+// in-memory filesystem, recording the WAL byte offset of every batch
+// boundary and the oracle state after every batch. Then, per crash point,
+// a crash image of the log is built (truncation at a random byte offset,
+// or a random bit flip) and recovered into a fresh catalog; the number of
+// batches recovery reports AND the full recovered table state must equal
+// the oracle replayed to exactly the last durable batch. A dropped-sync
+// run (the disk acks fsync but lies, then power fails) closes the loop.
+//
 // Invariants checked besides result equality: per-call status, ordered
 // output of Sort/TopN roots, admission accounting (admitted + cancelled ==
 // submitted), mean batch occupancy >= 1, predicate-cache builds >= 1 when
@@ -58,6 +68,11 @@ struct RunOptions {
   /// replay reproduces it too.
   bool inject_fault = false;
   bool verbose = false;
+  /// Crash-recovery phase: crash images built and recovered per seed
+  /// (0 = skip the phase).
+  size_t crash_points = 0;
+  /// Update-heavy batches in the crash-phase workload.
+  size_t crash_batches = 6;
 };
 
 struct SeedReport {
@@ -66,6 +81,7 @@ struct SeedReport {
   size_t mismatches = 0;
   size_t calls_compared = 0;
   size_t calls_aborted = 0;  // cancelled / deadline-expired, not compared
+  size_t crash_points_checked = 0;  // crash images recovered + compared
   uint64_t batches = 0;
   double mean_occupancy = 0;
   std::string config;          // randomized environment summary

@@ -315,8 +315,8 @@ TEST_F(EngineFixture, WalRecoveryRestoresCommittedState) {
       (fs::temp_directory_path() / "sdb_engine_wal_test.log").string();
   {
     EngineOptions opts;
-    opts.enable_wal = true;
-    opts.wal_path = wal_path;
+    opts.durability.mode = DurabilityMode::kGroupCommit;
+    opts.durability.wal_path = wal_path;
     Engine engine(BuildPlan(), opts);
     engine.ExecuteSyncNamed("new_user", {Value::Int(55), Value::Str("walter"),
                                          Value::Int(1), Value::Int(42)});

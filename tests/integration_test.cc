@@ -114,8 +114,8 @@ TEST(TpcwRecovery, WalReplayRestoresOrders) {
   {
     auto db = tpcw::MakeTpcwDatabase(scale, 21);
     EngineOptions opts;
-    opts.enable_wal = true;
-    opts.wal_path = wal_path;
+    opts.durability.mode = DurabilityMode::kGroupCommit;
+    opts.durability.wal_path = wal_path;
     Engine engine(tpcw::BuildTpcwGlobalPlan(&db->catalog), std::move(opts));
     api::Server server(&engine);
     tpcw::SharedDbConnection conn(&server);

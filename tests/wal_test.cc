@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "runtime/task_pool.h"
 #include "storage/wal.h"
@@ -31,6 +32,18 @@ class WalTest : public ::testing::Test {
   }
   static Tuple R(int64_t id, const std::string& n, double s) {
     return {Value::Int(id), Value::Str(n), Value::Double(s)};
+  }
+
+  /// XORs 0x10 into one byte of a real file (media corruption by hand).
+  static void FlipByte(const std::string& path, uint64_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char b;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x10);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&b, 1);
   }
 
   std::filesystem::path dir_;
@@ -248,6 +261,159 @@ TEST_F(WalTest, RecoverWithoutAnyFilesIsOk) {
   cat.CreateTable("t", S());
   EXPECT_TRUE(Recover(&cat, Path("no_ckpt"), Path("no_wal")).ok());
   EXPECT_EQ(cat.snapshots().ReadSnapshot(), 0u);
+}
+
+TEST_F(WalTest, EmptyLogRecoversToEmptyState) {
+  {
+    Wal wal(Path("wal"));
+    ASSERT_TRUE(wal.Open(true).ok());
+    ASSERT_TRUE(wal.Sync().ok());  // just the header
+  }
+  Catalog cat;
+  cat.CreateTable("t", S());
+  RecoverOptions opts;
+  opts.wal_path = Path("wal");
+  RecoveryReport report;
+  ASSERT_TRUE(Recover(&cat, opts, &report).ok());
+  EXPECT_EQ(report.records_replayed, 0u);
+  EXPECT_EQ(report.batches_committed, 0u);
+  EXPECT_EQ(report.bytes_discarded, 0u);
+  EXPECT_EQ(cat.MustGetTable("t")->PhysicalSize(), 0u);
+}
+
+TEST_F(WalTest, CorruptChecksumHidesLaterRecords) {
+  // A bad CRC mid-file must stop replay THERE: the intact-looking records
+  // after it are unreachable (their batch's prefix is gone) and replaying
+  // them would resurrect writes whose predecessors were lost.
+  uint64_t first_record_end = 0;
+  {
+    Wal wal(Path("wal"));
+    ASSERT_TRUE(wal.Open(true).ok());
+    wal.LogInsert(0, 1, 0, R(1, "first", 1));
+    first_record_end = wal.bytes_logged();
+    wal.LogCommit(1);
+    wal.LogInsert(0, 2, 1, R(2, "second", 2));
+    wal.LogCommit(2);
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  FlipByte(Path("wal"), first_record_end - 1);  // payload byte of record 1
+
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::Replay(Path("wal"), [&](const WalRecord& r) {
+                records.push_back(r);
+              }).ok());
+  EXPECT_TRUE(records.empty());  // nothing before the corruption
+
+  Catalog cat;
+  cat.CreateTable("t", S());
+  RecoverOptions opts;
+  opts.wal_path = Path("wal");
+  RecoveryReport report;
+  ASSERT_TRUE(Recover(&cat, opts, &report).ok());
+  EXPECT_EQ(report.stop_reason, "bad-crc");
+  EXPECT_EQ(report.records_replayed, 0u);
+  EXPECT_EQ(report.batches_committed, 0u);
+  EXPECT_GT(report.bytes_discarded, 0u);
+  EXPECT_EQ(cat.MustGetTable("t")->PhysicalSize(), 0u);  // never wrong data
+}
+
+TEST_F(WalTest, FlippedLengthWordCannotDerailReplay) {
+  // The CRC covers the length word, so framing damage is caught as a
+  // checksum mismatch instead of sending the reader to a bogus offset.
+  {
+    Wal wal(Path("wal"));
+    ASSERT_TRUE(wal.Open(true).ok());
+    wal.LogInsert(0, 1, 0, R(1, "a", 1));
+    wal.LogCommit(1);
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  FlipByte(Path("wal"), 8);  // first byte of the first record's length word
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::Replay(Path("wal"), [&](const WalRecord& r) {
+                records.push_back(r);
+              }).ok());
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(WalTest, CorruptHeaderIsHardError) {
+  // A damaged tail is a crash; a damaged HEADER is the wrong file (or an
+  // overwritten one) — silently treating it as empty would discard a log.
+  {
+    Wal wal(Path("wal"));
+    ASSERT_TRUE(wal.Open(true).ok());
+    wal.LogCommit(1);
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  FlipByte(Path("wal"), 0);
+  const Status s = Wal::Replay(Path("wal"), [](const WalRecord&) {});
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  Catalog cat;
+  cat.CreateTable("t", S());
+  EXPECT_EQ(Recover(&cat, "", Path("wal")).code(), StatusCode::kIoError);
+}
+
+TEST_F(WalTest, UncommittedTailIsTruncatedByRecover) {
+  {
+    Wal wal(Path("wal"));
+    ASSERT_TRUE(wal.Open(true).ok());
+    wal.LogInsert(0, 1, 0, R(1, "committed", 1));
+    wal.LogCommit(1);
+    wal.LogInsert(0, 2, 1, R(2, "unsealed", 2));  // batch 2 never commits
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  Catalog cat;
+  cat.CreateTable("t", S());
+  RecoverOptions opts;
+  opts.wal_path = Path("wal");
+  RecoveryReport report;
+  ASSERT_TRUE(Recover(&cat, opts, &report).ok());
+  EXPECT_EQ(report.batches_committed, 1u);
+  EXPECT_GT(report.bytes_discarded, 0u);
+  // The tail is physically gone: a second recovery finds a clean log.
+  Catalog cat2;
+  cat2.CreateTable("t", S());
+  RecoveryReport report2;
+  ASSERT_TRUE(Recover(&cat2, opts, &report2).ok());
+  EXPECT_EQ(report2.bytes_discarded, 0u);
+  EXPECT_EQ(report2.stop_reason, "eof");
+  EXPECT_EQ(cat2.MustGetTable("t")->PhysicalSize(), 1u);
+}
+
+TEST_F(WalTest, BytesLoggedMatchesFileSizeAfterSync) {
+  Wal wal(Path("wal"));
+  ASSERT_TRUE(wal.Open(true).ok());
+  wal.LogInsert(0, 1, 0, R(1, "a", 1));
+  wal.LogCommit(1);
+  ASSERT_TRUE(wal.Sync().ok());
+  EXPECT_EQ(wal.bytes_logged(), std::filesystem::file_size(Path("wal")));
+  ASSERT_TRUE(wal.Close().ok());
+}
+
+TEST_F(WalTest, ReopenAppendPreservesHistory) {
+  {
+    Wal wal(Path("wal"));
+    ASSERT_TRUE(wal.Open(true).ok());
+    wal.LogInsert(0, 1, 0, R(1, "first", 1));
+    wal.LogCommit(1);
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  {
+    Wal wal(Path("wal"));
+    ASSERT_TRUE(wal.Open(false).ok());  // append; header must validate
+    wal.LogInsert(0, 2, 1, R(2, "second", 2));
+    wal.LogCommit(2);
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  size_t records = 0;
+  ASSERT_TRUE(Wal::Replay(Path("wal"), [&](const WalRecord&) {
+                ++records;
+              }).ok());
+  EXPECT_EQ(records, 4u);
+  Catalog cat;
+  cat.CreateTable("t", S());
+  ASSERT_TRUE(Recover(&cat, "", Path("wal")).ok());
+  EXPECT_EQ(cat.MustGetTable("t")->VisibleCount(2), 2u);
+  EXPECT_EQ(cat.snapshots().ReadSnapshot(), 2u);
 }
 
 }  // namespace

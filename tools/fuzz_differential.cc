@@ -32,6 +32,7 @@ void Usage() {
       stderr,
       "usage: fuzz_differential [--seed=N] [--iters=K] [--sessions=S]\n"
       "                         [--calls=C] [--rounds=R] [--artifact-dir=DIR]\n"
+      "                         [--crash-points=K] [--crash-batches=B]\n"
       "                         [--inject-fault] [--verbose]\n"
       "       fuzz_differential --replay=ARTIFACT\n"
       "       fuzz_differential --seed=N --dump   # print seed N's workload\n");
@@ -62,6 +63,10 @@ int main(int argc, char** argv) {
       opts.calls_per_session = std::strtoull(v, nullptr, 10);
     } else if (ParseFlag(argv[i], "--rounds", &v)) {
       opts.mixed_rounds = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--crash-points", &v)) {
+      opts.crash_points = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--crash-batches", &v)) {
+      opts.crash_batches = std::strtoull(v, nullptr, 10);
     } else if (ParseFlag(argv[i], "--artifact-dir", &v)) {
       opts.artifact_dir = v;
     } else if (ParseFlag(argv[i], "--replay", &v)) {
@@ -97,11 +102,13 @@ int main(int argc, char** argv) {
   size_t failures = 0;
   size_t compared = 0;
   size_t aborted = 0;
+  size_t crash_points = 0;
   for (uint64_t s = seed; s < seed + iters; ++s) {
     opts.gen.seed = s;
     const SeedReport r = shareddb::testing::RunSeed(opts);
     compared += r.calls_compared;
     aborted += r.calls_aborted;
+    crash_points += r.crash_points_checked;
     if (!r.ok) {
       ++failures;
       std::fprintf(stderr, "seed %llu FAILED: %s\n  config: %s\n",
@@ -117,7 +124,8 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "fuzz_differential: %llu seed(s), %zu failed, %zu calls compared, "
-      "%zu aborted-by-design\n",
-      static_cast<unsigned long long>(iters), failures, compared, aborted);
+      "%zu aborted-by-design, %zu crash points recovered\n",
+      static_cast<unsigned long long>(iters), failures, compared, aborted,
+      crash_points);
   return failures == 0 ? 0 : 1;
 }
