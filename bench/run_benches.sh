@@ -77,17 +77,26 @@ client_tsv = sys.argv[6] if len(sys.argv) > 6 else ""
 wal_tsv = sys.argv[7] if len(sys.argv) > 7 else ""
 
 client_latency = []
+backpressure = []
 if client_tsv:
     with open(client_tsv) as f:
         for line in f:
             parts = line.split()
             if len(parts) != 4:
                 continue
-            series, p50, p95, occ = parts
-            client_latency.append({"name": f"{series}/p50", "ns": float(p50)})
-            client_latency.append({"name": f"{series}/p95", "ns": float(p95)})
-            client_latency.append(
-                {"name": f"{series}/mean_batch_occupancy", "ns": float(occ)})
+            series = parts[0]
+            if series.startswith("backpressure/"):
+                _, p50, p99, shed = parts
+                backpressure.append({"name": f"{series}/p50", "ns": float(p50)})
+                backpressure.append({"name": f"{series}/p99", "ns": float(p99)})
+                backpressure.append(
+                    {"name": f"{series}/shed_rate", "ns": float(shed)})
+            else:
+                _, p50, p95, occ = parts
+                client_latency.append({"name": f"{series}/p50", "ns": float(p50)})
+                client_latency.append({"name": f"{series}/p95", "ns": float(p95)})
+                client_latency.append(
+                    {"name": f"{series}/mean_batch_occupancy", "ns": float(occ)})
 
 wal_durability = []
 if wal_tsv:
@@ -139,6 +148,12 @@ CLIENT_NOTE = ("end-to-end blocking Session::Execute (item_by_id) through the "
                "mean_batch_occupancy is statements per non-empty batch (its "
                "'ns' field is a plain count, not nanoseconds)")
 
+BACKPRESSURE_NOTE = ("oversubscription sweep: bounded-admission server "
+                     "(queue 16, 2 in-flight/session) under N retrying "
+                     "closed-loop sessions; shed_rate is the fraction of raw "
+                     "submissions refused synchronously (rejected + shed; a "
+                     "plain ratio, not nanoseconds)")
+
 WAL_NOTE = ("wal_raw = 100-record batch appended to the log then flushed "
             "(page cache) or synced (fsync); wal_durability = 16-update "
             "engine heartbeat per DurabilityMode; ops_per_sec entries are "
@@ -169,6 +184,12 @@ if has_history and not overwrite:
             "note": kept_note("client_latency", CLIENT_NOTE),
             "benchmarks": client_latency,
         }
+    if backpressure:
+        existing["backpressure"] = {
+            "date": datetime.date.today().isoformat(),
+            "note": kept_note("backpressure", BACKPRESSURE_NOTE),
+            "benchmarks": backpressure,
+        }
     if wal_durability:
         existing["wal_durability"] = {
             "date": datetime.date.today().isoformat(),
@@ -178,9 +199,9 @@ if has_history and not overwrite:
     with open(out_path, "w") as f:
         json.dump(existing, f, indent=1)
     print(f"{out_path}: committed history kept; parallel_sweep + rebind_series "
-          f"+ client_latency + wal_durability refreshed "
+          f"+ client_latency + backpressure + wal_durability refreshed "
           f"({len(sweep)}+{len(rebind)}+{len(client_latency)}"
-          f"+{len(wal_durability)} series). "
+          f"+{len(backpressure)}+{len(wal_durability)} series). "
           f"Full current run:")
     for e in entries:
         print(f'  {e["name"]:45s} {e["ns"]:>14} ns')
@@ -211,6 +232,12 @@ if client_latency:
         "date": datetime.date.today().isoformat(),
         "note": kept_note("client_latency", CLIENT_NOTE),
         "benchmarks": client_latency,
+    }
+if backpressure:
+    result["backpressure"] = {
+        "date": datetime.date.today().isoformat(),
+        "note": kept_note("backpressure", BACKPRESSURE_NOTE),
+        "benchmarks": backpressure,
     }
 if wal_durability:
     result["wal_durability"] = {

@@ -15,13 +15,26 @@ Server::Server(std::unique_ptr<Engine> engine, ServerOptions options)
   owned_engine_ = std::move(engine);
 }
 
-Server::~Server() {
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() {
+  // Serialize callers: the second Shutdown() (or the destructor after an
+  // explicit Shutdown()) waits for the first to finish, then no-ops.
+  std::lock_guard shutdown_lock(shutdown_mu_);
+  if (shutdown_) return;
+  shutdown_ = true;
   {
     std::lock_guard lock(mu_);
     stop_ = true;
   }
   wake_cv_.notify_all();
   if (driver_.joinable()) driver_.join();
+  // The driver is gone; the batch that was in flight (if any) has fulfilled
+  // its calls. Everything still queued never ran — complete those futures
+  // with kUnavailable and refuse submissions from here on, so no client
+  // future ever dangles on a destroyed server.
+  engine_->CloseSubmissions(
+      Status::Unavailable("server shut down before the statement was admitted"));
 }
 
 std::unique_ptr<Session> Server::OpenSession() {
@@ -30,18 +43,22 @@ std::unique_ptr<Session> Server::OpenSession() {
 
 std::future<ResultSet> Server::Submit(StatementId statement,
                                       std::vector<Value> params,
-                                      Engine::CancelFlag cancel) {
+                                      Engine::SubmitOptions opts) {
+  opts.max_queue_depth = options_.max_queue_depth;
+  opts.max_inflight = options_.max_session_inflight;
   std::future<ResultSet> f =
-      engine_->Submit(statement, std::move(params), std::move(cancel));
+      engine_->Submit(statement, std::move(params), std::move(opts));
   NudgeDriver();
   return f;
 }
 
 std::future<ResultSet> Server::SubmitNamed(const std::string& name,
                                            std::vector<Value> params,
-                                           Engine::CancelFlag cancel) {
+                                           Engine::SubmitOptions opts) {
+  opts.max_queue_depth = options_.max_queue_depth;
+  opts.max_inflight = options_.max_session_inflight;
   std::future<ResultSet> f =
-      engine_->SubmitNamed(name, std::move(params), std::move(cancel));
+      engine_->SubmitNamed(name, std::move(params), std::move(opts));
   NudgeDriver();
   return f;
 }
@@ -153,8 +170,19 @@ void Server::RecordLocked(const BatchReport& report) {
 }
 
 Server::Stats Server::stats() const {
+  // The engine's admission counters are the authoritative overload story
+  // (they also cover sheds/cancels drained by StepBatch and the shutdown
+  // drain); batch-shape stats stay report-based.
+  const Engine::AdmissionTotals totals = engine_->admission_totals();
   std::lock_guard lock(mu_);
-  return stats_;
+  Stats s = stats_;
+  s.statements_submitted = totals.submitted;
+  s.statements_admitted = totals.admitted;
+  s.statements_cancelled = totals.cancelled;
+  s.statements_rejected = totals.rejected;
+  s.statements_shed = totals.shed;
+  s.statements_unavailable = totals.unavailable;
+  return s;
 }
 
 BatchReport Server::last_report() const {

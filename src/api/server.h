@@ -43,6 +43,15 @@ struct ServerOptions {
   /// batch so concurrently submitting sessions share the generation
   /// (0 = form immediately; run-when-pending).
   std::chrono::microseconds min_batch_window{0};
+  /// Bounded admission: reject a submission with a ready kResourceExhausted
+  /// result when this many statements are already queued (0 = unbounded).
+  /// Rejection is synchronous — the driver thread is never blocked by a
+  /// flooded front door — and rejected-before-admission calls are the safe
+  /// retry target (they never executed).
+  size_t max_queue_depth = 0;
+  /// Per-session in-flight cap: a session whose submitted-but-unfulfilled
+  /// call count is at the cap gets kResourceExhausted (0 = unlimited).
+  size_t max_session_inflight = 0;
   /// Start with the driver parked (Resume() or StepBatch() drives it).
   bool start_paused = false;
 };
@@ -57,7 +66,13 @@ class Server {
   explicit Server(Engine* engine, ServerOptions options = {});
   /// Owning convenience.
   explicit Server(std::unique_ptr<Engine> engine, ServerOptions options = {});
-  ~Server();  // stops the driver (pending futures stay unfulfilled)
+  ~Server();  // Shutdown(): drains queued calls with kUnavailable
+
+  /// Graceful drain, idempotent: stops the heartbeat driver (the batch in
+  /// flight finishes and fulfills its calls), then completes every
+  /// queued-but-unadmitted statement with kUnavailable and refuses further
+  /// submissions (ready kUnavailable results). No future ever dangles.
+  void Shutdown();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -86,12 +101,20 @@ class Server {
   /// the last committed generation. Restores the prior paused/running state.
   Status Checkpoint(const std::string& path);
 
-  /// Aggregate admission telemetry over all heartbeats that admitted work.
+  /// Aggregate admission telemetry over all heartbeats that admitted work,
+  /// plus the overload counters (rejections happen at Submit, sheds at
+  /// formation — both are folded in here so one read shows the whole
+  /// admission story). The accounting identity, once the queue is drained:
+  ///   submitted == admitted + rejected + shed + cancelled + unavailable
   struct Stats {
     uint64_t batches = 0;  // heartbeats that admitted >= 1 statement
+    uint64_t statements_submitted = 0;  // well-formed submissions
     uint64_t statements_admitted = 0;
     uint64_t statements_spilled = 0;    // spill events summed over formations
     uint64_t statements_cancelled = 0;  // drained before admission
+    uint64_t statements_rejected = 0;   // kResourceExhausted backpressure
+    uint64_t statements_shed = 0;       // kDeadlineExceeded at formation
+    uint64_t statements_unavailable = 0;  // drained/refused at shutdown
     uint64_t max_batch_occupancy = 0;
 
     /// Mean statements per non-empty batch: > 1 means clients actually
@@ -111,11 +134,13 @@ class Server {
   friend class Session;
   friend class AsyncResult;
 
+  /// `opts` carries the per-call pieces (cancel token, deadline, in-flight
+  /// gauge); the server stamps its queue-depth / in-flight policy on top.
   std::future<ResultSet> Submit(StatementId statement, std::vector<Value> params,
-                                Engine::CancelFlag cancel);
+                                Engine::SubmitOptions opts);
   std::future<ResultSet> SubmitNamed(const std::string& name,
                                      std::vector<Value> params,
-                                     Engine::CancelFlag cancel);
+                                     Engine::SubmitOptions opts);
   /// Wakes the driver for new work (submission or cancellation flush).
   void NudgeDriver();
   void DriverLoop();
@@ -126,9 +151,11 @@ class Server {
   const ServerOptions options_;
 
   mutable std::mutex mu_;
+  std::mutex shutdown_mu_;           // serializes Shutdown callers
   std::condition_variable wake_cv_;  // wakes the driver (work / stop / resume)
   std::condition_variable idle_cv_;  // signals "no batch running"
   bool stop_ = false;
+  bool shutdown_ = false;  // guarded by shutdown_mu_
   bool paused_ = false;
   bool work_pending_ = false;
   bool running_ = false;  // a heartbeat is executing right now

@@ -1,10 +1,31 @@
 #include "api/session.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "api/server.h"
 #include "core/plan.h"
 
 namespace shareddb {
 namespace api {
+
+AsyncResult::~AsyncResult() {
+  // Abandoned-call fix: a handle dropped without Get() must not leave its
+  // statement to execute as unobservable dead work. Best-effort: an already-
+  // admitted call still runs to completion (the engine never tears a batch).
+  if (future_.valid()) Cancel();
+}
+
+AsyncResult& AsyncResult::operator=(AsyncResult&& other) {
+  if (this != &other) {
+    if (future_.valid()) Cancel();
+    future_ = std::move(other.future_);
+    cancel_ = std::move(other.cancel_);
+    server_ = other.server_;
+    other.server_ = nullptr;
+  }
+  return *this;
+}
 
 ResultSet AsyncResult::Get() {
   SDB_CHECK(future_.valid());
@@ -48,30 +69,82 @@ Status Session::Prepare(const std::string& name, PreparedStatement* out) {
   return Status::OK();
 }
 
+void Session::set_retry_policy(RetryPolicy policy) {
+  retry_ = policy;
+  retry_enabled_ = policy.max_attempts > 1;
+  retry_rng_ = Rng(policy.seed);
+}
+
 ResultSet Session::Finish(std::future<ResultSet> f) {
   ResultSet rs = f.get();
   ++stats_.statements;
   stats_.batches_waited += rs.batches_waited;
   stats_.admission_spills += rs.admission_spills;
+  if (rs.status.code() == StatusCode::kResourceExhausted) ++stats_.rejected;
   return rs;
 }
 
+ResultSet Session::RunBlocking(bool named, StatementId id,
+                               const std::string& name,
+                               std::vector<Value> params,
+                               const CallOptions& opts) {
+  const int attempts = retry_enabled_ ? std::max(1, retry_.max_attempts) : 1;
+  std::chrono::microseconds backoff = retry_.initial_backoff;
+  std::chrono::microseconds budget = retry_.budget;
+  for (int attempt = 1;; ++attempt) {
+    Engine::SubmitOptions sub;
+    sub.deadline = opts.deadline;
+    sub.inflight = inflight_;
+    // Keep the params for a potential resubmission; the last permitted
+    // attempt hands them over without a copy.
+    std::vector<Value> p;
+    if (attempt < attempts) {
+      p = params;
+    } else {
+      p = std::move(params);
+    }
+    ResultSet rs =
+        named ? Finish(server_->SubmitNamed(name, std::move(p), std::move(sub)))
+              : Finish(server_->Submit(id, std::move(p), std::move(sub)));
+    if (rs.status.code() != StatusCode::kResourceExhausted ||
+        attempt >= attempts) {
+      // Budget/attempts exhausted: the caller sees the original rejection.
+      return rs;
+    }
+    // Jittered exponential backoff: uniform over [backoff/2, backoff].
+    const auto half = backoff / 2;
+    const auto sleep = half + std::chrono::microseconds(static_cast<int64_t>(
+                                  static_cast<double>(half.count()) *
+                                  retry_rng_.NextDouble()));
+    if (sleep > budget) return rs;
+    std::this_thread::sleep_for(sleep);
+    budget -= sleep;
+    backoff = std::min(
+        std::chrono::microseconds(static_cast<int64_t>(
+            static_cast<double>(backoff.count()) * retry_.multiplier)),
+        retry_.max_backoff);
+    ++stats_.retries;
+  }
+}
+
 ResultSet Session::Execute(const PreparedStatement& stmt,
-                           std::vector<Value> params) {
+                           std::vector<Value> params, CallOptions opts) {
   if (!stmt.valid()) {
     ResultSet rs;
     rs.status = Status::InvalidArgument("invalid prepared statement");
     return rs;
   }
-  return Finish(server_->Submit(stmt.id(), std::move(params), nullptr));
+  return RunBlocking(/*named=*/false, stmt.id(), std::string(),
+                     std::move(params), opts);
 }
 
-ResultSet Session::Execute(const std::string& name, std::vector<Value> params) {
-  return Finish(server_->SubmitNamed(name, std::move(params), nullptr));
+ResultSet Session::Execute(const std::string& name, std::vector<Value> params,
+                           CallOptions opts) {
+  return RunBlocking(/*named=*/true, 0, name, std::move(params), opts);
 }
 
 AsyncResult Session::ExecuteAsync(const PreparedStatement& stmt,
-                                  std::vector<Value> params) {
+                                  std::vector<Value> params, CallOptions opts) {
   AsyncResult r;
   r.server_ = server_;
   if (!stmt.valid()) {
@@ -83,17 +156,25 @@ AsyncResult Session::ExecuteAsync(const PreparedStatement& stmt,
     return r;
   }
   r.cancel_ = std::make_shared<std::atomic<bool>>(false);
-  r.future_ = server_->Submit(stmt.id(), std::move(params), r.cancel_);
+  Engine::SubmitOptions sub;
+  sub.cancel = r.cancel_;
+  sub.deadline = opts.deadline;
+  sub.inflight = inflight_;
+  r.future_ = server_->Submit(stmt.id(), std::move(params), std::move(sub));
   ++stats_.statements;
   return r;
 }
 
 AsyncResult Session::ExecuteAsync(const std::string& name,
-                                  std::vector<Value> params) {
+                                  std::vector<Value> params, CallOptions opts) {
   AsyncResult r;
   r.server_ = server_;
   r.cancel_ = std::make_shared<std::atomic<bool>>(false);
-  r.future_ = server_->SubmitNamed(name, std::move(params), r.cancel_);
+  Engine::SubmitOptions sub;
+  sub.cancel = r.cancel_;
+  sub.deadline = opts.deadline;
+  sub.inflight = inflight_;
+  r.future_ = server_->SubmitNamed(name, std::move(params), std::move(sub));
   ++stats_.statements;
   return r;
 }

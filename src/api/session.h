@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/query.h"
 
 namespace shareddb {
@@ -51,7 +52,14 @@ class AsyncResult {
  public:
   AsyncResult() = default;
   AsyncResult(AsyncResult&&) = default;
-  AsyncResult& operator=(AsyncResult&&) = default;
+  /// Move-assign cancels the call the target was tracking (same abandoned-
+  /// call guarantee as the destructor) before adopting the new one.
+  AsyncResult& operator=(AsyncResult&& other);
+  /// Abandoning an unconsumed handle is not a leak: the destructor issues a
+  /// best-effort engine-side cancel, so a call nobody will ever Get() is
+  /// drained at the next formation instead of executing as dead work.
+  /// Non-blocking (it does not wait for the drain).
+  ~AsyncResult();
 
   bool valid() const { return future_.valid(); }
 
@@ -85,26 +93,66 @@ class AsyncResult {
   Server* server_ = nullptr;
 };
 
+/// Client-side retry policy for blocking Execute calls. Retries are
+/// restricted to kResourceExhausted results — a backpressure rejection
+/// happens strictly BEFORE admission, so the statement never executed and a
+/// resubmission cannot double-apply an update. Deadline sheds, shutdown
+/// drains, and execution errors are surfaced immediately (the client, not
+/// the library, knows whether re-running those is safe).
+struct RetryPolicy {
+  /// Total tries, including the first. <= 1 disables retrying.
+  int max_attempts = 4;
+  /// First backoff; each subsequent retry multiplies it (capped below).
+  /// The actual sleep is jittered uniformly over [backoff/2, backoff] so a
+  /// rejected thundering herd decorrelates instead of re-colliding.
+  std::chrono::microseconds initial_backoff{200};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_backoff{10000};
+  /// Total sleep budget across all retries of ONE Execute. When the next
+  /// backoff does not fit, the call gives up and surfaces the original
+  /// kResourceExhausted.
+  std::chrono::microseconds budget{50000};
+  /// Jitter determinism (per-session stream).
+  uint64_t seed = 0x42;
+};
+
+/// Per-call options for Execute/ExecuteAsync.
+struct CallOptions {
+  /// Engine-side deadline, carried with the submission: if the call is
+  /// still queued when a batch forms past this point it is shed with a
+  /// ready kDeadlineExceeded result instead of executing dead work.
+  /// time_point::max() = none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
 /// A client connection. All statement execution is Status-first: errors
-/// (unknown statement, invalid handle, cancellation) arrive in
-/// ResultSet.status, never as an abort.
+/// (unknown statement, invalid handle, cancellation, overload rejection)
+/// arrive in ResultSet.status, never as an abort.
 class Session {
  public:
   /// Validates `name` against the global plan. NotFound for unknown names.
   Status Prepare(const std::string& name, PreparedStatement* out);
 
+  /// Installs a retry policy for blocking Executes (see RetryPolicy). Off
+  /// by default: every rejection surfaces immediately.
+  void set_retry_policy(RetryPolicy policy);
+
   /// Blocking execution: submits into the server's admission queue and
   /// waits for the shared batch that carries it. Do not call while the
   /// server is paused (use ExecuteAsync + Server::StepBatch there).
-  ResultSet Execute(const PreparedStatement& stmt, std::vector<Value> params);
+  ResultSet Execute(const PreparedStatement& stmt, std::vector<Value> params,
+                    CallOptions opts = {});
   /// Convenience: prepare-by-name + execute; unknown names surface NotFound.
-  ResultSet Execute(const std::string& name, std::vector<Value> params);
+  ResultSet Execute(const std::string& name, std::vector<Value> params,
+                    CallOptions opts = {});
 
   /// Non-blocking execution: returns a handle with deadline/cancel
   /// semantics. The result is fulfilled by the heartbeat driver.
   AsyncResult ExecuteAsync(const PreparedStatement& stmt,
-                           std::vector<Value> params);
-  AsyncResult ExecuteAsync(const std::string& name, std::vector<Value> params);
+                           std::vector<Value> params, CallOptions opts = {});
+  AsyncResult ExecuteAsync(const std::string& name, std::vector<Value> params,
+                           CallOptions opts = {});
 
   /// Per-session telemetry, accumulated from the ResultSets of blocking
   /// Executes (async results carry their own telemetry).
@@ -112,17 +160,34 @@ class Session {
     uint64_t statements = 0;        // statements submitted (sync + async)
     uint64_t batches_waited = 0;    // summed over blocking Executes
     uint64_t admission_spills = 0;  // summed over blocking Executes
+    uint64_t rejected = 0;          // kResourceExhausted results observed
+    uint64_t retries = 0;           // resubmissions by the retry policy
   };
   const Stats& stats() const { return stats_; }
 
+  /// Calls submitted by this session whose result has not been fulfilled
+  /// yet (the gauge behind ServerOptions.max_session_inflight).
+  int64_t inflight() const {
+    return inflight_->load(std::memory_order_acquire);
+  }
+
  private:
   friend class Server;
-  explicit Session(Server* server) : server_(server) {}
+  explicit Session(Server* server)
+      : server_(server),
+        inflight_(std::make_shared<std::atomic<int64_t>>(0)) {}
 
   ResultSet Finish(std::future<ResultSet> f);
+  /// Blocking-path core: submit (+ retry under the policy) and wait.
+  ResultSet RunBlocking(bool named, StatementId id, const std::string& name,
+                        std::vector<Value> params, const CallOptions& opts);
 
   Server* server_;
   Stats stats_;
+  std::shared_ptr<std::atomic<int64_t>> inflight_;
+  RetryPolicy retry_;
+  bool retry_enabled_ = false;
+  Rng retry_rng_;  // reseeded by set_retry_policy
 };
 
 }  // namespace api

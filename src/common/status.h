@@ -25,6 +25,9 @@ enum class StatusCode {
   kIoError,       // WAL / checkpoint file errors
   kUnimplemented,
   kInternal,
+  kResourceExhausted,  // admission queue / in-flight cap full (backpressure)
+  kDeadlineExceeded,   // deadline expired before the batch carried the call
+  kUnavailable,        // server shutting down; queued call drained unexecuted
 };
 
 /// Human-readable name of a status code.
@@ -40,6 +43,9 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kIoError: return "IoError";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }
@@ -78,6 +84,15 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,48 @@
+// ChaosHook: execution-side fault injection for the compute path.
+//
+// PR 6 gave the STORAGE path a fault boundary (storage::FaultyEnv — torn
+// writes, lying fsyncs); this is the same idea for execution timing. A hook
+// installed via EngineOptions::chaos gets called at the points where a
+// production deployment actually hiccups — the heartbeat falling behind, an
+// operator running long, a pool worker getting descheduled — so overload
+// tests can drive the admission/deadline/backpressure machinery under
+// realistic jitter instead of only under clean-room timing.
+//
+// Every callback may sleep (that is the point) but must not throw and must
+// be thread-safe: OnWorkerTask fires concurrently from pool workers while
+// OnBatchFormation/OnBeforeExecute fire from the heartbeat driver.
+// src/testing/chaos.h provides the deterministic seeded implementation.
+
+#ifndef SHAREDDB_CORE_CHAOS_H_
+#define SHAREDDB_CORE_CHAOS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shareddb {
+
+class ChaosHook {
+ public:
+  virtual ~ChaosHook() = default;
+
+  /// Heartbeat stall: called at the top of RunOneBatch, before the queue is
+  /// drained. A sleep here makes the driver late — queued deadlines expire
+  /// and the shed path runs.
+  virtual void OnBatchFormation(uint64_t batch_number) { (void)batch_number; }
+
+  /// Slow operator: called after formation, before the runtime executes the
+  /// cycle (skipped for empty batches). A sleep here stretches the shared
+  /// batch every admitted call is riding.
+  virtual void OnBeforeExecute(uint64_t batch_number, size_t num_admitted) {
+    (void)batch_number;
+    (void)num_admitted;
+  }
+
+  /// Worker hiccup: called by a TaskPool worker before it runs a task
+  /// (concurrent; keep it cheap in the common no-injection case).
+  virtual void OnWorkerTask() {}
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_CHAOS_H_

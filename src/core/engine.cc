@@ -44,6 +44,10 @@ Engine::Engine(std::unique_ptr<GlobalPlan> plan, EngineOptions options,
     // pinned threads claim (none for the inline runtime).
     tp.pin_core_offset =
         po.pin_core_offset >= 0 ? po.pin_core_offset : runtime_->claimed_cores();
+    if (options_.chaos != nullptr) {
+      ChaosHook* chaos = options_.chaos;
+      tp.task_hook = [chaos] { chaos->OnWorkerTask(); };
+    }
     task_pool_ = std::make_unique<TaskPool>(tp);
     parallel_ctx_.pool = task_pool_.get();
     parallel_ctx_.scan = po.scan;
@@ -103,7 +107,7 @@ std::future<ResultSet> ErrorFuture(Status status) {
 
 std::future<ResultSet> Engine::Submit(StatementId statement,
                                       std::vector<Value> params,
-                                      CancelFlag cancel) {
+                                      SubmitOptions opts) {
   if (statement >= plan_->num_statements()) {
     return ErrorFuture(Status::InvalidArgument(
         "statement id " + std::to_string(statement) + " out of range"));
@@ -120,25 +124,106 @@ std::future<ResultSet> Engine::Submit(StatementId statement,
   p.statement = statement;
   p.params = std::move(params);
   p.update_count = std::make_unique<uint64_t>(0);
-  p.cancel = std::move(cancel);
+  p.cancel = std::move(opts.cancel);
   p.submit_time = std::chrono::steady_clock::now();
+  p.deadline = opts.deadline;
   p.submit_batch = batch_number_.load(std::memory_order_acquire);
   std::future<ResultSet> f = p.promise.get_future();
   {
+    // Every overload decision below is synchronous: a rejected caller gets a
+    // ready error future and the lock is never held across a wait, so a
+    // flooded front door can never stall the heartbeat driver.
     std::lock_guard lock(mu_);
+    stat_submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (closed_) {
+      stat_unavailable_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorFuture(
+          Status::Unavailable("engine is shut down; submission refused"));
+    }
+    if (opts.max_inflight > 0 && opts.inflight != nullptr &&
+        opts.inflight->load(std::memory_order_acquire) >=
+            static_cast<int64_t>(opts.max_inflight)) {
+      stat_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorFuture(Status::ResourceExhausted(
+          "session in-flight cap (" + std::to_string(opts.max_inflight) +
+          ") reached"));
+    }
+    if (opts.max_queue_depth > 0 && pending_.size() >= opts.max_queue_depth) {
+      stat_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorFuture(Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(pending_.size()) + "/" +
+          std::to_string(opts.max_queue_depth) + " statements pending)"));
+    }
+    if (opts.inflight != nullptr) {
+      p.inflight = opts.inflight;
+      p.inflight->fetch_add(1, std::memory_order_acq_rel);
+    }
     pending_.push_back(std::move(p));
   }
   return f;
 }
 
+std::future<ResultSet> Engine::Submit(StatementId statement,
+                                      std::vector<Value> params,
+                                      CancelFlag cancel) {
+  SubmitOptions opts;
+  opts.cancel = std::move(cancel);
+  return Submit(statement, std::move(params), std::move(opts));
+}
+
 std::future<ResultSet> Engine::SubmitNamed(const std::string& name,
                                            std::vector<Value> params,
-                                           CancelFlag cancel) {
+                                           SubmitOptions opts) {
   const StatementDef* def = plan_->FindStatement(name);
   if (def == nullptr) {
     return ErrorFuture(Status::NotFound("unknown statement '" + name + "'"));
   }
-  return Submit(def->id, std::move(params), std::move(cancel));
+  return Submit(def->id, std::move(params), std::move(opts));
+}
+
+std::future<ResultSet> Engine::SubmitNamed(const std::string& name,
+                                           std::vector<Value> params,
+                                           CancelFlag cancel) {
+  SubmitOptions opts;
+  opts.cancel = std::move(cancel);
+  return SubmitNamed(name, std::move(params), std::move(opts));
+}
+
+void Engine::Fulfill(Pending* p, ResultSet rs) {
+  // Release the gauge BEFORE the promise: a client woken by the result can
+  // immediately submit again without tripping its own in-flight cap.
+  if (p->inflight != nullptr) {
+    p->inflight->fetch_sub(1, std::memory_order_acq_rel);
+  }
+  p->promise.set_value(std::move(rs));
+}
+
+size_t Engine::CloseSubmissions(Status status) {
+  SDB_CHECK(!status.ok());
+  std::deque<Pending> drained;
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    drained.swap(pending_);
+  }
+  for (Pending& p : drained) {
+    stat_unavailable_.fetch_add(1, std::memory_order_relaxed);
+    ResultSet rs;
+    rs.status = status;
+    Fulfill(&p, std::move(rs));
+  }
+  return drained.size();
+}
+
+Engine::AdmissionTotals Engine::admission_totals() const {
+  AdmissionTotals t;
+  t.submitted = stat_submitted_.load(std::memory_order_relaxed);
+  t.admitted = stat_admitted_.load(std::memory_order_relaxed);
+  t.rejected = stat_rejected_.load(std::memory_order_relaxed);
+  t.shed = stat_shed_.load(std::memory_order_relaxed);
+  t.cancelled = stat_cancelled_.load(std::memory_order_relaxed);
+  t.unavailable = stat_unavailable_.load(std::memory_order_relaxed);
+  return t;
 }
 
 size_t Engine::PendingCount() const {
@@ -158,15 +243,23 @@ Engine::PredicateCacheStats Engine::predicate_cache_stats() const {
 }
 
 BatchReport Engine::RunOneBatch(size_t max_admissions) {
+  if (options_.chaos != nullptr) {
+    // Injected heartbeat stall: the driver arrives late at formation, so
+    // queued deadlines below genuinely expire.
+    options_.chaos->OnBatchFormation(
+        batch_number_.load(std::memory_order_acquire) + 1);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<Pending> batch;
   std::vector<Pending> cancelled;
+  std::vector<Pending> shed;
   size_t queue_depth = 0;
   size_t spilled = 0;
   {
-    // Formation touches only the admitted prefix (O(admitted + cancelled)),
-    // so a deep backlog under a small cap drains without quadratic rebuilds
-    // of the queue; the overflow simply stays where it is.
+    // Formation touches only the admitted prefix (O(admitted + cancelled +
+    // shed)), so a deep backlog under a small cap drains without quadratic
+    // rebuilds of the queue; the overflow simply stays where it is.
+    // Cancelled and deadline-expired entries do not consume admission slots.
     std::lock_guard lock(mu_);
     queue_depth = pending_.size();
     while (!pending_.empty() &&
@@ -174,6 +267,8 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
       Pending& p = pending_.front();
       if (p.cancel != nullptr && p.cancel->load(std::memory_order_acquire)) {
         cancelled.push_back(std::move(p));
+      } else if (p.deadline < t0) {
+        shed.push_back(std::move(p));
       } else {
         batch.push_back(std::move(p));
       }
@@ -188,21 +283,30 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
   report.num_admitted = batch.size();
   report.num_spilled = spilled;
   report.num_cancelled = cancelled.size();
+  report.num_shed = shed.size();
   report.node_stats.assign(plan_->num_nodes(), WorkStats{});
+  stat_admitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+  stat_cancelled_.fetch_add(cancelled.size(), std::memory_order_relaxed);
+  stat_shed_.fetch_add(shed.size(), std::memory_order_relaxed);
 
   const auto queued_ms = [&t0](const Pending& p) {
     return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
                t0 - p.submit_time)
         .count();
   };
-  for (Pending& p : cancelled) {
-    ResultSet rs;
-    rs.status = Status::Aborted("cancelled before admission");
-    rs.queue_ms = queued_ms(p);
-    rs.batches_waited = report.batch_number - p.submit_batch;
-    rs.admission_spills = rs.batches_waited - 1;
-    p.promise.set_value(std::move(rs));
-  }
+  const auto drain = [&](std::vector<Pending>* entries, const Status& status) {
+    for (Pending& p : *entries) {
+      ResultSet rs;
+      rs.status = status;
+      rs.queue_ms = queued_ms(p);
+      rs.batches_waited = report.batch_number - p.submit_batch;
+      rs.admission_spills = rs.batches_waited - 1;
+      Fulfill(&p, std::move(rs));
+    }
+  };
+  drain(&cancelled, Status::Aborted("cancelled before admission"));
+  drain(&shed, Status::DeadlineExceeded(
+                   "deadline expired before the batch formed; call shed"));
 
   Catalog* cat = plan_->catalog();
   BatchInput in;
@@ -268,6 +372,10 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
   // --- execute one cycle of the global plan ---------------------------------
   BatchOutput out;
   if (!batch.empty()) {
+    if (options_.chaos != nullptr) {
+      // Injected slow operator: every call riding this batch waits it out.
+      options_.chaos->OnBeforeExecute(report.batch_number, batch.size());
+    }
     runtime_->ExecuteCycle(plan_.get(), in, &out);
     if (out.node_stats.size() == plan_->num_nodes()) {
       report.node_stats = std::move(out.node_stats);
@@ -316,7 +424,7 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
     if (it != out.outputs.end()) {
       rs.rows = it->second.RowsFor(r.qid);
     }
-    batch[r.pending_index].promise.set_value(std::move(rs));
+    Fulfill(&batch[r.pending_index], std::move(rs));
   }
   for (size_t i = 0; i < batch.size(); ++i) {
     const StatementDef& stmt = plan_->statement(batch[i].statement);
@@ -324,7 +432,7 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
     ResultSet rs;
     rs.update_count = *batch[i].update_count;
     fill_telemetry(&rs, batch[i]);
-    batch[i].promise.set_value(std::move(rs));
+    Fulfill(&batch[i], std::move(rs));
   }
 
   // --- maintenance ------------------------------------------------------------

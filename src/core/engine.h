@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/chaos.h"
 #include "core/plan.h"
 #include "core/query.h"
 #include "core/work_stats.h"
@@ -81,6 +82,7 @@ struct BatchReport {
   size_t num_admitted = 0;              // statements admitted (queries+updates)
   size_t num_spilled = 0;               // left queued for the next generation
   size_t num_cancelled = 0;  // drained by cancellation as formation reached them
+  size_t num_shed = 0;  // deadline-expired at formation: never executed
   std::vector<WorkStats> node_stats;  // indexed by node id
   std::vector<WorkStats> unit_stats;  // per (node, replica); see BatchOutput
 
@@ -135,6 +137,9 @@ struct EngineOptions {
   int vacuum_interval = 0;
   /// Shared worker pool for intra-operator parallelism.
   ParallelOptions parallel;
+  /// Execution-side fault injection (heartbeat stalls, slow operators,
+  /// worker hiccups); must outlive the engine. Null = no injection.
+  ChaosHook* chaos = nullptr;
 };
 
 /// The SharedDB engine.
@@ -156,10 +161,34 @@ class Engine {
   /// status instead of executing it (once admitted, it runs to completion).
   using CancelFlag = std::shared_ptr<std::atomic<bool>>;
 
+  /// Per-submission overload-protection knobs. Everything here resolves
+  /// SYNCHRONOUSLY at Submit (a full queue rejects with a ready
+  /// kResourceExhausted future — the caller is never blocked) or at batch
+  /// formation (an expired deadline sheds with kDeadlineExceeded instead of
+  /// executing dead work).
+  struct SubmitOptions {
+    CancelFlag cancel;  // may be null
+    /// Shed the call at formation if still unadmitted past this point.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    /// Reject with kResourceExhausted when the pending queue already holds
+    /// this many statements (0 = unbounded).
+    size_t max_queue_depth = 0;
+    /// Caller's in-flight gauge: incremented when the entry is queued,
+    /// decremented at fulfillment (whatever the terminal status). With
+    /// max_inflight > 0, a gauge already at the cap rejects with
+    /// kResourceExhausted. Null = untracked.
+    std::shared_ptr<std::atomic<int64_t>> inflight;
+    size_t max_inflight = 0;
+  };
+
   /// Enqueues a statement instance for the next batch. Submitting is
   /// thread-safe (clients submit while a batch executes; that is the
   /// heartbeat model). An out-of-range id yields a ready future whose
-  /// ResultSet carries an InvalidArgument status.
+  /// ResultSet carries an InvalidArgument status; overload rejections a
+  /// ready kResourceExhausted; a closed engine a ready kUnavailable.
+  std::future<ResultSet> Submit(StatementId statement, std::vector<Value> params,
+                                SubmitOptions opts);
   std::future<ResultSet> Submit(StatementId statement, std::vector<Value> params,
                                 CancelFlag cancel = nullptr);
 
@@ -167,7 +196,38 @@ class Engine {
   /// ResultSet carries a NotFound status (no abort).
   std::future<ResultSet> SubmitNamed(const std::string& name,
                                      std::vector<Value> params,
+                                     SubmitOptions opts);
+  std::future<ResultSet> SubmitNamed(const std::string& name,
+                                     std::vector<Value> params,
                                      CancelFlag cancel = nullptr);
+
+  /// Shutdown drain: atomically stops accepting submissions (subsequent
+  /// Submits yield ready kUnavailable futures) and fulfills every
+  /// queued-but-unadmitted statement with `status` — no future is ever left
+  /// to dangle on a broken promise. Returns the number drained. The caller
+  /// must ensure no RunOneBatch is executing concurrently (api::Server joins
+  /// its driver first).
+  size_t CloseSubmissions(Status status);
+  bool submissions_closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  /// Admission accounting, monotone over the engine's lifetime. The
+  /// overload invariant every caller can check:
+  ///   submitted == admitted + rejected + shed + cancelled + unavailable
+  ///                + PendingCount()
+  /// `submitted` counts only well-formed submissions (validation errors —
+  /// unknown statement, bad arity — never enter the admission pipeline).
+  struct AdmissionTotals {
+    uint64_t submitted = 0;    // entered the admission pipeline
+    uint64_t admitted = 0;     // executed in a batch
+    uint64_t rejected = 0;     // kResourceExhausted at Submit (queue/in-flight)
+    uint64_t shed = 0;         // kDeadlineExceeded at formation
+    uint64_t cancelled = 0;    // kAborted drain at formation
+    uint64_t unavailable = 0;  // kUnavailable: drained or submitted post-close
+  };
+  AdmissionTotals admission_totals() const;
 
   /// Number of queued (unbatched) statement instances.
   size_t PendingCount() const;
@@ -241,10 +301,14 @@ class Engine {
     std::unique_ptr<uint64_t> update_count;  // stable address for applied_out
     CancelFlag cancel;                       // may be null
     std::chrono::steady_clock::time_point submit_time;
+    std::chrono::steady_clock::time_point deadline;  // max() = none
+    std::shared_ptr<std::atomic<int64_t>> inflight;  // may be null
     uint64_t submit_batch = 0;  // batches_run() at submission
   };
 
   void InstallWal();
+  /// Decrements the caller's in-flight gauge, then fulfills the promise.
+  static void Fulfill(Pending* p, ResultSet rs);
 
   std::unique_ptr<GlobalPlan> plan_;
   EngineOptions options_;
@@ -256,6 +320,16 @@ class Engine {
 
   mutable std::mutex mu_;
   std::deque<Pending> pending_;  // FIFO; formation pops admitted from the front
+  bool closed_ = false;          // set by CloseSubmissions; guarded by mu_
+
+  // Admission accounting (see AdmissionTotals). Writers hold mu_ or are the
+  // single RunOneBatch caller; atomics let readers skip the lock.
+  std::atomic<uint64_t> stat_submitted_{0};
+  std::atomic<uint64_t> stat_admitted_{0};
+  std::atomic<uint64_t> stat_rejected_{0};
+  std::atomic<uint64_t> stat_shed_{0};
+  std::atomic<uint64_t> stat_cancelled_{0};
+  std::atomic<uint64_t> stat_unavailable_{0};
 
   std::atomic<uint64_t> batch_number_{0};
   BatchReport last_report_;

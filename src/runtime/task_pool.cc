@@ -76,6 +76,8 @@ bool TaskPool::RunOneTask(size_t self) {
   }
   if (stolen) worker_steals_.fetch_add(1, std::memory_order_relaxed);
 
+  if (options_.task_hook) options_.task_hook();
+
   std::exception_ptr error;
   try {
     task.fn();

@@ -51,10 +51,14 @@ class TaskPool {
     /// onto cores already claimed by operator threads.
     bool pin_threads = false;
     int pin_core_offset = 0;
+    /// Chaos injection: invoked before each task executes (on workers AND
+    /// participating waiters). May sleep ("worker hiccup"), must not throw.
+    /// Null = no overhead beyond one branch.
+    std::function<void()> task_hook;
   };
 
   explicit TaskPool(size_t num_workers)
-      : TaskPool(Options{num_workers, false, 0}) {}
+      : TaskPool(Options{num_workers, false, 0, nullptr}) {}
   explicit TaskPool(const Options& options);
   ~TaskPool();
 

@@ -1,0 +1,50 @@
+#include "testing/chaos.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "testing/workload_generator.h"
+
+namespace shareddb {
+namespace testing {
+
+void ChaosInjector::MaybeSleep(double p, int max_us,
+                               std::atomic<uint64_t>* counter) {
+  if (p <= 0.0 || max_us <= 0) return;
+  // One fresh Rng per draw, seeded by a sub-stream index: deterministic for
+  // a fixed interleaving, and no shared mutable generator state to race on.
+  Rng rng(SubSeed(options_.seed,
+                  next_draw_.fetch_add(1, std::memory_order_relaxed)));
+  if (!rng.Bernoulli(p)) return;
+  counter->fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(rng.Uniform(1, max_us)));
+}
+
+void ChaosInjector::OnBatchFormation(uint64_t batch_number) {
+  (void)batch_number;
+  MaybeSleep(options_.stall_p, options_.max_stall_us, &stalls_);
+}
+
+void ChaosInjector::OnBeforeExecute(uint64_t batch_number,
+                                    size_t num_admitted) {
+  (void)batch_number;
+  (void)num_admitted;
+  MaybeSleep(options_.slow_exec_p, options_.max_exec_us, &slow_execs_);
+}
+
+void ChaosInjector::OnWorkerTask() {
+  MaybeSleep(options_.hiccup_p, options_.max_hiccup_us, &hiccups_);
+}
+
+ChaosInjector::Counts ChaosInjector::counts() const {
+  Counts c;
+  c.stalls = stalls_.load(std::memory_order_relaxed);
+  c.slow_execs = slow_execs_.load(std::memory_order_relaxed);
+  c.hiccups = hiccups_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace testing
+}  // namespace shareddb

@@ -1,0 +1,72 @@
+// ChaosInjector: deterministic execution-side fault injection for overload
+// testing. Plugs into EngineOptions.chaos and perturbs the engine at the
+// three points the heartbeat model is sensitive to:
+//
+//   * heartbeat stalls (OnBatchFormation) — the driver arrives late at
+//     formation, so queues deepen and per-call deadlines genuinely expire;
+//   * slow operators (OnBeforeExecute) — one batch takes much longer than
+//     its siblings, so every call sharing that generation waits it out;
+//   * worker hiccups (OnWorkerTask) — individual pool tasks stutter,
+//     skewing morsel timing under intra-operator parallelism.
+//
+// All injection is delay-only: chaos changes WHEN things happen, never
+// WHAT the engine computes, so differential comparison against the oracle
+// stays exact. Draws are deterministic per (seed, draw index) and
+// thread-safe (workers race only on one atomic counter).
+
+#ifndef SHAREDDB_TESTING_CHAOS_H_
+#define SHAREDDB_TESTING_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/chaos.h"
+
+namespace shareddb {
+namespace testing {
+
+class ChaosInjector : public ChaosHook {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Heartbeat stall before batch formation.
+    double stall_p = 0.0;
+    int max_stall_us = 0;
+    /// Slow operator: extra latency inside a non-empty batch's execution.
+    double slow_exec_p = 0.0;
+    int max_exec_us = 0;
+    /// Worker hiccup: stutter before an individual pool task runs.
+    double hiccup_p = 0.0;
+    int max_hiccup_us = 0;
+  };
+
+  explicit ChaosInjector(const Options& options) : options_(options) {}
+
+  void OnBatchFormation(uint64_t batch_number) override;
+  void OnBeforeExecute(uint64_t batch_number, size_t num_admitted) override;
+  void OnWorkerTask() override;
+
+  /// Injection telemetry (reported by the overload fuzzer).
+  struct Counts {
+    uint64_t stalls = 0;
+    uint64_t slow_execs = 0;
+    uint64_t hiccups = 0;
+  };
+  Counts counts() const;
+
+ private:
+  /// With probability `p`, sleeps a deterministic duration in (0, max_us]
+  /// and bumps `counter`. Each call consumes one sub-stream draw.
+  void MaybeSleep(double p, int max_us, std::atomic<uint64_t>* counter);
+
+  const Options options_;
+  std::atomic<uint64_t> next_draw_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> slow_execs_{0};
+  std::atomic<uint64_t> hiccups_{0};
+};
+
+}  // namespace testing
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TESTING_CHAOS_H_

@@ -13,6 +13,7 @@
 #include "storage/io.h"
 #include "storage/wal.h"
 #include "testing/canonical.h"
+#include "testing/overload.h"
 
 namespace shareddb {
 namespace testing {
@@ -855,6 +856,27 @@ SeedReport RunSeed(const RunOptions& opts) {
           }
         }
       }
+    }
+  }
+
+  // --- overload phase: saturation under chaos (fresh stack) -----------------
+  if (opts.overload && mismatches.empty()) {
+    OverloadOptions oopts;
+    oopts.gen = opts.gen;
+    oopts.sessions = opts.overload_sessions;
+    oopts.calls_per_session = opts.overload_calls_per_session;
+    oopts.verbose = opts.verbose;
+    const OverloadReport orep = RunOverloadSeed(oopts);
+    report.overload_ok = orep.calls_ok;
+    report.overload_rejected = orep.calls_rejected;
+    report.overload_shed = orep.calls_shed;
+    report.calls_compared += orep.compared;
+    if (!orep.ok) {
+      Mismatch mm;
+      mm.phase = "overload";
+      mm.statement = "-";
+      mm.detail = orep.first_failure + " [" + orep.config + "]";
+      mismatches.push_back(std::move(mm));
     }
   }
 

@@ -73,6 +73,13 @@ struct RunOptions {
   size_t crash_points = 0;
   /// Update-heavy batches in the crash-phase workload.
   size_t crash_batches = 6;
+  /// Overload phase (see testing/overload.h): saturate a fresh stack with
+  /// tiny admission capacity under chaos injection and check the
+  /// robustness contract (definite statuses, oracle-exact accepted
+  /// results, the accounting identity, recovery, clean shutdown).
+  bool overload = false;
+  size_t overload_sessions = 8;
+  size_t overload_calls_per_session = 24;
 };
 
 struct SeedReport {
@@ -82,6 +89,10 @@ struct SeedReport {
   size_t calls_compared = 0;
   size_t calls_aborted = 0;  // cancelled / deadline-expired, not compared
   size_t crash_points_checked = 0;  // crash images recovered + compared
+  // Overload phase census (zero when the phase is off).
+  size_t overload_ok = 0;        // accepted calls, compared against the oracle
+  size_t overload_rejected = 0;  // kResourceExhausted
+  size_t overload_shed = 0;      // kDeadlineExceeded
   uint64_t batches = 0;
   double mean_occupancy = 0;
   std::string config;          // randomized environment summary

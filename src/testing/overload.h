@@ -1,0 +1,68 @@
+// Saturation / overload fuzzing: drive more concurrent sessions at a live
+// server than its (deliberately tiny) admission capacity can carry, under
+// execution-side chaos (heartbeat stalls, slow operators, worker hiccups),
+// and assert the robustness contract rather than result equality alone:
+//
+//   * every call terminates with a DEFINITE status — OK, kResourceExhausted,
+//     kDeadlineExceeded, kAborted, or (during shutdown) kUnavailable; no
+//     hang, no broken promise, no abort;
+//   * every ACCEPTED (OK) query returns exactly the oracle's rows — data is
+//     frozen, so overload must degrade availability, never correctness;
+//   * the admission accounting identity holds once drained:
+//       submitted == admitted + rejected + shed + cancelled + unavailable;
+//   * after the load drops the server recovers: a plain blocking call is
+//     accepted and answers correctly;
+//   * Shutdown() racing in-flight submissions leaves no dangling future.
+//
+// One seed = one randomized (capacity, chaos, workload) configuration; the
+// differential fuzzer runs this as an extra phase under --overload.
+
+#ifndef SHAREDDB_TESTING_OVERLOAD_H_
+#define SHAREDDB_TESTING_OVERLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "testing/workload_generator.h"
+
+namespace shareddb {
+namespace testing {
+
+struct OverloadOptions {
+  GeneratorOptions gen;  // seed + workload shape (queries only are used)
+  size_t sessions = 8;
+  size_t calls_per_session = 24;
+  bool verbose = false;
+};
+
+struct OverloadReport {
+  uint64_t seed = 0;
+  bool ok = true;
+  std::string config;         // randomized capacity/chaos summary
+  std::string first_failure;  // one-line summary of the first violation
+  size_t failures = 0;
+
+  // Terminal-status census over the saturation phase (observed calls only;
+  // abandoned handles are accounted via the engine's totals).
+  size_t calls_ok = 0;
+  size_t calls_rejected = 0;
+  size_t calls_shed = 0;
+  size_t calls_cancelled = 0;
+  size_t calls_unavailable = 0;
+  size_t compared = 0;  // OK results checked against the oracle
+  uint64_t retries = 0;
+
+  // Chaos injection census.
+  uint64_t chaos_stalls = 0;
+  uint64_t chaos_slow_execs = 0;
+  uint64_t chaos_hiccups = 0;
+};
+
+/// Runs one overload seed end to end (saturation, drain + accounting,
+/// recovery probe, shutdown race).
+OverloadReport RunOverloadSeed(const OverloadOptions& opts);
+
+}  // namespace testing
+}  // namespace shareddb
+
+#endif  // SHAREDDB_TESTING_OVERLOAD_H_

@@ -42,6 +42,13 @@ class SharedDbConnection : public SyncConnection {
  public:
   explicit SharedDbConnection(api::Server* server)
       : session_(server->OpenSession()) {}
+  /// With a retry policy, transient kResourceExhausted rejections from a
+  /// bounded-admission server are retried with jittered backoff instead of
+  /// being surfaced to the interaction logic.
+  SharedDbConnection(api::Server* server, const api::RetryPolicy& retry)
+      : session_(server->OpenSession()) {
+    session_->set_retry_policy(retry);
+  }
   ResultSet Run(const std::string& statement, std::vector<Value> params) override {
     return session_->Execute(statement, std::move(params));
   }

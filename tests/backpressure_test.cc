@@ -1,0 +1,432 @@
+// Overload-robustness tests: bounded admission (kResourceExhausted
+// backpressure), engine-side deadlines (kDeadlineExceeded shedding at batch
+// formation), per-session in-flight caps, the client retry policy,
+// abandoned-call cancellation, Shutdown() drain semantics, and the
+// admission accounting identity:
+//   submitted == admitted + rejected + shed + cancelled + unavailable
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "api/server.h"
+#include "core/plan_builder.h"
+
+namespace shareddb {
+namespace {
+
+class BackpressureFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    users_ = catalog_.CreateTable(
+        "users", Schema::Make({{"user_id", ValueType::kInt},
+                               {"country", ValueType::kInt},
+                               {"account", ValueType::kInt}}));
+    for (int i = 0; i < 40; ++i) {
+      users_->Insert({Value::Int(i), Value::Int(i % 4), Value::Int(i * 10)}, 1);
+    }
+    catalog_.snapshots().Reset(1);
+  }
+
+  std::unique_ptr<GlobalPlan> BuildPlan() {
+    GlobalPlanBuilder b(&catalog_);
+    const SchemaPtr us = users_->schema();
+    b.AddQuery("user_by_id",
+               logical::Scan("users", Expr::Eq(Expr::Column(*us, "user_id"),
+                                               Expr::Param(0))));
+    b.AddQuery("by_country",
+               logical::Scan("users", Expr::Eq(Expr::Column(*us, "country"),
+                                               Expr::Param(0))));
+    b.AddUpdate("credit", "users",
+                {{"account", Expr::Add(Expr::Column(2), Expr::Param(1))}},
+                Expr::Eq(Expr::Column(0), Expr::Param(0)));
+    return b.Build();
+  }
+
+  Catalog catalog_;
+  Table* users_;
+};
+
+// The queue boundary is exact: with max_queue_depth = N, the Nth submission
+// is accepted and the (N+1)th rejected — synchronously, on a PAUSED server,
+// proving the rejection path never depends on the driver making progress.
+TEST_F(BackpressureFixture, QueueExactlyFullRejectsSynchronously) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  opts.max_queue_depth = 3;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+
+  std::vector<api::AsyncResult> fs;
+  for (int i = 0; i < 3; ++i) {
+    fs.push_back(session->ExecuteAsync("user_by_id", {Value::Int(i)}));
+    EXPECT_FALSE(fs.back().WaitFor(std::chrono::milliseconds(0))) << i;
+  }
+  // Queue exactly full: the next call is refused with a READY result.
+  api::AsyncResult rejected =
+      session->ExecuteAsync("user_by_id", {Value::Int(3)});
+  ASSERT_TRUE(rejected.WaitFor(std::chrono::milliseconds(0)));
+  EXPECT_EQ(rejected.Get().status.code(), StatusCode::kResourceExhausted);
+
+  // Blocking Execute sees the same rejection without blocking on the
+  // (paused) driver.
+  const ResultSet blocked = session->Execute("user_by_id", {Value::Int(4)});
+  EXPECT_EQ(blocked.status.code(), StatusCode::kResourceExhausted);
+
+  // The queued calls are unharmed.
+  server.StepBatch();
+  for (auto& f : fs) EXPECT_TRUE(f.Get().status.ok());
+
+  const api::Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.statements_submitted, 5u);
+  EXPECT_EQ(stats.statements_admitted, 3u);
+  EXPECT_EQ(stats.statements_rejected, 2u);
+}
+
+// Bounded queue + admission cap interact: a full queue drains cap-at-a-time
+// (spilling the overflow), frees capacity for new arrivals, and rejects
+// only while genuinely full.
+TEST_F(BackpressureFixture, SpillThenRejectUnderAdmissionCap) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  opts.max_queue_depth = 4;
+  opts.max_admissions_per_batch = 2;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+
+  std::vector<api::AsyncResult> fs;
+  for (int i = 0; i < 4; ++i) {
+    fs.push_back(session->ExecuteAsync("user_by_id", {Value::Int(i)}));
+  }
+  EXPECT_EQ(session->Execute("user_by_id", {Value::Int(9)}).status.code(),
+            StatusCode::kResourceExhausted);
+
+  // One heartbeat admits 2, spills 2 — two slots free up.
+  const BatchReport r = server.StepBatch();
+  EXPECT_EQ(r.num_admitted, 2u);
+  EXPECT_EQ(r.num_spilled, 2u);
+  fs.push_back(session->ExecuteAsync("user_by_id", {Value::Int(4)}));
+  fs.push_back(session->ExecuteAsync("user_by_id", {Value::Int(5)}));
+  // Full again.
+  EXPECT_EQ(session->Execute("user_by_id", {Value::Int(9)}).status.code(),
+            StatusCode::kResourceExhausted);
+
+  server.StepBatch();
+  server.StepBatch();
+  for (auto& f : fs) EXPECT_TRUE(f.Get().status.ok());
+  const api::Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.statements_admitted, 6u);
+  EXPECT_EQ(stats.statements_rejected, 2u);
+}
+
+// A session at its in-flight cap is rejected; fulfillment releases the
+// gauge. Other sessions are unaffected (the cap is per session).
+TEST_F(BackpressureFixture, PerSessionInflightCap) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  opts.max_session_inflight = 2;
+  api::Server server(&engine, opts);
+  auto hog = server.OpenSession();
+  auto other = server.OpenSession();
+
+  api::AsyncResult a = hog->ExecuteAsync("user_by_id", {Value::Int(1)});
+  api::AsyncResult b = hog->ExecuteAsync("user_by_id", {Value::Int(2)});
+  EXPECT_EQ(hog->inflight(), 2);
+  api::AsyncResult c = hog->ExecuteAsync("user_by_id", {Value::Int(3)});
+  ASSERT_TRUE(c.WaitFor(std::chrono::milliseconds(0)));
+  EXPECT_EQ(c.Get().status.code(), StatusCode::kResourceExhausted);
+
+  // The neighbor still gets in: its own gauge is empty.
+  api::AsyncResult d = other->ExecuteAsync("user_by_id", {Value::Int(4)});
+  EXPECT_FALSE(d.WaitFor(std::chrono::milliseconds(0)));
+
+  server.StepBatch();
+  EXPECT_TRUE(a.Get().status.ok());
+  EXPECT_TRUE(b.Get().status.ok());
+  EXPECT_TRUE(d.Get().status.ok());
+  EXPECT_EQ(hog->inflight(), 0);
+
+  // Capacity released: the session can submit again.
+  api::AsyncResult e = hog->ExecuteAsync("user_by_id", {Value::Int(5)});
+  EXPECT_FALSE(e.WaitFor(std::chrono::milliseconds(0)));
+  server.StepBatch();
+  EXPECT_TRUE(e.Get().status.ok());
+}
+
+// An engine-side deadline that expires while the call queues sheds it AT
+// FORMATION: counted in the report, never executed, result ready with
+// kDeadlineExceeded.
+TEST_F(BackpressureFixture, EngineDeadlineShedsAtFormation) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+
+  api::CallOptions copts;
+  copts.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  api::AsyncResult doomed =
+      session->ExecuteAsync("user_by_id", {Value::Int(1)}, copts);
+  api::AsyncResult fine = session->ExecuteAsync("user_by_id", {Value::Int(2)});
+
+  const BatchReport r = server.StepBatch();
+  EXPECT_EQ(r.num_shed, 1u);
+  EXPECT_EQ(r.num_admitted, 1u);
+  const ResultSet rs = doomed.Get();
+  EXPECT_EQ(rs.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(fine.Get().status.ok());
+  EXPECT_EQ(server.stats().statements_shed, 1u);
+}
+
+// A shed UPDATE's work must not be observable anywhere: not in the report's
+// update count, not in the data.
+TEST_F(BackpressureFixture, ShedUpdateNeverExecutes) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+
+  api::CallOptions copts;
+  copts.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  api::AsyncResult doomed =
+      session->ExecuteAsync("credit", {Value::Int(5), Value::Int(100)}, copts);
+  const BatchReport r = server.StepBatch();
+  EXPECT_EQ(r.num_shed, 1u);
+  EXPECT_EQ(r.num_updates, 0u);
+  EXPECT_EQ(doomed.Get().status.code(), StatusCode::kDeadlineExceeded);
+
+  api::AsyncResult probe = session->ExecuteAsync("user_by_id", {Value::Int(5)});
+  server.StepBatch();
+  const ResultSet rs = probe.Get();
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 50);  // untouched
+}
+
+// Abandoned-call regression (the leak this PR fixes): dropping an
+// AsyncResult without Get() must cancel the call engine-side — the next
+// formation drains it and its work never runs.
+TEST_F(BackpressureFixture, AbandonedAsyncResultCancelsEngineSide) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+
+  {
+    api::AsyncResult abandoned =
+        session->ExecuteAsync("credit", {Value::Int(5), Value::Int(100)});
+    // Handle dropped here without ever being consumed.
+  }
+  const BatchReport r = server.StepBatch();
+  EXPECT_EQ(r.num_cancelled, 1u);
+  EXPECT_EQ(r.num_admitted, 0u);
+  EXPECT_EQ(r.num_updates, 0u);
+
+  // The abandoned update's work is not observable in the data either.
+  api::AsyncResult probe = session->ExecuteAsync("user_by_id", {Value::Int(5)});
+  server.StepBatch();
+  const ResultSet rs = probe.Get();
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 50);
+
+  // Move-assign gives the same guarantee for the overwritten call.
+  api::AsyncResult slot =
+      session->ExecuteAsync("credit", {Value::Int(6), Value::Int(100)});
+  slot = session->ExecuteAsync("user_by_id", {Value::Int(6)});
+  const BatchReport r2 = server.StepBatch();
+  EXPECT_EQ(r2.num_cancelled, 1u);
+  EXPECT_EQ(r2.num_admitted, 1u);
+  ASSERT_TRUE(slot.Get().status.ok());
+}
+
+// The retry policy gives up after its attempt/budget limit and surfaces the
+// ORIGINAL kResourceExhausted (never some synthetic timeout status).
+TEST_F(BackpressureFixture, RetryPolicyGivesUpAndSurfacesRejection) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;  // nothing ever drains: every attempt rejects
+  opts.max_queue_depth = 1;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+  api::AsyncResult occupant =
+      session->ExecuteAsync("user_by_id", {Value::Int(0)});
+
+  api::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::microseconds(50);
+  policy.budget = std::chrono::milliseconds(50);
+  session->set_retry_policy(policy);
+  const ResultSet rs = session->Execute("user_by_id", {Value::Int(1)});
+  EXPECT_EQ(rs.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(session->stats().retries, 3u);    // 4 attempts = 3 retries
+  EXPECT_EQ(session->stats().rejected, 4u);   // every attempt was rejected
+
+  server.StepBatch();
+  EXPECT_TRUE(occupant.Get().status.ok());
+}
+
+// With capacity freeing up mid-backoff, the retry policy converts a
+// transient rejection into a success the caller never sees.
+TEST_F(BackpressureFixture, RetryPolicyEventuallySucceeds) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  opts.max_queue_depth = 1;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+  api::AsyncResult occupant =
+      session->ExecuteAsync("user_by_id", {Value::Int(0)});
+
+  // A background "driver": heartbeats every 200us drain the queue so a
+  // later retry attempt finds a free slot and the accepted call completes.
+  std::atomic<bool> done{false};
+  std::thread stepper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      server.StepBatch();
+    }
+  });
+
+  auto client = server.OpenSession();
+  api::RetryPolicy policy;
+  policy.max_attempts = 200;
+  policy.initial_backoff = std::chrono::microseconds(200);
+  policy.max_backoff = std::chrono::microseconds(500);
+  policy.budget = std::chrono::seconds(10);
+  client->set_retry_policy(policy);
+  const ResultSet rs = client->Execute("user_by_id", {Value::Int(7)});
+  done.store(true, std::memory_order_release);
+  stepper.join();
+
+  ASSERT_TRUE(rs.status.ok());
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 7);
+  EXPECT_TRUE(occupant.Get().status.ok());
+}
+
+// Shutdown() completes every queued-but-unadmitted call with kUnavailable
+// and refuses later submissions the same way — no future left dangling.
+TEST_F(BackpressureFixture, ShutdownDrainsQueuedWithUnavailable) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+
+  std::vector<api::AsyncResult> fs;
+  for (int i = 0; i < 3; ++i) {
+    fs.push_back(session->ExecuteAsync("user_by_id", {Value::Int(i)}));
+  }
+  server.Shutdown();
+  for (auto& f : fs) {
+    ASSERT_TRUE(f.WaitFor(std::chrono::milliseconds(0)));
+    EXPECT_EQ(f.Get().status.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_TRUE(engine.submissions_closed());
+  EXPECT_EQ(session->Execute("user_by_id", {Value::Int(9)}).status.code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(server.stats().statements_unavailable, 4u);
+  server.Shutdown();  // idempotent
+}
+
+// Shutdown racing concurrent ExecuteAsync: every call terminates with a
+// definite status (OK if it rode a final batch, kUnavailable otherwise) and
+// the accounting identity holds afterwards. This is the TSan stress target.
+TEST_F(BackpressureFixture, ShutdownRacesExecuteAsync) {
+  Engine engine(BuildPlan());
+  api::Server server(&engine);
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 25;
+  std::atomic<int> bad_status{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto session = server.OpenSession();
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        api::AsyncResult r = session->ExecuteAsync(
+            "user_by_id", {Value::Int((t * kCallsPerThread + i) % 40)});
+        const ResultSet rs = r.Get();  // must never hang
+        if (!rs.status.ok() &&
+            rs.status.code() != StatusCode::kUnavailable) {
+          ++bad_status;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(300));
+  server.Shutdown();
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad_status.load(), 0);
+
+  EXPECT_EQ(engine.PendingCount(), 0u);
+  const Engine::AdmissionTotals t = engine.admission_totals();
+  EXPECT_EQ(t.submitted,
+            t.admitted + t.rejected + t.shed + t.cancelled + t.unavailable);
+  EXPECT_EQ(t.submitted,
+            static_cast<uint64_t>(kThreads * kCallsPerThread));
+}
+
+// The identity also holds for a mixed run exercising every terminal path
+// at once, and the server's Stats mirror the engine's totals.
+TEST_F(BackpressureFixture, AccountingIdentityAcrossAllPaths) {
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  opts.max_queue_depth = 4;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+
+  std::vector<api::AsyncResult> fs;
+  // 2 admitted.
+  fs.push_back(session->ExecuteAsync("user_by_id", {Value::Int(1)}));
+  fs.push_back(session->ExecuteAsync("user_by_id", {Value::Int(2)}));
+  // 1 shed (expired engine-side deadline).
+  api::CallOptions expired;
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  fs.push_back(session->ExecuteAsync("user_by_id", {Value::Int(3)}, expired));
+  // 1 cancelled.
+  fs.push_back(session->ExecuteAsync("user_by_id", {Value::Int(4)}));
+  fs.back().Cancel();
+  // 1 rejected: shed/cancelled entries still occupy queue slots until
+  // formation, so the queue of 4 is full.
+  api::AsyncResult rej = session->ExecuteAsync("user_by_id", {Value::Int(5)});
+  EXPECT_EQ(rej.Get().status.code(), StatusCode::kResourceExhausted);
+
+  server.StepBatch();
+  for (auto& f : fs) {
+    ASSERT_TRUE(f.WaitFor(std::chrono::milliseconds(0)));
+    f.Get();
+  }
+  // 1 unavailable (queued at shutdown).
+  api::AsyncResult orphan = session->ExecuteAsync("by_country", {Value::Int(0)});
+  server.Shutdown();
+  EXPECT_EQ(orphan.Get().status.code(), StatusCode::kUnavailable);
+
+  const Engine::AdmissionTotals t = engine.admission_totals();
+  EXPECT_EQ(t.submitted, 6u);
+  EXPECT_EQ(t.admitted, 2u);
+  EXPECT_EQ(t.rejected, 1u);
+  EXPECT_EQ(t.shed, 1u);
+  EXPECT_EQ(t.cancelled, 1u);
+  EXPECT_EQ(t.unavailable, 1u);
+  EXPECT_EQ(t.submitted,
+            t.admitted + t.rejected + t.shed + t.cancelled + t.unavailable);
+
+  const api::Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.statements_submitted, t.submitted);
+  EXPECT_EQ(stats.statements_admitted, t.admitted);
+  EXPECT_EQ(stats.statements_rejected, t.rejected);
+  EXPECT_EQ(stats.statements_shed, t.shed);
+  EXPECT_EQ(stats.statements_cancelled, t.cancelled);
+  EXPECT_EQ(stats.statements_unavailable, t.unavailable);
+}
+
+}  // namespace
+}  // namespace shareddb

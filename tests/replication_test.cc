@@ -123,8 +123,9 @@ TEST_F(ReplicationFixture, UpdatesApplyExactlyOnceUnderReplication) {
   SteppedServer s(&engine);
   auto fu = s.session->ExecuteAsync(
       "add_item", {Value::Int(1000), Value::Int(1), Value::Int(5)});
+  std::vector<api::AsyncResult> fs;
   for (int i = 0; i < 8; ++i) {
-    s.session->ExecuteAsync("by_cat", {Value::Int(i)});
+    fs.push_back(s.session->ExecuteAsync("by_cat", {Value::Int(i)}));
   }
   s.server.StepBatch();
   EXPECT_EQ(fu.Get().update_count, 1u);

@@ -114,8 +114,8 @@ TEST_F(SimFixture, MoreCoresNeverSlower) {
   sopts.start_paused = true;
   api::Server server(engine_.get(), sopts);
   auto session = server.OpenSession();
-  session->ExecuteAsync("best_sellers",
-                        {Value::Int(1), Value::Int(tpcw::kTodayDay - 60)});
+  auto f = session->ExecuteAsync(
+      "best_sellers", {Value::Int(1), Value::Int(tpcw::kTodayDay - 60)});
   const BatchReport report = server.StepBatch();
   double prev = 1e100;
   for (const int cores : {1, 2, 8, 32}) {

@@ -264,27 +264,32 @@ TEST(TpcwRebind, IndexBuildsStableAcrossParamRebinds) {
     // Statements that push per-query predicates into shared scans:
     // best_sellers parameterizes the orders scan (o_date > ?), and
     // items_by_id_list parameterizes the item scan with an IN-list.
+    // Handles must stay alive until the batch runs: dropping an AsyncResult
+    // cancels the call (abandoned-call semantics).
+    std::vector<api::AsyncResult> fs;
     for (int i = 0; i < 4; ++i) {
-      session->ExecuteAsync("best_sellers",
-                            {Value::Int(rng.Uniform(0, 23)),
-                             Value::Int(kTodayDay - rng.Uniform(10, 90))});
+      fs.push_back(session->ExecuteAsync(
+          "best_sellers", {Value::Int(rng.Uniform(0, 23)),
+                           Value::Int(kTodayDay - rng.Uniform(10, 90))}));
     }
     for (int i = 0; i < 3; ++i) {
       std::vector<Value> ids;
       for (int k = 0; k < 5; ++k) ids.push_back(Value::Int(rng.Uniform(0, 499)));
-      session->ExecuteAsync("items_by_id_list", std::move(ids));
+      fs.push_back(session->ExecuteAsync("items_by_id_list", std::move(ids)));
     }
-    session->ExecuteAsync("search_by_subject", {Value::Int(rng.Uniform(0, 23))});
+    fs.push_back(session->ExecuteAsync("search_by_subject",
+                                       {Value::Int(rng.Uniform(0, 23))}));
+    return fs;
   };
 
-  submit_mix();
+  auto fs0 = submit_mix();
   server.StepBatch();
   const Engine::PredicateCacheStats first = engine.predicate_cache_stats();
   EXPECT_GT(first.index_builds, 0u);
 
   constexpr int kRebindCycles = 6;
   for (int round = 0; round < kRebindCycles; ++round) {
-    submit_mix();
+    auto fs = submit_mix();
     server.StepBatch();
   }
   const Engine::PredicateCacheStats after = engine.predicate_cache_stats();
@@ -297,8 +302,8 @@ TEST(TpcwRebind, IndexBuildsStableAcrossParamRebinds) {
 
   // Changing the statement MIX rebuilds (once), then fresh params again
   // rebind against the new mix.
-  session->ExecuteAsync("best_sellers",
-                        {Value::Int(0), Value::Int(kTodayDay - 30)});
+  auto fchange = session->ExecuteAsync(
+      "best_sellers", {Value::Int(0), Value::Int(kTodayDay - 30)});
   server.StepBatch();
   const Engine::PredicateCacheStats changed = engine.predicate_cache_stats();
   EXPECT_GT(changed.index_builds, after.index_builds);

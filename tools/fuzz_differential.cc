@@ -33,7 +33,7 @@ void Usage() {
       "usage: fuzz_differential [--seed=N] [--iters=K] [--sessions=S]\n"
       "                         [--calls=C] [--rounds=R] [--artifact-dir=DIR]\n"
       "                         [--crash-points=K] [--crash-batches=B]\n"
-      "                         [--inject-fault] [--verbose]\n"
+      "                         [--overload] [--inject-fault] [--verbose]\n"
       "       fuzz_differential --replay=ARTIFACT\n"
       "       fuzz_differential --seed=N --dump   # print seed N's workload\n");
 }
@@ -71,6 +71,8 @@ int main(int argc, char** argv) {
       opts.artifact_dir = v;
     } else if (ParseFlag(argv[i], "--replay", &v)) {
       replay_path = v;
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      opts.overload = true;
     } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
       opts.inject_fault = true;
     } else if (std::strcmp(argv[i], "--dump") == 0) {
@@ -103,12 +105,18 @@ int main(int argc, char** argv) {
   size_t compared = 0;
   size_t aborted = 0;
   size_t crash_points = 0;
+  size_t overload_ok = 0;
+  size_t overload_rejected = 0;
+  size_t overload_shed = 0;
   for (uint64_t s = seed; s < seed + iters; ++s) {
     opts.gen.seed = s;
     const SeedReport r = shareddb::testing::RunSeed(opts);
     compared += r.calls_compared;
     aborted += r.calls_aborted;
     crash_points += r.crash_points_checked;
+    overload_ok += r.overload_ok;
+    overload_rejected += r.overload_rejected;
+    overload_shed += r.overload_shed;
     if (!r.ok) {
       ++failures;
       std::fprintf(stderr, "seed %llu FAILED: %s\n  config: %s\n",
@@ -127,5 +135,11 @@ int main(int argc, char** argv) {
       "%zu aborted-by-design, %zu crash points recovered\n",
       static_cast<unsigned long long>(iters), failures, compared, aborted,
       crash_points);
+  if (opts.overload) {
+    std::printf(
+        "  overload: %zu accepted, %zu rejected (backpressure), %zu shed "
+        "(deadline)\n",
+        overload_ok, overload_rejected, overload_shed);
+  }
   return failures == 0 ? 0 : 1;
 }
