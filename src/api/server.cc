@@ -6,7 +6,10 @@ namespace api {
 Server::Server(Engine* engine, ServerOptions options)
     : engine_(engine), options_(options) {
   SDB_CHECK(engine_ != nullptr);
-  paused_ = options_.start_paused;
+  {
+    MutexLock lock(&mu_);
+    paused_ = options_.start_paused;
+  }
   driver_ = std::thread([this] { DriverLoop(); });
 }
 
@@ -20,14 +23,14 @@ Server::~Server() { Shutdown(); }
 void Server::Shutdown() {
   // Serialize callers: the second Shutdown() (or the destructor after an
   // explicit Shutdown()) waits for the first to finish, then no-ops.
-  std::lock_guard shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(&shutdown_mu_);
   if (shutdown_) return;
   shutdown_ = true;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   if (driver_.joinable()) driver_.join();
   // The driver is gone; the batch that was in flight (if any) has fulfilled
   // its calls. Everything still queued never ran — complete those futures
@@ -65,28 +68,30 @@ std::future<ResultSet> Server::SubmitNamed(const std::string& name,
 
 void Server::NudgeDriver() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     work_pending_ = true;
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 void Server::DriverLoop() {
-  std::unique_lock lock(mu_);
+  ReleasableMutexLock lock(&mu_);
   for (;;) {
-    idle_cv_.notify_all();  // parked (or between heartbeats)
+    idle_cv_.NotifyAll();  // parked (or between heartbeats)
     // !running_ matters: a StepBatch may still be executing if Resume()
     // raced it — the engine requires serialized RunOneBatch callers.
-    wake_cv_.wait(lock, [this] {
-      return stop_ || (!paused_ && work_pending_ && !running_);
-    });
+    while (!stop_ && (paused_ || !work_pending_ || running_)) {
+      wake_cv_.Wait(&mu_);
+    }
     if (stop_) return;
     if (options_.min_batch_window.count() > 0) {
       // Gather window: let concurrently arriving clients join this
       // generation. Interrupted only by stop/pause; arrivals just queue.
       const auto deadline =
           std::chrono::steady_clock::now() + options_.min_batch_window;
-      wake_cv_.wait_until(lock, deadline, [this] { return stop_ || paused_; });
+      while (!stop_ && !paused_) {
+        if (wake_cv_.WaitUntil(&mu_, deadline)) break;  // window elapsed
+      }
       if (stop_) return;
       // Park again on pause (work_pending_ stays set for Resume()) or if a
       // StepBatch snuck in during the window.
@@ -94,10 +99,10 @@ void Server::DriverLoop() {
     }
     work_pending_ = false;
     running_ = true;
-    lock.unlock();
+    lock.Unlock();
     const BatchReport report =
         engine_->RunOneBatch(options_.max_admissions_per_batch);
-    lock.lock();
+    lock.Relock();
     running_ = false;
     RecordLocked(report);
     // Admission overflow seeds the next generation without a new arrival.
@@ -106,48 +111,48 @@ void Server::DriverLoop() {
 }
 
 void Server::Pause() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   paused_ = true;
-  wake_cv_.notify_all();  // break out of a gather window
-  idle_cv_.wait(lock, [this] { return !running_; });
+  wake_cv_.NotifyAll();  // break out of a gather window
+  while (running_) idle_cv_.Wait(&mu_);
 }
 
 void Server::Resume() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     paused_ = false;
     if (engine_->PendingCount() > 0) work_pending_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
 }
 
 bool Server::paused() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return paused_;
 }
 
 BatchReport Server::StepBatch() {
-  std::unique_lock lock(mu_);
+  ReleasableMutexLock lock(&mu_);
   SDB_CHECK(paused_);  // the driver must be parked; see Pause()
-  idle_cv_.wait(lock, [this] { return !running_; });
+  while (running_) idle_cv_.Wait(&mu_);
   SDB_CHECK(paused_);  // a concurrent Resume() during StepBatch is misuse
   running_ = true;
-  lock.unlock();
+  lock.Unlock();
   const BatchReport report =
       engine_->RunOneBatch(options_.max_admissions_per_batch);
-  lock.lock();
+  lock.Relock();
   running_ = false;
   RecordLocked(report);
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   // A Resume() issued mid-step parked the driver on !running_; re-wake it.
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   return report;
 }
 
 Status Server::Checkpoint(const std::string& path) {
   bool was_paused;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     was_paused = paused_;
   }
   // Quiesce: no batch may mutate tables while rows are being serialized.
@@ -174,7 +179,7 @@ Server::Stats Server::stats() const {
   // (they also cover sheds/cancels drained by StepBatch and the shutdown
   // drain); batch-shape stats stay report-based.
   const Engine::AdmissionTotals totals = engine_->admission_totals();
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   Stats s = stats_;
   s.statements_submitted = totals.submitted;
   s.statements_admitted = totals.admitted;
@@ -186,7 +191,7 @@ Server::Stats Server::stats() const {
 }
 
 BatchReport Server::last_report() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return last_report_;
 }
 

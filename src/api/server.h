@@ -23,12 +23,11 @@
 #define SHAREDDB_API_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "api/session.h"
+#include "common/sync.h"
 #include "core/engine.h"
 
 namespace shareddb {
@@ -144,23 +143,24 @@ class Server {
   /// Wakes the driver for new work (submission or cancellation flush).
   void NudgeDriver();
   void DriverLoop();
-  void RecordLocked(const BatchReport& report);
+  void RecordLocked(const BatchReport& report) SDB_REQUIRES(mu_);
 
   Engine* engine_;
   std::unique_ptr<Engine> owned_engine_;
   const ServerOptions options_;
 
-  mutable std::mutex mu_;
-  std::mutex shutdown_mu_;           // serializes Shutdown callers
-  std::condition_variable wake_cv_;  // wakes the driver (work / stop / resume)
-  std::condition_variable idle_cv_;  // signals "no batch running"
-  bool stop_ = false;
-  bool shutdown_ = false;  // guarded by shutdown_mu_
-  bool paused_ = false;
-  bool work_pending_ = false;
-  bool running_ = false;  // a heartbeat is executing right now
-  Stats stats_;
-  BatchReport last_report_;
+  // Lock order: shutdown_mu_ before mu_ (Shutdown is the only nesting).
+  mutable Mutex mu_{"server.state"};
+  Mutex shutdown_mu_{"server.shutdown"};  // serializes Shutdown callers
+  CondVar wake_cv_;  // wakes the driver (work / stop / resume)
+  CondVar idle_cv_;  // signals "no batch running"
+  bool stop_ SDB_GUARDED_BY(mu_) = false;
+  bool shutdown_ SDB_GUARDED_BY(shutdown_mu_) = false;
+  bool paused_ SDB_GUARDED_BY(mu_) = false;
+  bool work_pending_ SDB_GUARDED_BY(mu_) = false;
+  bool running_ SDB_GUARDED_BY(mu_) = false;  // a heartbeat is executing now
+  Stats stats_ SDB_GUARDED_BY(mu_);
+  BatchReport last_report_ SDB_GUARDED_BY(mu_);
 
   std::thread driver_;  // last member: starts after everything above exists
 };

@@ -51,7 +51,9 @@ inline const char* StatusCodeName(StatusCode code) {
 }
 
 /// Success-or-error result of an operation, with an optional message.
-class Status {
+/// [[nodiscard]]: dropping a Status silently swallows errors; call sites
+/// that intentionally ignore one must say so with `(void)` and a comment.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -117,7 +119,7 @@ class Status {
 
 /// A value or an error. `value()` aborts if not ok (use after checking).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {      // NOLINT(runtime/explicit)

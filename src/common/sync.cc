@@ -1,0 +1,278 @@
+#include "common/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace shareddb {
+namespace lockorder {
+
+namespace {
+
+// The registry's own synchronization uses raw std primitives: routing it
+// through sdb::Mutex would recurse into the registry. (sync.cc is the one
+// file tools/sdb_lint.py whitelists for raw std::mutex.)
+
+struct PtrPairHash {
+  size_t operator()(const std::pair<const void*, const void*>& p) const {
+    const auto a = reinterpret_cast<uintptr_t>(p.first);
+    const auto b = reinterpret_cast<uintptr_t>(p.second);
+    return static_cast<size_t>(a * 0x9E3779B97F4A7C15ULL) ^
+           static_cast<size_t>(b + 0x7F4A7C15U);
+  }
+};
+
+/// Global acquired-before graph. Nodes are mutex addresses; edge a -> b
+/// means some thread once held `a` while acquiring `b`. A cycle therefore
+/// proves two locks were taken in conflicting order on some pair of code
+/// paths — the precondition of an ABBA deadlock — even if no run has
+/// actually deadlocked yet.
+struct Graph {
+  std::mutex mu;
+  std::unordered_map<const void*, std::unordered_set<const void*>> adj;
+  std::unordered_map<const void*, const char*> names;
+  uint64_t edges = 0;
+};
+
+Graph& TheGraph() {
+  // Leaked: mutexes (and their destroy hooks) may outlive static dtors.
+  static Graph* g = new Graph();
+  return *g;
+}
+
+#if !defined(NDEBUG) || defined(SDB_FORCE_DCHECKS)
+constexpr bool kDefaultEnabled = true;
+#else
+constexpr bool kDefaultEnabled = false;
+#endif
+
+std::atomic<bool> g_enabled{kDefaultEnabled};
+// Latched once anything was ever recorded; lets the disabled path skip the
+// destroy-hook bookkeeping entirely.
+std::atomic<bool> g_ever_enabled{kDefaultEnabled};
+// Bumped by ResetForTest so per-thread edge caches invalidate themselves.
+std::atomic<uint64_t> g_epoch{1};
+
+struct HeldEntry {
+  const void* mu;
+  const char* name;
+};
+
+struct ThreadState {
+  std::vector<HeldEntry> held;
+  // Edges this thread already pushed into the global graph: skips the
+  // global lock on the steady-state hot path. Stale entries after a mutex
+  // dies at a reused address only suppress re-recording (a missed edge,
+  // never a false report).
+  std::unordered_set<std::pair<const void*, const void*>, PtrPairHash> edges;
+  uint64_t epoch = 0;
+};
+
+ThreadState& TLS() {
+  thread_local ThreadState state;
+  return state;
+}
+
+const char* NameOf(const Graph& g, const void* mu) {
+  const auto it = g.names.find(mu);
+  return it == g.names.end() ? "?" : it->second;
+}
+
+/// DFS: can `from` reach `to` along acquired-before edges? On success,
+/// `path` holds the chain from -> ... -> to. Runs under g.mu.
+bool Reaches(const Graph& g, const void* from, const void* to,
+             std::vector<const void*>* path,
+             std::unordered_set<const void*>* visited) {
+  if (from == to) {
+    path->push_back(from);
+    return true;
+  }
+  if (!visited->insert(from).second) return false;
+  const auto it = g.adj.find(from);
+  if (it == g.adj.end()) return false;
+  for (const void* next : it->second) {
+    if (Reaches(g, next, to, path, visited)) {
+      path->insert(path->begin(), from);
+      return true;
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void ReportCycleAndAbort(Graph& g, const void* holding,
+                                      const void* acquiring,
+                                      const std::vector<const void*>& path) {
+  std::fprintf(stderr,
+               "LOCK-ORDER INVERSION: acquiring \"%s\" (%p) while holding "
+               "\"%s\" (%p), but the reverse order was already established:\n",
+               NameOf(g, acquiring), acquiring, NameOf(g, holding), holding);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    std::fprintf(stderr, "  \"%s\" (%p) acquired before \"%s\" (%p)\n",
+                 NameOf(g, path[i]), path[i], NameOf(g, path[i + 1]),
+                 path[i + 1]);
+  }
+  std::fprintf(stderr,
+               "  -> taking \"%s\" before \"%s\" closes the cycle. This is "
+               "an ABBA deadlock waiting for the right interleaving.\n",
+               NameOf(g, holding), NameOf(g, acquiring));
+  std::abort();
+}
+
+[[noreturn]] void ReportReentrantAndAbort(const void* mu, const char* name) {
+  std::fprintf(stderr,
+               "REENTRANT LOCK: thread already holds \"%s\" (%p); sdb "
+               "mutexes are non-reentrant, this would self-deadlock (or is "
+               "UB for SharedMutex).\n",
+               name, mu);
+  std::abort();
+}
+
+void PushHeld(ThreadState& t, const void* mu, const char* name) {
+  for (const HeldEntry& h : t.held) {
+    if (h.mu == mu) ReportReentrantAndAbort(mu, name);
+  }
+  t.held.push_back(HeldEntry{mu, name});
+}
+
+void RecordEdges(ThreadState& t, const void* mu, const char* name) {
+  if (t.held.empty()) return;
+  const uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (t.epoch != epoch) {
+    t.edges.clear();
+    t.epoch = epoch;
+  }
+  for (const HeldEntry& h : t.held) {
+    const auto key = std::make_pair(h.mu, mu);
+    if (!t.edges.insert(key).second) continue;  // steady state: no global lock
+    Graph& g = TheGraph();
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.names[h.mu] = h.name;
+    g.names[mu] = name;
+    if (g.adj[h.mu].insert(mu).second) {
+      ++g.edges;
+      // New edge h.mu -> mu: a path mu ~> h.mu means the opposite order was
+      // observed before — report the full cycle.
+      std::vector<const void*> path;
+      std::unordered_set<const void*> visited;
+      if (Reaches(g, mu, h.mu, &path, &visited)) {
+        ReportCycleAndAbort(g, h.mu, mu, path);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool SetEnabled(bool enabled) {
+  if (enabled) g_ever_enabled.store(true, std::memory_order_release);
+  return g_enabled.exchange(enabled, std::memory_order_acq_rel);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+size_t EdgeCount() {
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return static_cast<size_t>(g.edges);
+}
+
+void ResetForTest() {
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.adj.clear();
+  g.names.clear();
+  g.edges = 0;
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void OnAcquireAttempt(const void* mu, const char* name) {
+  if (!Enabled()) return;
+  ThreadState& t = TLS();
+  // Order matters: edges + cycle check BEFORE blocking on the real lock, so
+  // an inversion aborts with a report even on the interleaving that would
+  // have genuinely deadlocked.
+  PushHeld(t, mu, name);
+  t.held.pop_back();  // PushHeld ran the reentrancy check; re-push below
+  RecordEdges(t, mu, name);
+  t.held.push_back(HeldEntry{mu, name});
+}
+
+void OnTryAcquireSuccess(const void* mu, const char* name) {
+  if (!Enabled()) return;
+  PushHeld(TLS(), mu, name);
+}
+
+void OnRelease(const void* mu) {
+  ThreadState& t = TLS();
+  // Pop-if-found regardless of Enabled(): the detector may have been toggled
+  // between acquire and release. Releases are LIFO in the common case, so
+  // scan from the back.
+  for (size_t i = t.held.size(); i > 0; --i) {
+    if (t.held[i - 1].mu == mu) {
+      t.held.erase(t.held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+void OnMutexDestroy(const void* mu) {
+  if (!g_ever_enabled.load(std::memory_order_acquire)) return;
+  // Scrub the node so a future mutex at a recycled address cannot inherit
+  // its edges (which would manufacture false cycles).
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  const auto it = g.adj.find(mu);
+  if (it != g.adj.end()) {
+    g.edges -= it->second.size();
+    g.adj.erase(it);
+  }
+  for (auto& [from, tos] : g.adj) {
+    (void)from;
+    g.edges -= tos.erase(mu);
+  }
+  g.names.erase(mu);
+}
+
+}  // namespace lockorder
+
+// --- CondVar -----------------------------------------------------------------
+
+// The adopt/release dance below is invisible to the analysis (the lock
+// round-trips through a std::unique_lock), so the definitions opt out; the
+// declarations keep SDB_REQUIRES for callers.
+
+SDB_NO_THREAD_SAFETY_ANALYSIS
+void CondVar::Wait(Mutex* mu) {
+  lockorder::OnRelease(mu);
+  std::unique_lock<std::mutex> ul(mu->mu_, std::adopt_lock);
+  cv_.wait(ul);
+  ul.release();
+  lockorder::OnAcquireAttempt(mu, mu->name_);
+}
+
+SDB_NO_THREAD_SAFETY_ANALYSIS
+bool CondVar::WaitFor(Mutex* mu, std::chrono::nanoseconds rel_time) {
+  lockorder::OnRelease(mu);
+  std::unique_lock<std::mutex> ul(mu->mu_, std::adopt_lock);
+  const std::cv_status st = cv_.wait_for(ul, rel_time);
+  ul.release();
+  lockorder::OnAcquireAttempt(mu, mu->name_);
+  return st == std::cv_status::timeout;
+}
+
+SDB_NO_THREAD_SAFETY_ANALYSIS
+bool CondVar::WaitUntil(Mutex* mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  lockorder::OnRelease(mu);
+  std::unique_lock<std::mutex> ul(mu->mu_, std::adopt_lock);
+  const std::cv_status st = cv_.wait_until(ul, deadline);
+  ul.release();
+  lockorder::OnAcquireAttempt(mu, mu->name_);
+  return st == std::cv_status::timeout;
+}
+
+}  // namespace shareddb

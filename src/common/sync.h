@@ -1,0 +1,325 @@
+// Annotated concurrency primitives + Clang Thread Safety Analysis macros.
+//
+// Every mutex in src/ is an sdb Mutex/SharedMutex from this header (enforced
+// by tools/sdb_lint.py), every guarded field carries SDB_GUARDED_BY, and
+// every must-hold-the-lock method carries SDB_REQUIRES — so a Clang build
+// with -Wthread-safety -Werror *proves* the locking discipline at compile
+// time instead of hoping TSan interleaves the right two threads. On
+// non-Clang compilers the macros expand to nothing and the wrappers cost one
+// pointer-sized name field over the std primitives.
+//
+// What static analysis cannot see is cross-mutex acquisition ORDER, so in
+// debug/DCHECK builds Mutex additionally feeds a process-wide lock-order
+// registry: a per-thread held-lock stack plus a global acquired-before edge
+// graph with cycle detection. The first time two locks are ever taken in
+// conflicting order — on ANY interleaving, no actual deadlock needed — the
+// process aborts printing the full inversion cycle. This catches ABBA
+// deadlocks that neither -Wthread-safety nor TSan's happens-before model
+// reports. See README "Static analysis & concurrency discipline" for the
+// repo's lock-order hierarchy.
+//
+// Usage pattern:
+//
+//   class Counter {
+//    public:
+//     void Add(int n) {
+//       MutexLock lock(&mu_);
+//       total_ += n;
+//     }
+//    private:
+//     void FlushLocked() SDB_REQUIRES(mu_);
+//     Mutex mu_;
+//     int total_ SDB_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Condition variables deliberately take no predicate lambda: a lambda body
+// is a separate function the analysis cannot attribute the held lock to, so
+// waits are written as explicit loops in the REQUIRES context:
+//
+//   while (!ready_) cv_.Wait(&mu_);   // ready_ is SDB_GUARDED_BY(mu_)
+
+#ifndef SHAREDDB_COMMON_SYNC_H_
+#define SHAREDDB_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/logging.h"
+
+// --- Clang Thread Safety Analysis attribute macros ---------------------------
+// Compile to nothing on non-Clang compilers (GCC has no -Wthread-safety).
+
+#if defined(__clang__)
+#define SDB_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SDB_TS_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (a lockable thing). `x` names the
+/// capability kind in diagnostics, e.g. SDB_CAPABILITY("mutex").
+#define SDB_CAPABILITY(x) SDB_TS_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (MutexLock and friends).
+#define SDB_SCOPED_CAPABILITY SDB_TS_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define SDB_GUARDED_BY(x) SDB_TS_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding the
+/// given capability (the pointer itself is unguarded).
+#define SDB_PT_GUARDED_BY(x) SDB_TS_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the capability (exclusively) to be held on entry, and
+/// does not release it.
+#define SDB_REQUIRES(...) SDB_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function requires at least shared (reader) ownership on entry.
+#define SDB_REQUIRES_SHARED(...) \
+  SDB_TS_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define SDB_ACQUIRE(...) SDB_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define SDB_ACQUIRE_SHARED(...) \
+  SDB_TS_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define SDB_RELEASE(...) SDB_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define SDB_RELEASE_SHARED(...) \
+  SDB_TS_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; first argument is the return
+/// value that means success, e.g. SDB_TRY_ACQUIRE(true).
+#define SDB_TRY_ACQUIRE(...) SDB_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself;
+/// guards against self-deadlock on non-reentrant mutexes).
+#define SDB_EXCLUDES(...) SDB_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares mutexes that must be acquired before/after this one (static
+/// ordering hints the analysis checks where it can).
+#define SDB_ACQUIRED_BEFORE(...) SDB_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define SDB_ACQUIRED_AFTER(...) SDB_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis so).
+#define SDB_ASSERT_CAPABILITY(x) SDB_TS_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define SDB_RETURN_CAPABILITY(x) SDB_TS_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Outside sync.h
+/// internals every use must carry a one-line justification comment
+/// (enforced by tools/sdb_lint.py).
+#define SDB_NO_THREAD_SAFETY_ANALYSIS \
+  SDB_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace shareddb {
+
+// --- runtime lock-order registry ---------------------------------------------
+// Active by default in debug/DCHECK builds; a single relaxed atomic branch
+// per Lock/Unlock when disabled, so tests can force it on in Release too.
+
+namespace lockorder {
+
+/// Turns the detector on/off process-wide; returns the previous setting.
+/// Default: on when SDB_DCHECKs are on (!NDEBUG or SDB_FORCE_DCHECKS).
+bool SetEnabled(bool enabled);
+bool Enabled();
+
+/// Number of distinct acquired-before edges observed so far (test/telemetry).
+size_t EdgeCount();
+
+/// Forgets every recorded edge (tests that intentionally vary order).
+void ResetForTest();
+
+// Hooks called by Mutex/SharedMutex/CondVar below. Not for direct use.
+void OnAcquireAttempt(const void* mu, const char* name);
+void OnTryAcquireSuccess(const void* mu, const char* name);
+void OnRelease(const void* mu);
+void OnMutexDestroy(const void* mu);
+
+}  // namespace lockorder
+
+// --- Mutex -------------------------------------------------------------------
+
+/// Annotated non-reentrant mutex. The optional name appears in lock-order
+/// inversion reports; give every long-lived mutex one.
+class SDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() { lockorder::OnMutexDestroy(this); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SDB_ACQUIRE() {
+    lockorder::OnAcquireAttempt(this, name_);
+    mu_.lock();
+  }
+
+  void Unlock() SDB_RELEASE() {
+    lockorder::OnRelease(this);
+    mu_.unlock();
+  }
+
+  /// Non-blocking acquire. Success is pushed onto the held stack but does
+  /// not record ordering edges — a failed try backs off instead of
+  /// deadlocking, so trylock-based ordering schemes stay legal.
+  bool TryLock() SDB_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockorder::OnTryAcquireSuccess(this, name_);
+    return true;
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* name_ = "mutex";
+};
+
+/// Annotated reader/writer mutex (std::shared_mutex). Both acquisition
+/// modes feed the lock-order registry; same-thread reacquisition in any
+/// mode is flagged (reentrant shared_mutex use is undefined behavior).
+class SDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) : name_(name) {}
+  ~SharedMutex() { lockorder::OnMutexDestroy(this); }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SDB_ACQUIRE() {
+    lockorder::OnAcquireAttempt(this, name_);
+    mu_.lock();
+  }
+  void Unlock() SDB_RELEASE() {
+    lockorder::OnRelease(this);
+    mu_.unlock();
+  }
+  void LockShared() SDB_ACQUIRE_SHARED() {
+    lockorder::OnAcquireAttempt(this, name_);
+    mu_.lock_shared();
+  }
+  void UnlockShared() SDB_RELEASE_SHARED() {
+    lockorder::OnRelease(this);
+    mu_.unlock_shared();
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_ = "shared_mutex";
+};
+
+// --- scoped locks ------------------------------------------------------------
+
+/// RAII exclusive lock (the std::lock_guard replacement).
+class SDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SDB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() SDB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive lock that can be dropped and re-taken mid-scope (the
+/// std::unique_lock replacement for unlock-around-work patterns).
+class SDB_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex* mu) SDB_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~ReleasableMutexLock() SDB_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  void Unlock() SDB_RELEASE() {
+    SDB_DCHECK(held_);
+    held_ = false;
+    mu_->Unlock();
+  }
+
+  void Relock() SDB_ACQUIRE() {
+    SDB_DCHECK(!held_);
+    mu_->Lock();
+    held_ = true;
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+  bool held_ = true;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class SDB_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) SDB_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() SDB_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class SDB_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) SDB_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() SDB_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// --- CondVar -----------------------------------------------------------------
+
+/// Condition variable over Mutex. No predicate overloads on purpose — write
+/// the wait loop in the calling (REQUIRES) context so the analysis sees the
+/// guarded reads (see the header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and re-acquires `mu` before return.
+  void Wait(Mutex* mu) SDB_REQUIRES(mu);
+
+  /// As Wait, bounded; returns true if the wait timed out.
+  bool WaitFor(Mutex* mu, std::chrono::nanoseconds rel_time) SDB_REQUIRES(mu);
+  bool WaitUntil(Mutex* mu, std::chrono::steady_clock::time_point deadline)
+      SDB_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_SYNC_H_

@@ -133,7 +133,7 @@ std::future<ResultSet> Engine::Submit(StatementId statement,
     // Every overload decision below is synchronous: a rejected caller gets a
     // ready error future and the lock is never held across a wait, so a
     // flooded front door can never stall the heartbeat driver.
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     stat_submitted_.fetch_add(1, std::memory_order_relaxed);
     if (closed_) {
       stat_unavailable_.fetch_add(1, std::memory_order_relaxed);
@@ -202,7 +202,7 @@ size_t Engine::CloseSubmissions(Status status) {
   SDB_CHECK(!status.ok());
   std::deque<Pending> drained;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
     drained.swap(pending_);
   }
@@ -227,7 +227,7 @@ Engine::AdmissionTotals Engine::admission_totals() const {
 }
 
 size_t Engine::PendingCount() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return pending_.size();
 }
 
@@ -260,7 +260,7 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
     // shed)), so a deep backlog under a small cap drains without quadratic
     // rebuilds of the queue; the overflow simply stays where it is.
     // Cancelled and deadline-expired entries do not consume admission slots.
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     queue_depth = pending_.size();
     while (!pending_.empty() &&
            (max_admissions == 0 || batch.size() < max_admissions)) {
@@ -396,7 +396,7 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
                            ? wal_->Sync()
                            : wal_->Flush();
       if (!s.ok()) {
-        std::lock_guard lock(mu_);
+        MutexLock lock(&mu_);
         if (wal_status_.ok()) wal_status_ = s;  // latch the first failure
       }
     }
@@ -444,7 +444,10 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
     }
   }
 
-  last_report_ = report;
+  {
+    MutexLock lock(&mu_);
+    last_report_ = report;
+  }
   return report;
 }
 

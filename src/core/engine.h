@@ -20,11 +20,11 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/chaos.h"
 #include "core/plan.h"
 #include "core/query.h"
@@ -209,7 +209,7 @@ class Engine {
   /// its driver first).
   size_t CloseSubmissions(Status status);
   bool submissions_closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     return closed_;
   }
 
@@ -247,10 +247,12 @@ class Engine {
   ResultSet ExecuteSync(StatementId statement, std::vector<Value> params);
   ResultSet ExecuteSyncNamed(const std::string& name, std::vector<Value> params);
 
-  /// Report of the most recent batch. Only meaningful when RunOneBatch
-  /// callers and readers are externally synchronized (api::Server keeps its
-  /// own mutex-guarded copy for concurrent readers).
-  const BatchReport& last_report() const { return last_report_; }
+  /// Thread-safe copy of the most recent batch's report (api::Server keeps
+  /// its own copy with richer admission stats for production readers).
+  BatchReport last_report() const {
+    MutexLock lock(&mu_);
+    return last_report_;
+  }
 
   uint64_t batches_run() const {
     return batch_number_.load(std::memory_order_acquire);
@@ -276,7 +278,7 @@ class Engine {
   /// failure (availability over durability — the heartbeat never stops),
   /// but callers that promised durability must check this before acking.
   Status wal_status() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     return wal_status_;
   }
 
@@ -318,9 +320,10 @@ class Engine {
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<class WalTableLogger> wal_logger_;
 
-  mutable std::mutex mu_;
-  std::deque<Pending> pending_;  // FIFO; formation pops admitted from the front
-  bool closed_ = false;          // set by CloseSubmissions; guarded by mu_
+  mutable Mutex mu_{"engine.state"};
+  // FIFO; formation pops admitted from the front.
+  std::deque<Pending> pending_ SDB_GUARDED_BY(mu_);
+  bool closed_ SDB_GUARDED_BY(mu_) = false;  // set by CloseSubmissions
 
   // Admission accounting (see AdmissionTotals). Writers hold mu_ or are the
   // single RunOneBatch caller; atomics let readers skip the lock.
@@ -332,8 +335,8 @@ class Engine {
   std::atomic<uint64_t> stat_unavailable_{0};
 
   std::atomic<uint64_t> batch_number_{0};
-  BatchReport last_report_;
-  Status wal_status_;  // first WAL error, latched; guarded by mu_
+  BatchReport last_report_ SDB_GUARDED_BY(mu_);
+  Status wal_status_ SDB_GUARDED_BY(mu_);  // first WAL error, latched
 };
 
 /// Logs every table mutation into the WAL (installed by the engine).

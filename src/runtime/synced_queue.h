@@ -5,11 +5,11 @@
 #ifndef SHAREDDB_RUNTIME_SYNCED_QUEUE_H_
 #define SHAREDDB_RUNTIME_SYNCED_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace shareddb {
 
@@ -19,16 +19,16 @@ class SyncedQueue {
  public:
   void Push(T item) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(&mu_);
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    MutexLock lock(&mu_);
+    while (items_.empty() && !closed_) cv_.Wait(&mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -37,7 +37,7 @@ class SyncedQueue {
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -46,22 +46,22 @@ class SyncedQueue {
 
   void Close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   size_t Size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{"synced_queue"};
+  CondVar cv_;
+  std::deque<T> items_ SDB_GUARDED_BY(mu_);
+  bool closed_ SDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace shareddb

@@ -19,10 +19,10 @@ TaskPool::TaskPool(const Options& options) : options_(options) {
 
 TaskPool::~TaskPool() {
   {
-    std::lock_guard lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
     stop_ = true;
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
@@ -34,14 +34,14 @@ void TaskPool::Submit(size_t home, Task task) {
   // window — a worker waking to a count whose task is not yet pushed — only
   // costs that worker one empty scan before it re-checks the predicate.
   {
-    std::lock_guard lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
     ++queued_;
   }
   {
-    std::lock_guard lock(workers_[home]->mu);
+    MutexLock lock(&workers_[home]->mu);
     workers_[home]->tasks.push_back(std::move(task));
   }
-  idle_cv_.notify_one();
+  idle_cv_.NotifyOne();
 }
 
 bool TaskPool::RunOneTask(size_t self) {
@@ -54,7 +54,7 @@ bool TaskPool::RunOneTask(size_t self) {
   for (size_t k = 0; k < n && !found; ++k) {
     const size_t w = (first + k) % n;
     Worker& worker = *workers_[w];
-    std::lock_guard lock(worker.mu);
+    MutexLock lock(&worker.mu);
     if (worker.tasks.empty()) continue;
     if (w == self) {
       // Own deque: LIFO end for cache locality.
@@ -70,7 +70,7 @@ bool TaskPool::RunOneTask(size_t self) {
   }
   if (!found) return false;
   {
-    std::lock_guard lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
     SDB_DCHECK(queued_ > 0);
     --queued_;
   }
@@ -98,8 +98,8 @@ void TaskPool::WorkerLoop(size_t index) {
   }
   for (;;) {
     if (RunOneTask(index)) continue;
-    std::unique_lock lock(idle_mu_);
-    idle_cv_.wait(lock, [this] { return queued_ > 0 || stop_; });
+    MutexLock lock(&idle_mu_);
+    while (queued_ == 0 && !stop_) idle_cv_.Wait(&idle_mu_);
     if (stop_ && queued_ == 0) return;
   }
 }
@@ -117,8 +117,8 @@ TaskGroup::~TaskGroup() {
   // Wait() is the normal join point; the destructor only has to survive an
   // exceptional unwind without leaving tasks referencing a dead group.
   if (pool_ == nullptr) return;
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) cv_.Wait(&mu_);
 }
 
 void TaskGroup::Run(std::function<void()> fn) {
@@ -127,12 +127,13 @@ void TaskGroup::Run(std::function<void()> fn) {
     try {
       fn();
     } catch (...) {
+      MutexLock lock(&mu_);
       if (error_ == nullptr) error_ = std::current_exception();
     }
     return;
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     ++pending_;
   }
   pool_->Submit(home_, TaskPool::Task{std::move(fn), this});
@@ -142,31 +143,32 @@ void TaskGroup::Wait() {
   if (pool_ != nullptr) {
     for (;;) {
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(&mu_);
         if (pending_ == 0) break;
       }
       // Participate: run any queued task (ours or another group's). Our own
       // tasks are only ever enqueued by this thread, so when none is queued
       // the stragglers are running on workers — sleep until one finishes.
       if (pool_->RunOneTask(SIZE_MAX)) continue;
-      std::unique_lock lock(mu_);
+      MutexLock lock(&mu_);
       if (pending_ == 0) break;
-      cv_.wait_for(lock, std::chrono::milliseconds(1),
-                   [this] { return pending_ == 0; });
+      cv_.WaitFor(&mu_, std::chrono::milliseconds(1));
     }
   }
-  if (error_ != nullptr) {
-    std::exception_ptr e = error_;
+  std::exception_ptr e;
+  {
+    MutexLock lock(&mu_);
+    e = error_;
     error_ = nullptr;
-    std::rethrow_exception(e);
   }
+  if (e != nullptr) std::rethrow_exception(e);
 }
 
 void TaskGroup::Finish(std::exception_ptr error) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (error != nullptr && error_ == nullptr) error_ = error;
   SDB_DCHECK(pending_ > 0);
-  if (--pending_ == 0) cv_.notify_all();
+  if (--pending_ == 0) cv_.NotifyAll();
 }
 
 }  // namespace shareddb

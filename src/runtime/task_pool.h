@@ -25,16 +25,16 @@
 #define SHAREDDB_RUNTIME_TASK_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace shareddb {
 
@@ -86,8 +86,8 @@ class TaskPool {
   };
 
   struct Worker {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu{"task_pool.worker"};
+    std::deque<Task> tasks SDB_GUARDED_BY(mu);
     std::thread thread;
   };
 
@@ -104,11 +104,11 @@ class TaskPool {
   const Options options_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  // Sleep/wake for idle workers. `queued_` is guarded by `idle_mu_`.
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  size_t queued_ = 0;
-  bool stop_ = false;
+  // Sleep/wake for idle workers.
+  Mutex idle_mu_{"task_pool.idle"};
+  CondVar idle_cv_;
+  size_t queued_ SDB_GUARDED_BY(idle_mu_) = 0;
+  bool stop_ SDB_GUARDED_BY(idle_mu_) = false;
 
   std::atomic<size_t> next_home_{0};
   std::atomic<uint64_t> worker_steals_{0};
@@ -142,10 +142,10 @@ class TaskGroup {
 
   TaskPool* pool_;
   size_t home_ = 0;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
-  std::exception_ptr error_;
+  Mutex mu_{"task_group"};
+  CondVar cv_;
+  size_t pending_ SDB_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ SDB_GUARDED_BY(mu_);
 };
 
 /// Per-cycle parallelism configuration, plumbed to operators through

@@ -109,8 +109,10 @@ void ThreadedRuntime::NodeLoop(int node_id, bool pin) {
 
     const size_t done = task.nodes_done.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (done == plan_->num_nodes()) {
-      std::lock_guard lock(task.done_mu);
-      task.done_cv.notify_all();
+      // Taking done_mu before notifying closes the missed-wakeup window
+      // against the waiter's check-then-wait in ExecuteCycle.
+      MutexLock lock(&task.done_mu);
+      task.done_cv.NotifyAll();
     }
   }
 }
@@ -132,10 +134,10 @@ void ThreadedRuntime::ExecuteCycle(GlobalPlan* plan, const BatchInput& in,
   for (auto& nt : node_threads_) nt->tasks.Push(task);
 
   {
-    std::unique_lock lock(task->done_mu);
-    task->done_cv.wait(lock, [&] {
-      return task->nodes_done.load(std::memory_order_acquire) == n;
-    });
+    MutexLock lock(&task->done_mu);
+    while (task->nodes_done.load(std::memory_order_acquire) != n) {
+      task->done_cv.Wait(&task->done_mu);
+    }
   }
   // All node threads are done: any shared output batch is now referenced
   // only by the results queue, so Take() moves instead of copying.

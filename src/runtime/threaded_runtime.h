@@ -11,11 +11,11 @@
 #define SHAREDDB_RUNTIME_THREADED_RUNTIME_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/engine.h"
 #include "runtime/synced_queue.h"
 
@@ -46,8 +46,8 @@ class ThreadedRuntime : public Runtime {
     std::vector<char> needed;                        // node id -> root output?
     SyncedQueue<std::pair<int, BatchRef>>* results = nullptr;
     std::atomic<size_t> nodes_done{0};
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu{"cycle_task.done"};
+    CondVar done_cv;
   };
 
   struct NodeThread {

@@ -26,7 +26,8 @@ class PosixFile : public File {
   PosixFile(int fd, std::string path, uint64_t size)
       : fd_(fd), path_(std::move(path)), size_(size) {}
 
-  ~PosixFile() override { Close(); }
+  // Destructor cannot surface errors; callers needing durability Sync first.
+  ~PosixFile() override { (void)Close(); }
 
   Status Append(const void* data, size_t n) override {
     if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
@@ -155,10 +156,11 @@ class FaultyFile : public File {
              std::string path)
       : env_(env), state_(std::move(state)), path_(std::move(path)) {}
 
-  ~FaultyFile() override { Close(); }
+  // Destructor cannot surface errors; callers needing durability Sync first.
+  ~FaultyFile() override { (void)Close(); }
 
   Status Append(const void* data, size_t n) override {
-    std::lock_guard lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     FaultyEnv::FileState* s = state_.get();
     if (s->powered_off) return Status::IoError("stale handle (power loss): " + path_);
     if (s->crashed) return Status::IoError("injected crash: " + path_);
@@ -192,7 +194,7 @@ class FaultyFile : public File {
   }
 
   Status Flush() override {
-    std::lock_guard lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     FaultyEnv::FileState* s = state_.get();
     if (s->powered_off) return Status::IoError("stale handle (power loss): " + path_);
     if (s->crashed) return Status::IoError("injected crash: " + path_);
@@ -200,7 +202,7 @@ class FaultyFile : public File {
   }
 
   Status Sync() override {
-    std::lock_guard lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     FaultyEnv::FileState* s = state_.get();
     if (s->powered_off) return Status::IoError("stale handle (power loss): " + path_);
     if (s->crashed) return Status::IoError("injected crash: " + path_);
@@ -212,13 +214,13 @@ class FaultyFile : public File {
   Status Close() override { return Status::OK(); }
 
   uint64_t Size() const override {
-    std::lock_guard lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     return state_->data.size();
   }
 
  private:
   FaultyEnv* env_;
-  std::shared_ptr<FaultyEnv::FileState> state_;
+  std::shared_ptr<FaultyEnv::FileState> state_ SDB_PT_GUARDED_BY(env_->mu_);
   std::string path_;
 };
 
@@ -233,7 +235,7 @@ std::shared_ptr<FaultyEnv::FileState> FaultyEnv::StateLocked(
 
 Status FaultyEnv::NewAppendableFile(const std::string& path, bool truncate,
                                     std::unique_ptr<File>* out) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::shared_ptr<FileState> state = StateLocked(path);
   if (truncate) {
     state->data.clear();
@@ -244,7 +246,7 @@ Status FaultyEnv::NewAppendableFile(const std::string& path, bool truncate,
 }
 
 Status FaultyEnv::ReadFileToString(const std::string& path, std::string* out) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no file at " + path);
   *out = it->second->data;
@@ -252,12 +254,12 @@ Status FaultyEnv::ReadFileToString(const std::string& path, std::string* out) {
 }
 
 bool FaultyEnv::FileExists(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return files_.find(path) != files_.end();
 }
 
 Status FaultyEnv::RenameFile(const std::string& from, const std::string& to) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound("no file at " + from);
   files_[to] = std::move(it->second);
@@ -266,7 +268,7 @@ Status FaultyEnv::RenameFile(const std::string& from, const std::string& to) {
 }
 
 Status FaultyEnv::TruncateFile(const std::string& path, uint64_t size) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no file at " + path);
   FileState* s = it->second.get();
@@ -276,19 +278,19 @@ Status FaultyEnv::TruncateFile(const std::string& path, uint64_t size) {
 }
 
 Status FaultyEnv::RemoveFile(const std::string& path) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.erase(path) == 0) return Status::NotFound("no file at " + path);
   return Status::OK();
 }
 
 uint64_t FaultyEnv::FileSize(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   return it == files_.end() ? 0 : it->second->data.size();
 }
 
 void FaultyEnv::SetFaults(const std::string& path, FaultInjection faults) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::shared_ptr<FileState> s = StateLocked(path);
   s->faults = std::move(faults);
   s->append_budget_used = 0;
@@ -300,7 +302,7 @@ void FaultyEnv::ClearFaults(const std::string& path) {
 }
 
 void FaultyEnv::PowerLoss(uint64_t torn_tail_bytes) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [path, state] : files_) {
     // Survivors: the synced prefix plus a bounded torn tail of unsynced
     // bytes. Old handles stay wedged on the retired state.
@@ -315,19 +317,19 @@ void FaultyEnv::PowerLoss(uint64_t torn_tail_bytes) {
 }
 
 uint64_t FaultyEnv::SyncedSize(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   return it == files_.end() ? 0 : it->second->synced;
 }
 
 std::string FaultyEnv::Contents(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   return it == files_.end() ? std::string() : it->second->data;
 }
 
 void FaultyEnv::SetContents(const std::string& path, std::string bytes) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto state = std::make_shared<FileState>();
   state->synced = bytes.size();
   state->data = std::move(bytes);
@@ -335,7 +337,7 @@ void FaultyEnv::SetContents(const std::string& path, std::string bytes) {
 }
 
 void FaultyEnv::FlipBit(const std::string& path, uint64_t offset, uint8_t mask) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   SDB_CHECK(it != files_.end() && offset < it->second->data.size());
   it->second->data[offset] =

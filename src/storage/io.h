@@ -24,12 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace shareddb {
 namespace storage {
@@ -159,10 +159,15 @@ class FaultyEnv : public Env {
     FaultInjection faults;
   };
 
-  std::shared_ptr<FileState> StateLocked(const std::string& path);
+  std::shared_ptr<FileState> StateLocked(const std::string& path)
+      SDB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<FileState>> files_;
+  // mu_ also guards every FileState reached through files_ (FileState's own
+  // fields cannot carry the annotation — the analysis cannot name an outer
+  // object's mutex from an inner struct); FaultyFile handles annotate their
+  // state_ pointer with SDB_PT_GUARDED_BY(env_->mu_) to close that gap.
+  mutable Mutex mu_{"faulty_env"};
+  std::map<std::string, std::shared_ptr<FileState>> files_ SDB_GUARDED_BY(mu_);
 };
 
 }  // namespace storage

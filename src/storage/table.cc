@@ -1,7 +1,6 @@
 #include "storage/table.h"
 
 #include <algorithm>
-#include <mutex>
 
 namespace shareddb {
 
@@ -12,7 +11,7 @@ Table::Table(std::string name, SchemaPtr schema)
 
 RowId Table::Insert(Tuple data, Version commit) {
   SDB_CHECK(data.size() == schema_->num_columns());
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(&latch_);
   const RowId id = rows_.size();
   for (TableIndex& idx : indexes_) {
     idx.btree->Insert(data[idx.column], id);
@@ -24,7 +23,7 @@ RowId Table::Insert(Tuple data, Version commit) {
 
 RowId Table::UpdateRow(RowId row, Tuple new_data, Version commit) {
   SDB_CHECK(new_data.size() == schema_->num_columns());
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(&latch_);
   SDB_CHECK(row < rows_.size());
   Row& old = rows_[row];
   SDB_CHECK(old.end == kVersionMax);
@@ -41,7 +40,7 @@ RowId Table::UpdateRow(RowId row, Tuple new_data, Version commit) {
 }
 
 bool Table::DeleteRow(RowId row, Version commit) {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(&latch_);
   SDB_CHECK(row < rows_.size());
   Row& r = rows_[row];
   if (r.end != kVersionMax) return false;
@@ -51,25 +50,25 @@ bool Table::DeleteRow(RowId row, Version commit) {
 }
 
 size_t Table::PhysicalSize() const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   return rows_.size();
 }
 
 Row Table::GetRow(RowId id) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   SDB_CHECK(id < rows_.size());
   return rows_[id];
 }
 
 bool Table::IsVisible(RowId id, Version snapshot) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   SDB_CHECK(id < rows_.size());
   return VisibleAt(rows_[id].begin, rows_[id].end, snapshot);
 }
 
 void Table::ScanVisible(Version snapshot,
                         const std::function<bool(RowId, const Tuple&)>& cb) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   for (RowId i = 0; i < rows_.size(); ++i) {
     const Row& r = rows_[i];
     if (!VisibleAt(r.begin, r.end, snapshot)) continue;
@@ -79,7 +78,7 @@ void Table::ScanVisible(Version snapshot,
 
 void Table::ScanRange(RowId begin, RowId end, Version snapshot,
                       const std::function<bool(RowId, const Tuple&)>& cb) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   const RowId limit = end < rows_.size() ? end : rows_.size();
   for (RowId i = begin; i < limit; ++i) {
     const Row& r = rows_[i];
@@ -89,7 +88,7 @@ void Table::ScanRange(RowId begin, RowId end, Version snapshot,
 }
 
 RowId Table::RecoverAppendRow(Row row) {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(&latch_);
   SDB_CHECK(row.data.size() == schema_->num_columns());
   const RowId id = rows_.size();
   for (TableIndex& idx : indexes_) {
@@ -100,13 +99,13 @@ RowId Table::RecoverAppendRow(Row row) {
 }
 
 void Table::RecoverCloseRow(RowId id, Version end) {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(&latch_);
   SDB_CHECK(id < rows_.size());
   rows_[id].end = end;
 }
 
 std::vector<Row> Table::DumpRows() const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   return rows_;
 }
 
@@ -121,7 +120,7 @@ size_t Table::VisibleCount(Version snapshot) const {
 
 void Table::CreateIndex(const std::string& index_name,
                         const std::string& column_name) {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(&latch_);
   SDB_CHECK(std::none_of(indexes_.begin(), indexes_.end(),
                          [&](const TableIndex& i) { return i.name == index_name; }));
   TableIndex idx;
@@ -147,12 +146,12 @@ const TableIndex* FindIndexByName(const std::vector<TableIndex>& indexes,
 }  // namespace
 
 bool Table::HasIndex(const std::string& index_name) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   return FindIndexByName(indexes_, index_name) != nullptr;
 }
 
 const TableIndex* Table::FindIndexOnColumn(size_t column) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   for (const TableIndex& i : indexes_) {
     if (i.column == column) return &i;
   }
@@ -161,7 +160,7 @@ const TableIndex* Table::FindIndexOnColumn(size_t column) const {
 
 void Table::IndexLookup(const std::string& index_name, const Value& key,
                         Version snapshot, std::vector<RowId>* out) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   const TableIndex* idx = FindIndexByName(indexes_, index_name);
   SDB_CHECK(idx != nullptr);
   std::vector<RowId> candidates;
@@ -176,7 +175,7 @@ void Table::IndexRange(const std::string& index_name, const std::optional<Value>
                        bool lo_inclusive, const std::optional<Value>& hi,
                        bool hi_inclusive, Version snapshot,
                        const std::function<bool(RowId, const Tuple&)>& cb) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   const TableIndex* idx = FindIndexByName(indexes_, index_name);
   SDB_CHECK(idx != nullptr);
   idx->btree->Range(lo, lo_inclusive, hi, hi_inclusive,
@@ -190,7 +189,7 @@ void Table::IndexRange(const std::string& index_name, const std::optional<Value>
 }
 
 size_t Table::Vacuum(Version horizon) {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(&latch_);
   std::vector<Row> kept;
   kept.reserve(rows_.size());
   std::vector<RowId> remap(rows_.size(), ~0ULL);
@@ -218,7 +217,7 @@ size_t Table::Vacuum(Version horizon) {
 }
 
 size_t Table::NumSegments() const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(&latch_);
   return (rows_.size() + rows_per_segment_ - 1) / rows_per_segment_;
 }
 

@@ -15,11 +15,11 @@
 #define SHAREDDB_STORAGE_TABLE_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/batch.h"
+#include "common/sync.h"
 #include "common/schema.h"
 #include "storage/btree_index.h"
 #include "storage/mvcc.h"
@@ -132,7 +132,12 @@ class Table {
   /// Index on `column`, or nullptr.
   const TableIndex* FindIndexOnColumn(size_t column) const;
 
-  const std::vector<TableIndex>& indexes() const { return indexes_; }
+  // Escape: indexes are created at setup and only rebuilt by Vacuum between
+  // batches, so cycle-time readers (probe/index-join ops) are synchronized
+  // by the batch lifecycle rather than the latch.
+  const std::vector<TableIndex>& indexes() const SDB_NO_THREAD_SAFETY_ANALYSIS {
+    return indexes_;
+  }
 
   /// --- maintenance -----------------------------------------------------------
 
@@ -150,13 +155,15 @@ class Table {
   void set_write_observer(TableWriteObserver* observer) { observer_ = observer; }
 
  private:
+  // Setup-time fields (written before any concurrent access starts).
   TableWriteObserver* observer_ = nullptr;
   std::string name_;
   SchemaPtr schema_;
-  mutable std::shared_mutex latch_;
-  std::vector<Row> rows_;
-  std::vector<TableIndex> indexes_;
   size_t rows_per_segment_ = 4096;
+
+  mutable SharedMutex latch_{"table.latch"};
+  std::vector<Row> rows_ SDB_GUARDED_BY(latch_);
+  std::vector<TableIndex> indexes_ SDB_GUARDED_BY(latch_);
 };
 
 }  // namespace shareddb

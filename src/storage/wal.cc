@@ -172,19 +172,22 @@ bool DecodePayload(const char* data, size_t n, WalRecord* rec) {
 Wal::Wal(std::string path, storage::Env* env)
     : path_(std::move(path)), env_(env) {}
 
-Wal::~Wal() { Close(); }
+// Destructor cannot surface errors; Checkpoint/Close report them in-band.
+Wal::~Wal() { (void)Close(); }
 
 Status Wal::Open(bool truncate) {
-  Close();
-  std::lock_guard lock(mu_);
+  // Reopening: an error closing the previous stream does not affect the
+  // fresh file; recovery re-scans it anyway.
+  (void)Close();
+  MutexLock lock(&mu_);
   Status s = env_->NewAppendableFile(path_, truncate, &file_);
   if (!s.ok()) return s;
   pending_.clear();
-  records_written_ = 0;
+  records_written_.store(0, std::memory_order_relaxed);
   const uint64_t existing = file_->Size();
   if (existing == 0) {
     pending_ = EncodeHeader();
-    bytes_logged_ = kHeaderBytes;
+    bytes_logged_.store(kHeaderBytes, std::memory_order_relaxed);
     return Status::OK();
   }
   // Appending to an existing log: the header must be intact. Recovery
@@ -206,12 +209,12 @@ Status Wal::Open(bool truncate) {
     file_ = nullptr;
     return Status::IoError("bad WAL magic in " + path_);
   }
-  bytes_logged_ = existing;
+  bytes_logged_.store(existing, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Wal::Close() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return Status::OK();
   Status s = Status::OK();
   if (!pending_.empty()) {
@@ -226,12 +229,12 @@ Status Wal::Close() {
 }
 
 void Wal::AppendRecord(const WalRecord& rec) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   SDB_CHECK(file_ != nullptr);
   const size_t before = pending_.size();
   EncodeRecord(rec, &pending_);
-  bytes_logged_ += pending_.size() - before;
-  ++records_written_;
+  bytes_logged_.fetch_add(pending_.size() - before, std::memory_order_relaxed);
+  records_written_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Wal::LogInsert(uint32_t table_id, Version v, RowId row, const Tuple& t) {
@@ -251,7 +254,7 @@ void Wal::LogCommit(Version v) {
 }
 
 Status Wal::Flush() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
   if (!pending_.empty()) {
     // One Append per batch; on failure the file may hold a torn prefix of
@@ -267,7 +270,7 @@ Status Wal::Flush() {
 Status Wal::Sync() {
   const Status s = Flush();
   if (!s.ok()) return s;
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
   return file_->Sync();
 }

@@ -29,14 +29,15 @@
 #ifndef SHAREDDB_STORAGE_WAL_H_
 #define SHAREDDB_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/catalog.h"
 #include "storage/io.h"
 
@@ -85,10 +86,10 @@ class Wal {
   /// Opens for appending; `truncate` starts a fresh log. Appending to an
   /// existing file validates its header (run recovery first — it truncates
   /// damaged tails, so a recovered log is always safe to append to).
-  Status Open(bool truncate);
+  Status Open(bool truncate) SDB_EXCLUDES(mu_);
 
   /// Syncs buffered records to disk, then closes the file.
-  Status Close();
+  Status Close() SDB_EXCLUDES(mu_);
 
   void LogInsert(uint32_t table_id, Version v, RowId row, const Tuple& t);
   void LogUpdate(uint32_t table_id, Version v, RowId old_row, const Tuple& t);
@@ -97,18 +98,23 @@ class Wal {
 
   /// Pushes buffered records to the OS. Survives a process crash, not a
   /// power failure — call Sync() for that.
-  Status Flush();
+  Status Flush() SDB_EXCLUDES(mu_);
 
   /// Flush() + fsync: everything logged so far survives power failure.
   /// One call per heartbeat batch is the group-commit discipline.
-  Status Sync();
+  Status Sync() SDB_EXCLUDES(mu_);
 
-  /// Number of records written since Open.
-  uint64_t records_written() const { return records_written_; }
+  /// Number of records written since Open. Atomic: read by monitors and the
+  /// crash fuzzer while concurrent write observers append under mu_.
+  uint64_t records_written() const {
+    return records_written_.load(std::memory_order_relaxed);
+  }
 
   /// Logical length of the log in bytes (header + every record logged so
   /// far, buffered or not). After Sync() this equals the durable file size.
-  uint64_t bytes_logged() const { return bytes_logged_; }
+  uint64_t bytes_logged() const {
+    return bytes_logged_.load(std::memory_order_relaxed);
+  }
 
   /// How a Scan() of the log ended.
   struct ScanStats {
@@ -135,15 +141,17 @@ class Wal {
                        const std::function<void(const WalRecord&)>& cb);
 
  private:
-  void AppendRecord(const WalRecord& rec);
+  void AppendRecord(const WalRecord& rec) SDB_EXCLUDES(mu_);
 
   std::string path_;
   storage::Env* env_;
-  std::mutex mu_;  // serializes appends/flush against concurrent observers
-  std::unique_ptr<storage::File> file_;
-  std::string pending_;  // encoded records not yet handed to the OS
-  uint64_t records_written_ = 0;
-  uint64_t bytes_logged_ = 0;
+  Mutex mu_{"wal"};  // serializes appends/flush against concurrent observers
+  std::unique_ptr<storage::File> file_ SDB_GUARDED_BY(mu_);
+  // Encoded records not yet handed to the OS.
+  std::string pending_ SDB_GUARDED_BY(mu_);
+  // Written under mu_, read lock-free by accessors (see above).
+  std::atomic<uint64_t> records_written_{0};
+  std::atomic<uint64_t> bytes_logged_{0};
 };
 
 /// What Recover() found and did.

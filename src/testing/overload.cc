@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/server.h"
+#include "common/sync.h"
 #include "common/string_util.h"
 #include "runtime/threaded_runtime.h"
 #include "testing/canonical.h"
@@ -121,10 +121,10 @@ OverloadReport RunOverloadSeed(const OverloadOptions& opts) {
   baseline::BaselineEngine oracle(oracle_catalog.get(), SystemXLikeProfile());
   gen.RegisterBaseline(&oracle);
 
-  std::mutex fail_mu;
+  Mutex fail_mu("overload.failures");
   std::vector<std::string> failures;
   const auto fail = [&](std::string detail) {
-    std::lock_guard lock(fail_mu);
+    MutexLock lock(&fail_mu);
     failures.push_back(std::move(detail));
   };
 

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <thread>
 
 #include "core/engine.h"
 #include "core/plan_builder.h"
@@ -90,6 +92,32 @@ TEST_F(EngineFixture, SingleQueryRoundTrip) {
   ASSERT_EQ(rs.rows.size(), 1u);
   EXPECT_EQ(rs.rows[0][0].AsInt(), 7);
   EXPECT_TRUE(rs.status.ok());
+}
+
+TEST_F(EngineFixture, LastReportReadableWhileBatchesRun) {
+  // Regression (TSan): last_report() used to hand out a reference to a
+  // field RunOneBatch overwrites — monitors polling between heartbeats
+  // raced the batch thread. It now copies under the engine mutex; this
+  // test keeps a racing reader in the suite so TSan guards the fix.
+  Engine engine(BuildPlan());
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const BatchReport r = engine.last_report();
+      // A torn read could pair a nonzero query count with an impossible
+      // zero-version snapshot; mostly this just must not trip TSan.
+      (void)r.num_queries;
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    auto f = engine.SubmitNamed("user_by_name",
+                                {Value::Str("user" + std::to_string(round))});
+    engine.RunOneBatch();
+    (void)f.get();
+  }
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  EXPECT_EQ(engine.last_report().num_queries, 1u);
 }
 
 TEST_F(EngineFixture, BatchSharesOneScanAcrossManyQueries) {

@@ -1,0 +1,278 @@
+// sync.h primitives + the runtime lock-order registry.
+//
+// The death tests seed real ordering bugs (ABBA inversion, reentrant
+// acquire) and expect the registry to abort with a diagnostic naming the
+// cycle; the smoke tests force the detector on and drive the TaskPool and
+// the api::Server to prove the shipped lock hierarchy is acyclic under
+// load. Death tests use the "threadsafe" style because several spawn
+// threads before dying.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "api/server.h"
+#include "common/sync.h"
+#include "core/plan_builder.h"
+#include "runtime/task_pool.h"
+
+// TSan detection (GCC defines __SANITIZE_THREAD__, Clang has the feature
+// check): one test below must skip under it — see the comment there.
+#if defined(__SANITIZE_THREAD__)
+#define SDB_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SDB_TSAN_ACTIVE 1
+#endif
+#endif
+
+namespace shareddb {
+namespace {
+
+// Forces the registry on for the test body and restores the prior state
+// (Release builds default it off; Debug/forced-DCHECK builds default on).
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = lockorder::SetEnabled(true);
+    lockorder::ResetForTest();
+  }
+  void TearDown() override {
+    lockorder::ResetForTest();
+    (void)lockorder::SetEnabled(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(LockOrderTest, MutexLockProvidesExclusion) {
+  Mutex mu("test.counter");
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST_F(LockOrderTest, CondVarWakesExplicitWhileLoop) {
+  Mutex mu("test.cv");
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    EXPECT_TRUE(ready);
+  }
+  waker.join();
+}
+
+TEST_F(LockOrderTest, CondVarWaitForTimesOut) {
+  Mutex mu("test.cv_timeout");
+  CondVar cv;
+  MutexLock lock(&mu);
+  EXPECT_TRUE(cv.WaitFor(&mu, std::chrono::milliseconds(5)));  // timed out
+}
+
+TEST_F(LockOrderTest, ReleasableMutexLockRelocks) {
+  Mutex mu("test.releasable");
+  ReleasableMutexLock lock(&mu);
+  lock.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+  lock.Relock();
+}
+
+TEST_F(LockOrderTest, ConsistentOrderRecordsEdgesQuietly) {
+  Mutex a("test.a");
+  Mutex b("test.b");
+  const size_t before = lockorder::EdgeCount();
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  // One a->b edge, recorded once; repeats hit the per-thread cache.
+  EXPECT_EQ(lockorder::EdgeCount(), before + 1);
+}
+
+TEST_F(LockOrderTest, TryLockRecordsNoEdges) {
+  Mutex a("test.a");
+  Mutex b("test.b");
+  const size_t before = lockorder::EdgeCount();
+  MutexLock la(&a);
+  ASSERT_TRUE(b.TryLock());  // non-blocking: cannot deadlock, no edge
+  b.Unlock();
+  EXPECT_EQ(lockorder::EdgeCount(), before);
+}
+
+TEST_F(LockOrderTest, DestroyedMutexAddressCanBeReused) {
+#ifdef SDB_TSAN_ACTIVE
+  // TSan's own lock-order detector keys mutexes by address and never
+  // observes std::mutex destruction (the dtor is trivial — no
+  // pthread_mutex_destroy), so the deliberate address-reuse pattern this
+  // test validates trips TSan's known false positive. Our registry scrubs
+  // dead nodes precisely to avoid that; the scrub itself is what this
+  // test checks, in every non-TSan configuration.
+  GTEST_SKIP() << "address-reuse pattern is a known TSan deadlock-detector "
+                  "false positive";
+#endif
+  Mutex a("test.a");
+  {
+    Mutex tmp("test.tmp");
+    MutexLock la(&a);
+    MutexLock lt(&tmp);
+  }  // tmp dies; its node and edges are scrubbed
+  {
+    // A fresh mutex (possibly at the recycled address) locked in the
+    // opposite order must NOT trip a stale-edge false positive.
+    Mutex other("test.other");
+    MutexLock lo(&other);
+    MutexLock la(&a);
+  }
+  SUCCEED();
+}
+
+using LockOrderDeathTest = LockOrderTest;
+
+TEST_F(LockOrderDeathTest, AbbaInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        (void)lockorder::SetEnabled(true);
+        lockorder::ResetForTest();
+        Mutex a("death.a");
+        Mutex b("death.b");
+        // Thread 1 establishes a -> b; after it fully exits, thread 2
+        // acquires b -> a. Sequential threads make the interleaving
+        // deterministic: the registry flags the *order* inversion without
+        // needing the actual deadlock to materialize.
+        std::thread t1([&] {
+          MutexLock la(&a);
+          MutexLock lb(&b);
+        });
+        t1.join();
+        std::thread t2([&] {
+          MutexLock lb(&b);
+          MutexLock la(&a);  // aborts here
+        });
+        t2.join();
+      },
+      "LOCK-ORDER INVERSION.*death\\.[ab]");
+}
+
+TEST_F(LockOrderDeathTest, ReentrantAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        (void)lockorder::SetEnabled(true);
+        lockorder::ResetForTest();
+        Mutex a("death.reentrant");
+        a.Lock();
+        a.Lock();  // self-deadlock; registry aborts before blocking
+      },
+      "REENTRANT LOCK.*death\\.reentrant");
+}
+
+TEST_F(LockOrderDeathTest, ThreeLockCycleAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        (void)lockorder::SetEnabled(true);
+        lockorder::ResetForTest();
+        Mutex a("death.a");
+        Mutex b("death.b");
+        Mutex c("death.c");
+        {
+          MutexLock la(&a);
+          MutexLock lb(&b);
+        }
+        {
+          MutexLock lb(&b);
+          MutexLock lc(&c);
+        }
+        {
+          MutexLock lc(&c);
+          MutexLock la(&a);  // closes a -> b -> c -> a
+        }
+      },
+      "LOCK-ORDER INVERSION");
+}
+
+// ---------------------------------------------------------------------------
+// Registry-on smoke: the shipped lock hierarchy must stay acyclic under a
+// real workload. Any inversion aborts the test binary, so reaching the
+// assertions at all is the point.
+// ---------------------------------------------------------------------------
+
+TEST_F(LockOrderTest, TaskPoolHierarchyIsQuietUnderLoad) {
+  TaskPool pool(4);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 32; ++i) {
+      group.Run([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.Wait();
+  }
+  EXPECT_EQ(sum.load(), 20 * 32);
+  // The pool's hierarchy is flat: worker deques and the idle latch are
+  // never held together, so a quiet registry here means zero edges at all.
+  EXPECT_EQ(lockorder::EdgeCount(), 0u);
+}
+
+TEST_F(LockOrderTest, ServerHierarchyIsQuietUnderLoad) {
+  Catalog catalog;
+  Table* users = catalog.CreateTable(
+      "users", Schema::Make({{"user_id", ValueType::kInt},
+                             {"account", ValueType::kInt}}));
+  for (int i = 0; i < 32; ++i) {
+    users->Insert({Value::Int(i), Value::Int(i * 10)}, 1);
+  }
+  catalog.snapshots().Reset(1);
+
+  GlobalPlanBuilder b(&catalog);
+  const SchemaPtr us = users->schema();
+  b.AddQuery("user_by_id",
+             logical::Scan("users", Expr::Eq(Expr::Column(*us, "user_id"),
+                                             Expr::Param(0))));
+  b.AddUpdate("credit", "users",
+              {{"account", Expr::Add(Expr::Column(1), Expr::Param(1))}},
+              Expr::Eq(Expr::Column(0), Expr::Param(0)));
+  Engine engine(b.Build());
+  api::Server server(&engine);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&server, c] {
+      auto session = server.OpenSession();
+      for (int i = 0; i < 10; ++i) {
+        const int id = (c * 10 + i) % 32;
+        const ResultSet rs = session->Execute("user_by_id", {Value::Int(id)});
+        EXPECT_TRUE(rs.status.ok()) << rs.status.ToString();
+        const ResultSet up =
+            session->Execute("credit", {Value::Int(id), Value::Int(1)});
+        EXPECT_TRUE(up.status.ok()) << up.status.ToString();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Shutdown();  // exercises the shutdown_mu_ -> mu_ nesting
+  EXPECT_GT(lockorder::EdgeCount(), 0u);
+}
+
+}  // namespace
+}  // namespace shareddb

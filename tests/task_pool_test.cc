@@ -5,8 +5,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "runtime/task_pool.h"
 #include "storage/wal.h"
@@ -57,7 +59,7 @@ TEST_F(WalTest, AppendAndReplayRoundTrip) {
   wal.LogDelete(1, 2, 7);
   wal.LogCommit(2);
   ASSERT_TRUE(wal.Flush().ok());
-  wal.Close();
+  ASSERT_TRUE(wal.Close().ok());
 
   std::vector<WalRecord> records;
   ASSERT_TRUE(Wal::Replay(Path("wal"), [&](const WalRecord& r) {
@@ -100,7 +102,7 @@ TEST_F(WalTest, ConcurrentAppendsStaySerialized) {
   }
   wal.LogCommit(1);
   ASSERT_TRUE(wal.Flush().ok());
-  wal.Close();
+  ASSERT_TRUE(wal.Close().ok());
   EXPECT_EQ(wal.records_written(), kThreads * kPerThread + 1u);
 
   size_t records = 0;
@@ -117,6 +119,45 @@ TEST_F(WalTest, ConcurrentAppendsStaySerialized) {
   for (int t = 0; t < kThreads; ++t) {
     EXPECT_EQ(per_table[static_cast<size_t>(t)], static_cast<size_t>(kPerThread));
   }
+}
+
+TEST_F(WalTest, CountersReadableWhileWritersAppend) {
+  // Regression (TSan): records_written()/bytes_logged() are polled by
+  // monitors and the crash fuzzer while write observers append under the
+  // log mutex. The counters were plain uint64_t once — a data race even
+  // though the torn reads were "only" telemetry. Now atomics; this test
+  // makes the racing reader explicit so TSan guards the fix.
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 200;
+  Wal wal(Path("wal"));
+  ASSERT_TRUE(wal.Open(true).ok());
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    uint64_t last_records = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t r = wal.records_written();
+      EXPECT_GE(r, last_records);  // monotone while the log stays open
+      EXPECT_GE(wal.bytes_logged(), 0u);
+      last_records = r;
+    }
+  });
+  {
+    TaskPool pool(kThreads);
+    TaskGroup group(&pool);
+    for (int t = 0; t < kThreads; ++t) {
+      group.Run([&wal, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          wal.LogInsert(0, 1, static_cast<RowId>(t * kPerThread + i),
+                        R(i, "r", 1.0));
+        }
+      });
+    }
+    group.Wait();
+  }
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  EXPECT_EQ(wal.records_written(), kThreads * kPerThread);
+  (void)wal.Close();  // test tempdir teardown discards the file anyway
 }
 
 TEST_F(WalTest, ReplayMissingFileIsNotFound) {

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Proves the locking discipline at compile time: configures a throwaway
+# Clang build with -Wthread-safety promoted to an error and compiles the
+# library. Exits 77 (the ctest/automake "skip" convention) when no Clang is
+# on PATH — GCC has no thread-safety analysis, the annotations expand to
+# nothing there.
+#
+# Usage: tools/check_thread_safety.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-thread-safety"}
+
+if command -v clang++ >/dev/null 2>&1; then
+  cxx=clang++
+else
+  echo "check_thread_safety: clang++ not found; skipping (exit 77)." >&2
+  exit 77
+fi
+
+echo "check_thread_safety: compiling with $cxx -Wthread-safety -Werror=thread-safety"
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_CXX_COMPILER="$cxx" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSDB_BUILD_TESTS=OFF -DSDB_BUILD_BENCHMARKS=OFF -DSDB_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="-Werror=thread-safety -Werror=thread-safety-analysis" \
+  >/dev/null
+cmake --build "$build_dir" --target shareddb -j "$(nproc 2>/dev/null || echo 2)"
+echo "check_thread_safety: clean."
