@@ -17,6 +17,14 @@
 //
 //   backpressure/sessions:N  p50_ns  p99_ns  shed_rate
 //
+// A third sweep runs the same closed-loop point lookup through the TCP
+// front door (net::Server + net::Client over loopback) at 1/8/64/256
+// connections — what the first process boundary costs on top of the
+// in-process numbers, and whether sharing still happens when every client
+// sits behind a socket:
+//
+//   net_latency/connections:N  p50_ns  p99_ns  mean_batch_occupancy
+//
 //   ./build/client_latency [--quick] [--items=N] [--calls=N]
 
 #include <algorithm>
@@ -30,6 +38,8 @@
 #include <vector>
 
 #include "api/server.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "tpcw/global_plan.h"
 #include "tpcw/harness.h"
 
@@ -189,6 +199,76 @@ int main(int argc, char** argv) {
                    "budget\n",
                    sessions, static_cast<unsigned long long>(gave_up.load()));
     }
+  }
+
+  // TCP front-door sweep: the same closed-loop point lookup, but every
+  // client is a net::Client on a loopback socket. Compare against
+  // client_latency/sessions:N for the cost of the process boundary.
+  std::printf("# net_latency — blocking net::Client::Execute over the TCP "
+              "front door (loopback)\n");
+  std::printf("# series\tp50_ns\tp99_ns\tmean_batch_occupancy\n");
+  for (const int connections : {1, 8, 64, 256}) {
+    auto db = tpcw::MakeTpcwDatabase(scale, 42);
+    Engine engine(tpcw::BuildTpcwGlobalPlan(&db->catalog));
+    api::Server server(&engine);
+    net::NetServerOptions nopts;
+    nopts.num_workers = 3;
+    net::Server front(&server, nopts);
+    if (!front.Start().ok()) {
+      std::fprintf(stderr, "net_latency: front door failed to start\n");
+      return 1;
+    }
+
+    // Fewer calls per connection at high fan-in: the sweep measures
+    // latency under concurrency, not wall-clock endurance.
+    const int calls = std::max(
+        10, args.calls_per_session / std::max(1, connections / 16));
+    std::vector<std::vector<int64_t>> lat(static_cast<size_t>(connections));
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int s = 0; s < connections; ++s) {
+      threads.emplace_back([&, s] {
+        net::Client client;
+        if (!client.Connect("127.0.0.1", front.port()).ok()) {
+          ++failures;
+          return;
+        }
+        net::PreparedStatement stmt;
+        if (!client.Prepare("item_by_id", &stmt).ok()) {
+          ++failures;
+          return;
+        }
+        Rng rng(3000 + static_cast<uint64_t>(s));
+        auto& my_lat = lat[static_cast<size_t>(s)];
+        my_lat.reserve(static_cast<size_t>(calls));
+        for (int c = 0; c < calls; ++c) {
+          const int64_t item = rng.Uniform(0, args.items - 1);
+          const auto t0 = std::chrono::steady_clock::now();
+          const ResultSet rs = client.Execute(stmt, {Value::Int(item)});
+          const auto t1 = std::chrono::steady_clock::now();
+          if (!rs.status.ok()) ++failures;
+          my_lat.push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (failures.load() > 0) {
+      std::fprintf(stderr, "net_latency/connections:%d: %d failures\n",
+                   connections, failures.load());
+      return 1;
+    }
+    server.Pause();  // quiesce so the last heartbeat is recorded
+    std::vector<int64_t> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    const int64_t p50 = Percentile(&all, 0.50);
+    const int64_t p99 = Percentile(&all, 0.99);
+    std::printf("net_latency/connections:%d\t%lld\t%lld\t%.2f\n", connections,
+                static_cast<long long>(p50), static_cast<long long>(p99),
+                server.stats().MeanBatchOccupancy());
+    server.Resume();  // the front door must not shut down against a pause
+    front.Shutdown();
   }
   return 0;
 }

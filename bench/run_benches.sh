@@ -78,6 +78,7 @@ wal_tsv = sys.argv[7] if len(sys.argv) > 7 else ""
 
 client_latency = []
 backpressure = []
+net_latency = []
 if client_tsv:
     with open(client_tsv) as f:
         for line in f:
@@ -91,6 +92,13 @@ if client_tsv:
                 backpressure.append({"name": f"{series}/p99", "ns": float(p99)})
                 backpressure.append(
                     {"name": f"{series}/shed_rate", "ns": float(shed)})
+            elif series.startswith("net_latency/"):
+                _, p50, p99, occ = parts
+                net_latency.append({"name": f"{series}/p50", "ns": float(p50)})
+                net_latency.append({"name": f"{series}/p99", "ns": float(p99)})
+                net_latency.append(
+                    {"name": f"{series}/mean_batch_occupancy",
+                     "ns": float(occ)})
             else:
                 _, p50, p95, occ = parts
                 client_latency.append({"name": f"{series}/p50", "ns": float(p50)})
@@ -154,6 +162,12 @@ BACKPRESSURE_NOTE = ("oversubscription sweep: bounded-admission server "
                      "submissions refused synchronously (rejected + shed; a "
                      "plain ratio, not nanoseconds)")
 
+NET_NOTE = ("connections-vs-latency sweep over the TCP front door: N "
+            "net::Client loopback connections in closed loop (item_by_id); "
+            "compare with client_latency/sessions:N for the cost of the "
+            "process boundary; mean_batch_occupancy is a plain count, not "
+            "nanoseconds")
+
 WAL_NOTE = ("wal_raw = 100-record batch appended to the log then flushed "
             "(page cache) or synced (fsync); wal_durability = 16-update "
             "engine heartbeat per DurabilityMode; ops_per_sec entries are "
@@ -196,13 +210,19 @@ if has_history and not overwrite:
             "note": kept_note("wal_durability", WAL_NOTE),
             "benchmarks": wal_durability,
         }
+    if net_latency:
+        existing["net_latency"] = {
+            "date": datetime.date.today().isoformat(),
+            "note": kept_note("net_latency", NET_NOTE),
+            "benchmarks": net_latency,
+        }
     with open(out_path, "w") as f:
         json.dump(existing, f, indent=1)
     print(f"{out_path}: committed history kept; parallel_sweep + rebind_series "
-          f"+ client_latency + backpressure + wal_durability refreshed "
-          f"({len(sweep)}+{len(rebind)}+{len(client_latency)}"
-          f"+{len(backpressure)}+{len(wal_durability)} series). "
-          f"Full current run:")
+          f"+ client_latency + backpressure + wal_durability + net_latency "
+          f"refreshed ({len(sweep)}+{len(rebind)}+{len(client_latency)}"
+          f"+{len(backpressure)}+{len(wal_durability)}+{len(net_latency)} "
+          f"series). Full current run:")
     for e in entries:
         print(f'  {e["name"]:45s} {e["ns"]:>14} ns')
     sys.exit(0)
@@ -244,6 +264,12 @@ if wal_durability:
         "date": datetime.date.today().isoformat(),
         "note": kept_note("wal_durability", WAL_NOTE),
         "benchmarks": wal_durability,
+    }
+if net_latency:
+    result["net_latency"] = {
+        "date": datetime.date.today().isoformat(),
+        "note": kept_note("net_latency", NET_NOTE),
+        "benchmarks": net_latency,
     }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=1)

@@ -77,6 +77,7 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   Engine* engine() const { return engine_; }
+  const ServerOptions& options() const { return options_; }
 
   /// Opens a client session. One per client thread; the handle must not
   /// outlive the server.

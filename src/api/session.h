@@ -84,6 +84,10 @@ class AsyncResult {
   /// Best-effort cancel: a statement not yet admitted into a batch is
   /// drained with an Aborted status when batch formation reaches it; once
   /// admitted it runs to completion and Get() returns the real result.
+  /// Thread-safe against a CONCURRENT Get()/WaitFor() on the same handle
+  /// (an atomic flag store plus a driver nudge — no handle state is
+  /// mutated), which is what lets one thread cancel a call another thread
+  /// is waiting on (the net front door's event loop relies on this).
   void Cancel();
 
  private:

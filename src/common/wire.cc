@@ -1,0 +1,53 @@
+#include "common/wire.h"
+
+namespace shareddb {
+namespace wire {
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      PutI64(out, v.AsInt());
+      break;
+    case ValueType::kDouble:
+      PutDouble(out, v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+bool Reader::ReadValue(Value* v) {
+  uint8_t tag;
+  if (!ReadU8(&tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *v = Value::Null();
+      return true;
+    case ValueType::kInt: {
+      int64_t i;
+      if (!ReadI64(&i)) return false;
+      *v = Value::Int(i);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double d;
+      if (!ReadDouble(&d)) return false;
+      *v = Value::Double(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!ReadString(&s)) return false;
+      *v = Value::Str(std::move(s));
+      return true;
+    }
+  }
+  return false;  // unknown tag: corrupt or hostile bytes
+}
+
+}  // namespace wire
+}  // namespace shareddb

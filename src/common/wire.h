@@ -1,0 +1,145 @@
+// Little-endian binary codec helpers: the byte-level vocabulary shared by
+// the WAL record format and the network frame protocol (src/net).
+//
+// Writers append to a std::string (cheap, contiguous, moves into I/O
+// buffers); the Reader walks a bounded byte span and NEVER reads past it —
+// every Read* returns false on exhaustion instead of trusting embedded
+// lengths, which is what makes the codec safe to point at attacker-
+// controlled bytes (net frames, torn WAL tails).
+
+#ifndef SHAREDDB_COMMON_WIRE_H_
+#define SHAREDDB_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/value.h"
+
+namespace shareddb {
+namespace wire {
+
+// --- writers -----------------------------------------------------------------
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU16(std::string* out, uint16_t v) {
+  char b[2];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  out->append(b, 2);
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 8);
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// u32 byte count + raw bytes.
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Type tag (ValueType as u8) + payload. The canonical Value wire form used
+/// by both WAL tuples and network parameters/rows.
+void PutValue(std::string* out, const Value& v);
+
+// --- bounded reader ----------------------------------------------------------
+
+/// Walks `data[0, n)`; every Read* either fully succeeds or returns false
+/// leaving the cursor unspecified (callers bail on first failure). Embedded
+/// lengths are validated against the remaining span before any copy.
+class Reader {
+ public:
+  Reader(const void* data, size_t n)
+      : p_(static_cast<const uint8_t*>(data)), end_(p_ + n) {}
+  explicit Reader(const std::string& s) : Reader(s.data(), s.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool empty() const { return p_ == end_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = *p_++;
+    return true;
+  }
+
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(p_[0] | (p_[1] << 8));
+    p_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) x |= static_cast<uint32_t>(p_[i]) << (8 * i);
+    p_ += 4;
+    *v = x;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x |= static_cast<uint64_t>(p_[i]) << (8 * i);
+    p_ += 8;
+    *v = x;
+    return true;
+  }
+
+  bool ReadI64(int64_t* v) {
+    uint64_t u;
+    if (!ReadU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool ReadDouble(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint32_t n;
+    if (!ReadU32(&n)) return false;
+    if (remaining() < n) return false;
+    s->assign(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return true;
+  }
+
+  bool ReadValue(Value* v);
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+}  // namespace wire
+}  // namespace shareddb
+
+#endif  // SHAREDDB_COMMON_WIRE_H_

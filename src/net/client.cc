@@ -1,0 +1,417 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace shareddb {
+namespace net {
+
+namespace {
+
+ResultSet StatusResult(Status s) {
+  ResultSet rs;
+  rs.status = std::move(s);
+  return rs;
+}
+
+}  // namespace
+
+// --- AsyncCall ---------------------------------------------------------------
+
+AsyncCall::AsyncCall(AsyncCall&& other) { *this = std::move(other); }
+
+AsyncCall& AsyncCall::operator=(AsyncCall&& other) {
+  if (this == &other) return *this;
+  // Adopting a new call abandons the old one — same contract as
+  // api::AsyncResult's move-assign.
+  Abandon();
+  client_ = other.client_;
+  handle_ = other.handle_;
+  valid_ = other.valid_;
+  consumed_ = other.consumed_;
+  have_result_ = other.have_result_;
+  result_ = std::move(other.result_);
+  other.client_ = nullptr;
+  other.valid_ = false;
+  other.consumed_ = true;
+  return *this;
+}
+
+void AsyncCall::Abandon() {
+  // have_result_ means no server-side entry exists any more (synchronous
+  // rejection, or a poll already consumed it) — nothing to free.
+  if (!valid_ || consumed_ || have_result_ || client_ == nullptr ||
+      !client_->connected()) {
+    return;
+  }
+  // An unconsumed handle would otherwise pin a server-side entry until the
+  // connection closes: cancel with discard so the server frees it as soon
+  // as the terminal result lands.
+  CancelMsg m;
+  m.handle = handle_;
+  m.discard = true;
+  Client::WireResult ack;
+  // Best effort: a destructor cannot surface a transport error, and a lost
+  // discard only pins the entry until the connection closes.
+  (void)client_->Call(FrameType::kCancel, EncodeCancel(m), &ack);
+  valid_ = false;
+}
+
+AsyncCall::~AsyncCall() { Abandon(); }
+
+ResultSet AsyncCall::Get() {
+  if (!valid_) {
+    return StatusResult(
+        Status::FailedPrecondition("Get() on an invalid async handle"));
+  }
+  consumed_ = true;
+  if (have_result_) return std::move(result_);
+  FetchMsg m;
+  m.handle = handle_;
+  m.wait = true;
+  Client::WireResult wr;
+  const Status s = client_->Call(FrameType::kFetch, EncodeFetch(m), &wr);
+  if (!s.ok()) return StatusResult(s);
+  return std::move(wr.rs);
+}
+
+bool AsyncCall::WaitFor(std::chrono::milliseconds timeout) {
+  if (!valid_ || consumed_) return have_result_;
+  if (have_result_) return true;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    FetchMsg m;
+    m.handle = handle_;
+    m.wait = false;
+    Client::WireResult wr;
+    const Status s = client_->Call(FrameType::kFetch, EncodeFetch(m), &wr);
+    if (!s.ok()) {
+      // Transport failure is terminal: surface it from the next Get().
+      result_ = StatusResult(s);
+      have_result_ = true;
+      return true;
+    }
+    if (!wr.rs.status.ok() || wr.ready) {
+      result_ = std::move(wr.rs);
+      have_result_ = true;
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+ResultSet AsyncCall::GetWithDeadline(
+    std::chrono::steady_clock::time_point deadline) {
+  if (!valid_) {
+    return StatusResult(
+        Status::FailedPrecondition("Get() on an invalid async handle"));
+  }
+  for (;;) {
+    if (WaitFor(std::chrono::milliseconds(0))) return Get();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline - now);
+    std::this_thread::sleep_for(std::min(
+        left, std::chrono::microseconds(200)));
+  }
+  // Expired: cancel (best effort) and wait for the terminal result — the
+  // Aborted drain, or the real result if cancellation raced admission.
+  Cancel();
+  return Get();
+}
+
+void AsyncCall::Cancel() {
+  if (!valid_ || consumed_ || have_result_ || client_ == nullptr) return;
+  CancelMsg m;
+  m.handle = handle_;
+  Client::WireResult ack;
+  // Best effort, like api::AsyncResult::Cancel: a transport failure here
+  // surfaces from the next Get()/WaitFor() on the handle instead.
+  (void)client_->Call(FrameType::kCancel, EncodeCancel(m), &ack);
+}
+
+// --- Client ------------------------------------------------------------------
+
+Client::~Client() { Close(); }
+
+void Client::CloseFd() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  // Courtesy GOODBYE: the socket close right below is the real teardown,
+  // so a send failure changes nothing.
+  (void)SendAll(SealFrame(FrameType::kGoodbye, next_request_id_++, ""));
+  CloseFd();
+}
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       const std::string& client_name) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd();
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  int rc;
+  do {
+    rc = connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string err = std::strerror(errno);
+    CloseFd();
+    return Status::IoError("connect failed: " + err);
+  }
+  int one = 1;
+  (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  HelloMsg hello;
+  hello.client_name = client_name;
+  const uint64_t rid = next_request_id_++;
+  Status s = SendAll(SealFrame(FrameType::kHello, rid, EncodeHello(hello)));
+  if (!s.ok()) return s;
+  Frame reply;
+  s = ReadFrame(&reply);
+  if (!s.ok()) return s;
+  if (reply.type == FrameType::kError) {
+    ErrorMsg e;
+    const Status err = DecodeError(reply.body, &e)
+                           ? StatusFromError(e)
+                           : Status::Internal("undecodable ERROR frame");
+    CloseFd();
+    return err;
+  }
+  PongMsg pong;
+  if (reply.type != FrameType::kPong || reply.request_id != rid ||
+      !DecodePong(reply.body, &pong)) {
+    CloseFd();
+    return Status::Internal("handshake: expected PONG");
+  }
+  if (pong.version != kProtocolVersion) {
+    CloseFd();
+    return Status::Unimplemented("server protocol version mismatch");
+  }
+  max_payload_ = static_cast<size_t>(pong.max_payload);
+  banner_ = pong.banner;
+  return Status::OK();
+}
+
+Status Client::SendAll(const std::string& bytes) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      CloseFd();
+      return Status::IoError("send failed: connection lost");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadFrame(Frame* out) {
+  for (;;) {
+    size_t consumed = 0;
+    const DecodeStatus ds = DecodeFrame(rbuf_, max_payload_, out, &consumed);
+    if (ds == DecodeStatus::kFrame) {
+      rbuf_.erase(0, consumed);
+      return Status::OK();
+    }
+    if (ds != DecodeStatus::kNeedMore) {
+      CloseFd();
+      return Status::Internal("damaged frame from server");
+    }
+    char buf[65536];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseFd();
+    return n == 0 ? Status::Unavailable("server closed the connection")
+                  : Status::IoError("recv failed: connection lost");
+  }
+}
+
+Status Client::Call(FrameType type, const std::string& body, WireResult* out) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  const uint64_t rid = next_request_id_++;
+  Status s = SendAll(SealFrame(type, rid, body));
+  if (!s.ok()) return s;
+  Frame reply;
+  s = ReadFrame(&reply);
+  if (!s.ok()) return s;
+  if (reply.request_id != rid) {
+    CloseFd();
+    return Status::Internal("response request id mismatch");
+  }
+  if (reply.type == FrameType::kError) {
+    ErrorMsg e;
+    if (!DecodeError(reply.body, &e)) {
+      CloseFd();
+      return Status::Internal("undecodable ERROR frame");
+    }
+    out->rs = StatusResult(StatusFromError(e));
+    return Status::OK();
+  }
+  if (reply.type != FrameType::kResult) {
+    CloseFd();
+    return Status::Internal("unexpected response frame type");
+  }
+  ResultHead head;
+  if (!DecodeResultHead(reply.body, &head, &out->rs.rows)) {
+    CloseFd();
+    return Status::Internal("undecodable RESULT frame");
+  }
+  out->ready = head.ready;
+  out->handle = head.handle;
+  out->rs.schema = head.schema;
+  out->rs.update_count = head.update_count;
+  out->rs.queue_ms = head.queue_ms;
+  out->rs.exec_ms = head.exec_ms;
+  out->rs.batches_waited = head.batches_waited;
+  out->rs.admission_spills = head.admission_spills;
+  while (out->rs.rows.size() < head.total_rows) {
+    Frame cont;
+    s = ReadFrame(&cont);
+    if (!s.ok()) return s;
+    RowsMsg rows;
+    if (cont.type != FrameType::kRows || cont.request_id != rid ||
+        !DecodeRows(cont.body, &rows)) {
+      CloseFd();
+      return Status::Internal("undecodable ROWS continuation");
+    }
+    for (Tuple& row : rows.rows) out->rs.rows.push_back(std::move(row));
+    if (rows.done && out->rs.rows.size() < head.total_rows) {
+      CloseFd();
+      return Status::Internal("short row stream from server");
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::Prepare(const std::string& name, PreparedStatement* out) {
+  PrepareMsg m;
+  m.name = name;
+  WireResult wr;
+  Status s = Call(FrameType::kPrepare, EncodePrepare(m), &wr);
+  if (!s.ok()) return s;
+  if (!wr.rs.status.ok()) return wr.rs.status;
+  out->id_ = static_cast<uint32_t>(wr.handle);
+  out->name_ = name;
+  out->num_params_ = static_cast<size_t>(wr.rs.update_count);
+  out->valid_ = true;
+  return Status::OK();
+}
+
+uint32_t Client::RelativeDeadlineMs(const CallOptions& opts) {
+  if (opts.deadline == std::chrono::steady_clock::time_point::max()) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  if (opts.deadline <= now) return 1;  // already expired: minimal budget
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      opts.deadline - now)
+                      .count();
+  return ms < 1 ? 1 : static_cast<uint32_t>(std::min<long long>(
+                          ms, 0xffffffffLL));
+}
+
+ResultSet Client::ExecuteMsgCall(ExecuteMsg m, const CallOptions& opts) {
+  m.deadline_ms = RelativeDeadlineMs(opts);
+  WireResult wr;
+  const Status s = Call(FrameType::kExecute, EncodeExecute(m), &wr);
+  if (!s.ok()) return StatusResult(s);
+  return std::move(wr.rs);
+}
+
+AsyncCall Client::ExecuteAsyncMsgCall(ExecuteMsg m, const CallOptions& opts) {
+  m.deadline_ms = RelativeDeadlineMs(opts);
+  WireResult wr;
+  const Status s = Call(FrameType::kExecuteAsync, EncodeExecute(m), &wr);
+  AsyncCall ac;
+  ac.client_ = this;
+  ac.valid_ = true;
+  if (!s.ok() || !wr.rs.status.ok()) {
+    // Transport failure or synchronous rejection (async-handle cap): the
+    // handle is born terminal, no server-side entry exists.
+    ac.result_ = !s.ok() ? StatusResult(s) : std::move(wr.rs);
+    ac.have_result_ = true;
+    return ac;
+  }
+  ac.handle_ = wr.handle;
+  return ac;
+}
+
+ResultSet Client::Execute(const PreparedStatement& stmt,
+                          std::vector<Value> params, CallOptions opts) {
+  if (!stmt.valid()) {
+    return StatusResult(
+        Status::InvalidArgument("Execute on an invalid PreparedStatement"));
+  }
+  ExecuteMsg m;
+  m.by_name = false;
+  m.statement_id = stmt.id();
+  m.params = std::move(params);
+  return ExecuteMsgCall(std::move(m), opts);
+}
+
+ResultSet Client::Execute(const std::string& name, std::vector<Value> params,
+                          CallOptions opts) {
+  ExecuteMsg m;
+  m.by_name = true;
+  m.name = name;
+  m.params = std::move(params);
+  return ExecuteMsgCall(std::move(m), opts);
+}
+
+AsyncCall Client::ExecuteAsync(const PreparedStatement& stmt,
+                               std::vector<Value> params, CallOptions opts) {
+  if (!stmt.valid()) {
+    AsyncCall ac;
+    ac.valid_ = true;
+    ac.have_result_ = true;
+    ac.result_ = StatusResult(
+        Status::InvalidArgument("Execute on an invalid PreparedStatement"));
+    return ac;
+  }
+  ExecuteMsg m;
+  m.by_name = false;
+  m.statement_id = stmt.id();
+  m.params = std::move(params);
+  return ExecuteAsyncMsgCall(std::move(m), opts);
+}
+
+AsyncCall Client::ExecuteAsync(const std::string& name,
+                               std::vector<Value> params, CallOptions opts) {
+  ExecuteMsg m;
+  m.by_name = true;
+  m.name = name;
+  m.params = std::move(params);
+  return ExecuteAsyncMsgCall(std::move(m), opts);
+}
+
+}  // namespace net
+}  // namespace shareddb

@@ -1,0 +1,170 @@
+// net::Client: blocking C++ client for the SharedDB wire protocol.
+//
+// Deliberately shaped like api::Session — Prepare / Execute / ExecuteAsync
+// with the same signatures modulo the statement/handle types — so code
+// written against the in-process API (including the differential fuzzer's
+// templated call runner) retargets to TCP by swapping one type:
+//
+//   net::Client c;
+//   Status s = c.Connect("127.0.0.1", port);
+//   net::PreparedStatement q;
+//   s = c.Prepare("orders_by_customer", &q);
+//   ResultSet rs = c.Execute(q, {Value::Int(42)});
+//
+// Transport failures surface as a non-OK ResultSet.status (kIoError for
+// socket errors, kUnavailable when the server hung up), exactly where
+// engine-side errors already arrive — callers inspect one status either
+// way. Engine statuses (kResourceExhausted, kDeadlineExceeded,
+// kUnavailable, kAborted, ...) pass through byte-identical from the wire.
+//
+// Like api::Session, a Client is NOT thread-safe: one per client thread.
+// Requests are strictly sequential (one outstanding per connection).
+
+#ifndef SHAREDDB_NET_CLIENT_H_
+#define SHAREDDB_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "net/frame.h"
+
+namespace shareddb {
+namespace net {
+
+/// Same per-call knobs as the in-process API; the deadline travels to the
+/// server as a relative millisecond budget in the EXECUTE frame.
+using CallOptions = api::CallOptions;
+
+class Client;
+
+/// Client-side handle to a statement PREPAREd on this connection. Mirrors
+/// api::PreparedStatement (valid()/id()/name()/num_params()).
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  bool valid() const { return valid_; }
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  size_t num_params() const { return num_params_; }
+
+ private:
+  friend class Client;
+  uint32_t id_ = 0;
+  std::string name_;
+  size_t num_params_ = 0;
+  bool valid_ = false;
+};
+
+/// Handle to one in-flight EXECUTE_ASYNC. Move-only, like api::AsyncResult,
+/// with the same consumption contract: Get()/GetWithDeadline() at most
+/// once; an abandoned handle is cancelled and freed server-side by the
+/// destructor (best effort, one round trip).
+class AsyncCall {
+ public:
+  AsyncCall() = default;
+  AsyncCall(AsyncCall&& other);
+  AsyncCall& operator=(AsyncCall&& other);
+  ~AsyncCall();
+
+  bool valid() const { return valid_; }
+
+  /// Blocks (server-side FETCH wait) until the call's batch committed.
+  ResultSet Get();
+
+  /// Polls the server; true once the result is ready (then cached locally,
+  /// so a later Get() costs no further round trip).
+  bool WaitFor(std::chrono::milliseconds timeout);
+
+  /// Polls until `deadline`; on expiry cancels (best effort) and waits for
+  /// the terminal result — same semantics as api::AsyncResult.
+  ResultSet GetWithDeadline(std::chrono::steady_clock::time_point deadline);
+
+  /// Best-effort cancel; the handle stays consumable (Get() returns the
+  /// Aborted result, or the real one if cancellation raced admission).
+  void Cancel();
+
+ private:
+  friend class Client;
+
+  /// Cancel+discard an unconsumed handle server-side (dtor / move-assign).
+  void Abandon();
+
+  Client* client_ = nullptr;
+  uint64_t handle_ = 0;
+  bool valid_ = false;
+  bool consumed_ = false;
+  bool have_result_ = false;  // synchronous rejection or cached poll result
+  ResultSet result_;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();  // Close()
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and runs the HELLO/PONG handshake (negotiating the frame
+  /// payload cap). IoError on socket failure, Unimplemented on a protocol
+  /// version mismatch.
+  Status Connect(const std::string& host, uint16_t port,
+                 const std::string& client_name = "net_client");
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends GOODBYE (best effort) and closes the socket. Idempotent.
+  void Close();
+
+  Status Prepare(const std::string& name, PreparedStatement* out);
+
+  ResultSet Execute(const PreparedStatement& stmt, std::vector<Value> params,
+                    CallOptions opts = {});
+  ResultSet Execute(const std::string& name, std::vector<Value> params,
+                    CallOptions opts = {});
+
+  AsyncCall ExecuteAsync(const PreparedStatement& stmt,
+                         std::vector<Value> params, CallOptions opts = {});
+  AsyncCall ExecuteAsync(const std::string& name, std::vector<Value> params,
+                         CallOptions opts = {});
+
+  /// Server banner from the PONG handshake (diagnostics).
+  const std::string& server_banner() const { return banner_; }
+
+ private:
+  friend class AsyncCall;
+
+  /// One decoded application-level response: either rs.status carries the
+  /// ERROR frame's status, or a RESULT head (+ continuations) was read.
+  struct WireResult {
+    bool ready = true;
+    uint64_t handle = 0;
+    ResultSet rs;
+  };
+
+  Status SendAll(const std::string& bytes);
+  Status ReadFrame(Frame* out);
+  /// Sends one request and reads its full response (RESULT + ROWS
+  /// continuations, or ERROR). Returns a transport-level status; the
+  /// application-level status lands in out->rs.status.
+  Status Call(FrameType type, const std::string& body, WireResult* out);
+  ResultSet ExecuteMsgCall(ExecuteMsg m, const CallOptions& opts);
+  AsyncCall ExecuteAsyncMsgCall(ExecuteMsg m, const CallOptions& opts);
+  static uint32_t RelativeDeadlineMs(const CallOptions& opts);
+  void CloseFd();
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  size_t max_payload_ = kDefaultMaxPayload;
+  std::string rbuf_;  // bytes read past the last decoded frame
+  std::string banner_;
+};
+
+}  // namespace net
+}  // namespace shareddb
+
+#endif  // SHAREDDB_NET_CLIENT_H_

@@ -9,6 +9,8 @@
 
 #include "api/server.h"
 #include "common/string_util.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "runtime/threaded_runtime.h"
 #include "storage/io.h"
 #include "storage/wal.h"
@@ -551,45 +553,74 @@ SeedReport RunSeed(const RunOptions& opts) {
       }
     }
 
+    // --transport=tcp: the same call plans run through net::Client over a
+    // live loopback front door, so the wire protocol and event loop sit
+    // inside the differential check instead of beside it.
+    std::unique_ptr<net::Server> net_front;
+    if (opts.tcp_transport) {
+      net_front = std::make_unique<net::Server>(shared.server.get());
+      const Status ns = net_front->Start();
+      if (!ns.ok()) {
+        invariant_failure("tcp front door failed to start: " + ns.ToString());
+        net_front.reset();
+      }
+    }
+
     shared.server->Resume();
     std::vector<std::thread> threads;
     for (size_t c = 0; c < opts.sessions; ++c) {
       threads.emplace_back([&, c] {
-        auto session = shared.server->OpenSession();
-        for (size_t i = 0; i < plans[c].size(); ++i) {
-          const CallPlan& p = plans[c][i];
-          CallResult& r = results[c][i];
-          api::PreparedStatement stmt;
-          bool have_stmt = false;
-          if (p.use_prepared) {
-            have_stmt = session->Prepare(p.call.statement, &stmt).ok();
-          }
-          if (p.mode <= 5) {
-            const ResultSet rs =
-                have_stmt ? session->Execute(stmt, p.call.params)
-                          : session->Execute(p.call.statement, p.call.params);
-            r.status = rs.status;
-            r.rows = rs.rows;
-            r.batches_waited = rs.batches_waited;
-            r.spills = rs.admission_spills;
-          } else {
-            api::AsyncResult ar =
-                have_stmt ? session->ExecuteAsync(stmt, p.call.params)
-                          : session->ExecuteAsync(p.call.statement, p.call.params);
-            if (p.mode == 9) ar.Cancel();  // cancel racing batch formation
-            ResultSet rs;
-            if (p.mode == 8) {
-              rs = ar.GetWithDeadline(std::chrono::steady_clock::now() +
-                                      std::chrono::seconds(2));
-            } else {
-              rs = ar.Get();
+        // Generic over the client API: api::Session and net::Client expose
+        // the same Prepare/Execute/ExecuteAsync shapes by design.
+        const auto run_calls = [&](auto& session, auto stmt_proto) {
+          for (size_t i = 0; i < plans[c].size(); ++i) {
+            const CallPlan& p = plans[c][i];
+            CallResult& r = results[c][i];
+            decltype(stmt_proto) stmt;
+            bool have_stmt = false;
+            if (p.use_prepared) {
+              have_stmt = session.Prepare(p.call.statement, &stmt).ok();
             }
-            r.status = rs.status;
-            r.rows = rs.rows;
-            r.batches_waited = rs.batches_waited;
-            r.spills = rs.admission_spills;
-            r.aborted = rs.status.code() == StatusCode::kAborted;
+            if (p.mode <= 5) {
+              const ResultSet rs =
+                  have_stmt ? session.Execute(stmt, p.call.params)
+                            : session.Execute(p.call.statement, p.call.params);
+              r.status = rs.status;
+              r.rows = rs.rows;
+              r.batches_waited = rs.batches_waited;
+              r.spills = rs.admission_spills;
+            } else {
+              auto ar = have_stmt
+                            ? session.ExecuteAsync(stmt, p.call.params)
+                            : session.ExecuteAsync(p.call.statement,
+                                                   p.call.params);
+              if (p.mode == 9) ar.Cancel();  // cancel racing batch formation
+              ResultSet rs;
+              if (p.mode == 8) {
+                rs = ar.GetWithDeadline(std::chrono::steady_clock::now() +
+                                        std::chrono::seconds(2));
+              } else {
+                rs = ar.Get();
+              }
+              r.status = rs.status;
+              r.rows = rs.rows;
+              r.batches_waited = rs.batches_waited;
+              r.spills = rs.admission_spills;
+              r.aborted = rs.status.code() == StatusCode::kAborted;
+            }
           }
+        };
+        if (net_front != nullptr) {
+          net::Client client;
+          const Status cs = client.Connect("127.0.0.1", net_front->port());
+          if (!cs.ok()) {
+            for (CallResult& r : results[c]) r.status = cs;
+            return;
+          }
+          run_calls(client, net::PreparedStatement{});
+        } else {
+          auto session = shared.server->OpenSession();
+          run_calls(*session, api::PreparedStatement{});
         }
       });
     }
@@ -601,6 +632,9 @@ SeedReport RunSeed(const RunOptions& opts) {
       shared.server->Resume();
     }
     for (std::thread& t : threads) t.join();
+    // Every call is consumed, so the front door has nothing in flight; close
+    // it before the final quiesce (its sessions must not outlive the drain).
+    if (net_front != nullptr) net_front->Shutdown();
     total_submitted += opts.sessions * opts.calls_per_session;
 
     for (size_t c = 0; c < opts.sessions; ++c) {

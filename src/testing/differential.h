@@ -80,6 +80,12 @@ struct RunOptions {
   bool overload = false;
   size_t overload_sessions = 8;
   size_t overload_calls_per_session = 24;
+  /// Concurrent phase over TCP: a net::Server front door is started on an
+  /// ephemeral loopback port and every phase-2 thread drives a net::Client
+  /// instead of an in-process api::Session — same call plans, same oracle,
+  /// same invariants (telemetry, accounting, occupancy), so any divergence
+  /// introduced by the wire protocol / event loop surfaces as a mismatch.
+  bool tcp_transport = false;
 };
 
 struct SeedReport {

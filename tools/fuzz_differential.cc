@@ -33,6 +33,7 @@ void Usage() {
       "usage: fuzz_differential [--seed=N] [--iters=K] [--sessions=S]\n"
       "                         [--calls=C] [--rounds=R] [--artifact-dir=DIR]\n"
       "                         [--crash-points=K] [--crash-batches=B]\n"
+      "                         [--transport=inproc|tcp]\n"
       "                         [--overload] [--inject-fault] [--verbose]\n"
       "       fuzz_differential --replay=ARTIFACT\n"
       "       fuzz_differential --seed=N --dump   # print seed N's workload\n");
@@ -69,6 +70,13 @@ int main(int argc, char** argv) {
       opts.crash_batches = std::strtoull(v, nullptr, 10);
     } else if (ParseFlag(argv[i], "--artifact-dir", &v)) {
       opts.artifact_dir = v;
+    } else if (ParseFlag(argv[i], "--transport", &v)) {
+      if (std::strcmp(v, "tcp") == 0) {
+        opts.tcp_transport = true;
+      } else if (std::strcmp(v, "inproc") != 0) {
+        Usage();
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--replay", &v)) {
       replay_path = v;
     } else if (std::strcmp(argv[i], "--overload") == 0) {

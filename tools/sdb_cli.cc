@@ -1,0 +1,259 @@
+// sdb_cli: interactive client for a SharedDB TCP front door.
+//
+//   sdb_cli --host=127.0.0.1 --port=5432      # connect to a running server
+//   sdb_cli --demo                            # self-contained: starts a demo
+//                                             # server in-process, serves it
+//                                             # on an ephemeral port, and
+//                                             # connects the REPL to it
+//
+// Commands (one per line; also fine piped through stdin for scripting):
+//   prepare <name>                validate a statement, show its param count
+//   exec <name> [arg ...]         blocking execute; rows print as a table
+//   async <name> [arg ...]        EXECUTE_ASYNC; prints a local handle id
+//   fetch <id>                    block for an async call's result
+//   poll <id>                     non-blocking readiness probe
+//   cancel <id>                   best-effort cancel (handle stays fetchable)
+//   banner                        server banner from the handshake
+//   help | quit
+//
+// Arguments parse as int64 when integral, double when they contain '.', and
+// strings otherwise (quotes optional). Engine statuses print as
+// `status-name: message` — the same taxonomy the in-process API returns
+// (kResourceExhausted, kDeadlineExceeded, kUnavailable, kAborted, ...).
+
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/server.h"
+#include "core/plan_builder.h"
+#include "net/client.h"
+#include "net/server.h"
+
+using namespace shareddb;
+
+namespace {
+
+Value ParseArg(const std::string& tok) {
+  if (tok.size() >= 2 && tok.front() == '\'' && tok.back() == '\'') {
+    return Value::Str(tok.substr(1, tok.size() - 2));
+  }
+  bool integral = !tok.empty(), floating = false;
+  for (size_t i = 0; i < tok.size(); ++i) {
+    const char c = tok[i];
+    if (c == '-' && i == 0) continue;
+    if (c == '.') {
+      floating = true;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      integral = false;
+      floating = false;
+      break;
+    }
+  }
+  if (floating) return Value::Double(std::strtod(tok.c_str(), nullptr));
+  if (integral && !(tok.size() == 1 && tok[0] == '-')) {
+    return Value::Int(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+  return Value::Str(tok);
+}
+
+void PrintResult(const ResultSet& rs) {
+  if (!rs.status.ok()) {
+    std::printf("%s\n", rs.status.ToString().c_str());
+    return;
+  }
+  if (rs.schema == nullptr || rs.schema->columns().empty()) {
+    std::printf("OK, %llu row(s) updated\n",
+                static_cast<unsigned long long>(rs.update_count));
+    return;
+  }
+  for (size_t c = 0; c < rs.schema->columns().size(); ++c) {
+    std::printf("%s%s", c ? "\t" : "", rs.schema->columns()[c].name.c_str());
+  }
+  std::printf("\n");
+  for (const Tuple& row : rs.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%s", c ? "\t" : "", row[c].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu row(s); waited %llu batch(es))\n", rs.rows.size(),
+              static_cast<unsigned long long>(rs.batches_waited));
+}
+
+/// The --demo database: enough schema to exercise every REPL verb.
+struct DemoServer {
+  Catalog catalog;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<api::Server> api;
+  std::unique_ptr<net::Server> front;
+
+  Status Start(uint16_t port) {
+    Table* users = catalog.CreateTable(
+        "users", Schema::Make({{"user_id", ValueType::kInt},
+                               {"country", ValueType::kInt},
+                               {"account", ValueType::kInt}}));
+    for (int i = 0; i < 50; ++i) {
+      users->Insert({Value::Int(i), Value::Int(i % 5), Value::Int(i * 10)},
+                    1);
+    }
+    catalog.snapshots().Reset(1);
+    GlobalPlanBuilder b(&catalog);
+    const SchemaPtr us = users->schema();
+    b.AddQuery("user_by_id",
+               logical::Scan("users", Expr::Eq(Expr::Column(*us, "user_id"),
+                                               Expr::Param(0))));
+    b.AddQuery("by_country",
+               logical::Scan("users", Expr::Eq(Expr::Column(*us, "country"),
+                                               Expr::Param(0))));
+    b.AddUpdate("credit", "users",
+                {{"account", Expr::Add(Expr::Column(2), Expr::Param(1))}},
+                Expr::Eq(Expr::Column(0), Expr::Param(0)));
+    engine = std::make_unique<Engine>(b.Build());
+    api = std::make_unique<api::Server>(engine.get());
+    net::NetServerOptions nopts;
+    nopts.port = port;
+    front = std::make_unique<net::Server>(api.get(), nopts);
+    return front->Start();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--host=", 7) == 0) {
+      host = a + 7;
+    } else if (std::strncmp(a, "--port=", 7) == 0) {
+      port = static_cast<uint16_t>(std::atoi(a + 7));
+    } else if (std::strcmp(a, "--demo") == 0) {
+      demo = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: sdb_cli [--host=H] [--port=P] [--demo]\n");
+      return 2;
+    }
+  }
+
+  DemoServer demo_server;
+  if (demo) {
+    const Status s = demo_server.Start(port);
+    if (!s.ok()) {
+      std::fprintf(stderr, "demo server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    port = demo_server.front->port();
+    std::printf("demo server listening on %s:%u "
+                "(statements: user_by_id, by_country, credit)\n",
+                host.c_str(), port);
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "sdb_cli: --port is required (or use --demo)\n");
+    return 2;
+  }
+
+  net::Client client;
+  const Status cs = client.Connect(host, port, "sdb_cli");
+  if (!cs.ok()) {
+    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+                 cs.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%u (%s)\n", host.c_str(), port,
+              client.server_banner().c_str());
+
+  std::map<uint64_t, net::AsyncCall> pending;
+  uint64_t next_local = 1;
+  std::string line;
+  int failures = 0;
+  while (std::printf("sdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf("prepare|exec|async|fetch|poll|cancel|banner|quit\n");
+      continue;
+    }
+    if (cmd == "banner") {
+      std::printf("%s\n", client.server_banner().c_str());
+      continue;
+    }
+    if (cmd == "prepare") {
+      std::string name;
+      in >> name;
+      net::PreparedStatement stmt;
+      const Status s = client.Prepare(name, &stmt);
+      if (s.ok()) {
+        std::printf("%s: %zu parameter(s)\n", name.c_str(),
+                    stmt.num_params());
+      } else {
+        std::printf("%s\n", s.ToString().c_str());
+        ++failures;
+      }
+      continue;
+    }
+    if (cmd == "exec" || cmd == "async") {
+      std::string name, tok;
+      in >> name;
+      std::vector<Value> params;
+      while (in >> tok) params.push_back(ParseArg(tok));
+      if (cmd == "exec") {
+        const ResultSet rs = client.Execute(name, std::move(params));
+        if (!rs.status.ok()) ++failures;
+        PrintResult(rs);
+      } else {
+        pending.emplace(next_local,
+                        client.ExecuteAsync(name, std::move(params)));
+        std::printf("async #%llu submitted\n",
+                    static_cast<unsigned long long>(next_local));
+        ++next_local;
+      }
+      continue;
+    }
+    if (cmd == "fetch" || cmd == "poll" || cmd == "cancel") {
+      uint64_t id = 0;
+      in >> id;
+      auto it = pending.find(id);
+      if (it == pending.end()) {
+        std::printf("no such async handle #%llu\n",
+                    static_cast<unsigned long long>(id));
+        ++failures;
+        continue;
+      }
+      if (cmd == "poll") {
+        std::printf("#%llu %s\n", static_cast<unsigned long long>(id),
+                    it->second.WaitFor(std::chrono::milliseconds(0))
+                        ? "ready"
+                        : "pending");
+      } else if (cmd == "cancel") {
+        it->second.Cancel();
+        std::printf("#%llu cancel requested\n",
+                    static_cast<unsigned long long>(id));
+      } else {
+        const ResultSet rs = it->second.Get();
+        PrintResult(rs);
+        pending.erase(it);
+      }
+      continue;
+    }
+    std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+    ++failures;
+  }
+  std::printf("\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+# ctest smoke for sdb_cli: pipe a scripted REPL session through the --demo
+# server and check the output carries real rows. Run as
+#   cmake -DCLI=<path-to-sdb_cli> -P sdb_cli_smoke.cmake
+# Exercises: prepare, blocking exec (query + update), async/poll/fetch,
+# cancel, and the typed NotFound error path (`exec nope` fails the command
+# but must not fail the session — the script's last exec still succeeds, and
+# the CLI's nonzero exit for the failed command is expected and asserted).
+
+set(SCRIPT "prepare user_by_id
+exec user_by_id 7
+exec credit 7 500
+exec user_by_id 7
+async by_country 2
+poll 1
+fetch 1
+async by_country 3
+cancel 2
+fetch 2
+banner
+quit
+")
+file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/sdb_cli_smoke_input.txt "${SCRIPT}")
+
+execute_process(
+  COMMAND ${CLI} --demo
+  INPUT_FILE ${CMAKE_CURRENT_BINARY_DIR}/sdb_cli_smoke_input.txt
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE RC
+  TIMEOUT 60)
+
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "sdb_cli exited ${RC}\nstdout:\n${OUT}\nstderr:\n${ERR}")
+endif()
+# The credited account row: user 7 (country 7%5=2) starts at 70, +500.
+if(NOT OUT MATCHES "7\t2\t570")
+  message(FATAL_ERROR "credited row missing from output:\n${OUT}")
+endif()
+if(NOT OUT MATCHES "user_by_id: 1 parameter")
+  message(FATAL_ERROR "prepare output missing:\n${OUT}")
+endif()
+if(NOT OUT MATCHES "async #1 submitted")
+  message(FATAL_ERROR "async submission missing:\n${OUT}")
+endif()
+
+# The NotFound path: a bad statement name is a typed error and a nonzero
+# exit, with the connection still usable afterwards.
+file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/sdb_cli_smoke_err.txt
+     "exec nope 1\nexec user_by_id 1\nquit\n")
+execute_process(
+  COMMAND ${CLI} --demo
+  INPUT_FILE ${CMAKE_CURRENT_BINARY_DIR}/sdb_cli_smoke_err.txt
+  OUTPUT_VARIABLE OUT2
+  RESULT_VARIABLE RC2
+  TIMEOUT 60)
+if(RC2 EQUAL 0)
+  message(FATAL_ERROR "NotFound exec should exit nonzero:\n${OUT2}")
+endif()
+if(NOT OUT2 MATCHES "1\t1\t10")
+  message(FATAL_ERROR "connection unusable after NotFound:\n${OUT2}")
+endif()
+message(STATUS "sdb_cli smoke passed")
