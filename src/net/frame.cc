@@ -257,29 +257,54 @@ void EncodeResultFrames(uint64_t request_id, const ResultSet& rs, bool ready,
                                 EncodeError(ErrorFromStatus(rs.status))));
     return;
   }
-  std::string head;
-  wire::PutU8(&head, ready ? 1 : 0);
-  wire::PutU64(&head, handle);
-  wire::PutU64(&head, rs.update_count);
-  wire::PutDouble(&head, rs.queue_ms);
-  wire::PutDouble(&head, rs.exec_ms);
-  wire::PutU64(&head, rs.batches_waited);
-  wire::PutU64(&head, rs.admission_spills);
-  const bool has_schema = ready && rs.schema != nullptr;
-  wire::PutU8(&head, has_schema ? 1 : 0);
-  if (has_schema) PutSchema(&head, *rs.schema);
+  // Per-frame byte budget for the variable part. The margin absorbs the
+  // type/request-id prefix and the RESULT/ROWS fixed fields, so every frame
+  // sealed under `budget` decodes under `max_payload` on the peer.
+  const size_t margin = max_payload / 2 < 2048 ? max_payload / 2 : 2048;
+  const size_t budget = max_payload - margin;
   const uint64_t total = ready ? rs.rows.size() : 0;
-  wire::PutU64(&head, total);
 
-  // Pack rows into the head frame, then ROWS continuations, each cut when
-  // the next row would push the payload past the cap (a single giant row
-  // still ships alone — the cap is a framing bound, not a row-size bound,
-  // and the server-side cap leaves headroom for that).
+  // The cap is a hard wire bound, not advisory: a row (or schema) too wide
+  // for any frame is unrepresentable, and sealing it anyway would hand the
+  // peer an undecodable kOversized frame that kills the connection. Answer
+  // with a typed ERROR instead so the client sees a status, not damage.
+  bool representable = true;
+  for (uint64_t i = 0; i < total && representable; ++i) {
+    representable = RowWireBytes(rs.rows[i]) < budget;
+  }
+  std::string head;
+  if (representable) {
+    wire::PutU8(&head, ready ? 1 : 0);
+    wire::PutU64(&head, handle);
+    wire::PutU64(&head, rs.update_count);
+    wire::PutDouble(&head, rs.queue_ms);
+    wire::PutDouble(&head, rs.exec_ms);
+    wire::PutU64(&head, rs.batches_waited);
+    wire::PutU64(&head, rs.admission_spills);
+    const bool has_schema = ready && rs.schema != nullptr;
+    wire::PutU8(&head, has_schema ? 1 : 0);
+    if (has_schema) PutSchema(&head, *rs.schema);
+    wire::PutU64(&head, total);
+    representable = head.size() < budget;
+  }
+  if (!representable) {
+    ErrorMsg e;
+    e.code = StatusCode::kResourceExhausted;
+    e.message = "result row or schema exceeds the frame payload cap";
+    frames->push_back(SealFrame(FrameType::kError, request_id,
+                                EncodeError(e)));
+    return;
+  }
+
+  // Pack rows into the head frame, then ROWS continuations, cutting BEFORE
+  // the row that would push the payload past the budget (the head may ship
+  // zero rows when the schema leaves no room). Every row was pre-checked to
+  // fit an empty continuation, so the loops always make progress.
   size_t i = 0;
   std::string chunk;    // rows of the current frame
   uint32_t in_chunk = 0;
-  const size_t budget = max_payload > 4096 ? max_payload - 2048 : max_payload;
-  while (i < total && head.size() + chunk.size() < budget) {
+  while (i < total &&
+         head.size() + chunk.size() + RowWireBytes(rs.rows[i]) < budget) {
     PutRow(&chunk, rs.rows[i]);
     ++in_chunk;
     ++i;
@@ -292,8 +317,7 @@ void EncodeResultFrames(uint64_t request_id, const ResultSet& rs, bool ready,
   while (i < total) {
     chunk.clear();
     in_chunk = 0;
-    while (i < total &&
-           (in_chunk == 0 || chunk.size() + RowWireBytes(rs.rows[i]) < budget)) {
+    while (i < total && chunk.size() + RowWireBytes(rs.rows[i]) < budget) {
       PutRow(&chunk, rs.rows[i]);
       ++in_chunk;
       ++i;

@@ -181,8 +181,10 @@ bool DecodeRows(const std::string& body, RowsMsg* m);
 
 /// Encodes an OK ResultSet (or an async ack when !ready) into one RESULT
 /// frame plus as many ROWS continuations as the payload cap requires.
-/// Non-OK ResultSets encode as a single ERROR frame. Appends wire-ready
-/// frames to `*frames`.
+/// Non-OK ResultSets encode as a single ERROR frame, as does a result whose
+/// row (or schema) is too wide to fit any frame under `max_payload`
+/// (kResourceExhausted) — a frame the peer would reject as oversized is
+/// never emitted. Appends wire-ready frames to `*frames`.
 void EncodeResultFrames(uint64_t request_id, const ResultSet& rs, bool ready,
                         uint64_t handle, size_t max_payload,
                         std::vector<std::string>* frames);

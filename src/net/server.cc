@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -496,7 +497,16 @@ struct Server::Worker {
     e.result = std::move(comp.rs);
     e.ar.reset();
     if (e.discard) {
+      // A pipelining client can park a FETCH(wait) and then CANCEL(discard)
+      // the same handle; the parked request id must still get an answer or
+      // that client hangs forever.
+      const bool parked = e.fetch_waiting;
+      if (parked) {
+        SendError(c, e.fetch_request_id,
+                  Status::Aborted("async handle was cancelled and discarded"));
+      }
       c->asyncs.erase(it);
+      if (parked) (void)FlushWrites(c);
       return;
     }
     if (e.fetch_waiting) {
@@ -681,8 +691,13 @@ Status Server::Start() {
   }
   accept_wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
 
+  // Create and validate every fd BEFORE starting any thread: a worker loop
+  // on a broken epfd would be silently dead, and a missing wake eventfd
+  // would leave Shutdown() hanging in join() with no way to interrupt the
+  // blocked epoll_wait. No threads run yet, so unwinding is just close().
   const int nworkers = options_.num_workers > 0 ? options_.num_workers : 1;
-  for (int i = 0; i < nworkers; ++i) {
+  bool fds_ok = accept_wake_fd_ >= 0;
+  for (int i = 0; fds_ok && i < nworkers; ++i) {
     auto w = std::make_unique<Worker>();
     w->srv = this;
     w->epfd = epoll_create1(EPOLL_CLOEXEC);
@@ -690,11 +705,26 @@ Status Server::Start() {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = kWakeTag;
-    (void)epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->wake_fd, &ev);
+    fds_ok = w->epfd >= 0 && w->wake_fd >= 0 &&
+             epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->wake_fd, &ev) == 0;
+    workers_.push_back(std::move(w));
+  }
+  if (!fds_ok) {
+    for (auto& w : workers_) {
+      if (w->epfd >= 0) close(w->epfd);
+      if (w->wake_fd >= 0) close(w->wake_fd);
+    }
+    workers_.clear();
+    if (accept_wake_fd_ >= 0) close(accept_wake_fd_);
+    accept_wake_fd_ = -1;
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("epoll_create1/eventfd setup failed");
+  }
+  for (auto& w : workers_) {
     Worker* wp = w.get();
     w->loop_thread = std::thread([wp] { wp->Loop(); });
     w->reaper_thread = std::thread([wp] { wp->ReaperLoop(); });
-    workers_.push_back(std::move(w));
   }
   acceptor_ = std::thread([this] { AcceptorLoop(); });
   started_ = true;
@@ -703,6 +733,7 @@ Status Server::Start() {
 
 void Server::AcceptorLoop() {
   const int epfd = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) return;  // cannot poll: no accepts, but Shutdown still joins
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.u64 = 0;
@@ -717,7 +748,16 @@ void Server::AcceptorLoop() {
     for (;;) {
       const int fd =
           accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) break;  // EAGAIN (or transient failure: retry on next wake)
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // drained
+        // Persistent failure (EMFILE/ENFILE/ENOBUFS/...): the listen fd is
+        // registered level-triggered and stays readable, so re-polling
+        // immediately would spin this thread at 100% CPU until fds free
+        // up. Back off briefly, then let epoll re-announce the backlog.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        break;
+      }
       int one = 1;
       (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       connections_accepted_.fetch_add(1, std::memory_order_relaxed);

@@ -151,6 +151,65 @@ TEST(NetFrame, ResultSplitsIntoRowsContinuations) {
   EXPECT_EQ(Canonical(rows), Canonical(rs.rows));
 }
 
+TEST(NetFrame, WideRowsNeverSealOversizedFrames) {
+  // Multi-KB rows landing near the budget boundary must be deferred to the
+  // next frame, never packed past the cap: a peer answers an oversized
+  // frame by closing the connection, so one wide result would break an
+  // otherwise healthy client.
+  constexpr size_t kCap = 8192;
+  ResultSet rs;
+  rs.schema = Schema::Make({{"v", ValueType::kString}});
+  for (int i = 0; i < 40; ++i) {
+    rs.rows.push_back({Value::Str(std::string(3000 + i * 17, 'x'))});
+  }
+  std::vector<std::string> frames;
+  net::EncodeResultFrames(9, rs, /*ready=*/true, 0, kCap, &frames);
+  ASSERT_GT(frames.size(), 1u);
+  std::vector<Tuple> rows;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    net::Frame f;
+    size_t consumed = 0;
+    // Decode under the SAME cap the encoder was given: every sealed frame
+    // must fit it.
+    ASSERT_EQ(net::DecodeFrame(frames[i], kCap, &f, &consumed),
+              net::DecodeStatus::kFrame)
+        << "frame " << i << " exceeds the cap it was encoded under";
+    if (i == 0) {
+      ASSERT_EQ(f.type, net::FrameType::kResult);
+      net::ResultHead head;
+      ASSERT_TRUE(net::DecodeResultHead(f.body, &head, &rows));
+      EXPECT_EQ(head.total_rows, rs.rows.size());
+    } else {
+      ASSERT_EQ(f.type, net::FrameType::kRows);
+      net::RowsMsg m;
+      ASSERT_TRUE(net::DecodeRows(f.body, &m));
+      for (Tuple& r : m.rows) rows.push_back(std::move(r));
+    }
+  }
+  EXPECT_EQ(Canonical(rows), Canonical(rs.rows));
+}
+
+TEST(NetFrame, RowWiderThanCapBecomesTypedError) {
+  // A row that cannot fit ANY frame is unrepresentable on the wire; the
+  // encoder must answer with a typed ERROR, not an undecodable frame.
+  ResultSet rs;
+  rs.schema = Schema::Make({{"v", ValueType::kString}});
+  rs.rows.push_back({Value::Str(std::string(20000, 'x'))});
+  std::vector<std::string> frames;
+  net::EncodeResultFrames(3, rs, /*ready=*/true, 0, /*max_payload=*/8192,
+                          &frames);
+  ASSERT_EQ(frames.size(), 1u);
+  net::Frame f;
+  size_t consumed = 0;
+  ASSERT_EQ(net::DecodeFrame(frames[0], 8192, &f, &consumed),
+            net::DecodeStatus::kFrame);
+  ASSERT_EQ(f.type, net::FrameType::kError);
+  EXPECT_EQ(f.request_id, 3u);
+  net::ErrorMsg e;
+  ASSERT_TRUE(net::DecodeError(f.body, &e));
+  EXPECT_EQ(e.code, StatusCode::kResourceExhausted);
+}
+
 // --- end-to-end over TCP -----------------------------------------------------
 
 TEST_F(NetFixture, HandshakePrepareExecute) {
