@@ -21,6 +21,14 @@
 # "parallel_sweep" and "client_latency" sections are appended/refreshed
 # either way. client_latency runs the Server/Session end-to-end bench
 # (p50/p95 per blocking Execute at 1/8/64 concurrent sessions).
+#
+# serial_tails sweeps the formerly-serial cycle tails (k-way merge,
+# group-by build, Γ result routing) across worker counts
+# (SDB_TAIL_WORKERS, default "0,2,4"). On a 1-core host only the serial
+# baseline (workers:0, plus the shared_work_saved row count, which is
+# worker-independent) is recorded and a warning explains why the
+# parallel worker counts are skipped — their wall-times there measure
+# scheduling overhead, not speedup.
 
 set -euo pipefail
 
@@ -42,7 +50,7 @@ done
 BUILD_DIR="$REPO_ROOT/build-bench"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DSDB_BUILD_TESTS=OFF -DSDB_BUILD_EXAMPLES=OFF >/dev/null
-TARGETS=(micro_shared_ops micro_ablation client_latency micro_wal)
+TARGETS=(micro_shared_ops micro_ablation client_latency micro_wal serial_tails)
 if [[ "$WITH_FIG8" == "1" ]]; then TARGETS+=(fig8_core_scaling); fi
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TARGETS[@]}" >/dev/null
 
@@ -54,6 +62,22 @@ trap 'rm -rf "$TMP"' EXIT
     --benchmark_format=json > "$TMP/ablation.json" 2>/dev/null
 "$BUILD_DIR/client_latency" | grep -v '^#' > "$TMP/client_latency.tsv"
 "$BUILD_DIR/micro_wal" | grep -v '^#' > "$TMP/micro_wal.tsv"
+
+# serial_tails compares the serial cycle paths against their parallel
+# twins (merge, group-by, Γ routing). On a 1-core box the "parallel"
+# numbers are pure scheduling overhead dressed up as a sweep — warn,
+# record only the serial baseline (workers:0; shared_work_saved is a
+# row count and worker-independent, so it stays meaningful).
+if [[ "$(nproc)" -le 1 ]]; then
+  echo "warning: nproc=1 — serial_tails records only the workers:0 baseline" \
+       "(parallel wall-times would be misleading on a single core); re-run" \
+       "on a multi-core host for the real sweep" >&2
+  TAIL_WORKERS="0"
+else
+  TAIL_WORKERS="${SDB_TAIL_WORKERS:-0,2,4}"
+fi
+"$BUILD_DIR/serial_tails" --workers="$TAIL_WORKERS" \
+    | grep -v '^#' > "$TMP/serial_tails.tsv"
 
 FIG8_SERIES=""
 if [[ "$WITH_FIG8" == "1" ]]; then
@@ -67,7 +91,7 @@ fi
 
 python3 - "$TMP/shared.json" "$TMP/ablation.json" "$OUT" "$OVERWRITE" \
     "$(printf "%b" "$FIG8_SERIES")" "$TMP/client_latency.tsv" \
-    "$TMP/micro_wal.tsv" <<'EOF'
+    "$TMP/micro_wal.tsv" "$TMP/serial_tails.tsv" <<'EOF'
 import json, sys, datetime
 
 shared, ablation, out_path, overwrite = (
@@ -75,6 +99,7 @@ shared, ablation, out_path, overwrite = (
 fig8_raw = sys.argv[5] if len(sys.argv) > 5 else ""
 client_tsv = sys.argv[6] if len(sys.argv) > 6 else ""
 wal_tsv = sys.argv[7] if len(sys.argv) > 7 else ""
+tails_tsv = sys.argv[8] if len(sys.argv) > 8 else ""
 
 client_latency = []
 backpressure = []
@@ -118,6 +143,23 @@ if wal_tsv:
                                    "ns": float(per_batch)})
             wal_durability.append({"name": f"{series}/ops_per_sec",
                                    "ns": float(ops)})
+
+serial_tails = []
+if tails_tsv:
+    with open(tails_tsv) as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) != 4 or not parts[0].startswith("serial_tails/"):
+                continue
+            series, per_unit, aux, _reps = parts
+            if "/gamma/" in series:
+                serial_tails.append({"name": f"{series}/ns_per_batch",
+                                     "ns": float(per_unit)})
+                serial_tails.append({"name": f"{series}/shared_work_saved",
+                                     "ns": float(aux)})
+            else:
+                serial_tails.append({"name": f"{series}/ns_per_row",
+                                     "ns": float(per_unit)})
 
 def load(path):
     with open(path) as f:
@@ -173,6 +215,15 @@ WAL_NOTE = ("wal_raw = 100-record batch appended to the log then flushed "
             "engine heartbeat per DurabilityMode; ops_per_sec entries are "
             "records-or-updates/sec (plain rates, not nanoseconds)")
 
+SERIAL_TAILS_NOTE = ("formerly-serial cycle tails at each worker count (0 = "
+                     "serial path): merge/group_by report median ns_per_row "
+                     "for one SortOp/GroupByOp cycle; gamma reports median "
+                     "ns_per_batch for StepBatch with 48 calls over 8 shared "
+                     "results, and shared_work_saved is the batch's Γ sharing "
+                     "win in rows (a plain count, not nanoseconds); on "
+                     "1-core hosts only workers:0 is recorded — the parallel "
+                     "sweep there would be misleading")
+
 def kept_note(section, default):
     # A committed section's note may carry hand-written caveats (e.g. the
     # 1-core-container warning) — refreshing the numbers must not clobber it.
@@ -216,13 +267,19 @@ if has_history and not overwrite:
             "note": kept_note("net_latency", NET_NOTE),
             "benchmarks": net_latency,
         }
+    if serial_tails:
+        existing["serial_tails"] = {
+            "date": datetime.date.today().isoformat(),
+            "note": kept_note("serial_tails", SERIAL_TAILS_NOTE),
+            "benchmarks": serial_tails,
+        }
     with open(out_path, "w") as f:
         json.dump(existing, f, indent=1)
     print(f"{out_path}: committed history kept; parallel_sweep + rebind_series "
           f"+ client_latency + backpressure + wal_durability + net_latency "
-          f"refreshed ({len(sweep)}+{len(rebind)}+{len(client_latency)}"
-          f"+{len(backpressure)}+{len(wal_durability)}+{len(net_latency)} "
-          f"series). Full current run:")
+          f"+ serial_tails refreshed ({len(sweep)}+{len(rebind)}+{len(client_latency)}"
+          f"+{len(backpressure)}+{len(wal_durability)}+{len(net_latency)}"
+          f"+{len(serial_tails)} series). Full current run:")
     for e in entries:
         print(f'  {e["name"]:45s} {e["ns"]:>14} ns')
     sys.exit(0)
@@ -270,6 +327,12 @@ if net_latency:
         "date": datetime.date.today().isoformat(),
         "note": kept_note("net_latency", NET_NOTE),
         "benchmarks": net_latency,
+    }
+if serial_tails:
+    result["serial_tails"] = {
+        "date": datetime.date.today().isoformat(),
+        "note": kept_note("serial_tails", SERIAL_TAILS_NOTE),
+        "benchmarks": serial_tails,
     }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=1)

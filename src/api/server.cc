@@ -165,6 +165,8 @@ Status Server::Checkpoint(const std::string& path) {
 void Server::RecordLocked(const BatchReport& report) {
   last_report_ = report;
   stats_.statements_cancelled += report.num_cancelled;
+  stats_.shared_work_saved += report.shared_work_saved;
+  stats_.missing_root_outputs += report.missing_root_outputs;
   if (report.num_admitted > 0) {
     ++stats_.batches;
     stats_.statements_admitted += report.num_admitted;

@@ -116,6 +116,14 @@ class Server {
     uint64_t statements_shed = 0;       // kDeadlineExceeded at formation
     uint64_t statements_unavailable = 0;  // drained/refused at shutdown
     uint64_t max_batch_occupancy = 0;
+    /// Rows delivered to subscribers beyond the rows the shared cycles
+    /// materialized once (Γ fan-out), summed over batches: the concrete
+    /// row-count sharing won — 0 when every batch carried one query.
+    uint64_t shared_work_saved = 0;
+    /// Γ routing misses (a needed root produced no output entry). Always a
+    /// bug in the runtime; surfaced here so tests and the fuzzer can assert
+    /// it stays zero.
+    uint64_t missing_root_outputs = 0;
 
     /// Mean statements per non-empty batch: > 1 means clients actually
     /// shared generations.

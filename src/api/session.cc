@@ -78,6 +78,9 @@ void Session::set_retry_policy(RetryPolicy policy) {
 ResultSet Session::Finish(std::future<ResultSet> f) {
   ResultSet rs = f.get();
   ++stats_.statements;
+  // Both counters are clamped at the engine (a same-batch fulfillment has
+  // batches_waited == 0 and spills == 0, never a wrapped uint64), so these
+  // sums cannot overflow from a single bad term.
   stats_.batches_waited += rs.batches_waited;
   stats_.admission_spills += rs.admission_spills;
   if (rs.status.code() == StatusCode::kResourceExhausted) ++stats_.rejected;

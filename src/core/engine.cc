@@ -54,8 +54,15 @@ Engine::Engine(std::unique_ptr<GlobalPlan> plan, EngineOptions options,
     parallel_ctx_.partitions = po.partitions;
     parallel_ctx_.sort = po.sort;
     parallel_ctx_.join = po.join;
+    parallel_ctx_.group_by = po.group_by;
+    parallel_ctx_.distinct = po.distinct;
+    parallel_ctx_.top_n = po.top_n;
+    parallel_ctx_.probe = po.probe;
+    parallel_ctx_.index_join = po.index_join;
+    parallel_ctx_.gamma = po.gamma;
     parallel_ctx_.min_rows_per_task = po.min_rows_per_task;
     parallel_ctx_.morsels_per_worker = po.morsels_per_worker;
+    parallel_ctx_.min_items_per_task = po.min_items_per_task;
   }
   if (options_.durability.mode != DurabilityMode::kNone) InstallWal();
 }
@@ -294,13 +301,29 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
                t0 - p.submit_time)
         .count();
   };
+  // Per-call admission telemetry, shared by the formation drains and Γ.
+  // Both counters clamp instead of subtracting blindly: a call fulfilled in
+  // the batch it was submitted to must report spills == 0, and a
+  // batch_number <= submit_batch observation must not underflow uint64 —
+  // Session::Stats and Server::stats() sum these values, so one wrapped
+  // result would poison every aggregate downstream.
+  const auto fill_admission = [&](ResultSet* rs, const Pending& p) {
+    rs->queue_ms = queued_ms(p);
+    rs->batches_waited = report.batch_number > p.submit_batch
+                             ? report.batch_number - p.submit_batch
+                             : 0;
+    // Every heartbeat between submission and fulfillment beyond the one
+    // that carried the call passed the entry over at formation, so no
+    // per-entry spill counter is needed; same-batch fulfillment
+    // (batches_waited <= 1) spilled zero times.
+    rs->admission_spills =
+        rs->batches_waited > 0 ? rs->batches_waited - 1 : 0;
+  };
   const auto drain = [&](std::vector<Pending>* entries, const Status& status) {
     for (Pending& p : *entries) {
       ResultSet rs;
       rs.status = status;
-      rs.queue_ms = queued_ms(p);
-      rs.batches_waited = report.batch_number - p.submit_batch;
-      rs.admission_spills = rs.batches_waited - 1;
+      fill_admission(&rs, p);
       Fulfill(&p, std::move(rs));
     }
   };
@@ -410,21 +433,70 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
 
   const auto fill_telemetry = [&](ResultSet* rs, const Pending& p) {
     rs->exec_ms = report.exec_ms;
-    rs->queue_ms = queued_ms(p);
-    rs->batches_waited = report.batch_number - p.submit_batch;
-    // Every heartbeat between submission and fulfillment necessarily passed
-    // the entry over at formation, so no per-entry counter is needed.
-    rs->admission_spills = rs->batches_waited - 1;
+    fill_admission(rs, p);
   };
-  for (const QueryRouting& r : routings) {
-    ResultSet rs;
+
+  // Amortization accounting: the shared cycle materialized each needed
+  // root's batch once; Γ fans every row out to all of its subscribers.
+  for (const auto& [node, root_batch] : out.outputs) {
+    (void)node;
+    report.rows_touched += root_batch.size();
+  }
+
+  // Resolve each routing's source batch serially: the runtimes deliver an
+  // output entry for EVERY needed root (empty batches included), so a miss
+  // is always a dropped routing, never a legitimately-empty result. Count
+  // it (the differential fuzzer asserts the counter stays 0) and serve an
+  // empty result in release builds.
+  std::vector<const DQBatch*> routing_src(routings.size(), nullptr);
+  for (size_t ri = 0; ri < routings.size(); ++ri) {
+    const auto it = out.outputs.find(routings[ri].root);
+    if (it != out.outputs.end()) {
+      routing_src[ri] = &it->second;
+    } else {
+      SDB_DCHECK(false && "gamma: runtime delivered no output for a needed root");
+      ++report.missing_root_outputs;
+    }
+  }
+
+  // Γ result materialization: RowsFor() copies every subscriber's tuples out
+  // of the shared root batches — the dominant Γ cost — so it fans out across
+  // the pool. Tasks touch disjoint routed[] slots and only read the shared
+  // outputs; future FULFILLMENT stays ordered on this thread below.
+  std::vector<ResultSet> routed(routings.size());
+  const auto route_one = [&](size_t ri) {
+    const QueryRouting& r = routings[ri];
+    ResultSet& rs = routed[ri];
     rs.schema = r.schema;
     fill_telemetry(&rs, batch[r.pending_index]);
-    const auto it = out.outputs.find(r.root);
-    if (it != out.outputs.end()) {
-      rs.rows = it->second.RowsFor(r.qid);
+    if (routing_src[ri] != nullptr) rs.rows = routing_src[ri]->RowsFor(r.qid);
+  };
+  if (task_pool_ != nullptr &&
+      parallel_ctx_.EnabledItems(parallel_ctx_.gamma, routings.size())) {
+    const size_t num_tasks =
+        std::min(routings.size(),
+                 parallel_ctx_.workers() * parallel_ctx_.morsels_per_worker);
+    TaskGroup group(parallel_ctx_.pool);
+    for (size_t t = 0; t < num_tasks; ++t) {
+      const size_t lo = t * routings.size() / num_tasks;
+      const size_t hi = (t + 1) * routings.size() / num_tasks;
+      group.Run([&route_one, lo, hi] {
+        for (size_t ri = lo; ri < hi; ++ri) route_one(ri);
+      });
     }
-    Fulfill(&batch[r.pending_index], std::move(rs));
+    group.Wait();
+  } else {
+    for (size_t ri = 0; ri < routings.size(); ++ri) route_one(ri);
+  }
+
+  for (const ResultSet& rs : routed) report.rows_delivered += rs.rows.size();
+  report.shared_work_saved = report.rows_delivered > report.rows_touched
+                                 ? report.rows_delivered - report.rows_touched
+                                 : 0;
+
+  for (size_t ri = 0; ri < routings.size(); ++ri) {
+    routed[ri].shared_work_saved = report.shared_work_saved;
+    Fulfill(&batch[routings[ri].pending_index], std::move(routed[ri]));
   }
   for (size_t i = 0; i < batch.size(); ++i) {
     const StatementDef& stmt = plan_->statement(batch[i].statement);
@@ -432,6 +504,7 @@ BatchReport Engine::RunOneBatch(size_t max_admissions) {
     ResultSet rs;
     rs.update_count = *batch[i].update_count;
     fill_telemetry(&rs, batch[i]);
+    rs.shared_work_saved = report.shared_work_saved;
     Fulfill(&batch[i], std::move(rs));
   }
 

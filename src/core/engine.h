@@ -83,6 +83,19 @@ struct BatchReport {
   size_t num_spilled = 0;               // left queued for the next generation
   size_t num_cancelled = 0;  // drained by cancellation as formation reached them
   size_t num_shed = 0;  // deadline-expired at formation: never executed
+  // Γ (result routing) amortization accounting:
+  uint64_t rows_touched = 0;    // rows the shared cycle materialized once
+  uint64_t rows_delivered = 0;  // rows handed out across all subscribers
+  /// The sharing win of this batch: rows delivered to queries beyond the
+  /// rows the shared operators actually produced (rows-times-subscribers
+  /// minus rows-touched-once, clamped at 0). 0 means no result row was
+  /// shared by more than one query this heartbeat.
+  uint64_t shared_work_saved = 0;
+  /// Γ routing misses: a query's root produced no output entry at all. The
+  /// runtimes always deliver an entry for every needed root (even when it is
+  /// empty), so any nonzero count is a dropped routing — a bug, asserted by
+  /// SDB_DCHECK and watched by the differential fuzzer.
+  uint64_t missing_root_outputs = 0;
   std::vector<WorkStats> node_stats;  // indexed by node id
   std::vector<WorkStats> unit_stats;  // per (node, replica); see BatchOutput
 
@@ -109,10 +122,18 @@ struct ParallelOptions {
   bool partitions = true;
   bool sort = true;
   bool join = true;
+  bool group_by = true;
+  bool distinct = true;
+  bool top_n = true;
+  bool probe = true;
+  bool index_join = true;
+  bool gamma = true;
   /// Inputs smaller than this stay on the serial paths.
   size_t min_rows_per_task = 2048;
   /// Scan morsel granularity: tasks per worker (stealing headroom).
   size_t morsels_per_worker = 4;
+  /// Item-granular work (probe groups, Γ routings) below this stays serial.
+  size_t min_items_per_task = 8;
 };
 
 /// Durability knobs: which WAL discipline commits get, and where the bytes

@@ -1,6 +1,9 @@
 #include "core/ops/group_by_op.h"
 
+#include <algorithm>
+
 #include "common/flat_hash.h"
+#include "runtime/task_pool.h"
 
 namespace shareddb {
 
@@ -45,6 +48,81 @@ struct Acc {
   }
 };
 
+/// Accumulators for one distinct ANNOTATION SET within a group ("set
+/// class"): queries that subscribe to exactly the same tuples see exactly
+/// the same aggregates, so one accumulator row serves them all — the NF²
+/// compactness of Figure 1 carried through the aggregation.
+struct ClassSlot {
+  QueryIdSet cls;
+  std::vector<Acc> accs;
+};
+
+struct Group {
+  Tuple key;               // group column values
+  uint32_t first_row = 0;  // input index that created the group (emit order)
+  std::vector<ClassSlot> classes;
+  int32_t next_same_hash = -1;  // collision chain within the arena index
+};
+
+/// One grouping arena: groups in first-seen order plus a flat index
+/// (hash -> first group with that hash; collisions chain through the groups
+/// themselves). The serial path uses one arena over all rows; the parallel
+/// path gives every hash partition its own, so arenas share no state.
+struct GroupArena {
+  std::vector<Group> groups;
+  FlatHashMap<uint64_t, int32_t> index;
+  WorkStats stats;
+
+  void AddRow(const DQBatch& in, size_t i, Tuple key, uint64_t h,
+              const std::vector<AggSpec>& aggs) {
+    ++stats.hash_probes;
+    auto [slot_head, inserted] = index.TryEmplace(h);
+    Group* grp = nullptr;
+    if (!inserted) {
+      for (int32_t gi = *slot_head; gi >= 0;
+           gi = groups[static_cast<size_t>(gi)].next_same_hash) {
+        if (TuplesEqual(groups[static_cast<size_t>(gi)].key, key)) {
+          grp = &groups[static_cast<size_t>(gi)];
+          break;
+        }
+      }
+    }
+    if (grp == nullptr) {
+      Group g;
+      g.key = std::move(key);
+      g.first_row = static_cast<uint32_t>(i);
+      g.next_same_hash = inserted ? -1 : *slot_head;
+      *slot_head = static_cast<int32_t>(groups.size());
+      groups.push_back(std::move(g));
+      grp = &groups.back();
+      ++stats.hash_builds;
+    }
+    // One accumulator update per (tuple, set class) — hash-consed sets make
+    // the class lookup a cheap compare.
+    ClassSlot* slot = nullptr;
+    for (ClassSlot& c : grp->classes) {
+      if (c.cls == in.qids[i]) {
+        slot = &c;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      grp->classes.push_back(ClassSlot{in.qids[i], std::vector<Acc>(aggs.size())});
+      slot = &grp->classes.back();
+      stats.qid_elems += in.qids[i].size();
+    }
+    const Tuple& t = in.tuples[i];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].column < 0) {
+        slot->accs[a].Update(Value::Int(1));
+      } else {
+        slot->accs[a].Update(t[aggs[a].column]);
+      }
+      ++stats.agg_updates;
+    }
+  }
+};
+
 }  // namespace
 
 GroupByOp::GroupByOp(SchemaPtr input_schema, std::vector<size_t> group_columns,
@@ -75,7 +153,6 @@ GroupByOp::GroupByOp(SchemaPtr input_schema, std::vector<size_t> group_columns,
 DQBatch GroupByOp::RunCycle(std::vector<BatchRef> inputs,
                             const std::vector<OpQuery>& queries,
                             const CycleContext& ctx, WorkStats* stats) {
-  (void)ctx;
   static const std::vector<Value> kNoParams;
   const QueryIdSet active = ActiveIdSet(queries);
   DQBatch in(input_schema_);
@@ -83,76 +160,80 @@ DQBatch GroupByOp::RunCycle(std::vector<BatchRef> inputs,
     if (stats != nullptr) stats->tuples_in += b.size();
     in.Append(MaskToActive(std::move(b), active, stats));
   }
+  const size_t n = in.size();
 
-  // Phase 1 (shared): group all tuples once. Within a group, accumulators
-  // are kept per distinct ANNOTATION SET ("set class"), not per query:
-  // queries that subscribe to exactly the same tuples see exactly the same
-  // aggregates, so one accumulator serves them all — the NF² compactness of
-  // Figure 1 carried through the aggregation.
-  struct ClassSlot {
-    QueryIdSet cls;
-    std::vector<Acc> accs;
-  };
-  struct Group {
-    Tuple key;  // group column values
-    std::vector<ClassSlot> classes;
-    int32_t next_same_hash = -1;  // collision chain within group_index
-  };
-  // Flat index (hash -> first group with that hash) over a first-seen-order
-  // arena; hash collisions chain through the groups themselves.
-  std::vector<Group> groups;
-  FlatHashMap<uint64_t, int32_t> group_index(in.size() / 4 + 8);
-
-  for (size_t i = 0; i < in.size(); ++i) {
+  const auto make_key = [&](size_t i) {
     const Tuple& t = in.tuples[i];
     Tuple key;
     key.reserve(group_columns_.size());
     for (const size_t g : group_columns_) key.push_back(t[g]);
-    const uint64_t h = TupleHash(key);
-    if (stats != nullptr) ++stats->hash_probes;
-    auto [slot_head, inserted] = group_index.TryEmplace(h);
-    Group* grp = nullptr;
-    if (!inserted) {
-      for (int32_t gi = *slot_head; gi >= 0;
-           gi = groups[static_cast<size_t>(gi)].next_same_hash) {
-        if (TuplesEqual(groups[static_cast<size_t>(gi)].key, key)) {
-          grp = &groups[static_cast<size_t>(gi)];
-          break;
+    return key;
+  };
+
+  // Phase 1 (shared): group all tuples once. Parallel path: hash-partition
+  // the rows — every row of one group lands in the same partition, and each
+  // partition processes ITS rows in global input order into a private
+  // arena, so group discovery order, class order and floating-point
+  // accumulation order within every group match the serial pass exactly.
+  const ParallelContext* par = ctx.parallel;
+  std::vector<GroupArena> arenas;
+  if (par != nullptr && par->Enabled(par->group_by, n)) {
+    // Pass A: key hashes, morsel-parallel (the hash decides the partition).
+    std::vector<uint64_t> row_hash(n);
+    {
+      const size_t num_tasks = std::max<size_t>(
+          1, std::min(par->workers() * par->morsels_per_worker,
+                      n / par->min_rows_per_task));
+      TaskGroup group(par->pool);
+      for (size_t t = 0; t < num_tasks; ++t) {
+        const size_t lo = t * n / num_tasks;
+        const size_t hi = (t + 1) * n / num_tasks;
+        group.Run([&, lo, hi] {
+          for (size_t i = lo; i < hi; ++i) row_hash[i] = TupleHash(make_key(i));
+        });
+      }
+      group.Wait();
+    }
+    // Pass B: one task per hash partition.
+    const size_t parts =
+        std::max<size_t>(2, std::min<size_t>(par->workers() * 2, 32));
+    arenas.resize(parts);
+    TaskGroup group(par->pool);
+    for (size_t p = 0; p < parts; ++p) {
+      GroupArena* arena = &arenas[p];
+      group.Run([&, arena, p] {
+        for (size_t i = 0; i < n; ++i) {
+          if (row_hash[i] % parts != p) continue;
+          arena->AddRow(in, i, make_key(i), row_hash[i], aggs_);
         }
-      }
+      });
     }
-    if (grp == nullptr) {
-      Group g;
-      g.key = std::move(key);
-      g.next_same_hash = inserted ? -1 : *slot_head;
-      *slot_head = static_cast<int32_t>(groups.size());
-      groups.push_back(std::move(g));
-      grp = &groups.back();
-      if (stats != nullptr) ++stats->hash_builds;
+    group.Wait();
+  } else {
+    arenas.resize(1);
+    GroupArena& arena = arenas[0];
+    arena.index.Reserve(n / 4 + 8);
+    for (size_t i = 0; i < n; ++i) {
+      Tuple key = make_key(i);
+      const uint64_t h = TupleHash(key);
+      arena.AddRow(in, i, std::move(key), h, aggs_);
     }
-    // One accumulator update per (tuple, set class) — hash-consed sets make
-    // the class lookup a cheap compare.
-    ClassSlot* slot = nullptr;
-    for (ClassSlot& c : grp->classes) {
-      if (c.cls == in.qids[i]) {
-        slot = &c;
-        break;
-      }
-    }
-    if (slot == nullptr) {
-      grp->classes.push_back(ClassSlot{in.qids[i], std::vector<Acc>(aggs_.size())});
-      slot = &grp->classes.back();
-      if (stats != nullptr) stats->qid_elems += in.qids[i].size();
-    }
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      const AggSpec& spec = aggs_[a];
-      if (spec.column < 0) {
-        slot->accs[a].Update(Value::Int(1));
-      } else {
-        slot->accs[a].Update(t[spec.column]);
-      }
-      if (stats != nullptr) ++stats->agg_updates;
-    }
+  }
+
+  // Collect groups back into the serial discovery order (first_row is the
+  // global input index that created each group — unique per group, so the
+  // sort is a total order and the emit sequence is byte-identical).
+  std::vector<Group*> ordered;
+  for (GroupArena& arena : arenas) {
+    if (stats != nullptr) stats->Add(arena.stats);
+    ordered.reserve(ordered.size() + arena.groups.size());
+    for (Group& g : arena.groups) ordered.push_back(&g);
+  }
+  if (arenas.size() > 1) {
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Group* a, const Group* b) {
+                return a->first_row < b->first_row;
+              });
   }
 
   // Phase 2: finalize each (group, class) once; HAVING splits a class only
@@ -188,7 +269,8 @@ DQBatch GroupByOp::RunCycle(std::vector<BatchRef> inputs,
     out.Push(std::move(row), std::move(survivors));
   };
 
-  for (Group& grp : groups) {
+  for (Group* grp_ptr : ordered) {
+    Group& grp = *grp_ptr;
     // Classes within a group are usually disjoint (one row per class). A
     // query spanning several classes needs its partial accumulators
     // merged, else it would see duplicate partial rows for the group.

@@ -1,0 +1,45 @@
+// Shared stable-sort machinery for the order-producing operators (SortOp,
+// TopNOp). One entry point, StableSortPermutation, returns the exact
+// permutation std::stable_sort would produce over a batch under a sort-key
+// list — serially, or through the parallel pipeline:
+//
+//   1. P contiguous runs sorted in parallel under the TOTAL order
+//      (sort keys, then original index) — the index tie-break makes each
+//      run's order a restriction of the global stable order;
+//   2. the runs merged back together, either by a loser tree (tournament
+//      tree, O(n log k) instead of the old linear selection's O(n·k)) or,
+//      for large inputs with several workers, by parallel balanced merging:
+//      log2(k) rounds of pairwise merges, each pair split into independent
+//      segments at binary-searched merge-path boundaries.
+//
+// Because the total order has no equal elements, every correct merge of the
+// runs reproduces the one global order — the parallel paths are
+// byte-identical to the serial stable sort, purely a performance knob.
+
+#ifndef SHAREDDB_CORE_OPS_MERGE_UTIL_H_
+#define SHAREDDB_CORE_OPS_MERGE_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/batch.h"
+#include "core/ops/sort_op.h"
+#include "runtime/task_pool.h"
+
+namespace shareddb {
+
+/// Returns the permutation of [0, in.size()) that orders `in.tuples` stably
+/// under `keys` (ties keep input order — exactly std::stable_sort).
+/// `par` selects the parallel pipeline when non-null and its sort-size gate
+/// passes (callers decide WHICH enable flag gates it and pass null to force
+/// the serial path). `comparisons` (may be null) accrues every key
+/// comparison made; the parallel paths count deterministically but differ
+/// from the serial count (different algorithm, same output).
+std::vector<uint32_t> StableSortPermutation(const DQBatch& in,
+                                            const std::vector<SortKey>& keys,
+                                            const ParallelContext* par,
+                                            uint64_t* comparisons);
+
+}  // namespace shareddb
+
+#endif  // SHAREDDB_CORE_OPS_MERGE_UTIL_H_

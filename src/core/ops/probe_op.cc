@@ -4,6 +4,7 @@
 
 #include "common/flat_hash.h"
 #include "expr/predicate.h"
+#include "runtime/task_pool.h"
 
 namespace shareddb {
 
@@ -83,8 +84,8 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
   // NOTE: `compiled` must not reallocate from here on (eq/range point into it).
 
   // Verifies every constraint except the anchor used for the index access.
-  auto verify = [&](const CompiledProbe& cp, const Tuple& row) {
-    if (stats != nullptr) ++stats->predicate_evals;
+  auto verify = [&](const CompiledProbe& cp, const Tuple& row, WorkStats* ws) {
+    ++ws->predicate_evals;
     for (const EqConstraint& e : cp.pred.equalities) {
       if (&e == cp.eq) continue;
       if (row[e.column].is_null() || row[e.column].Compare(e.value) != 0) {
@@ -105,9 +106,6 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
     return true;
   };
 
-  FlatHashMap<RowId, QueryIdSet>& hits = hits_scratch_;
-  hits.Clear();  // emit sorts by RowId for stable output
-
   // Equality probes, grouped by key value via a flat hash on the value
   // (no per-key tree nodes, no Value comparison sort).
   FlatHashMap<uint64_t, std::vector<uint32_t>>& eq_groups = eq_groups_scratch_;
@@ -117,51 +115,21 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
       eq_groups[compiled[ci].eq->value.Hash()].push_back(ci);
     }
   }
-  std::vector<RowId>& rows = rows_scratch_;
-  std::vector<QueryId>& base_ids = base_ids_scratch_;
-  std::vector<const CompiledProbe*> extras;
-  std::vector<char> done;
-  auto run_group = [&](const std::vector<uint32_t>& members, size_t first) {
-    const Value& key = compiled[members[first]].eq->value;
-    if (stats != nullptr) ++stats->index_lookups;
-    rows.clear();
-    table_->IndexLookup(index_name_, key, ctx.read_snapshot, &rows);
-    if (rows.empty()) return;
-    // The whole-predicate-anchored probes subscribe to every row of the
-    // group without a test; build their shared set ONCE — all rows of the
-    // group then share one annotation allocation.
-    base_ids.clear();
-    extras.clear();
-    for (size_t i = first; i < members.size(); ++i) {
-      const CompiledProbe& cp = compiled[members[i]];
-      if (i != first && cp.eq->value.Compare(key) != 0) continue;  // hash collision
-      if (cp.has_extra) {
-        extras.push_back(&cp);
-      } else {
-        base_ids.push_back(cp.id);
-      }
-    }
-    std::sort(base_ids.begin(), base_ids.end());
-    base_ids.erase(std::unique(base_ids.begin(), base_ids.end()), base_ids.end());
-    const QueryIdSet base_set =
-        QueryIdSet::FromSorted(base_ids.data(), base_ids.size());
-    for (const RowId id : rows) {
-      QueryIdSet& h = hits[id];
-      if (!base_set.empty()) {
-        h = h.empty() ? base_set : h.Union(base_set);
-      }
-      if (!extras.empty()) {
-        const Tuple& t = table_->GetRow(id).data;
-        for (const CompiledProbe* cp : extras) {
-          if (verify(*cp, t)) h.Insert(cp->id);
-        }
-      }
-    }
+
+  // Enumerate every independent unit of probe work in serial order: one per
+  // distinct equality key (a whole probe group), one per IN/range/degenerate
+  // query. Enumeration only reads `compiled`, so it is the same list the
+  // old interleaved loop executed.
+  struct ProbeItem {
+    const std::vector<uint32_t>* members = nullptr;  // eq bucket, or
+    size_t first = 0;                                //   sub-group start
+    const CompiledProbe* single = nullptr;           // non-eq probe
   };
+  std::vector<ProbeItem> items;
   for (auto& bucket : eq_groups) {
     // Values hashing to one bucket are almost always identical; a genuine
     // hash collision splits the bucket into several probe groups.
-    run_group(bucket.value, 0);
+    items.push_back(ProbeItem{&bucket.value, 0, nullptr});
     const Value& first_key = compiled[bucket.value[0]].eq->value;
     for (size_t i = 1; i < bucket.value.size(); ++i) {
       const Value& v = compiled[bucket.value[i]].eq->value;
@@ -176,30 +144,83 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
           break;
         }
       }
-      if (!seen) run_group(bucket.value, i);
+      if (!seen) items.push_back(ProbeItem{&bucket.value, i, nullptr});
     }
   }
+  for (const CompiledProbe& cp : compiled) {
+    if (cp.eq == nullptr) items.push_back(ProbeItem{nullptr, 0, &cp});
+  }
+
+  // Per-executor scratch: the serial path uses one, the parallel path one
+  // per chunk of items (table reads are latch-protected, so concurrent
+  // IndexLookup/IndexRange/GetRow/ScanVisible are safe).
+  struct ExecState {
+    std::vector<RowId> rows;
+    std::vector<QueryId> base_ids;
+    std::vector<const CompiledProbe*> extras;
+    WorkStats ws;
+  };
+
+  auto run_group = [&](const std::vector<uint32_t>& members, size_t first,
+                       FlatHashMap<RowId, QueryIdSet>* hits, ExecState* st) {
+    const Value& key = compiled[members[first]].eq->value;
+    ++st->ws.index_lookups;
+    st->rows.clear();
+    table_->IndexLookup(index_name_, key, ctx.read_snapshot, &st->rows);
+    if (st->rows.empty()) return;
+    // The whole-predicate-anchored probes subscribe to every row of the
+    // group without a test; build their shared set ONCE — all rows of the
+    // group then share one annotation allocation.
+    st->base_ids.clear();
+    st->extras.clear();
+    for (size_t i = first; i < members.size(); ++i) {
+      const CompiledProbe& cp = compiled[members[i]];
+      if (i != first && cp.eq->value.Compare(key) != 0) continue;  // hash collision
+      if (cp.has_extra) {
+        st->extras.push_back(&cp);
+      } else {
+        st->base_ids.push_back(cp.id);
+      }
+    }
+    std::sort(st->base_ids.begin(), st->base_ids.end());
+    st->base_ids.erase(std::unique(st->base_ids.begin(), st->base_ids.end()),
+                       st->base_ids.end());
+    const QueryIdSet base_set =
+        QueryIdSet::FromSorted(st->base_ids.data(), st->base_ids.size());
+    for (const RowId id : st->rows) {
+      QueryIdSet& h = (*hits)[id];
+      if (!base_set.empty()) {
+        h = h.empty() ? base_set : h.Union(base_set);
+      }
+      if (!st->extras.empty()) {
+        const Tuple& t = table_->GetRow(id).data;
+        for (const CompiledProbe* cp : st->extras) {
+          if (verify(*cp, t, &st->ws)) h.Insert(cp->id);
+        }
+      }
+    }
+  };
 
   // IN-list, range, and degenerate probes, per query.
-  for (const CompiledProbe& cp : compiled) {
-    if (cp.eq != nullptr) continue;
+  auto run_single = [&](const CompiledProbe& cp,
+                        FlatHashMap<RowId, QueryIdSet>* hits, ExecState* st) {
     if (cp.in != nullptr) {
       // One exact lookup per element instead of a degenerate full scan.
       for (const Value& key : cp.in->values) {
         if (key.is_null()) continue;  // col = NULL never matches
-        if (stats != nullptr) ++stats->index_lookups;
-        rows.clear();
-        table_->IndexLookup(index_name_, key, ctx.read_snapshot, &rows);
-        for (const RowId id : rows) {
-          if (!cp.has_extra || verify(cp, table_->GetRow(id).data)) {
-            hits[id].Insert(cp.id);
+        ++st->ws.index_lookups;
+        st->rows.clear();
+        table_->IndexLookup(index_name_, key, ctx.read_snapshot, &st->rows);
+        for (const RowId id : st->rows) {
+          if (!cp.has_extra || verify(cp, table_->GetRow(id).data, &st->ws)) {
+            (*hits)[id].Insert(cp.id);
           }
         }
       }
-      continue;
+      return;
     }
     if (cp.range != nullptr) {
-      if (stats != nullptr) ++stats->index_lookups;
+      ++st->ws.index_lookups;
       table_->IndexRange(index_name_, cp.range->lo, cp.range->lo_inclusive,
                          cp.range->hi, cp.range->hi_inclusive, ctx.read_snapshot,
                          [&](RowId id, const Tuple& t) {
@@ -207,19 +228,68 @@ DQBatch ProbeOp::RunCycle(std::vector<BatchRef> inputs,
                            // value, so a range with no lower bound walks over
                            // NULL keys — which fail every SQL range predicate.
                            if (t[indexed_column_].is_null()) return true;
-                           if (!cp.has_extra || verify(cp, t)) {
-                             hits[id].Insert(cp.id);
+                           if (!cp.has_extra || verify(cp, t, &st->ws)) {
+                             (*hits)[id].Insert(cp.id);
                            }
                            return true;
                          });
     } else {
       // No constraint on the indexed column: degenerate to a filtered scan.
       table_->ScanVisible(ctx.read_snapshot, [&](RowId id, const Tuple& t) {
-        if (stats != nullptr) ++stats->rows_scanned;
-        if (verify(cp, t)) hits[id].Insert(cp.id);
+        ++st->ws.rows_scanned;
+        if (verify(cp, t, &st->ws)) (*hits)[id].Insert(cp.id);
         return true;
       });
     }
+  };
+
+  auto run_item = [&](const ProbeItem& it, FlatHashMap<RowId, QueryIdSet>* hits,
+                      ExecState* st) {
+    if (it.members != nullptr) {
+      run_group(*it.members, it.first, hits, st);
+    } else {
+      run_single(*it.single, hits, st);
+    }
+  };
+
+  FlatHashMap<RowId, QueryIdSet>& hits = hits_scratch_;
+  hits.Clear();  // emit sorts by RowId for stable output
+
+  const ParallelContext* par = ctx.parallel;
+  if (par != nullptr && par->EnabledItems(par->probe, items.size())) {
+    // Fan the items out in contiguous chunks, each with its own hit map,
+    // then merge. QueryIdSet union is value-canonical, so a row's merged
+    // annotation equals whatever order the serial loop built it in; rows
+    // touched with an empty contribution stay present (and empty), exactly
+    // like the serial operator[] insert.
+    const size_t num_chunks =
+        std::min(items.size(), par->workers() * par->morsels_per_worker);
+    std::vector<FlatHashMap<RowId, QueryIdSet>> chunk_hits(num_chunks);
+    std::vector<ExecState> chunk_state(num_chunks);
+    TaskGroup group(par->pool);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = c * items.size() / num_chunks;
+      const size_t hi = (c + 1) * items.size() / num_chunks;
+      FlatHashMap<RowId, QueryIdSet>* ch = &chunk_hits[c];
+      ExecState* st = &chunk_state[c];
+      group.Run([&items, &run_item, ch, st, lo, hi] {
+        for (size_t i = lo; i < hi; ++i) run_item(items[i], ch, st);
+      });
+    }
+    group.Wait();
+    for (size_t c = 0; c < num_chunks; ++c) {
+      if (stats != nullptr) stats->Add(chunk_state[c].ws);
+      for (auto& entry : chunk_hits[c]) {
+        QueryIdSet& h = hits[entry.key];
+        if (!entry.value.empty()) {
+          h = h.empty() ? std::move(entry.value) : h.Union(entry.value);
+        }
+      }
+    }
+  } else {
+    ExecState st;
+    for (const ProbeItem& it : items) run_item(it, &hits, &st);
+    if (stats != nullptr) stats->Add(st.ws);
   }
 
   // Emit in RowId order (stable output). Heap annotation sets are interned:

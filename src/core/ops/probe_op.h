@@ -42,11 +42,11 @@ class ProbeOp : public SharedOp {
   SchemaPtr schema_;
 
   // Per-cycle scratch, reused across cycles so a probe cycle costs O(1)
-  // table allocations (an operator runs its cycles single-threaded).
+  // table allocations. Only the cycle thread touches these: parallel probe
+  // tasks carry their own local state and merge into hits_scratch_ after
+  // the task group completes.
   FlatHashMap<RowId, QueryIdSet> hits_scratch_;
   FlatHashMap<uint64_t, std::vector<uint32_t>> eq_groups_scratch_;
-  std::vector<RowId> rows_scratch_;
-  std::vector<QueryId> base_ids_scratch_;
 };
 
 }  // namespace shareddb

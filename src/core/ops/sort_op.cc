@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/ops/merge_util.h"
+
 namespace shareddb {
 
 int CompareTuples(const Tuple& a, const Tuple& b, const std::vector<SortKey>& keys) {
@@ -29,70 +31,15 @@ DQBatch SortOp::RunCycle(std::vector<BatchRef> inputs,
     in.Append(MaskToActive(std::move(b), active, stats));
   }
 
-  // One big stable sort for all queries of the batch.
+  // One big stable sort for all queries of the batch (merge_util: serial
+  // stable_sort, or parallel run sort + loser-tree/balanced merge — both
+  // produce the identical permutation).
   const size_t n = in.size();
-  std::vector<uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
   uint64_t comparisons = 0;
-
   const ParallelContext* par = ctx.parallel;
-  if (par != nullptr && par->Enabled(par->sort, n)) {
-    // Parallel path: sort P contiguous runs under (keys, original index) —
-    // the index tie-break makes each run's order a restriction of the global
-    // stable order — then k-way merge. The merged permutation is exactly the
-    // one stable_sort produces, so the output batch is byte-identical.
-    const size_t num_runs = std::max<size_t>(
-        2, std::min({par->workers(), n / par->min_rows_per_task,
-                     static_cast<size_t>(64)}));
-    std::vector<std::pair<size_t, size_t>> runs(num_runs);
-    std::vector<uint64_t> run_comparisons(num_runs, 0);
-    TaskGroup group(par->pool);
-    for (size_t r = 0; r < num_runs; ++r) {
-      const size_t lo = r * n / num_runs;
-      const size_t hi = (r + 1) * n / num_runs;
-      runs[r] = {lo, hi};
-      uint64_t* cmps = &run_comparisons[r];
-      group.Run([this, &in, &order, lo, hi, cmps] {
-        std::sort(order.begin() + static_cast<ptrdiff_t>(lo),
-                  order.begin() + static_cast<ptrdiff_t>(hi),
-                  [&](uint32_t x, uint32_t y) {
-                    ++*cmps;
-                    const int c = CompareTuples(in.tuples[x], in.tuples[y], keys_);
-                    return c != 0 ? c < 0 : x < y;
-                  });
-      });
-    }
-    group.Wait();
-    for (const uint64_t c : run_comparisons) comparisons += c;
-
-    // K-way merge of the sorted runs (k is small; linear selection).
-    std::vector<uint32_t> merged;
-    merged.reserve(n);
-    std::vector<size_t> head(num_runs);
-    for (size_t r = 0; r < num_runs; ++r) head[r] = runs[r].first;
-    while (merged.size() < n) {
-      size_t best = num_runs;
-      for (size_t r = 0; r < num_runs; ++r) {
-        if (head[r] == runs[r].second) continue;
-        if (best == num_runs) {
-          best = r;
-          continue;
-        }
-        ++comparisons;
-        const uint32_t a = order[head[r]];
-        const uint32_t b = order[head[best]];
-        const int c = CompareTuples(in.tuples[a], in.tuples[b], keys_);
-        if (c < 0 || (c == 0 && a < b)) best = r;
-      }
-      merged.push_back(order[head[best]++]);
-    }
-    order = std::move(merged);
-  } else {
-    std::stable_sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
-      ++comparisons;
-      return CompareTuples(in.tuples[x], in.tuples[y], keys_) < 0;
-    });
-  }
+  const bool use_parallel = par != nullptr && par->Enabled(par->sort, n);
+  std::vector<uint32_t> order =
+      StableSortPermutation(in, keys_, use_parallel ? par : nullptr, &comparisons);
   if (stats != nullptr) {
     stats->comparisons += comparisons;
     stats->tuples_out += n;

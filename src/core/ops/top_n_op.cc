@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/flat_hash.h"
+#include "core/ops/merge_util.h"
 
 namespace shareddb {
 
@@ -16,7 +17,6 @@ TopNOp::TopNOp(SchemaPtr schema, std::vector<SortKey> keys, int64_t default_limi
 DQBatch TopNOp::RunCycle(std::vector<BatchRef> inputs,
                          const std::vector<OpQuery>& queries, const CycleContext& ctx,
                          WorkStats* stats) {
-  (void)ctx;
   static const std::vector<Value> kNoParams;
   const QueryIdSet active = ActiveIdSet(queries);
   DQBatch in(schema_);
@@ -25,17 +25,20 @@ DQBatch TopNOp::RunCycle(std::vector<BatchRef> inputs,
     in.Append(MaskToActive(std::move(b), active, stats));
   }
 
-  // Phase 1 (shared): one big sort.
-  std::vector<uint32_t> order(in.size());
-  std::iota(order.begin(), order.end(), 0);
+  // Phase 1 (shared): one big sort — parallel when the cycle has a pool
+  // (shared machinery with SortOp; the permutation is byte-identical to the
+  // serial stable sort).
+  const ParallelContext* par = ctx.parallel;
+  const bool use_parallel =
+      par != nullptr && par->Enabled(par->top_n, in.size());
   uint64_t comparisons = 0;
-  std::stable_sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
-    ++comparisons;
-    return CompareTuples(in.tuples[x], in.tuples[y], keys_) < 0;
-  });
+  const std::vector<uint32_t> order =
+      StableSortPermutation(in, keys_, use_parallel ? par : nullptr, &comparisons);
   if (stats != nullptr) stats->comparisons += comparisons;
 
   // Phase 2 (per query): walk in order, keep each query's first N matches.
+  // Stays serial: the per-query remaining counts make this an inherently
+  // ordered scan, and it is O(kept rows), not O(input).
   struct PerQuery {
     const OpQuery* q = nullptr;
     int64_t remaining = 0;

@@ -48,6 +48,10 @@ struct ResultSet {
   // Per-call admission telemetry (filled by the engine at fulfillment):
   uint64_t batches_waited = 0;    // heartbeats between submission and result
   uint64_t admission_spills = 0;  // times spilled to a later generation
+  /// Sharing telemetry of the batch that carried this call: result rows
+  /// delivered across all subscribers beyond the rows the shared cycle
+  /// materialized once (0 = nothing in the batch was shared).
+  uint64_t shared_work_saved = 0;
 };
 
 /// The union of all active query ids at one node (used to mask annotations).

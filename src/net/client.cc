@@ -295,6 +295,7 @@ Status Client::Call(FrameType type, const std::string& body, WireResult* out) {
   out->rs.exec_ms = head.exec_ms;
   out->rs.batches_waited = head.batches_waited;
   out->rs.admission_spills = head.admission_spills;
+  out->rs.shared_work_saved = head.shared_work_saved;
   while (out->rs.rows.size() < head.total_rows) {
     Frame cont;
     s = ReadFrame(&cont);

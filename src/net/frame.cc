@@ -281,6 +281,7 @@ void EncodeResultFrames(uint64_t request_id, const ResultSet& rs, bool ready,
     wire::PutDouble(&head, rs.exec_ms);
     wire::PutU64(&head, rs.batches_waited);
     wire::PutU64(&head, rs.admission_spills);
+    wire::PutU64(&head, rs.shared_work_saved);
     const bool has_schema = ready && rs.schema != nullptr;
     wire::PutU8(&head, has_schema ? 1 : 0);
     if (has_schema) PutSchema(&head, *rs.schema);
@@ -338,7 +339,8 @@ bool DecodeResultHead(const std::string& body, ResultHead* head,
   if (!r.ReadU8(&ready) || !r.ReadU64(&head->handle) ||
       !r.ReadU64(&head->update_count) || !r.ReadDouble(&head->queue_ms) ||
       !r.ReadDouble(&head->exec_ms) || !r.ReadU64(&head->batches_waited) ||
-      !r.ReadU64(&head->admission_spills) || !r.ReadU8(&has_schema)) {
+      !r.ReadU64(&head->admission_spills) ||
+      !r.ReadU64(&head->shared_work_saved) || !r.ReadU8(&has_schema)) {
     return false;
   }
   head->ready = ready != 0;

@@ -167,6 +167,7 @@ struct ResultHead {
   double exec_ms = 0;
   uint64_t batches_waited = 0;
   uint64_t admission_spills = 0;
+  uint64_t shared_work_saved = 0;  // batch-level Γ sharing win (rows)
   SchemaPtr schema;        // null when the statement returns no rows
   uint64_t total_rows = 0; // rows across this frame + ROWS continuations
 };

@@ -158,20 +158,35 @@ struct ParallelContext {
   // Per-operator enables (all default on; useful for ablation benches).
   bool scan = true;        // morsel-parallel ClockScan phase 2
   bool partitions = true;  // PartitionedTable: one cycle task per partition
-  bool sort = true;        // SortOp: parallel partition sort + k-way merge
+  bool sort = true;        // SortOp: parallel run sort + loser-tree/balanced merge
   bool join = true;        // HashJoinOp: partitioned build + chunked probe
+  bool group_by = true;    // GroupByOp: hash-partitioned grouping
+  bool distinct = true;    // DistinctOp: hash-partitioned dedup
+  bool top_n = true;       // TopNOp: parallel phase-1 sort
+  bool probe = true;       // ProbeOp: chunked probe groups
+  bool index_join = true;  // IndexJoinOp: parallel lookups + morsel join
+  bool gamma = true;       // Engine Γ: parallel result-set materialization
 
   /// Inputs smaller than this stay serial (task dispatch would dominate).
   size_t min_rows_per_task = 2048;
   /// Morsel granularity: aim for this many tasks per worker so stealing can
   /// rebalance skewed morsels.
   size_t morsels_per_worker = 4;
+  /// Item-granular work (probe groups, Γ routings): fewer items than this
+  /// stay serial. Items are coarse units — each may touch many rows — so the
+  /// threshold is much lower than min_rows_per_task.
+  size_t min_items_per_task = 8;
 
   size_t workers() const { return pool == nullptr ? 0 : pool->num_workers(); }
 
   /// True when the `flag`-gated parallel path should run for `rows` items.
   bool Enabled(bool flag, size_t rows) const {
     return flag && workers() > 0 && rows >= 2 * min_rows_per_task;
+  }
+
+  /// Item-granular variant of Enabled() (see min_items_per_task).
+  bool EnabledItems(bool flag, size_t items) const {
+    return flag && workers() > 0 && items >= min_items_per_task;
   }
 };
 

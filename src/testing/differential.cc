@@ -683,6 +683,13 @@ SeedReport RunSeed(const RunOptions& opts) {
     if (stats.batches > 0 && stats.MeanBatchOccupancy() < 1.0) {
       invariant_failure("mean batch occupancy < 1");
     }
+    // Γ routing must find an output batch for every needed root; a miss is
+    // silently dropped work (the query would get an empty ResultSet).
+    if (stats.missing_root_outputs != 0) {
+      invariant_failure(StringPrintf(
+          "gamma routing missed %llu root outputs",
+          static_cast<unsigned long long>(stats.missing_root_outputs)));
+    }
     if (scan_template_compared &&
         shared.engine->predicate_cache_stats().index_builds < 1) {
       invariant_failure("shared scans executed but predicate index never built");

@@ -145,6 +145,40 @@ TEST_F(ApiFixture, AdmissionCapSpillsAndReportsPerCall) {
   EXPECT_EQ(stats.statements_spilled, 3u + 1u);  // spill events per formation
 }
 
+TEST_F(ApiFixture, MinimumWaitTelemetryNeverUnderflows) {
+  // Regression: admission_spills was computed as batches_waited - 1 with an
+  // unchecked uint64 subtraction. A call fulfilled by the very next
+  // heartbeat sits at the boundary (waited == 1, spills == 0); the clamped
+  // computation must hold it at exactly zero — never a wrapped huge value —
+  // and the session's summed telemetry must stay exact.
+  Engine engine(BuildPlan());
+  api::ServerOptions opts;
+  opts.start_paused = true;
+  api::Server server(&engine, opts);
+  auto session = server.OpenSession();
+
+  for (int round = 0; round < 3; ++round) {
+    auto f = session->ExecuteAsync("user_by_id", {Value::Int(round)});
+    server.StepBatch();
+    const ResultSet rs = f.Get();
+    ASSERT_TRUE(rs.status.ok()) << round;
+    EXPECT_EQ(rs.batches_waited, 1u) << round;
+    EXPECT_EQ(rs.admission_spills, 0u) << round;
+  }
+  // The blocking path feeds Session::Stats; with zero spills per call the
+  // sums must be exactly (3 statements, 3 batches waited, 0 spills) — any
+  // single underflowed term would blow these up by ~2^64.
+  server.Resume();
+  for (int round = 0; round < 3; ++round) {
+    const ResultSet rs = session->Execute("user_by_id", {Value::Int(round)});
+    ASSERT_TRUE(rs.status.ok()) << round;
+    EXPECT_EQ(rs.admission_spills, 0u) << round;
+  }
+  EXPECT_EQ(session->stats().admission_spills, 0u);
+  EXPECT_GE(session->stats().batches_waited, 3u);
+  EXPECT_LT(session->stats().batches_waited, 100u);  // no wrapped term
+}
+
 TEST_F(ApiFixture, SpilloverDrainsWithoutNewSubmissions) {
   // A capped live driver must keep beating until the spill queue is empty —
   // the overflow itself seeds the next generation.

@@ -15,8 +15,13 @@
 #include "api/server.h"
 #include "common/rng.h"
 #include "core/engine.h"
+#include "core/ops/distinct_op.h"
+#include "core/ops/group_by_op.h"
 #include "core/ops/hash_join_op.h"
+#include "core/ops/index_join_op.h"
+#include "core/ops/probe_op.h"
 #include "core/ops/sort_op.h"
+#include "core/ops/top_n_op.h"
 #include "core/plan_builder.h"
 #include "runtime/task_pool.h"
 #include "runtime/threaded_runtime.h"
@@ -382,6 +387,326 @@ TEST(ParallelEquivalence, HashJoinMatchesSerial) {
   }
 }
 
+// --- GroupByOp ---------------------------------------------------------------
+
+TEST(ParallelEquivalence, GroupByMatchesSerial) {
+  const SchemaPtr schema = Schema::Make({{"id", ValueType::kInt},
+                                         {"val", ValueType::kInt},
+                                         {"name", ValueType::kString}});
+  constexpr size_t kRows = 3000;
+  constexpr int kQueries = 12;
+  // Low-cardinality group key (21 values) so groups are fat, plus COUNT,
+  // SUM and AVG (floating-point accumulation order matters) and a MIN over
+  // the string column.
+  GroupByOp op(schema, {1},
+               {{AggFunc::kCount, -1, "cnt"},
+                {AggFunc::kSum, 0, "sum_id"},
+                {AggFunc::kAvg, 0, "avg_id"},
+                {AggFunc::kMin, 2, "min_name"}});
+  std::vector<OpQuery> queries(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    queries[q].id = static_cast<QueryId>(q);
+    if (q % 4 == 0) {
+      // HAVING cnt >= 40 over the output schema (val, cnt, ...).
+      queries[q].having =
+          Expr::Ge(Expr::Column(1), Expr::Literal(Value::Int(40)));
+    }
+  }
+
+  CycleContext serial_ctx;
+  serial_ctx.read_snapshot = 1;
+  serial_ctx.write_version = 2;
+  const DQBatch master = MakeSortInput(schema, kRows, kQueries);
+  std::vector<BatchRef> in0;
+  in0.emplace_back(master);
+  WorkStats serial_stats;
+  const DQBatch expect = op.RunCycle(std::move(in0), queries, serial_ctx,
+                                     &serial_stats);
+  ASSERT_GT(expect.size(), 0u);
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    CycleContext ctx = serial_ctx;
+    ctx.parallel = &pc;
+    std::vector<BatchRef> in;
+    in.emplace_back(master);
+    WorkStats stats;
+    const DQBatch got = op.RunCycle(std::move(in), queries, ctx, &stats);
+    ExpectBatchesIdentical(expect, got, "groupby w=" + std::to_string(workers));
+    EXPECT_EQ(stats.tuples_in, serial_stats.tuples_in);
+    EXPECT_EQ(stats.tuples_out, serial_stats.tuples_out);
+    EXPECT_EQ(stats.hash_builds, serial_stats.hash_builds);
+    EXPECT_EQ(stats.hash_probes, serial_stats.hash_probes);
+    EXPECT_EQ(stats.agg_updates, serial_stats.agg_updates);
+    EXPECT_EQ(stats.predicate_evals, serial_stats.predicate_evals);
+    EXPECT_EQ(stats.qid_elems, serial_stats.qid_elems);
+  }
+}
+
+// --- DistinctOp --------------------------------------------------------------
+
+TEST(ParallelEquivalence, DistinctMatchesSerial) {
+  const SchemaPtr schema = Schema::Make({{"id", ValueType::kInt},
+                                         {"val", ValueType::kInt},
+                                         {"name", ValueType::kString}});
+  constexpr size_t kRows = 3000;
+  constexpr int kQueries = 10;
+  // Tuples drawn from a small value space: heavy duplication, so the
+  // annotation unions and the first-occurrence order both get exercised.
+  DQBatch master(schema);
+  Rng rng(41);
+  for (size_t i = 0; i < kRows; ++i) {
+    std::vector<QueryId> ids;
+    for (int q = 0; q < kQueries; ++q) {
+      if (rng.Bernoulli(0.35)) ids.push_back(static_cast<QueryId>(q));
+    }
+    master.Push({Value::Int(static_cast<int64_t>(i % 40)),
+                 Value::Int(static_cast<int64_t>(i % 7)),
+                 Value::Str("d" + std::to_string(i % 13))},
+                QueryIdSet::FromSorted(std::move(ids)));
+  }
+  DistinctOp op(schema);
+  std::vector<OpQuery> queries(kQueries);
+  for (int q = 0; q < kQueries; ++q) queries[q].id = static_cast<QueryId>(q);
+
+  CycleContext serial_ctx;
+  serial_ctx.read_snapshot = 1;
+  serial_ctx.write_version = 2;
+  std::vector<BatchRef> in0;
+  in0.emplace_back(master);
+  WorkStats serial_stats;
+  const DQBatch expect = op.RunCycle(std::move(in0), queries, serial_ctx,
+                                     &serial_stats);
+  ASSERT_GT(expect.size(), 0u);
+  ASSERT_LT(expect.size(), kRows);  // the input really had duplicates
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    CycleContext ctx = serial_ctx;
+    ctx.parallel = &pc;
+    std::vector<BatchRef> in;
+    in.emplace_back(master);
+    WorkStats stats;
+    const DQBatch got = op.RunCycle(std::move(in), queries, ctx, &stats);
+    ExpectBatchesIdentical(expect, got, "distinct w=" + std::to_string(workers));
+    EXPECT_EQ(stats.tuples_in, serial_stats.tuples_in);
+    EXPECT_EQ(stats.tuples_out, serial_stats.tuples_out);
+    EXPECT_EQ(stats.hash_builds, serial_stats.hash_builds);
+    EXPECT_EQ(stats.hash_probes, serial_stats.hash_probes);
+    EXPECT_EQ(stats.qid_elems, serial_stats.qid_elems);
+  }
+}
+
+// --- TopNOp ------------------------------------------------------------------
+
+TEST(ParallelEquivalence, TopNMatchesSerial) {
+  const SchemaPtr schema = Schema::Make({{"id", ValueType::kInt},
+                                         {"val", ValueType::kInt},
+                                         {"name", ValueType::kString}});
+  constexpr size_t kRows = 3000;
+  constexpr int kQueries = 12;
+  TopNOp op(schema, {{1, true}, {0, false}}, /*default_limit=*/25);
+  std::vector<OpQuery> queries(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    queries[q].id = static_cast<QueryId>(q);
+    if (q % 3 == 0) queries[q].limit = 5;
+    if (q % 4 == 1) {
+      queries[q].predicate =
+          Expr::Ge(Expr::Column(1), Expr::Literal(Value::Int(5)));
+    }
+  }
+
+  CycleContext serial_ctx;
+  serial_ctx.read_snapshot = 1;
+  serial_ctx.write_version = 2;
+  const DQBatch master = MakeSortInput(schema, kRows, kQueries);
+  std::vector<BatchRef> in0;
+  in0.emplace_back(master);
+  WorkStats serial_stats;
+  const DQBatch expect = op.RunCycle(std::move(in0), queries, serial_ctx,
+                                     &serial_stats);
+  ASSERT_GT(expect.size(), 0u);
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    CycleContext ctx = serial_ctx;
+    ctx.parallel = &pc;
+    std::vector<BatchRef> in;
+    in.emplace_back(master);
+    WorkStats stats;
+    const DQBatch got = op.RunCycle(std::move(in), queries, ctx, &stats);
+    ExpectBatchesIdentical(expect, got, "topn w=" + std::to_string(workers));
+    EXPECT_EQ(stats.tuples_in, serial_stats.tuples_in);
+    EXPECT_EQ(stats.tuples_out, serial_stats.tuples_out);
+    EXPECT_EQ(stats.predicate_evals, serial_stats.predicate_evals);
+  }
+}
+
+// --- ProbeOp -----------------------------------------------------------------
+
+TEST(ParallelEquivalence, ProbeMatchesSerial) {
+  // One table + index shared by the serial and parallel runs: ProbeOp reads
+  // under a snapshot and applies no updates here, so both runs see the same
+  // rows.
+  auto catalog = std::make_unique<Catalog>();
+  Table* t = catalog->CreateTable(
+      "t", Schema::Make({{"id", ValueType::kInt},
+                         {"val", ValueType::kInt},
+                         {"name", ValueType::kString}}));
+  Rng rng(53);
+  for (size_t i = 0; i < 2000; ++i) {
+    t->Insert({Value::Int(static_cast<int64_t>(i)), Value::Int(rng.Uniform(0, 79)),
+               Value::Str("n" + std::to_string(i % 29))},
+              1);
+  }
+  t->CreateIndex("val_idx", "val");
+  catalog->snapshots().Reset(1);
+
+  // A wide mix of probe shapes: shared equality groups (several queries per
+  // key), equalities with extra conjuncts, ranges, IN lists, and one
+  // degenerate full-scan query — enough independent items for the parallel
+  // fan-out to engage.
+  std::vector<OpQuery> queries;
+  QueryId id = 0;
+  for (int v = 0; v < 20; ++v) {
+    OpQuery q;
+    q.id = id++;
+    q.predicate = Expr::Eq(Expr::Column(1), Expr::Literal(Value::Int(v * 4)));
+    queries.push_back(q);
+    if (v % 2 == 0) {
+      OpQuery dup;  // same key, extra conjunct: joins the probe group
+      dup.id = id++;
+      dup.predicate =
+          Expr::And({Expr::Eq(Expr::Column(1), Expr::Literal(Value::Int(v * 4))),
+                     Expr::Ge(Expr::Column(0), Expr::Literal(Value::Int(500)))});
+      queries.push_back(dup);
+    }
+  }
+  for (int lo = 0; lo < 3; ++lo) {
+    OpQuery q;
+    q.id = id++;
+    q.predicate =
+        Expr::And({Expr::Ge(Expr::Column(1), Expr::Literal(Value::Int(lo * 20))),
+                   Expr::Le(Expr::Column(1), Expr::Literal(Value::Int(lo * 20 + 9)))});
+    queries.push_back(q);
+  }
+  {
+    OpQuery q;
+    q.id = id++;
+    q.predicate = Expr::In(Expr::Column(1),
+                           {Expr::Literal(Value::Int(3)), Expr::Literal(Value::Int(9)),
+                            Expr::Literal(Value::Int(27))});
+    queries.push_back(q);
+  }
+  {
+    OpQuery q;  // no constraint on the indexed column: filtered scan
+    q.id = id++;
+    q.predicate = Expr::Like(Expr::Column(2), "%n1%");
+    queries.push_back(q);
+  }
+
+  ProbeOp op(t, "val_idx");
+  CycleContext serial_ctx;
+  serial_ctx.read_snapshot = 1;
+  serial_ctx.write_version = 2;
+  WorkStats serial_stats;
+  const DQBatch expect = op.RunCycle({}, queries, serial_ctx, &serial_stats);
+  ASSERT_GT(expect.size(), 0u);
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    CycleContext ctx = serial_ctx;
+    ctx.parallel = &pc;
+    WorkStats stats;
+    const DQBatch got = op.RunCycle({}, queries, ctx, &stats);
+    ExpectBatchesIdentical(expect, got, "probe w=" + std::to_string(workers));
+    EXPECT_EQ(stats.index_lookups, serial_stats.index_lookups);
+    EXPECT_EQ(stats.predicate_evals, serial_stats.predicate_evals);
+    EXPECT_EQ(stats.rows_scanned, serial_stats.rows_scanned);
+    EXPECT_EQ(stats.tuples_out, serial_stats.tuples_out);
+    EXPECT_EQ(stats.qid_elems, serial_stats.qid_elems);
+  }
+}
+
+// --- IndexJoinOp -------------------------------------------------------------
+
+TEST(ParallelEquivalence, IndexJoinMatchesSerial) {
+  auto catalog = std::make_unique<Catalog>();
+  Table* orders = catalog->CreateTable(
+      "orders", Schema::Make({{"order_id", ValueType::kInt},
+                              {"user_id", ValueType::kInt},
+                              {"amount", ValueType::kInt}}));
+  for (size_t i = 0; i < 1500; ++i) {
+    orders->Insert({Value::Int(static_cast<int64_t>(i)),
+                    Value::Int(static_cast<int64_t>(i % 120)),
+                    Value::Int(static_cast<int64_t>(i % 311))},
+                   1);
+  }
+  orders->CreateIndex("uid_idx", "user_id");
+  catalog->snapshots().Reset(1);
+
+  const SchemaPtr outer_schema = Schema::Make({{"uid", ValueType::kInt},
+                                               {"country", ValueType::kInt}});
+  constexpr int kQueries = 10;
+  DQBatch master(outer_schema);
+  Rng rng(61);
+  for (size_t i = 0; i < 600; ++i) {
+    std::vector<QueryId> ids;
+    for (int q = 0; q < kQueries; ++q) {
+      if (rng.Bernoulli(0.4)) ids.push_back(static_cast<QueryId>(q));
+    }
+    // Keys repeat (shared look-up cache hits), some miss the inner table
+    // entirely, and a few are NULL (must never join).
+    const Value key = i % 31 == 0
+                          ? Value::Null()
+                          : Value::Int(static_cast<int64_t>(i % 150));
+    master.Push({key, Value::Int(rng.Uniform(0, 5))},
+                QueryIdSet::FromSorted(std::move(ids)));
+  }
+
+  IndexJoinOp op(outer_schema, /*outer_key=*/0, orders, "uid_idx", "u", "o");
+  std::vector<OpQuery> queries(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    queries[q].id = static_cast<QueryId>(q);
+    if (q % 3 == 0) {
+      // Residual over the joined tuple (amount is column 4: outer 2 ++ inner 3).
+      queries[q].predicate =
+          Expr::Ge(Expr::Column(4), Expr::Literal(Value::Int(150)));
+    }
+  }
+
+  CycleContext serial_ctx;
+  serial_ctx.read_snapshot = 1;
+  serial_ctx.write_version = 2;
+  std::vector<BatchRef> in0;
+  in0.emplace_back(master);
+  WorkStats serial_stats;
+  const DQBatch expect = op.RunCycle(std::move(in0), queries, serial_ctx,
+                                     &serial_stats);
+  ASSERT_GT(expect.size(), 0u);
+
+  for (const size_t workers : kWorkerCounts) {
+    TaskPool pool(workers);
+    const ParallelContext pc = MakeCtx(&pool);
+    CycleContext ctx = serial_ctx;
+    ctx.parallel = &pc;
+    std::vector<BatchRef> in;
+    in.emplace_back(master);
+    WorkStats stats;
+    const DQBatch got = op.RunCycle(std::move(in), queries, ctx, &stats);
+    ExpectBatchesIdentical(expect, got, "ixjoin w=" + std::to_string(workers));
+    EXPECT_EQ(stats.tuples_in, serial_stats.tuples_in);
+    EXPECT_EQ(stats.index_lookups, serial_stats.index_lookups);
+    EXPECT_EQ(stats.hash_probes, serial_stats.hash_probes);
+    EXPECT_EQ(stats.predicate_evals, serial_stats.predicate_evals);
+    EXPECT_EQ(stats.tuples_out, serial_stats.tuples_out);
+  }
+}
+
 // --- End to end: a parallel engine matches a serial engine -------------------
 
 class ParallelEngineFixture : public ::testing::Test {
@@ -469,6 +794,64 @@ TEST_F(ParallelEngineFixture, ParallelEngineMatchesSerialAcrossBatches) {
                          "round " + std::to_string(round) + " q " + std::to_string(i));
     }
   }
+}
+
+TEST_F(ParallelEngineFixture, GammaRoutingParallelMatchesSerialAndCountsSharing) {
+  // Many concurrent calls, most sharing one statement+parameter: result
+  // routing fans out across the pool on the parallel server (the item
+  // threshold is dropped to 1) while the serial server routes inline. The
+  // per-call results, the batch-level sharing win, and the routing-miss
+  // counter must all agree.
+  auto serial_cat = MakeCatalog();
+  auto par_cat = MakeCatalog();
+  auto serial_plan = BuildPlan(serial_cat.get());
+  auto par_plan = BuildPlan(par_cat.get());
+  GlobalPlan* par_raw = par_plan.get();
+
+  Engine serial_engine(std::move(serial_plan));
+  EngineOptions popts;
+  popts.parallel.num_workers = 4;
+  popts.parallel.min_rows_per_task = 16;
+  popts.parallel.min_items_per_task = 1;  // small batches still fan out Γ
+  Engine par_engine(std::move(par_plan), std::move(popts),
+                    std::make_unique<ThreadedRuntime>(par_raw,
+                                                      /*pin_threads=*/false));
+  api::ServerOptions sopts;
+  sopts.start_paused = true;
+  api::Server serial_server(&serial_engine, sopts);
+  api::Server par_server(&par_engine, sopts);
+  auto ss = serial_server.OpenSession();
+  auto sp = par_server.OpenSession();
+
+  std::vector<api::AsyncResult> fs, fp;
+  for (int i = 0; i < 10; ++i) {  // ten subscribers to identical results
+    fs.push_back(ss->ExecuteAsync("user_orders", {Value::Int(42)}));
+    fp.push_back(sp->ExecuteAsync("user_orders", {Value::Int(42)}));
+  }
+  for (int uid = 0; uid < 4; ++uid) {
+    fs.push_back(ss->ExecuteAsync("user_orders", {Value::Int(uid)}));
+    fp.push_back(sp->ExecuteAsync("user_orders", {Value::Int(uid)}));
+  }
+  const BatchReport serial_report = serial_server.StepBatch();
+  const BatchReport par_report = par_server.StepBatch();
+
+  for (size_t i = 0; i < fs.size(); ++i) {
+    ResultSet a = fs[i].Get();
+    ResultSet b = fp[i].Get();
+    ExpectResultsEqual(a, b, "gamma q " + std::to_string(i));
+    // Every call of the batch carries the batch-level sharing win.
+    EXPECT_EQ(a.shared_work_saved, serial_report.shared_work_saved) << i;
+    EXPECT_EQ(b.shared_work_saved, par_report.shared_work_saved) << i;
+  }
+  // Ten queries read rows materialized once: real sharing, identical
+  // accounting on both servers.
+  EXPECT_GT(par_report.shared_work_saved, 0u);
+  EXPECT_EQ(par_report.shared_work_saved, serial_report.shared_work_saved);
+  EXPECT_GE(par_report.rows_delivered, par_report.rows_touched);
+  EXPECT_EQ(par_report.missing_root_outputs, 0u);
+  EXPECT_EQ(serial_report.missing_root_outputs, 0u);
+  EXPECT_EQ(par_server.stats().shared_work_saved, par_report.shared_work_saved);
+  EXPECT_EQ(par_server.stats().missing_root_outputs, 0u);
 }
 
 }  // namespace
